@@ -1,0 +1,122 @@
+//! Fisher's exact test on 2×2 contingency tables.
+//!
+//! The significant-rule-discovery baseline (Webb, *Discovering Significant
+//! Patterns*, Machine Learning 68(1), 2007 — the method behind the Magnum
+//! Opus tool the paper compares against) tests each rule `X → y` for a
+//! positive association between antecedent and consequent occurrence. The
+//! one-sided p-value is the hypergeometric tail
+//!
+//! `P(|supp(X ∪ y)| ≥ k)` given margins `|supp(X)|`, `|supp(y)|`, `|D|`.
+
+/// Precomputed `ln(k!)` table for exact hypergeometric probabilities.
+#[derive(Clone, Debug)]
+pub struct LnFactorials {
+    table: Vec<f64>,
+}
+
+impl LnFactorials {
+    /// Builds a table usable for populations up to `n`.
+    pub fn new(n: usize) -> LnFactorials {
+        let mut table = Vec::with_capacity(n + 1);
+        table.push(0.0);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).ln();
+            table.push(acc);
+        }
+        LnFactorials { table }
+    }
+
+    /// `ln(k!)`.
+    #[inline]
+    pub fn get(&self, k: usize) -> f64 {
+        self.table[k]
+    }
+
+    /// `ln C(n, k)`; `-inf` when `k > n`.
+    #[inline]
+    pub fn ln_choose(&self, n: usize, k: usize) -> f64 {
+        if k > n {
+            f64::NEG_INFINITY
+        } else {
+            self.get(n) - self.get(k) - self.get(n - k)
+        }
+    }
+}
+
+/// One-sided Fisher exact p-value for over-representation.
+///
+/// Population `n`, draws `sx = |supp(X)|`, successes `sy = |supp(y)|`,
+/// observed overlap `sxy`. Returns `P(overlap ≥ sxy)`.
+pub fn fisher_exact_over(lf: &LnFactorials, n: usize, sx: usize, sy: usize, sxy: usize) -> f64 {
+    debug_assert!(sx <= n && sy <= n && sxy <= sx.min(sy));
+    let hi = sx.min(sy);
+    // Overlap cannot be below max(0, sx + sy - n).
+    let lo = sxy.max(sx.saturating_add(sy).saturating_sub(n));
+    let denom = lf.ln_choose(n, sx);
+    let mut p = 0.0;
+    for k in lo..=hi {
+        let ln_p = lf.ln_choose(sy, k) + lf.ln_choose(n - sy, sx - k) - denom;
+        p += ln_p.exp();
+    }
+    p.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorials_match_direct_computation() {
+        let lf = LnFactorials::new(20);
+        assert_eq!(lf.get(0), 0.0);
+        assert!((lf.get(5) - 120f64.ln()).abs() < 1e-9);
+        assert!((lf.ln_choose(10, 3) - 120f64.ln()).abs() < 1e-9);
+        assert_eq!(lf.ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn perfect_association_is_significant() {
+        // n=20, sx=10, sy=10, overlap=10: hypergeometric P = 1/C(20,10).
+        let lf = LnFactorials::new(20);
+        let p = fisher_exact_over(&lf, 20, 10, 10, 10);
+        let expect = 1.0 / 184_756.0; // C(20,10)
+        assert!((p - expect).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn independence_is_not_significant() {
+        // Overlap exactly at expectation: p-value should be large.
+        let lf = LnFactorials::new(100);
+        let p = fisher_exact_over(&lf, 100, 50, 50, 25);
+        assert!(p > 0.4, "{p}");
+    }
+
+    #[test]
+    fn tail_sums_to_one_from_minimum_overlap() {
+        // Summing the whole support of the distribution gives 1.
+        let lf = LnFactorials::new(30);
+        let p = fisher_exact_over(&lf, 30, 12, 9, 0);
+        assert!((p - 1.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn respects_lower_feasibility_bound() {
+        // sx + sy > n forces a minimum overlap; asking for less than the
+        // minimum must still return 1.
+        let lf = LnFactorials::new(10);
+        let p = fisher_exact_over(&lf, 10, 8, 7, 2);
+        assert!((p - 1.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn monotone_in_observed_overlap() {
+        let lf = LnFactorials::new(50);
+        let mut prev = 1.1;
+        for k in 5..=15 {
+            let p = fisher_exact_over(&lf, 50, 15, 20, k);
+            assert!(p <= prev + 1e-12, "k={k}: {p} > {prev}");
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! KRIMP: itemsets that compress (Vreeken, van Leeuwen & Siebes, DMKD 2011).
+//!
+//! Full reimplementation of the classic MDL pattern-set miner, used by the
+//! paper as a baseline (§6.3): a *code table* maps itemsets to prefix codes
+//! whose lengths derive from usage in the greedy *cover* of the database;
+//! candidates are accepted when they shrink the total encoded size
+//! `L(CT | D) + L(D | CT)`, with optional post-acceptance pruning.
+//!
+//! The paper evaluates KRIMP on the *joint* two-view data and then
+//! reinterprets the mined code table as a translation table: every
+//! non-singleton element that spans both views becomes a bidirectional
+//! rule ([`KrimpModel::to_translation_table`]). Single-view elements cannot
+//! form translation rules (one side would be empty) and are dropped — this
+//! is precisely why KRIMP fares badly at the translation task, which is the
+//! paper's point.
+
+use twoview_core::{Direction, TranslationRule, TranslationTable};
+use twoview_data::prelude::*;
+use twoview_mining::{mine_closed, mine_frequent, MinerConfig};
+
+/// KRIMP parameters.
+#[derive(Clone, Debug)]
+pub struct KrimpConfig {
+    /// Candidate minimum support.
+    pub minsup: usize,
+    /// Use closed frequent itemsets as candidates (the usual choice; `all`
+    /// is the alternative in the original paper).
+    pub closed_candidates: bool,
+    /// Candidate cap (safety valve).
+    pub max_candidates: usize,
+    /// Post-acceptance pruning (recommended and enabled by default).
+    pub prune: bool,
+}
+
+impl KrimpConfig {
+    /// Default configuration with the given minsup.
+    pub fn new(minsup: usize) -> Self {
+        KrimpConfig {
+            minsup: minsup.max(1),
+            closed_candidates: true,
+            max_candidates: 200_000,
+            prune: true,
+        }
+    }
+}
+
+/// One code table element.
+#[derive(Clone, Debug)]
+pub struct CodeTableEntry {
+    /// The itemset (global ids).
+    pub items: ItemSet,
+    /// Support in the database.
+    pub support: usize,
+    /// Usage in the current cover.
+    pub usage: usize,
+}
+
+/// A fitted KRIMP model.
+#[derive(Clone, Debug)]
+pub struct KrimpModel {
+    /// All elements with non-zero usage, singletons included, in Standard
+    /// Cover Order.
+    pub entries: Vec<CodeTableEntry>,
+    /// Total encoded size `L(CT | D) + L(D | CT)` in bits.
+    pub l_total: f64,
+    /// `L(D | CT)`.
+    pub l_data: f64,
+    /// `L(CT | D)`.
+    pub l_code_table: f64,
+    /// Encoded size of the singleton-only (standard) code table, for
+    /// KRIMP's own compression ratio.
+    pub l_baseline: f64,
+    /// Number of candidates evaluated.
+    pub n_candidates: usize,
+}
+
+impl KrimpModel {
+    /// KRIMP's own compression ratio (relative to the singleton code table).
+    pub fn compression_pct(&self) -> f64 {
+        if self.l_baseline == 0.0 {
+            100.0
+        } else {
+            100.0 * self.l_total / self.l_baseline
+        }
+    }
+
+    /// Non-singleton elements of the code table.
+    pub fn patterns(&self) -> impl Iterator<Item = &CodeTableEntry> {
+        self.entries.iter().filter(|e| e.items.len() > 1)
+    }
+
+    /// Reinterprets the code table as a translation table (paper §6.3):
+    /// cross-view elements become bidirectional rules; single-view elements
+    /// are dropped (they cannot be translation rules).
+    pub fn to_translation_table(&self, vocab: &Vocabulary) -> TranslationTable {
+        TranslationTable::from_rules(self.patterns().filter_map(|e| {
+            if e.items.spans_both_views(vocab) {
+                let (l, r) = e.items.split(vocab);
+                Some(TranslationRule::new(l, r, Direction::Both))
+            } else {
+                None
+            }
+        }))
+    }
+}
+
+/// Internal fitting state.
+struct Krimp<'d> {
+    data: &'d TwoViewDataset,
+    /// Joint row bitmaps (over global item ids).
+    rows: Vec<Bitmap>,
+    /// Entry arena (stable ids).
+    items_of: Vec<ItemSet>,
+    bitmap_of: Vec<Bitmap>,
+    support_of: Vec<usize>,
+    /// Entry ids in Standard Cover Order.
+    cover_order: Vec<usize>,
+    /// Usage per entry id.
+    usage: Vec<usize>,
+    /// Cover (entry ids) per transaction.
+    covers: Vec<Vec<usize>>,
+    /// Standard (singleton) code length per item, over the joint alphabet.
+    st_code: Vec<f64>,
+}
+
+impl<'d> Krimp<'d> {
+    fn new(data: &'d TwoViewDataset) -> Krimp<'d> {
+        let vocab = data.vocab();
+        let n_items = vocab.n_items();
+        let rows: Vec<Bitmap> = (0..data.n_transactions())
+            .map(|t| {
+                Bitmap::from_indices(
+                    n_items,
+                    data.transaction_items(t).iter().map(|i| i as usize),
+                )
+            })
+            .collect();
+        let total_ones: usize = (0..n_items as ItemId).map(|i| data.support(i)).sum();
+        let st_code: Vec<f64> = (0..n_items as ItemId)
+            .map(|i| {
+                let s = data.support(i);
+                if s == 0 || total_ones == 0 {
+                    f64::INFINITY
+                } else {
+                    -((s as f64) / total_ones as f64).log2()
+                }
+            })
+            .collect();
+
+        let mut k = Krimp {
+            data,
+            rows,
+            items_of: Vec::new(),
+            bitmap_of: Vec::new(),
+            support_of: Vec::new(),
+            cover_order: Vec::new(),
+            usage: Vec::new(),
+            covers: Vec::new(),
+            st_code,
+        };
+        // Singletons for every occurring item.
+        for i in 0..n_items as ItemId {
+            if data.support(i) > 0 {
+                k.add_entry(ItemSet::singleton(i));
+            }
+        }
+        // Initial cover: every transaction covered by its singletons.
+        k.covers = (0..k.rows.len()).map(|t| k.cover_transaction(t)).collect();
+        k.recount_usages();
+        k
+    }
+
+    /// Adds an entry to the arena and the cover order; returns its id.
+    fn add_entry(&mut self, items: ItemSet) -> usize {
+        let id = self.items_of.len();
+        let bm = Bitmap::from_indices(
+            self.data.vocab().n_items(),
+            items.iter().map(|i| i as usize),
+        );
+        let support = self.data.support_count(&items);
+        self.items_of.push(items);
+        self.bitmap_of.push(bm);
+        self.support_of.push(support);
+        self.usage.push(0);
+        let pos = self.cover_position(id);
+        self.cover_order.insert(pos, id);
+        id
+    }
+
+    /// Standard Cover Order position for entry `id`: length desc, support
+    /// desc, lexicographic asc.
+    fn cover_position(&self, id: usize) -> usize {
+        let key = |e: usize| {
+            (
+                std::cmp::Reverse(self.items_of[e].len()),
+                std::cmp::Reverse(self.support_of[e]),
+            )
+        };
+        self.cover_order
+            .binary_search_by(|&e| {
+                key(e)
+                    .cmp(&key(id))
+                    .then_with(|| self.items_of[e].cmp(&self.items_of[id]))
+            })
+            .unwrap_err()
+    }
+
+    fn remove_entry_from_order(&mut self, id: usize) {
+        let pos = self
+            .cover_order
+            .iter()
+            .position(|&e| e == id)
+            .expect("entry in cover order");
+        self.cover_order.remove(pos);
+    }
+
+    /// Greedy cover of transaction `t` with the current table.
+    fn cover_transaction(&self, t: usize) -> Vec<usize> {
+        let mut remaining = self.rows[t].clone();
+        let mut cover = Vec::new();
+        if remaining.is_empty() {
+            return cover;
+        }
+        for &e in &self.cover_order {
+            if self.bitmap_of[e].is_subset(&remaining) {
+                cover.push(e);
+                remaining.subtract(&self.bitmap_of[e]);
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+        }
+        debug_assert!(remaining.is_empty(), "singletons guarantee full cover");
+        cover
+    }
+
+    fn recount_usages(&mut self) {
+        self.usage.iter_mut().for_each(|u| *u = 0);
+        for cover in &self.covers {
+            for &e in cover {
+                self.usage[e] += 1;
+            }
+        }
+    }
+
+    /// Total encoded size with the current usages:
+    /// `L(D|CT) + L(CT|D)`, counting only entries in use.
+    fn total_size(&self) -> f64 {
+        let total_usage: usize = self.usage.iter().sum();
+        if total_usage == 0 {
+            return 0.0;
+        }
+        let tu = total_usage as f64;
+        let mut l_data = 0.0;
+        let mut l_ct = 0.0;
+        for (e, &u) in self.usage.iter().enumerate() {
+            if u == 0 {
+                continue;
+            }
+            let code = -((u as f64) / tu).log2();
+            l_data += u as f64 * code;
+            let st: f64 = self.items_of[e].iter().map(|i| self.st_code[i as usize]).sum();
+            l_ct += st + code;
+        }
+        l_data + l_ct
+    }
+
+    fn split_sizes(&self) -> (f64, f64) {
+        let total_usage: usize = self.usage.iter().sum();
+        let tu = total_usage as f64;
+        let mut l_data = 0.0;
+        let mut l_ct = 0.0;
+        for (e, &u) in self.usage.iter().enumerate() {
+            if u == 0 {
+                continue;
+            }
+            let code = -((u as f64) / tu).log2();
+            l_data += u as f64 * code;
+            let st: f64 = self.items_of[e].iter().map(|i| self.st_code[i as usize]).sum();
+            l_ct += st + code;
+        }
+        (l_data, l_ct)
+    }
+
+    /// Re-covers the transactions in `tids`, updating `covers` and usages.
+    fn recover_transactions(&mut self, tids: &Bitmap) {
+        for t in tids.iter() {
+            let new_cover = self.cover_transaction(t);
+            for &e in &self.covers[t] {
+                self.usage[e] -= 1;
+            }
+            for &e in &new_cover {
+                self.usage[e] += 1;
+            }
+            self.covers[t] = new_cover;
+        }
+    }
+
+    /// Attempts to add candidate `items`; keeps it only if total size
+    /// shrinks. Returns whether it was accepted.
+    fn try_candidate(&mut self, items: ItemSet, current_size: &mut f64, prune: bool) -> bool {
+        let tids = self.data.support_set(&items);
+        let id = self.add_entry(items);
+        let saved_covers: Vec<(usize, Vec<usize>)> = tids
+            .iter()
+            .map(|t| (t, self.covers[t].clone()))
+            .collect();
+        self.recover_transactions(&tids);
+        let new_size = self.total_size();
+        if new_size < *current_size {
+            *current_size = new_size;
+            if prune {
+                self.prune_unused(current_size);
+            }
+            true
+        } else {
+            // Roll back.
+            for (t, cover) in saved_covers {
+                for &e in &self.covers[t] {
+                    self.usage[e] -= 1;
+                }
+                for &e in &cover {
+                    self.usage[e] += 1;
+                }
+                self.covers[t] = cover;
+            }
+            self.remove_entry_from_order(id);
+            // Arena keeps the dead entry (usage 0, not in cover order).
+            false
+        }
+    }
+
+    /// Post-acceptance pruning: repeatedly try removing the non-singleton
+    /// in-use entry with the smallest usage; keep removals that shrink the
+    /// total size.
+    fn prune_unused(&mut self, current_size: &mut f64) {
+        loop {
+            // Candidates: non-singleton entries in cover order with usage
+            // below their support (usage drop signals redundancy), smallest
+            // usage first.
+            let mut cands: Vec<usize> = self
+                .cover_order
+                .iter()
+                .copied()
+                .filter(|&e| self.items_of[e].len() > 1 && self.usage[e] > 0)
+                .collect();
+            cands.sort_by_key(|&e| self.usage[e]);
+            let mut removed_any = false;
+            for e in cands {
+                if self.usage[e] == 0 {
+                    continue;
+                }
+                // Transactions currently using e.
+                let mut tids = Bitmap::new(self.rows.len());
+                for (t, cover) in self.covers.iter().enumerate() {
+                    if cover.contains(&e) {
+                        tids.insert(t);
+                    }
+                }
+                let saved: Vec<(usize, Vec<usize>)> = tids
+                    .iter()
+                    .map(|t| (t, self.covers[t].clone()))
+                    .collect();
+                self.remove_entry_from_order(e);
+                self.recover_transactions(&tids);
+                let new_size = self.total_size();
+                if new_size < *current_size {
+                    *current_size = new_size;
+                    removed_any = true;
+                } else {
+                    // Roll back the removal.
+                    for (t, cover) in saved {
+                        for &x in &self.covers[t] {
+                            self.usage[x] -= 1;
+                        }
+                        for &x in &cover {
+                            self.usage[x] += 1;
+                        }
+                        self.covers[t] = cover;
+                    }
+                    let pos = self.cover_position(e);
+                    self.cover_order.insert(pos, e);
+                }
+            }
+            if !removed_any {
+                break;
+            }
+        }
+    }
+}
+
+/// Fits KRIMP on the joint two-view database.
+pub fn krimp(data: &TwoViewDataset, cfg: &KrimpConfig) -> KrimpModel {
+    let mut miner_cfg = MinerConfig::with_minsup(cfg.minsup);
+    miner_cfg.max_itemsets = cfg.max_candidates;
+    let mined = if cfg.closed_candidates {
+        mine_closed(data, &miner_cfg)
+    } else {
+        mine_frequent(data, &miner_cfg)
+    };
+    // Standard Candidate Order: support desc, length desc, lexicographic.
+    let mut candidates: Vec<(ItemSet, usize)> = mined
+        .itemsets
+        .into_iter()
+        .filter(|f| f.items.len() >= 2)
+        .map(|f| (f.items, f.support))
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(b.0.len().cmp(&a.0.len()))
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut k = Krimp::new(data);
+    let l_baseline = k.total_size();
+    let mut current = l_baseline;
+    let n_candidates = candidates.len();
+    for (items, _) in candidates {
+        k.try_candidate(items, &mut current, cfg.prune);
+    }
+
+    let (l_data, l_ct) = k.split_sizes();
+    let entries: Vec<CodeTableEntry> = k
+        .cover_order
+        .iter()
+        .map(|&e| CodeTableEntry {
+            items: k.items_of[e].clone(),
+            support: k.support_of[e],
+            usage: k.usage[e],
+        })
+        .filter(|e| e.usage > 0)
+        .collect();
+    KrimpModel {
+        entries,
+        l_total: l_data + l_ct,
+        l_data,
+        l_code_table: l_ct,
+        l_baseline,
+        n_candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ten transactions where {a,b,x} always co-occur.
+    fn blocky() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y"]);
+        let mut txs = Vec::new();
+        for i in 0..10 {
+            if i < 6 {
+                txs.push(vec![0, 1, 3]);
+            } else if i < 8 {
+                txs.push(vec![2, 4]);
+            } else {
+                txs.push(vec![0, 4]);
+            }
+        }
+        TwoViewDataset::from_transactions(vocab, &txs)
+    }
+
+    #[test]
+    fn covers_partition_transactions() {
+        let d = blocky();
+        let k = Krimp::new(&d);
+        for (t, cover) in k.covers.iter().enumerate() {
+            let mut acc = Bitmap::new(d.vocab().n_items());
+            for &e in cover {
+                assert!(k.bitmap_of[e].is_disjoint(&acc), "overlapping cover");
+                acc.union_with(&k.bitmap_of[e]);
+            }
+            assert_eq!(acc, k.rows[t], "cover must reproduce transaction {t}");
+        }
+    }
+
+    #[test]
+    fn krimp_compresses_blocky_data() {
+        let d = blocky();
+        let model = krimp(&d, &KrimpConfig::new(1));
+        assert!(model.l_total < model.l_baseline);
+        assert!(model.compression_pct() < 100.0);
+        // The dominant block {a,b,x} must be in the code table.
+        assert!(
+            model
+                .patterns()
+                .any(|e| e.items.as_slice() == [0, 1, 3]),
+            "entries: {:?}",
+            model.entries
+        );
+    }
+
+    #[test]
+    fn usages_are_consistent_with_covers() {
+        let d = blocky();
+        let model = krimp(&d, &KrimpConfig::new(1));
+        let total_usage: usize = model.entries.iter().map(|e| e.usage).sum();
+        // Each transaction contributes at least one code (none is empty).
+        assert!(total_usage >= d.n_transactions());
+        for e in &model.entries {
+            assert!(e.usage <= e.support, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn translation_table_keeps_only_cross_view_patterns() {
+        let d = blocky();
+        let model = krimp(&d, &KrimpConfig::new(1));
+        let table = model.to_translation_table(d.vocab());
+        for rule in table.iter() {
+            assert!(!rule.left.is_empty() && !rule.right.is_empty());
+            assert_eq!(rule.direction, Direction::Both);
+        }
+        // {a,b,x} spans both views -> must yield {a,b} <-> {x}.
+        assert!(table
+            .iter()
+            .any(|r| r.left.as_slice() == [0, 1] && r.right.as_slice() == [3]));
+    }
+
+    #[test]
+    fn pruning_never_hurts_compression() {
+        let d = blocky();
+        let pruned = krimp(&d, &KrimpConfig::new(1));
+        let unpruned = krimp(
+            &d,
+            &KrimpConfig {
+                prune: false,
+                ..KrimpConfig::new(1)
+            },
+        );
+        assert!(pruned.l_total <= unpruned.l_total + 1e-9);
+    }
+
+    #[test]
+    fn rejected_candidates_leave_state_intact() {
+        let d = blocky();
+        let mut k = Krimp::new(&d);
+        let mut size = k.total_size();
+        let before = size;
+        // A candidate occurring once cannot pay for itself here.
+        let accepted = k.try_candidate(ItemSet::from_items([0, 4]), &mut size, false);
+        if !accepted {
+            assert_eq!(size, before);
+            let fresh = Krimp::new(&d);
+            assert!((k.total_size() - fresh.total_size()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = blocky();
+        let a = krimp(&d, &KrimpConfig::new(1));
+        let b = krimp(&d, &KrimpConfig::new(1));
+        assert_eq!(a.entries.len(), b.entries.len());
+        assert!((a.l_total - b.l_total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! Bench for Fig. 2: cost of fitting SELECT(1) on House with full tracing.
+//!
+//! Regenerate the trace series with
+//! `cargo run --release -p twoview-eval --bin fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twoview_bench::bench_dataset;
+use twoview_core::{translator_select, SelectConfig};
+use twoview_data::corpus::PaperDataset;
+
+fn bench_fig2(c: &mut Criterion) {
+    let data = bench_dataset(PaperDataset::House, 200);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("house-select1-trace", |b| {
+        b.iter(|| {
+            let model = translator_select(&data, &SelectConfig::new(1, 4));
+            black_box(model.trace.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

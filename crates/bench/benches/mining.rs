@@ -1,0 +1,32 @@
+//! Substrate benchmarks: frequent and closed itemset mining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twoview_bench::bench_dataset;
+use twoview_data::corpus::PaperDataset;
+use twoview_mining::{mine_closed, mine_closed_twoview, mine_frequent, MinerConfig};
+
+fn bench_miners(c: &mut Criterion) {
+    let data = bench_dataset(PaperDataset::Yeast, 500);
+    let mut g = c.benchmark_group("mining/yeast-500");
+    g.sample_size(10);
+    for minsup in [2usize, 5, 20] {
+        g.bench_with_input(BenchmarkId::new("frequent", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(mine_frequent(&data, &MinerConfig::with_minsup(m))));
+        });
+        g.bench_with_input(BenchmarkId::new("closed", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(mine_closed(&data, &MinerConfig::with_minsup(m))));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("closed-twoview", minsup),
+            &minsup,
+            |b, &m| {
+                b.iter(|| black_box(mine_closed_twoview(&data, &MinerConfig::with_minsup(m))));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for Table 1: corpus generation and dataset statistics.
+//!
+//! Regenerate the quality numbers with
+//! `cargo run --release -p twoview-eval --bin table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twoview_core::CodeLengths;
+use twoview_data::corpus::PaperDataset;
+use twoview_data::Side;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/generate");
+    g.sample_size(10);
+    for ds in [PaperDataset::Wine, PaperDataset::House, PaperDataset::Yeast] {
+        g.bench_with_input(BenchmarkId::from_parameter(ds.name()), &ds, |b, &ds| {
+            b.iter(|| black_box(ds.generate_scaled(500)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let data = PaperDataset::House.generate().dataset;
+    let mut g = c.benchmark_group("table1/stats");
+    g.bench_function("densities", |b| {
+        b.iter(|| (black_box(data.density(Side::Left)), black_box(data.density(Side::Right))));
+    });
+    g.bench_function("l_empty", |b| {
+        let codes = CodeLengths::new(&data);
+        b.iter(|| black_box(codes.empty_model(&data)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_stats);
+criterion_main!(benches);

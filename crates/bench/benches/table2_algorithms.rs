@@ -1,0 +1,44 @@
+//! Bench for Table 2: runtimes of the three TRANSLATOR search strategies.
+//!
+//! Regenerate the quality numbers (|T|, L%) with
+//! `cargo run --release -p twoview-eval --bin table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twoview_bench::{bench_dataset, bench_minsup};
+use twoview_core::{
+    translator_exact_with, translator_greedy, translator_select, ExactConfig, GreedyConfig,
+    SelectConfig,
+};
+use twoview_data::corpus::PaperDataset;
+
+const SCALE: usize = 250;
+
+fn bench_methods(c: &mut Criterion) {
+    for ds in [PaperDataset::Wine, PaperDataset::House, PaperDataset::Tictactoe] {
+        let data = bench_dataset(ds, SCALE);
+        let minsup = bench_minsup(ds, &data).max(2);
+        let mut g = c.benchmark_group(format!("table2/{}", ds.name()));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("select", 1), &data, |b, d| {
+            b.iter(|| black_box(translator_select(d, &SelectConfig::new(1, minsup))));
+        });
+        g.bench_with_input(BenchmarkId::new("select", 25), &data, |b, d| {
+            b.iter(|| black_box(translator_select(d, &SelectConfig::new(25, minsup))));
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", 1), &data, |b, d| {
+            b.iter(|| black_box(translator_greedy(d, &GreedyConfig::new(minsup))));
+        });
+        g.bench_with_input(BenchmarkId::new("exact-capped", 0), &data, |b, d| {
+            let cfg = ExactConfig {
+                max_nodes: Some(100_000),
+                ..ExactConfig::default()
+            };
+            b.iter(|| black_box(translator_exact_with(d, &cfg)));
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

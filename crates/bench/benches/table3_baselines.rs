@@ -1,0 +1,39 @@
+//! Bench for Table 3: runtimes of the four comparison methods.
+//!
+//! Regenerate the quality numbers with
+//! `cargo run --release -p twoview-eval --bin table3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twoview_baselines::{
+    krimp, magnum_opus_rules, mine_association_rules, reremi_redescriptions, AssocConfig,
+    KrimpConfig, MagnumConfig, ReremiConfig,
+};
+use twoview_bench::bench_dataset;
+use twoview_core::{translator_select, SelectConfig};
+use twoview_data::corpus::PaperDataset;
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = bench_dataset(PaperDataset::Wine, 178);
+    let mut g = c.benchmark_group("table3/wine");
+    g.sample_size(10);
+    g.bench_function("translator-select1", |b| {
+        b.iter(|| black_box(translator_select(&data, &SelectConfig::new(1, 2))));
+    });
+    g.bench_function("magnum-opus-style", |b| {
+        b.iter(|| black_box(magnum_opus_rules(&data, &MagnumConfig::default())));
+    });
+    g.bench_function("reremi-style", |b| {
+        b.iter(|| black_box(reremi_redescriptions(&data, &ReremiConfig::default())));
+    });
+    g.bench_function("krimp", |b| {
+        b.iter(|| black_box(krimp(&data, &KrimpConfig::new(2))));
+    });
+    g.bench_function("assoc-rules", |b| {
+        b.iter(|| black_box(mine_association_rules(&data, &AssocConfig::new(4, 0.8))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Substrate benchmarks: translation, gain evaluation, cover updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twoview_bench::bench_dataset;
+use twoview_core::{translate, translator_select, CoverState, SelectConfig};
+use twoview_data::corpus::PaperDataset;
+use twoview_data::Side;
+
+fn bench_translate(c: &mut Criterion) {
+    let data = bench_dataset(PaperDataset::House, 435);
+    let model = translator_select(&data, &SelectConfig::new(1, 8));
+    let table = model.table;
+
+    let mut g = c.benchmark_group("translate/house");
+    g.bench_function("translate-view-l2r", |b| {
+        b.iter(|| black_box(translate::translate_view(&data, &table, Side::Left)));
+    });
+    g.bench_function("check-lossless", |b| {
+        b.iter(|| black_box(translate::check_lossless(&data, &table)));
+    });
+    g.bench_function("cover-from-table", |b| {
+        b.iter(|| black_box(CoverState::from_table(&data, &table)));
+    });
+    g.bench_function("rule-gain", |b| {
+        let state = CoverState::new(&data);
+        let rule = table.rules()[0].clone();
+        b.iter(|| black_box(state.rule_gain(&rule)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

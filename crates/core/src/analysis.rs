@@ -1,0 +1,244 @@
+//! Rule and rule-set analysis: the interestingness measures used when
+//! *inspecting* translation tables (paper §6.4 discusses rules via their
+//! confidences and supports; Fig. 3 via item coverage and redundancy).
+//!
+//! None of these measures participate in model selection — MDL does that —
+//! but they are what an analyst reads off a fitted table.
+
+use twoview_data::prelude::*;
+
+use crate::table::TranslationTable;
+
+/// Per-rule association statistics.
+#[derive(Clone, Debug)]
+pub struct RuleStats {
+    /// `|supp(X)|`.
+    pub support_left: usize,
+    /// `|supp(Y)|`.
+    pub support_right: usize,
+    /// `|supp(X ∪ Y)|`.
+    pub support_joint: usize,
+    /// `c(X→Y) = supp(XY)/supp(X)`.
+    pub confidence_forward: f64,
+    /// `c(X←Y) = supp(XY)/supp(Y)`.
+    pub confidence_backward: f64,
+    /// `max` of the two confidences — the paper's `c+`.
+    pub max_confidence: f64,
+    /// `lift = P(XY) / (P(X)·P(Y))`; 1 = independence.
+    pub lift: f64,
+    /// `leverage = P(XY) − P(X)·P(Y)`.
+    pub leverage: f64,
+    /// Jaccard of the two support sets (redescription accuracy).
+    pub jaccard: f64,
+}
+
+/// Computes the statistics of one rule (given as its two itemsets).
+pub fn rule_stats(data: &TwoViewDataset, left: &ItemSet, right: &ItemSet) -> RuleStats {
+    let n = data.n_transactions().max(1) as f64;
+    let tl = data.support_set(left);
+    let tr = data.support_set(right);
+    let sl = tl.len();
+    let sr = tr.len();
+    let sj = tl.intersection_len(&tr);
+    let union = tl.union_len(&tr);
+    let (pl, pr, pj) = (sl as f64 / n, sr as f64 / n, sj as f64 / n);
+    RuleStats {
+        support_left: sl,
+        support_right: sr,
+        support_joint: sj,
+        confidence_forward: if sl == 0 { 0.0 } else { sj as f64 / sl as f64 },
+        confidence_backward: if sr == 0 { 0.0 } else { sj as f64 / sr as f64 },
+        max_confidence: {
+            let f = if sl == 0 { 0.0 } else { sj as f64 / sl as f64 };
+            let b = if sr == 0 { 0.0 } else { sj as f64 / sr as f64 };
+            f.max(b)
+        },
+        lift: if pl * pr == 0.0 { 0.0 } else { pj / (pl * pr) },
+        leverage: pj - pl * pr,
+        jaccard: if union == 0 {
+            0.0
+        } else {
+            sj as f64 / union as f64
+        },
+    }
+}
+
+/// Summary of a whole translation table.
+#[derive(Clone, Debug)]
+pub struct TableSummary {
+    /// `|T|`.
+    pub n_rules: usize,
+    /// Bidirectional rule count.
+    pub n_bidirectional: usize,
+    /// Mean items per rule.
+    pub avg_len: f64,
+    /// Mean `c+`.
+    pub avg_max_confidence: f64,
+    /// Mean lift.
+    pub avg_lift: f64,
+    /// Distinct items used, per side.
+    pub items_used: (usize, usize),
+    /// Mean pairwise rule overlap (see [`rule_set_redundancy`]).
+    pub redundancy: f64,
+}
+
+/// Summarises a table.
+pub fn summarize(data: &TwoViewDataset, table: &TranslationTable) -> TableSummary {
+    let vocab = data.vocab();
+    let mut left_used = Bitmap::new(vocab.n_left());
+    let mut right_used = Bitmap::new(vocab.n_right());
+    let mut sum_conf = 0.0;
+    let mut sum_lift = 0.0;
+    for rule in table.iter() {
+        let st = rule_stats(data, &rule.left, &rule.right);
+        sum_conf += st.max_confidence;
+        sum_lift += st.lift;
+        for i in rule.left.iter() {
+            left_used.insert(vocab.local_index(i));
+        }
+        for i in rule.right.iter() {
+            right_used.insert(vocab.local_index(i));
+        }
+    }
+    let n = table.len();
+    TableSummary {
+        n_rules: n,
+        n_bidirectional: table.n_bidirectional(),
+        avg_len: table.avg_rule_length(),
+        avg_max_confidence: if n == 0 { 0.0 } else { sum_conf / n as f64 },
+        avg_lift: if n == 0 { 0.0 } else { sum_lift / n as f64 },
+        items_used: (left_used.len(), right_used.len()),
+        redundancy: rule_set_redundancy(table),
+    }
+}
+
+/// Mean pairwise Jaccard overlap of the rules' joint itemsets — the
+/// redundancy the paper criticises in top-k association rules and
+/// redescription output (0 = perfectly non-redundant).
+pub fn rule_set_redundancy(table: &TranslationTable) -> f64 {
+    let n = table.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let joints: Vec<ItemSet> = table
+        .iter()
+        .map(|r| r.left.union(&r.right))
+        .collect();
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            let inter = joints[i].intersect(&joints[j]).len();
+            let union = joints[i].len() + joints[j].len() - inter;
+            if union > 0 {
+                sum += inter as f64 / union as f64;
+            }
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Direction, TranslationRule};
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 2],
+                vec![0, 2],
+                vec![0, 2],
+                vec![0],
+                vec![1, 3],
+                vec![2],
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_are_exact() {
+        let d = toy();
+        let st = rule_stats(&d, &ItemSet::singleton(0), &ItemSet::singleton(2));
+        // supp(a)=4, supp(x)=4, supp(ax)=3, n=6
+        assert_eq!((st.support_left, st.support_right, st.support_joint), (4, 4, 3));
+        assert!((st.confidence_forward - 0.75).abs() < 1e-12);
+        assert!((st.confidence_backward - 0.75).abs() < 1e-12);
+        assert!((st.max_confidence - 0.75).abs() < 1e-12);
+        let lift = (3.0 / 6.0) / ((4.0 / 6.0) * (4.0 / 6.0));
+        assert!((st.lift - lift).abs() < 1e-12);
+        assert!((st.leverage - (0.5 - 4.0 / 9.0)).abs() < 1e-12);
+        assert!((st.jaccard - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_has_lift_one() {
+        // a and y co-occur never; a and x strongly. Build an exactly
+        // independent pair instead: items occurring in disjoint halves with
+        // the right joint frequency.
+        let vocab = Vocabulary::new(["p"], ["q"]);
+        let d = TwoViewDataset::from_transactions(
+            vocab,
+            &[vec![0, 1], vec![0], vec![1], vec![]],
+        );
+        // P(p)=1/2, P(q)=1/2, P(pq)=1/4 => lift 1, leverage 0.
+        let st = rule_stats(&d, &ItemSet::singleton(0), &ItemSet::singleton(1));
+        assert!((st.lift - 1.0).abs() < 1e-12);
+        assert!(st.leverage.abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let d = toy();
+        let table = TranslationTable::from_rules([
+            TranslationRule::new(
+                ItemSet::singleton(0),
+                ItemSet::singleton(2),
+                Direction::Both,
+            ),
+            TranslationRule::new(
+                ItemSet::singleton(1),
+                ItemSet::singleton(3),
+                Direction::Forward,
+            ),
+        ]);
+        let s = summarize(&d, &table);
+        assert_eq!(s.n_rules, 2);
+        assert_eq!(s.n_bidirectional, 1);
+        assert_eq!(s.items_used, (2, 2));
+        assert!((s.avg_len - 2.0).abs() < 1e-12);
+        assert!(s.avg_max_confidence > 0.7);
+        assert_eq!(s.redundancy, 0.0, "disjoint rules are non-redundant");
+    }
+
+    #[test]
+    fn redundancy_detects_overlap() {
+        let overlapping = TranslationTable::from_rules([
+            TranslationRule::new(
+                ItemSet::from_items([0, 1]),
+                ItemSet::singleton(2),
+                Direction::Both,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([0, 1]),
+                ItemSet::singleton(3),
+                Direction::Both,
+            ),
+        ]);
+        // Joints {0,1,2} and {0,1,3}: Jaccard 2/4.
+        assert!((rule_set_redundancy(&overlapping) - 0.5).abs() < 1e-12);
+        assert_eq!(rule_set_redundancy(&TranslationTable::new()), 0.0);
+    }
+
+    #[test]
+    fn empty_table_summary() {
+        let d = toy();
+        let s = summarize(&d, &TranslationTable::new());
+        assert_eq!(s.n_rules, 0);
+        assert_eq!(s.avg_max_confidence, 0.0);
+        assert_eq!(s.items_used, (0, 0));
+    }
+}

@@ -1,0 +1,500 @@
+//! Incremental cover state: `U`/`E` tables, encoded lengths, and rule gains.
+//!
+//! The paper splits each correction table `C` into `U` (items still
+//! *uncovered* after translation) and `E` (items introduced *erroneously*);
+//! `C = U ∪ E` and the two are disjoint (§5.1). [`CoverState`] maintains
+//! both per transaction and side, together with all encoded-length totals,
+//! and supports
+//!
+//! * `O(|supp| · |Y|)` **gain** evaluation for a candidate rule
+//!   (`Δ_{D,T}(X ◇ Y)`, Eq. 1–2), and
+//! * incremental **application** of a chosen rule.
+//!
+//! Invariants (checked by [`CoverState::verify`] and the property tests):
+//! `covered_t ⊆ t`, `errors_t ∩ t = ∅`, `U_t = t \ covered_t`,
+//! `C_t = U_t ∪ E_t` equals the XOR-correction of the standalone
+//! [`crate::translate`] scheme, and every cached total equals its
+//! from-scratch recomputation.
+
+use twoview_data::prelude::*;
+
+use crate::encoding::CodeLengths;
+use crate::rule::{Direction, TranslationRule};
+use crate::table::TranslationTable;
+
+/// Mutable model-construction state over an immutable dataset.
+#[derive(Clone, Debug)]
+pub struct CoverState<'d> {
+    data: &'d TwoViewDataset,
+    codes: CodeLengths,
+    /// Per side, per transaction: target-side items predicted correctly.
+    covered: [Vec<Bitmap>; 2],
+    /// Per side, per transaction: target-side items predicted erroneously.
+    errors: [Vec<Bitmap>; 2],
+    /// Per side, per transaction: `L(U_t | D_side)` — the paper's `tub(t)`.
+    uncovered_weight: [Vec<f64>; 2],
+    /// Per side: `L(C_side | T)`.
+    l_corrections: [f64; 2],
+    /// `L(T)`.
+    l_table: f64,
+    /// Per side: `|U|` (number of uncovered ones).
+    n_uncovered: [usize; 2],
+    /// Per side: `|E|` (number of erroneous ones).
+    n_errors: [usize; 2],
+    table: TranslationTable,
+}
+
+#[inline]
+fn ix(side: Side) -> usize {
+    match side {
+        Side::Left => 0,
+        Side::Right => 1,
+    }
+}
+
+impl<'d> CoverState<'d> {
+    /// Fresh state for an empty translation table: everything uncovered.
+    pub fn new(data: &'d TwoViewDataset) -> Self {
+        let codes = CodeLengths::new(data);
+        let n = data.n_transactions();
+        let vocab = data.vocab();
+        let mut state = CoverState {
+            covered: [
+                vec![Bitmap::new(vocab.n_left()); n],
+                vec![Bitmap::new(vocab.n_right()); n],
+            ],
+            errors: [
+                vec![Bitmap::new(vocab.n_left()); n],
+                vec![Bitmap::new(vocab.n_right()); n],
+            ],
+            uncovered_weight: [Vec::with_capacity(n), Vec::with_capacity(n)],
+            l_corrections: [0.0, 0.0],
+            l_table: 0.0,
+            n_uncovered: [0, 0],
+            n_errors: [0, 0],
+            table: TranslationTable::new(),
+            codes,
+            data,
+        };
+        for side in Side::BOTH {
+            let table = state.codes.side_table(side);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for t in 0..n {
+                let w: f64 = data.row(side, t).iter().map(|l| table[l]).sum();
+                state.uncovered_weight[ix(side)].push(w);
+                total += w;
+                count += data.row(side, t).len();
+            }
+            state.l_corrections[ix(side)] = total;
+            state.n_uncovered[ix(side)] = count;
+        }
+        state
+    }
+
+    /// Builds a state by applying every rule of `table` to a fresh state.
+    ///
+    /// The result is independent of rule order (covered/error sets are
+    /// unions over rules), matching the paper's order-free semantics.
+    pub fn from_table(data: &'d TwoViewDataset, table: &TranslationTable) -> Self {
+        let mut state = CoverState::new(data);
+        for rule in table.iter() {
+            state.apply_rule(rule.clone());
+        }
+        state
+    }
+
+    /// The underlying dataset.
+    pub fn data(&self) -> &'d TwoViewDataset {
+        self.data
+    }
+
+    /// The per-item code lengths.
+    pub fn codes(&self) -> &CodeLengths {
+        &self.codes
+    }
+
+    /// The rules applied so far.
+    pub fn table(&self) -> &TranslationTable {
+        &self.table
+    }
+
+    /// Consumes the state, returning the built table.
+    pub fn into_table(self) -> TranslationTable {
+        self.table
+    }
+
+    /// `L(T)`.
+    pub fn l_table(&self) -> f64 {
+        self.l_table
+    }
+
+    /// `L(C_side | T)`; the paper's `L(D_{→side} | T)`.
+    pub fn l_correction(&self, side: Side) -> f64 {
+        self.l_corrections[ix(side)]
+    }
+
+    /// Total encoded size `L(D_{L↔R}, T) = L(T) + L(C_L|T) + L(C_R|T)`.
+    pub fn total_length(&self) -> f64 {
+        self.l_table + self.l_corrections[0] + self.l_corrections[1]
+    }
+
+    /// `|U|` on `side`.
+    pub fn n_uncovered(&self, side: Side) -> usize {
+        self.n_uncovered[ix(side)]
+    }
+
+    /// `|E|` on `side`.
+    pub fn n_errors(&self, side: Side) -> usize {
+        self.n_errors[ix(side)]
+    }
+
+    /// `|C| = |U| + |E|` summed over both sides.
+    pub fn correction_ones(&self) -> usize {
+        self.n_uncovered[0] + self.n_uncovered[1] + self.n_errors[0] + self.n_errors[1]
+    }
+
+    /// `L(U_t | D_side)` — the transaction-based upper bound `tub`.
+    #[inline]
+    pub fn uncovered_weight(&self, side: Side, t: usize) -> f64 {
+        self.uncovered_weight[ix(side)][t]
+    }
+
+    /// The whole `tub` column of one side.
+    pub fn uncovered_weights(&self, side: Side) -> &[f64] {
+        &self.uncovered_weight[ix(side)]
+    }
+
+    /// The correction row `C_t = U_t ∪ E_t` on `side` (local indices).
+    pub fn correction_row(&self, side: Side, t: usize) -> Bitmap {
+        let mut c = self.data.row(side, t).and_not(&self.covered[ix(side)][t]);
+        c.union_with(&self.errors[ix(side)][t]);
+        c
+    }
+
+    /// Data-gain of firing `consequent` into `target = from.opposite()` for
+    /// every transaction in `antecedent_tids` (Eq. 2, one direction):
+    ///
+    /// `Σ_t  L(Y ∩ U_t | D) − L(Y \ (t ∪ E_t) | D)`.
+    pub fn directional_gain(
+        &self,
+        from: Side,
+        antecedent_tids: &Bitmap,
+        consequent: &ItemSet,
+    ) -> f64 {
+        let target = from.opposite();
+        let vocab = self.data.vocab();
+        let codes = self.codes.side_table(target);
+        let covered = &self.covered[ix(target)];
+        let errors = &self.errors[ix(target)];
+        // Pre-resolve consequent items to (local index, code length).
+        let cons: Vec<(usize, f64)> = consequent
+            .iter()
+            .map(|i| {
+                let l = vocab.local_index(i);
+                (l, codes[l])
+            })
+            .collect();
+        let mut gain = 0.0;
+        for t in antecedent_tids.iter() {
+            let row = self.data.row(target, t);
+            for &(l, len) in &cons {
+                if row.contains(l) {
+                    if !covered[t].contains(l) {
+                        gain += len; // uncovered item becomes covered
+                    }
+                } else if !errors[t].contains(l) {
+                    gain -= len; // fresh error must be corrected
+                }
+            }
+        }
+        gain
+    }
+
+    /// Gains of the three rules constructible from the pair `(X, Y)`,
+    /// in [`Direction::ALL`] order, given the antecedent tidsets.
+    ///
+    /// `Δ_{D,T}(X ◇ Y) = Δ_{D|T}(X ◇ Y) − L(X ◇ Y)` (Eq. 1); the
+    /// bidirectional data-gain is the sum of the two unidirectional ones.
+    pub fn pair_gains(
+        &self,
+        left: &ItemSet,
+        right: &ItemSet,
+        left_tids: &Bitmap,
+        right_tids: &Bitmap,
+    ) -> [f64; 3] {
+        let g_fwd = self.directional_gain(Side::Left, left_tids, right);
+        let g_bwd = self.directional_gain(Side::Right, right_tids, left);
+        let base = self.codes.itemset(left) + self.codes.itemset(right);
+        [
+            g_fwd - (base + 2.0),        // X → Y
+            g_bwd - (base + 2.0),        // X ← Y
+            g_fwd + g_bwd - (base + 1.0), // X ↔ Y
+        ]
+    }
+
+    /// Gain of a single rule (recomputes the antecedent tidsets).
+    pub fn rule_gain(&self, rule: &TranslationRule) -> f64 {
+        let left_tids = self.data.support_set(&rule.left);
+        let right_tids = self.data.support_set(&rule.right);
+        let gains = self.pair_gains(&rule.left, &rule.right, &left_tids, &right_tids);
+        match rule.direction {
+            Direction::Forward => gains[0],
+            Direction::Backward => gains[1],
+            Direction::Both => gains[2],
+        }
+    }
+
+    /// Applies a rule: updates covered/error sets and all cached totals.
+    pub fn apply_rule(&mut self, rule: TranslationRule) {
+        if rule.direction.fires_from(Side::Left) {
+            let tids = self.data.support_set(&rule.left);
+            self.apply_directional(Side::Left, &tids, &rule.right);
+        }
+        if rule.direction.fires_from(Side::Right) {
+            let tids = self.data.support_set(&rule.right);
+            self.apply_directional(Side::Right, &tids, &rule.left);
+        }
+        self.l_table += self.codes.rule(&rule);
+        self.table.push(rule);
+    }
+
+    fn apply_directional(&mut self, from: Side, antecedent_tids: &Bitmap, consequent: &ItemSet) {
+        let target = from.opposite();
+        let vocab = self.data.vocab();
+        let cons: Vec<(usize, f64)> = consequent
+            .iter()
+            .map(|i| {
+                let l = vocab.local_index(i);
+                (l, self.codes.side_table(target)[l])
+            })
+            .collect();
+        let ti = ix(target);
+        for t in antecedent_tids.iter() {
+            let row = self.data.row(target, t);
+            for &(l, len) in &cons {
+                if row.contains(l) {
+                    if self.covered[ti][t].insert(l) {
+                        self.l_corrections[ti] -= len;
+                        self.uncovered_weight[ti][t] -= len;
+                        self.n_uncovered[ti] -= 1;
+                    }
+                } else if self.errors[ti][t].insert(l) {
+                    self.l_corrections[ti] += len;
+                    self.n_errors[ti] += 1;
+                }
+            }
+        }
+    }
+
+    /// Recomputes every cached quantity from scratch and compares (within
+    /// `tol` bits). Returns a description of the first mismatch, `None` if
+    /// consistent. Test / debugging aid.
+    pub fn verify(&self, tol: f64) -> Option<String> {
+        let fresh = CoverState::from_table(self.data, &self.table);
+        for side in Side::BOTH {
+            let i = ix(side);
+            if (self.l_corrections[i] - fresh.l_corrections[i]).abs() > tol {
+                return Some(format!(
+                    "L(C_{side}) drifted: {} vs {}",
+                    self.l_corrections[i], fresh.l_corrections[i]
+                ));
+            }
+            if self.n_uncovered[i] != fresh.n_uncovered[i] {
+                return Some(format!("|U_{side}| mismatch"));
+            }
+            if self.n_errors[i] != fresh.n_errors[i] {
+                return Some(format!("|E_{side}| mismatch"));
+            }
+            for t in 0..self.data.n_transactions() {
+                if !self.covered[i][t].is_subset(self.data.row(side, t)) {
+                    return Some(format!("covered ⊄ row at ({side},{t})"));
+                }
+                if !self.errors[i][t].is_disjoint(self.data.row(side, t)) {
+                    return Some(format!("errors ∩ row ≠ ∅ at ({side},{t})"));
+                }
+            }
+        }
+        if (self.l_table - fresh.l_table).abs() > tol {
+            return Some("L(T) drifted".into());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate;
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y", "z"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 1, 3, 4],
+                vec![0, 1, 3],
+                vec![0, 2, 5],
+                vec![1, 4],
+                vec![0, 1, 3, 4, 5],
+                vec![2],
+            ],
+        )
+    }
+
+    fn rule_ab_xy(dir: Direction) -> TranslationRule {
+        TranslationRule::new(
+            ItemSet::from_items([0, 1]),
+            ItemSet::from_items([3, 4]),
+            dir,
+        )
+    }
+
+    #[test]
+    fn initial_state_equals_empty_model() {
+        let d = toy();
+        let s = CoverState::new(&d);
+        let codes = CodeLengths::new(&d);
+        assert!((s.total_length() - codes.empty_model(&d)).abs() < 1e-9);
+        assert_eq!(s.n_errors(Side::Left) + s.n_errors(Side::Right), 0);
+        assert_eq!(
+            s.n_uncovered(Side::Left),
+            d.ones(Side::Left),
+            "initially everything uncovered"
+        );
+    }
+
+    #[test]
+    fn gain_equals_actual_length_drop() {
+        let d = toy();
+        for dir in Direction::ALL {
+            let mut s = CoverState::new(&d);
+            let rule = rule_ab_xy(dir);
+            let predicted = s.rule_gain(&rule);
+            let before = s.total_length();
+            s.apply_rule(rule);
+            let after = s.total_length();
+            assert!(
+                (predicted - (before - after)).abs() < 1e-9,
+                "dir {dir:?}: predicted {predicted}, actual {}",
+                before - after
+            );
+        }
+    }
+
+    #[test]
+    fn gain_equals_actual_drop_for_second_rule_too() {
+        let d = toy();
+        let mut s = CoverState::new(&d);
+        s.apply_rule(rule_ab_xy(Direction::Both));
+        let rule2 = TranslationRule::new(
+            ItemSet::from_items([2]),
+            ItemSet::from_items([5]),
+            Direction::Forward,
+        );
+        let predicted = s.rule_gain(&rule2);
+        let before = s.total_length();
+        s.apply_rule(rule2);
+        assert!((predicted - (before - s.total_length())).abs() < 1e-9);
+        assert_eq!(s.verify(1e-9), None);
+    }
+
+    #[test]
+    fn errors_are_permanent() {
+        let d = toy();
+        let mut s = CoverState::new(&d);
+        // {a} -> {x,y}: t1 ({a,b|x}) gets error y; t2 ({a,c|z}) gets x,y.
+        s.apply_rule(TranslationRule::new(
+            ItemSet::from_items([0]),
+            ItemSet::from_items([3, 4]),
+            Direction::Forward,
+        ));
+        let e_before = s.n_errors(Side::Right);
+        assert!(e_before > 0);
+        // Applying a second rule that also predicts y in t1 must not
+        // double-count the error.
+        s.apply_rule(TranslationRule::new(
+            ItemSet::from_items([1]),
+            ItemSet::from_items([4]),
+            Direction::Forward,
+        ));
+        assert_eq!(s.verify(1e-9), None);
+        assert!(s.n_errors(Side::Right) >= e_before);
+    }
+
+    #[test]
+    fn cover_state_matches_standalone_translate() {
+        let d = toy();
+        let mut s = CoverState::new(&d);
+        s.apply_rule(rule_ab_xy(Direction::Both));
+        s.apply_rule(TranslationRule::new(
+            ItemSet::from_items([2]),
+            ItemSet::from_items([5]),
+            Direction::Forward,
+        ));
+        let table = s.table().clone();
+        // C_R from the cover state must equal the XOR correction of the
+        // standalone TRANSLATE scheme (and likewise for C_L).
+        for t in 0..d.n_transactions() {
+            assert_eq!(
+                s.correction_row(Side::Right, t),
+                translate::correction_row(&d, &table, Side::Left, t),
+                "right corrections differ at t={t}"
+            );
+            assert_eq!(
+                s.correction_row(Side::Left, t),
+                translate::correction_row(&d, &table, Side::Right, t),
+                "left corrections differ at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_table_is_order_independent() {
+        let d = toy();
+        let r1 = rule_ab_xy(Direction::Both);
+        let r2 = TranslationRule::new(
+            ItemSet::from_items([0]),
+            ItemSet::from_items([5]),
+            Direction::Forward,
+        );
+        let t12 = TranslationTable::from_rules([r1.clone(), r2.clone()]);
+        let t21 = TranslationTable::from_rules([r2, r1]);
+        let s12 = CoverState::from_table(&d, &t12);
+        let s21 = CoverState::from_table(&d, &t21);
+        assert!((s12.total_length() - s21.total_length()).abs() < 1e-9);
+        assert_eq!(s12.correction_ones(), s21.correction_ones());
+    }
+
+    #[test]
+    fn uncovered_weights_shrink_as_rules_cover() {
+        let d = toy();
+        let mut s = CoverState::new(&d);
+        let before: f64 = s.uncovered_weights(Side::Right).iter().sum();
+        s.apply_rule(rule_ab_xy(Direction::Forward));
+        let after: f64 = s.uncovered_weights(Side::Right).iter().sum();
+        assert!(after < before);
+        // Left side untouched by a forward rule.
+        let left: f64 = s.uncovered_weights(Side::Left).iter().sum();
+        let fresh: f64 = CoverState::new(&d)
+            .uncovered_weights(Side::Left)
+            .iter()
+            .sum();
+        assert!((left - fresh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_gains_consistent_with_rule_gain() {
+        let d = toy();
+        let s = CoverState::new(&d);
+        let left = ItemSet::from_items([0, 1]);
+        let right = ItemSet::from_items([3, 4]);
+        let lt = d.support_set(&left);
+        let rt = d.support_set(&right);
+        let gains = s.pair_gains(&left, &right, &lt, &rt);
+        for (g, dir) in gains.iter().zip(Direction::ALL) {
+            let rule = TranslationRule::new(left.clone(), right.clone(), dir);
+            assert!((g - s.rule_gain(&rule)).abs() < 1e-12, "{dir:?}");
+        }
+    }
+}

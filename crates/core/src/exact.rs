@@ -1,0 +1,622 @@
+//! TRANSLATOR-EXACT (paper Algorithm 2 + §5.2).
+//!
+//! Each iteration finds the rule with the *maximum* compression gain by an
+//! ECLAT-style depth-first search over all itemset pairs `(X, Y)` that occur
+//! in the data, then adds it to the table; the loop stops when no rule
+//! improves compression. Three devices keep the search tractable:
+//!
+//! * `tub(t)` — per-transaction bound: the encoded size of the transaction's
+//!   currently uncovered items (maintained by [`CoverState`]);
+//! * `rub(X ◇ Y)` — rule bound: `Σ_{X⊆t_L} tub(t_R) + Σ_{Y⊆t_R} tub(t_L) −
+//!   L(X↔Y)`, monotonically non-increasing under extension, so a subtree is
+//!   pruned whenever `rub ≤` the best gain found so far;
+//! * `qub(X ◇ Y)` — quick bound: `|supp(X)|·L(Y) + |supp(Y)|·L(X) −
+//!   L(X↔Y)`, not valid for extensions but enough to skip exact gain
+//!   evaluation at a node.
+//!
+//! Items are ordered descending by their single-item `rub` contribution so
+//! strong rules are found early and pruning bites.
+
+use twoview_data::prelude::*;
+
+use crate::cover::CoverState;
+use crate::model::{score_of, TraceStep, TranslatorModel};
+use crate::rule::{Direction, TranslationRule};
+
+/// Configuration of the exact search.
+#[derive(Clone, Debug)]
+pub struct ExactConfig {
+    /// Safety valve: abort an iteration's search after this many DFS nodes.
+    /// `None` (the default) keeps the search exact.
+    pub max_nodes: Option<u64>,
+    /// Enable the rule-based subtree pruning bound (`rub`). Disabling is
+    /// for ablation only — searches explode without it.
+    pub use_rub: bool,
+    /// Enable the quick per-node bound (`qub`).
+    pub use_qub: bool,
+    /// Stop after this many rules (`None` = run to convergence).
+    pub max_rules: Option<usize>,
+    /// Additionally seed every iteration's incumbent with the best rule
+    /// over the closed frequent two-view itemsets at this minsup. Seeding
+    /// never changes the (uncapped) result — the optimum dominates any
+    /// seed — but it tightens pruning dramatically and guarantees that a
+    /// *node-capped* run is never worse than TRANSLATOR-SELECT(1).
+    pub candidate_seed_minsup: Option<usize>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_nodes: None,
+            use_rub: true,
+            use_qub: true,
+            max_rules: None,
+            candidate_seed_minsup: Some(1),
+        }
+    }
+}
+
+/// Runs TRANSLATOR-EXACT with default configuration.
+pub fn translator_exact(data: &TwoViewDataset) -> TranslatorModel {
+    translator_exact_with(data, &ExactConfig::default())
+}
+
+/// Runs TRANSLATOR-EXACT with the given configuration.
+pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> TranslatorModel {
+    // Mine the seed candidates once. Their gains against the evolving cover
+    // state are maintained with the same disjointness-based cache SELECT
+    // uses: a candidate's gains only change when an applied rule touches
+    // one of its items.
+    let mut seeds: Vec<twoview_mining::TwoViewCandidate> = match cfg.candidate_seed_minsup {
+        Some(minsup) => {
+            let mut mcfg = twoview_mining::MinerConfig::with_minsup(minsup);
+            mcfg.max_itemsets = 2_000_000;
+            twoview_mining::mine_closed_twoview(data, &mcfg).candidates
+        }
+        None => Vec::new(),
+    };
+    let mut state = CoverState::new(data);
+    // State-independent prefilter (see `select`): qub ≤ 0 can never help.
+    {
+        let codes = state.codes();
+        seeds.retain(|c| {
+            let len_l = codes.itemset(&c.left);
+            let len_r = codes.itemset(&c.right);
+            let sx = data.support_count(&c.left) as f64;
+            let sy = data.support_count(&c.right) as f64;
+            sx * len_r + sy * len_l - (len_l + len_r + 1.0) > 0.0
+        });
+    }
+    let n_seeds = seeds.len();
+    let mut seed_gains: Vec<f64> = vec![f64::NEG_INFINITY; n_seeds];
+    let mut seed_dirs: Vec<Direction> = vec![Direction::Both; n_seeds];
+    let mut dirty: Vec<bool> = vec![true; n_seeds];
+
+    let mut trace = Vec::new();
+    let mut truncated = false;
+    loop {
+        if let Some(max) = cfg.max_rules {
+            if state.table().len() >= max {
+                break;
+            }
+        }
+        // Refresh the cached seed gains and pick the best as the incumbent.
+        let mut incumbent: Option<(TranslationRule, f64)> = None;
+        for (idx, cand) in seeds.iter().enumerate() {
+            if dirty[idx] {
+                let lt = data.support_set(&cand.left);
+                let rt = data.support_set(&cand.right);
+                let gains = state.pair_gains(&cand.left, &cand.right, &lt, &rt);
+                let (best_gain, best_dir) = gains
+                    .into_iter()
+                    .zip(Direction::ALL)
+                    .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+                    .expect("three directions");
+                seed_gains[idx] = best_gain;
+                seed_dirs[idx] = best_dir;
+                dirty[idx] = false;
+            }
+            let gain = seed_gains[idx];
+            if gain > incumbent.as_ref().map_or(0.0, |(_, g)| *g) {
+                incumbent = Some((
+                    TranslationRule::new(cand.left.clone(), cand.right.clone(), seed_dirs[idx]),
+                    gain,
+                ));
+            }
+        }
+
+        let outcome = best_rule_with_incumbent(&state, cfg, incumbent);
+        truncated |= outcome.truncated;
+        match outcome.best {
+            Some((rule, gain)) if gain > 0.0 => {
+                state.apply_rule(rule.clone());
+                // Invalidate seeds sharing items with the applied rule.
+                for (idx, cand) in seeds.iter().enumerate() {
+                    if !cand.left.is_disjoint(&rule.left) || !cand.right.is_disjoint(&rule.right)
+                    {
+                        dirty[idx] = true;
+                    }
+                }
+                trace.push(TraceStep::capture(&state, rule, gain));
+            }
+            _ => break,
+        }
+    }
+    let score = score_of(&state);
+    TranslatorModel {
+        table: state.into_table(),
+        score,
+        trace,
+        n_candidates: n_seeds,
+        truncated,
+    }
+}
+
+/// Result of one best-rule search.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// The best rule and its gain, if any rule has strictly positive gain.
+    pub best: Option<(TranslationRule, f64)>,
+    /// Number of DFS nodes visited.
+    pub nodes: u64,
+    /// Whether the node cap fired (search no longer exact).
+    pub truncated: bool,
+}
+
+/// Finds the rule with maximum gain given the current cover state
+/// (paper §5.2). Exposed for tests and ablation benches.
+pub fn best_rule(state: &CoverState<'_>, cfg: &ExactConfig) -> SearchOutcome {
+    best_rule_with_incumbent(state, cfg, None)
+}
+
+/// [`best_rule`] with an explicit initial incumbent (a real rule and its
+/// gain). The DFS must only *beat* the incumbent, so pruning starts tight;
+/// the returned optimum is unchanged because the incumbent is itself a
+/// feasible rule.
+pub fn best_rule_with_incumbent(
+    state: &CoverState<'_>,
+    cfg: &ExactConfig,
+    incumbent: Option<(TranslationRule, f64)>,
+) -> SearchOutcome {
+    let data = state.data();
+    let vocab = data.vocab();
+
+    // Order items descending by their single-item bound contribution:
+    // Σ over supporting transactions of the opposite side's tub.
+    let mut order: Vec<(ItemId, f64)> = (0..vocab.n_items() as ItemId)
+        .filter(|&i| data.support(i) > 0)
+        .map(|i| {
+            let opp = vocab.side_of(i).opposite();
+            let bound: f64 = data
+                .tidset(i)
+                .iter()
+                .map(|t| state.uncovered_weight(opp, t))
+                .sum();
+            (i, bound)
+        })
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let items: Vec<ItemId> = order.into_iter().map(|(i, _)| i).collect();
+
+    let total_tub: [f64; 2] = [
+        state.uncovered_weights(Side::Left).iter().sum(),
+        state.uncovered_weights(Side::Right).iter().sum(),
+    ];
+
+    let (best, best_gain) = match incumbent {
+        Some((rule, gain)) if gain > 0.0 => (Some(rule), gain),
+        _ => (None, 0.0),
+    };
+    let mut search = Search {
+        state,
+        cfg,
+        items,
+        best,
+        best_gain,
+        nodes: 0,
+        truncated: false,
+    };
+    // Additionally seed with the best single-item-pair rule. Seeds are real
+    // rules, so the (uncapped) search result is unchanged, but `rub` prunes
+    // from the first DFS node instead of only after a good rule is found.
+    search.seed_with_singleton_pairs();
+    let root = Node {
+        left: Vec::new(),
+        right: Vec::new(),
+        len_left: 0.0,
+        len_right: 0.0,
+        tid_left: None,
+        tid_right: None,
+        sum_left: total_tub[1],  // X ⊆ t_L sums tub over *right* rows
+        sum_right: total_tub[0], // Y ⊆ t_R sums tub over *left* rows
+    };
+    search.dfs(0, &root);
+    SearchOutcome {
+        best: search.best.map(|r| (r, search.best_gain)),
+        nodes: search.nodes,
+        truncated: search.truncated,
+    }
+}
+
+/// DFS node: the pair `(X, Y)` plus the cached quantities the bounds need.
+struct Node {
+    left: Vec<ItemId>,
+    right: Vec<ItemId>,
+    len_left: f64,
+    len_right: f64,
+    /// `supp_L(X)`; `None` while `X = ∅` (supported by every transaction).
+    tid_left: Option<Bitmap>,
+    /// `supp_R(Y)`; `None` while `Y = ∅`.
+    tid_right: Option<Bitmap>,
+    /// `Σ_{t ∈ supp(X)} tub_R(t)`.
+    sum_left: f64,
+    /// `Σ_{t ∈ supp(Y)} tub_L(t)`.
+    sum_right: f64,
+}
+
+struct Search<'a, 'd> {
+    state: &'a CoverState<'d>,
+    cfg: &'a ExactConfig,
+    items: Vec<ItemId>,
+    best: Option<TranslationRule>,
+    best_gain: f64,
+    nodes: u64,
+    truncated: bool,
+}
+
+impl Search<'_, '_> {
+    /// Evaluates every occurring `({i}, {j})` pair to initialise the
+    /// incumbent before the DFS. Quadratic in the vocabulary but linear in
+    /// supports — negligible next to the search itself.
+    fn seed_with_singleton_pairs(&mut self) {
+        let data = self.state.data();
+        let vocab = data.vocab();
+        let left_items: Vec<ItemId> = self
+            .items
+            .iter()
+            .copied()
+            .filter(|&i| vocab.side_of(i) == Side::Left)
+            .collect();
+        let right_items: Vec<ItemId> = self
+            .items
+            .iter()
+            .copied()
+            .filter(|&i| vocab.side_of(i) == Side::Right)
+            .collect();
+        for &i in &left_items {
+            let ti = data.tidset(i);
+            let left = ItemSet::singleton(i);
+            let len_left = self.state.codes().item(i);
+            for &j in &right_items {
+                let tj = data.tidset(j);
+                if ti.is_disjoint(tj) {
+                    continue;
+                }
+                // Quick bound before the exact evaluation.
+                let len_right = self.state.codes().item(j);
+                let qub = ti.len() as f64 * len_right + tj.len() as f64 * len_left
+                    - (len_left + len_right + 1.0);
+                if qub <= self.best_gain {
+                    continue;
+                }
+                let right = ItemSet::singleton(j);
+                let gains = self.state.pair_gains(&left, &right, ti, tj);
+                for (gain, dir) in gains.into_iter().zip(Direction::ALL) {
+                    if gain > self.best_gain {
+                        self.best_gain = gain;
+                        self.best = Some(TranslationRule::new(left.clone(), right.clone(), dir));
+                    }
+                }
+            }
+        }
+    }
+
+    fn dfs(&mut self, start: usize, node: &Node) {
+        if self.truncated {
+            return;
+        }
+        let data = self.state.data();
+        let vocab = data.vocab();
+        for pos in start..self.items.len() {
+            if self.truncated {
+                return;
+            }
+            let item = self.items[pos];
+            let side = vocab.side_of(item);
+            self.nodes += 1;
+            if let Some(cap) = self.cfg.max_nodes {
+                if self.nodes > cap {
+                    self.truncated = true;
+                    return;
+                }
+            }
+
+            // Extend the item's own side.
+            let (tid, other_tid) = match side {
+                Side::Left => (&node.tid_left, &node.tid_right),
+                Side::Right => (&node.tid_right, &node.tid_left),
+            };
+            let new_tid = match tid {
+                Some(t) => t.and(data.tidset(item)),
+                None => data.tidset(item).clone(),
+            };
+            if new_tid.is_empty() {
+                continue; // the side itself never occurs; extensions can't fix it
+            }
+            // XY must occur at least once in the data; supports only shrink
+            // under extension, so an empty joint support prunes the subtree.
+            if let Some(other) = other_tid {
+                if new_tid.is_disjoint(other) {
+                    continue;
+                }
+            }
+
+            let opp = side.opposite();
+            let new_sum: f64 = new_tid
+                .iter()
+                .map(|t| self.state.uncovered_weight(opp, t))
+                .sum();
+            let item_len = self.state.codes().item(item);
+
+            let child = match side {
+                Side::Left => Node {
+                    left: push(&node.left, item),
+                    right: node.right.clone(),
+                    len_left: node.len_left + item_len,
+                    len_right: node.len_right,
+                    tid_left: Some(new_tid),
+                    tid_right: node.tid_right.clone(),
+                    sum_left: new_sum,
+                    sum_right: node.sum_right,
+                },
+                Side::Right => Node {
+                    left: node.left.clone(),
+                    right: push(&node.right, item),
+                    len_left: node.len_left,
+                    len_right: node.len_right + item_len,
+                    tid_left: node.tid_left.clone(),
+                    tid_right: Some(new_tid),
+                    sum_left: node.sum_left,
+                    sum_right: new_sum,
+                },
+            };
+
+            // Rule bound: valid for this node and every extension.
+            let l_bidir = child.len_left + child.len_right + 1.0;
+            let rub = child.sum_left + child.sum_right - l_bidir;
+            if self.cfg.use_rub && rub <= self.best_gain {
+                continue;
+            }
+
+            if !child.left.is_empty() && !child.right.is_empty() {
+                self.evaluate(&child, l_bidir);
+            }
+            self.dfs(pos + 1, &child);
+        }
+    }
+
+    /// Evaluates the three rules constructible at a node, behind the quick
+    /// bound.
+    fn evaluate(&mut self, node: &Node, l_bidir: f64) {
+        let tid_left = node.tid_left.as_ref().expect("X non-empty");
+        let tid_right = node.tid_right.as_ref().expect("Y non-empty");
+        if self.cfg.use_qub {
+            let qub = tid_left.len() as f64 * node.len_right
+                + tid_right.len() as f64 * node.len_left
+                - l_bidir;
+            if qub <= self.best_gain {
+                return;
+            }
+        }
+        let left = ItemSet::from_items(node.left.iter().copied());
+        let right = ItemSet::from_items(node.right.iter().copied());
+        let gains = self.state.pair_gains(&left, &right, tid_left, tid_right);
+        for (gain, dir) in gains.into_iter().zip(Direction::ALL) {
+            if gain > self.best_gain {
+                self.best_gain = gain;
+                self.best = Some(TranslationRule::new(left.clone(), right.clone(), dir));
+            }
+        }
+    }
+}
+
+fn push(items: &[ItemId], item: ItemId) -> Vec<ItemId> {
+    let mut v = Vec::with_capacity(items.len() + 1);
+    v.extend_from_slice(items);
+    v.push(item);
+    v
+}
+
+/// Brute-force best-rule search for tests: enumerates every occurring
+/// itemset pair and direction. Exponential; tiny inputs only.
+pub fn brute_force_best_rule(state: &CoverState<'_>) -> Option<(TranslationRule, f64)> {
+    let data = state.data();
+    let vocab = data.vocab();
+    let n_items = vocab.n_items();
+    assert!(n_items <= 16, "brute force best-rule is for tiny data");
+    let left_items: Vec<ItemId> = vocab.items_on(Side::Left).collect();
+    let right_items: Vec<ItemId> = vocab.items_on(Side::Right).collect();
+    let mut best: Option<(TranslationRule, f64)> = None;
+    for lm in 1u32..(1 << left_items.len()) {
+        let left: ItemSet = left_items
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| lm >> k & 1 == 1)
+            .map(|(_, &i)| i)
+            .collect();
+        let lt = data.support_set(&left);
+        if lt.is_empty() {
+            continue;
+        }
+        for rm in 1u32..(1 << right_items.len()) {
+            let right: ItemSet = right_items
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| rm >> k & 1 == 1)
+                .map(|(_, &i)| i)
+                .collect();
+            let rt = data.support_set(&right);
+            if rt.is_disjoint(&lt) {
+                continue; // XY does not occur
+            }
+            let gains = state.pair_gains(&left, &right, &lt, &rt);
+            for (gain, dir) in gains.into_iter().zip(Direction::ALL) {
+                if gain > best.as_ref().map_or(0.0, |(_, g)| *g) {
+                    best = Some((
+                        TranslationRule::new(left.clone(), right.clone(), dir),
+                        gain,
+                    ));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn structured() -> TwoViewDataset {
+        // {a,b} <-> {x,y} holds in most transactions; c/z are noise.
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y", "z"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 1, 3, 4],
+                vec![0, 1, 3, 4],
+                vec![0, 1, 3, 4],
+                vec![0, 1, 3, 4, 5],
+                vec![0, 1, 2, 3, 4],
+                vec![2, 5],
+                vec![2],
+                vec![0, 5],
+            ],
+        )
+    }
+
+    #[test]
+    fn search_matches_brute_force() {
+        let d = structured();
+        let state = CoverState::new(&d);
+        let fast = best_rule(&state, &ExactConfig::default());
+        let slow = brute_force_best_rule(&state);
+        let (_, fg) = fast.best.as_ref().expect("search finds a rule");
+        let (_, sg) = slow.as_ref().expect("brute force finds a rule");
+        assert!(
+            (fg - sg).abs() < 1e-9,
+            "gain mismatch: search {fg}, brute force {sg}"
+        );
+    }
+
+    #[test]
+    fn search_matches_brute_force_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..10 {
+            let vocab = Vocabulary::unnamed(4, 4);
+            let txs: Vec<Vec<ItemId>> = (0..15)
+                .map(|_| (0..8).filter(|_| rng.gen_bool(0.45)).collect())
+                .collect();
+            let d = TwoViewDataset::from_transactions(vocab, &txs);
+            let state = CoverState::new(&d);
+            let fast = best_rule(&state, &ExactConfig::default());
+            let slow = brute_force_best_rule(&state);
+            match (&fast.best, &slow) {
+                (Some((_, fg)), Some((_, sg))) => {
+                    assert!((fg - sg).abs() < 1e-9, "trial {trial}: {fg} vs {sg}")
+                }
+                (None, None) => {}
+                other => panic!("trial {trial}: disagreement {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_result() {
+        let d = structured();
+        let state = CoverState::new(&d);
+        let with = best_rule(&state, &ExactConfig::default());
+        let without = best_rule(
+            &state,
+            &ExactConfig {
+                use_rub: false,
+                use_qub: false,
+                ..ExactConfig::default()
+            },
+        );
+        let (_, gw) = with.best.unwrap();
+        let (_, gwo) = without.best.unwrap();
+        assert!((gw - gwo).abs() < 1e-9);
+        assert!(
+            with.nodes <= without.nodes,
+            "pruning should visit no more nodes"
+        );
+    }
+
+    #[test]
+    fn exact_model_compresses_structured_data() {
+        let d = structured();
+        let model = translator_exact(&d);
+        assert!(!model.table.is_empty());
+        assert!(model.compression_pct() < 100.0);
+        assert!(!model.truncated);
+        // The planted association must be captured by the first rule.
+        let first = &model.table.rules()[0];
+        assert!(first.left.contains(0) && first.left.contains(1));
+        assert!(first.right.contains(3) && first.right.contains(4));
+    }
+
+    #[test]
+    fn trace_is_monotone_decreasing_in_total_length() {
+        let d = structured();
+        let model = translator_exact(&d);
+        let mut prev = f64::INFINITY;
+        for step in &model.trace {
+            assert!(step.l_total < prev, "L must strictly decrease");
+            assert!(step.gain > 0.0);
+            prev = step.l_total;
+        }
+    }
+
+    #[test]
+    fn node_cap_sets_truncated() {
+        let d = structured();
+        let cfg = ExactConfig {
+            max_nodes: Some(2),
+            ..ExactConfig::default()
+        };
+        let state = CoverState::new(&d);
+        let out = best_rule(&state, &cfg);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn max_rules_cap() {
+        let d = structured();
+        let cfg = ExactConfig {
+            max_rules: Some(1),
+            ..ExactConfig::default()
+        };
+        let model = translator_exact_with(&d, &cfg);
+        assert!(model.table.len() <= 1);
+    }
+
+    #[test]
+    fn no_rule_on_association_free_data() {
+        // Left and right views are completely unrelated and each item is
+        // too rare for a rule to pay for itself.
+        let vocab = Vocabulary::unnamed(4, 4);
+        let d = TwoViewDataset::from_transactions(
+            vocab,
+            &[vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]],
+        );
+        let model = translator_exact(&d);
+        assert!(
+            model.table.is_empty(),
+            "found spurious rules: {:?}",
+            model.table.rules()
+        );
+    }
+}

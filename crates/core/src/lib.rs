@@ -1,0 +1,65 @@
+//! # twoview-core
+//!
+//! The paper's primary contribution: **translation tables** for Boolean
+//! two-view data, selected with the **Minimum Description Length** (MDL)
+//! principle, induced by the three **TRANSLATOR** algorithms
+//! (van Leeuwen & Galbrun, *Association Discovery in Two-View Data*, IEEE
+//! TKDE 27(12), 2015).
+//!
+//! * [`rule`], [`table`] — translation rules `X → Y` / `X ← Y` / `X ↔ Y`
+//!   and tables thereof (paper §3);
+//! * [`translate`] — the TRANSLATE scheme and lossless XOR-correction
+//!   reconstruction (Algorithm 1);
+//! * [`encoding`] — per-item Shannon codes and all encoded lengths (§4);
+//! * [`cover`] — the incremental `U`/`E` cover state with exact
+//!   rule-gain evaluation (§5.1);
+//! * [`exact`] — TRANSLATOR-EXACT: per-iteration optimal rule search with
+//!   `tub`/`rub`/`qub` pruning (§5.2, Algorithm 2);
+//! * [`select`] — TRANSLATOR-SELECT(k) over closed frequent two-view
+//!   candidates (§5.3, Algorithm 3);
+//! * [`greedy`] — TRANSLATOR-GREEDY single-pass filtering (§5.4);
+//! * [`model`] — fitted models, scores (`L%`, `|C|%`), construction traces.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use twoview_data::prelude::*;
+//! use twoview_core::select::{translator_select, SelectConfig};
+//!
+//! let vocab = Vocabulary::new(["rainy", "windy"], ["umbrella", "kite"]);
+//! let data = TwoViewDataset::from_transactions(
+//!     vocab,
+//!     &[vec![0, 2], vec![0, 2], vec![0, 2], vec![1, 3], vec![1, 3], vec![0, 1, 2, 3]],
+//! );
+//! let model = translator_select(&data, &SelectConfig::new(1, 1));
+//! assert!(model.compression_pct() <= 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cover;
+pub mod encoding;
+pub mod exact;
+pub mod fit;
+pub mod greedy;
+pub mod model;
+pub mod multiview;
+pub mod predict;
+pub mod rule;
+pub mod select;
+pub mod table;
+pub mod table_io;
+pub mod translate;
+
+pub use analysis::{rule_stats, rule_set_redundancy, summarize, RuleStats, TableSummary};
+pub use cover::CoverState;
+pub use encoding::{correction_encoding_gap, CodeLengths};
+pub use exact::{translator_exact, translator_exact_with, ExactConfig};
+pub use fit::{fit, Algorithm};
+pub use greedy::{translator_greedy, CandidateOrder, GreedyConfig};
+pub use model::{evaluate_table, ModelScore, TraceStep, TranslatorModel};
+pub use predict::{prediction_quality, predict_row, PredictionQuality};
+pub use rule::{Direction, TranslationRule};
+pub use select::{translator_select, SelectConfig};
+pub use table::TranslationTable;

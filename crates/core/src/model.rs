@@ -1,0 +1,198 @@
+//! Fitted models, search traces, and table evaluation.
+
+use twoview_data::prelude::*;
+
+use crate::cover::CoverState;
+use crate::rule::TranslationRule;
+use crate::table::TranslationTable;
+
+/// One step of a greedy model-construction run (a rule addition).
+///
+/// This is exactly the information plotted in the paper's Fig. 2: the
+/// evolution of `|U|`, `|E|` and the encoded lengths while the table grows.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// 0-based index of the added rule.
+    pub rule_index: usize,
+    /// The rule that was added.
+    pub rule: TranslationRule,
+    /// Its compression gain at the time of addition (bits).
+    pub gain: f64,
+    /// `L(D_{L↔R}, T)` after the addition.
+    pub l_total: f64,
+    /// `L(T)` after the addition.
+    pub l_table: f64,
+    /// `L(C_L | T)` — the encoded right-to-left translation.
+    pub l_correction_left: f64,
+    /// `L(C_R | T)` — the encoded left-to-right translation.
+    pub l_correction_right: f64,
+    /// `|U_L|`: uncovered ones on the left.
+    pub uncovered_left: usize,
+    /// `|U_R|`: uncovered ones on the right.
+    pub uncovered_right: usize,
+    /// `|E_L|`: erroneous ones on the left.
+    pub errors_left: usize,
+    /// `|E_R|`: erroneous ones on the right.
+    pub errors_right: usize,
+}
+
+impl TraceStep {
+    /// Captures a trace step from the current cover state.
+    pub fn capture(state: &CoverState<'_>, rule: TranslationRule, gain: f64) -> TraceStep {
+        TraceStep {
+            rule_index: state.table().len() - 1,
+            rule,
+            gain,
+            l_total: state.total_length(),
+            l_table: state.l_table(),
+            l_correction_left: state.l_correction(Side::Left),
+            l_correction_right: state.l_correction(Side::Right),
+            uncovered_left: state.n_uncovered(Side::Left),
+            uncovered_right: state.n_uncovered(Side::Right),
+            errors_left: state.n_errors(Side::Left),
+            errors_right: state.n_errors(Side::Right),
+        }
+    }
+}
+
+/// Encoded-length summary of a translation table on a dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelScore {
+    /// `L(D, ∅)` — the uncompressed size.
+    pub l_empty: f64,
+    /// `L(D_{L↔R}, T)` — the total encoded size.
+    pub l_total: f64,
+    /// `L(T)`.
+    pub l_table: f64,
+    /// `L(C_L | T)`.
+    pub l_correction_left: f64,
+    /// `L(C_R | T)`.
+    pub l_correction_right: f64,
+    /// `|U| + |E|` over both sides (ones in the correction tables).
+    pub correction_ones: usize,
+    /// `(|I_L| + |I_R|) · |D|` — the denominator of `|C|%`.
+    pub total_cells: usize,
+}
+
+impl ModelScore {
+    /// Compression ratio `L% = 100 · L(D,T) / L(D,∅)`.
+    pub fn compression_pct(&self) -> f64 {
+        if self.l_empty == 0.0 {
+            100.0
+        } else {
+            100.0 * self.l_total / self.l_empty
+        }
+    }
+
+    /// Correction density `|C|% = 100 · |C| / ((|I_L|+|I_R|)·|D|)` (paper §6).
+    pub fn correction_pct(&self) -> f64 {
+        if self.total_cells == 0 {
+            0.0
+        } else {
+            100.0 * self.correction_ones as f64 / self.total_cells as f64
+        }
+    }
+}
+
+/// Scores an arbitrary translation table on a dataset (used both for the
+/// TRANSLATOR outputs and for baseline rule sets converted to tables).
+pub fn evaluate_table(data: &TwoViewDataset, table: &TranslationTable) -> ModelScore {
+    let state = CoverState::from_table(data, table);
+    score_of(&state)
+}
+
+/// Scores the current state of a cover-state (no recomputation).
+pub fn score_of(state: &CoverState<'_>) -> ModelScore {
+    let data = state.data();
+    ModelScore {
+        l_empty: state.codes().empty_model(data),
+        l_total: state.total_length(),
+        l_table: state.l_table(),
+        l_correction_left: state.l_correction(Side::Left),
+        l_correction_right: state.l_correction(Side::Right),
+        correction_ones: state.correction_ones(),
+        total_cells: data.n_transactions() * data.vocab().n_items(),
+    }
+}
+
+/// The result of running one of the TRANSLATOR algorithms.
+#[derive(Clone, Debug)]
+pub struct TranslatorModel {
+    /// The induced translation table.
+    pub table: TranslationTable,
+    /// Final encoded-length summary.
+    pub score: ModelScore,
+    /// Per-rule construction trace (Fig. 2 material).
+    pub trace: Vec<TraceStep>,
+    /// Number of candidate itemsets considered (0 for EXACT, which
+    /// enumerates on the fly).
+    pub n_candidates: usize,
+    /// `true` if a search safety valve (node/candidate cap) fired, meaning
+    /// optimality guarantees were lost.
+    pub truncated: bool,
+}
+
+impl TranslatorModel {
+    /// Compression ratio `L%` (lower is better; 100 = incompressible).
+    pub fn compression_pct(&self) -> f64 {
+        self.score.compression_pct()
+    }
+
+    /// Number of rules `|T|`.
+    pub fn n_rules(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Direction;
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![0, 2], vec![1, 3]],
+        )
+    }
+
+    #[test]
+    fn empty_table_scores_at_100_pct() {
+        let d = toy();
+        let score = evaluate_table(&d, &TranslationTable::new());
+        assert!((score.compression_pct() - 100.0).abs() < 1e-9);
+        assert_eq!(score.correction_ones, 12); // all ones uncovered
+        assert_eq!(score.total_cells, 16);
+        assert!((score.correction_pct() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn good_rule_compresses() {
+        let d = toy();
+        let table = TranslationTable::from_rules([TranslationRule::new(
+            ItemSet::from_items([0]),
+            ItemSet::from_items([2]),
+            Direction::Both,
+        )]);
+        let score = evaluate_table(&d, &table);
+        assert!(score.compression_pct() < 100.0);
+        assert!(score.l_table > 0.0);
+        assert!(score.correction_ones < 12);
+    }
+
+    #[test]
+    fn score_of_matches_evaluate_table() {
+        let d = toy();
+        let table = TranslationTable::from_rules([TranslationRule::new(
+            ItemSet::from_items([0, 1]),
+            ItemSet::from_items([2, 3]),
+            Direction::Both,
+        )]);
+        let via_eval = evaluate_table(&d, &table);
+        let state = CoverState::from_table(&d, &table);
+        let via_state = score_of(&state);
+        assert!((via_eval.l_total - via_state.l_total).abs() < 1e-12);
+        assert_eq!(via_eval.correction_ones, via_state.correction_ones);
+    }
+}

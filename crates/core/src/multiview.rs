@@ -1,0 +1,156 @@
+//! Multi-view association discovery: the pairwise generalisation of
+//! translation tables the paper proposes as future work (§7).
+//!
+//! For a `k`-view dataset, every unordered pair of views is a two-view
+//! problem; fitting a translation table per pair yields a *multi-view
+//! model* whose per-pair compression ratios form an association map —
+//! which views explain each other, and how strongly. Pairs with `L%` near
+//! 100 are unrelated; low `L%` marks strongly coupled views.
+
+use twoview_data::multiview::MultiViewDataset;
+
+use crate::model::TranslatorModel;
+use crate::select::{translator_select, SelectConfig};
+
+/// A fitted translation table per view pair.
+#[derive(Clone, Debug)]
+pub struct MultiViewModel {
+    /// `(a, b, model)` for every pair `a < b`.
+    pub pair_models: Vec<(usize, usize, TranslatorModel)>,
+}
+
+impl MultiViewModel {
+    /// The model for a specific pair, if fitted.
+    pub fn pair(&self, a: usize, b: usize) -> Option<&TranslatorModel> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.pair_models
+            .iter()
+            .find(|(x, y, _)| *x == lo && *y == hi)
+            .map(|(_, _, m)| m)
+    }
+
+    /// Association strength between two views: `100 − L%` (0 = unrelated,
+    /// higher = more cross-view structure).
+    pub fn association_strength(&self, a: usize, b: usize) -> Option<f64> {
+        self.pair(a, b).map(|m| 100.0 - m.compression_pct())
+    }
+
+    /// The symmetric `k×k` association matrix (`None` on the diagonal
+    /// renders as 0).
+    pub fn association_matrix(&self, k: usize) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.0; k]; k];
+        for (a, b, model) in &self.pair_models {
+            let s = 100.0 - model.compression_pct();
+            m[*a][*b] = s;
+            m[*b][*a] = s;
+        }
+        m
+    }
+
+    /// Total number of rules across all pairs.
+    pub fn n_rules(&self) -> usize {
+        self.pair_models.iter().map(|(_, _, m)| m.table.len()).sum()
+    }
+}
+
+/// Fits TRANSLATOR-SELECT(k) on every view pair.
+pub fn fit_multiview(data: &MultiViewDataset, cfg: &SelectConfig) -> MultiViewModel {
+    let pair_models = data
+        .pairs()
+        .into_iter()
+        .map(|(a, b)| {
+            let pair_data = data.pair(a, b);
+            let model = translator_select(&pair_data, cfg);
+            (a, b, model)
+        })
+        .collect();
+    MultiViewModel { pair_models }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three views where view 0 and view 1 are strongly associated and
+    /// view 2 is independent noise.
+    fn coupled_views() -> MultiViewDataset {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200;
+        let mut v0 = Vec::new();
+        let mut v1 = Vec::new();
+        let mut v2 = Vec::new();
+        for _ in 0..n {
+            let concept = rng.gen_bool(0.5);
+            v0.push(if concept { vec![0, 1] } else { vec![2] });
+            // View 1 mirrors view 0's concept almost always.
+            let mirror = rng.gen_bool(0.92) == concept;
+            v1.push(if mirror { vec![0] } else { vec![1] });
+            // View 2 is coin flips.
+            v2.push((0..3usize).filter(|_| rng.gen_bool(0.3)).collect());
+        }
+        MultiViewDataset::new(vec![
+            (
+                "alpha".into(),
+                vec!["a0".into(), "a1".into(), "a2".into()],
+                v0,
+            ),
+            ("beta".into(), vec!["b0".into(), "b1".into()], v1),
+            (
+                "gamma".into(),
+                vec!["c0".into(), "c1".into(), "c2".into()],
+                v2,
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fits_all_pairs() {
+        let mv = coupled_views();
+        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        assert_eq!(model.pair_models.len(), 3);
+        assert!(model.pair(0, 1).is_some());
+        assert!(model.pair(1, 0).is_some(), "order-insensitive lookup");
+        assert!(model.pair(0, 0).is_none());
+    }
+
+    #[test]
+    fn coupled_pair_scores_higher_than_noise_pairs() {
+        let mv = coupled_views();
+        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        let s01 = model.association_strength(0, 1).unwrap();
+        let s02 = model.association_strength(0, 2).unwrap();
+        let s12 = model.association_strength(1, 2).unwrap();
+        assert!(
+            s01 > s02 + 2.0 && s01 > s12 + 2.0,
+            "coupled {s01:.1} vs noise {s02:.1}/{s12:.1}"
+        );
+    }
+
+    #[test]
+    fn association_matrix_is_symmetric_with_zero_diagonal() {
+        let mv = coupled_views();
+        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        let m = model.association_matrix(3);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, cell) in row.iter().enumerate() {
+                assert!((cell - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rule_count_aggregates() {
+        let mv = coupled_views();
+        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        let sum: usize = model
+            .pair_models
+            .iter()
+            .map(|(_, _, m)| m.table.len())
+            .sum();
+        assert_eq!(model.n_rules(), sum);
+    }
+}

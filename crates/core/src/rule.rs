@@ -1,0 +1,206 @@
+//! Translation rules (paper Definition 1).
+
+use std::fmt;
+
+use twoview_data::prelude::*;
+
+/// The direction of a translation rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// `X → Y`: left occurrences predict right items.
+    Forward,
+    /// `X ← Y`: right occurrences predict left items.
+    Backward,
+    /// `X ↔ Y`: both directions hold.
+    Both,
+}
+
+impl Direction {
+    /// All three directions (enumeration order used everywhere for
+    /// determinism).
+    pub const ALL: [Direction; 3] = [Direction::Forward, Direction::Backward, Direction::Both];
+
+    /// Encoded length of the direction marker in bits: one bit flags
+    /// uni/bidirectional, a second bit picks the orientation of a
+    /// unidirectional rule (paper §4.1).
+    #[inline]
+    pub fn encoded_length(self) -> f64 {
+        match self {
+            Direction::Both => 1.0,
+            _ => 2.0,
+        }
+    }
+
+    /// `true` if the rule fires when translating from `side`.
+    ///
+    /// `Forward` fires from the left view, `Backward` from the right,
+    /// `Both` from either.
+    #[inline]
+    pub fn fires_from(self, side: Side) -> bool {
+        match self {
+            Direction::Forward => side == Side::Left,
+            Direction::Backward => side == Side::Right,
+            Direction::Both => true,
+        }
+    }
+
+    /// The arrow glyph used in reports.
+    pub fn arrow(self) -> &'static str {
+        match self {
+            Direction::Forward => "->",
+            Direction::Backward => "<-",
+            Direction::Both => "<->",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.arrow())
+    }
+}
+
+/// A translation rule `X ◇ Y` with `X ⊆ I_L`, `Y ⊆ I_R`, both non-empty.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TranslationRule {
+    /// Left-hand itemset `X` (global ids).
+    pub left: ItemSet,
+    /// Right-hand itemset `Y` (global ids).
+    pub right: ItemSet,
+    /// The rule direction `◇ ∈ {→, ←, ↔}`.
+    pub direction: Direction,
+}
+
+impl TranslationRule {
+    /// Builds a rule, checking the two-view constraints.
+    ///
+    /// # Panics
+    /// Panics if either side is empty — such rules are not cross-view
+    /// associations and are excluded by the paper's problem statement.
+    pub fn new(left: ItemSet, right: ItemSet, direction: Direction) -> Self {
+        assert!(!left.is_empty(), "rule left-hand side must be non-empty");
+        assert!(!right.is_empty(), "rule right-hand side must be non-empty");
+        TranslationRule {
+            left,
+            right,
+            direction,
+        }
+    }
+
+    /// Total number of items in the rule.
+    pub fn len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Rules are never empty; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The antecedent when translating *from* `side` (`None` if the rule
+    /// does not fire from that side).
+    pub fn antecedent(&self, side: Side) -> Option<&ItemSet> {
+        if self.direction.fires_from(side) {
+            Some(match side {
+                Side::Left => &self.left,
+                Side::Right => &self.right,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The consequent produced when translating *from* `side`.
+    pub fn consequent(&self, side: Side) -> &ItemSet {
+        match side {
+            Side::Left => &self.right,
+            Side::Right => &self.left,
+        }
+    }
+
+    /// Renders the rule with item names.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> RuleDisplay<'a> {
+        RuleDisplay { rule: self, vocab }
+    }
+}
+
+/// Helper returned by [`TranslationRule::display`].
+pub struct RuleDisplay<'a> {
+    rule: &'a TranslationRule,
+    vocab: &'a Vocabulary,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            self.rule.left.display(self.vocab),
+            self.rule.direction,
+            self.rule.right.display(self.vocab)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(dir: Direction) -> TranslationRule {
+        TranslationRule::new(
+            ItemSet::from_items([0, 1]),
+            ItemSet::from_items([5]),
+            dir,
+        )
+    }
+
+    #[test]
+    fn direction_lengths() {
+        assert_eq!(Direction::Both.encoded_length(), 1.0);
+        assert_eq!(Direction::Forward.encoded_length(), 2.0);
+        assert_eq!(Direction::Backward.encoded_length(), 2.0);
+    }
+
+    #[test]
+    fn firing_sides() {
+        assert!(Direction::Forward.fires_from(Side::Left));
+        assert!(!Direction::Forward.fires_from(Side::Right));
+        assert!(!Direction::Backward.fires_from(Side::Left));
+        assert!(Direction::Backward.fires_from(Side::Right));
+        assert!(Direction::Both.fires_from(Side::Left));
+        assert!(Direction::Both.fires_from(Side::Right));
+    }
+
+    #[test]
+    fn antecedent_consequent() {
+        let r = rule(Direction::Forward);
+        assert_eq!(r.antecedent(Side::Left), Some(&r.left));
+        assert_eq!(r.antecedent(Side::Right), None);
+        assert_eq!(r.consequent(Side::Left), &r.right);
+        assert_eq!(r.consequent(Side::Right), &r.left);
+        let b = rule(Direction::Both);
+        assert_eq!(b.antecedent(Side::Right), Some(&b.right));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_side_rejected() {
+        TranslationRule::new(ItemSet::empty(), ItemSet::from_items([5]), Direction::Both);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y", "z"]);
+        let r = TranslationRule::new(
+            ItemSet::from_items([0, 2]),
+            ItemSet::from_items([4]),
+            Direction::Both,
+        );
+        assert_eq!(format!("{}", r.display(&vocab)), "{a, c} <-> {y}");
+    }
+
+    #[test]
+    fn rule_len() {
+        assert_eq!(rule(Direction::Both).len(), 3);
+    }
+}

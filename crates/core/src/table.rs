@@ -1,0 +1,169 @@
+//! Translation tables (paper Definition 2).
+
+use std::fmt;
+
+use twoview_data::prelude::*;
+
+use crate::rule::{Direction, TranslationRule};
+
+/// An ordered collection of translation rules.
+///
+/// Order is irrelevant for translation semantics (the TRANSLATE scheme
+/// unions consequents), but insertion order is preserved because it records
+/// the greedy search trajectory, which the experiments inspect.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TranslationTable {
+    rules: Vec<TranslationRule>,
+}
+
+impl TranslationTable {
+    /// The empty table.
+    pub fn new() -> Self {
+        TranslationTable { rules: Vec::new() }
+    }
+
+    /// Builds a table from rules.
+    pub fn from_rules<I: IntoIterator<Item = TranslationRule>>(rules: I) -> Self {
+        TranslationTable {
+            rules: rules.into_iter().collect(),
+        }
+    }
+
+    /// Appends a rule.
+    pub fn push(&mut self, rule: TranslationRule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules `|T|`.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` for the empty table.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates the rules in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TranslationRule> {
+        self.rules.iter()
+    }
+
+    /// The rules as a slice.
+    pub fn rules(&self) -> &[TranslationRule] {
+        &self.rules
+    }
+
+    /// Average number of items per rule (0 for an empty table).
+    pub fn avg_rule_length(&self) -> f64 {
+        if self.rules.is_empty() {
+            0.0
+        } else {
+            self.rules.iter().map(|r| r.len() as f64).sum::<f64>() / self.rules.len() as f64
+        }
+    }
+
+    /// Number of bidirectional rules.
+    pub fn n_bidirectional(&self) -> usize {
+        self.rules
+            .iter()
+            .filter(|r| r.direction == Direction::Both)
+            .count()
+    }
+
+    /// All rules that fire when translating from `side`, i.e. whose
+    /// direction covers that orientation.
+    pub fn rules_from(&self, side: Side) -> impl Iterator<Item = &TranslationRule> {
+        self.rules.iter().filter(move |r| r.direction.fires_from(side))
+    }
+
+    /// Renders the table with item names, one rule per line.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> TableDisplay<'a> {
+        TableDisplay { table: self, vocab }
+    }
+}
+
+impl<'a> IntoIterator for &'a TranslationTable {
+    type Item = &'a TranslationRule;
+    type IntoIter = std::slice::Iter<'a, TranslationRule>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.iter()
+    }
+}
+
+/// Helper returned by [`TranslationTable::display`].
+pub struct TableDisplay<'a> {
+    table: &'a TranslationTable,
+    vocab: &'a Vocabulary,
+}
+
+impl fmt::Display for TableDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in self.table.iter() {
+            writeln!(f, "{}", rule.display(self.vocab))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> TranslationTable {
+        TranslationTable::from_rules([
+            TranslationRule::new(
+                ItemSet::from_items([0]),
+                ItemSet::from_items([3, 4]),
+                Direction::Both,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([1, 2]),
+                ItemSet::from_items([3]),
+                Direction::Forward,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([0, 1]),
+                ItemSet::from_items([4]),
+                Direction::Backward,
+            ),
+        ])
+    }
+
+    #[test]
+    fn len_and_push() {
+        let mut t = TranslationTable::new();
+        assert!(t.is_empty());
+        t.push(TranslationRule::new(
+            ItemSet::from_items([0]),
+            ItemSet::from_items([3]),
+            Direction::Both,
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn avg_length_and_bidir_count() {
+        let t = sample_table();
+        assert!((t.avg_rule_length() - 3.0).abs() < 1e-12);
+        assert_eq!(t.n_bidirectional(), 1);
+        assert_eq!(TranslationTable::new().avg_rule_length(), 0.0);
+    }
+
+    #[test]
+    fn rules_from_filters_by_direction() {
+        let t = sample_table();
+        let from_left: Vec<_> = t.rules_from(Side::Left).collect();
+        assert_eq!(from_left.len(), 2); // Both + Forward
+        let from_right: Vec<_> = t.rules_from(Side::Right).collect();
+        assert_eq!(from_right.len(), 2); // Both + Backward
+    }
+
+    #[test]
+    fn display_renders_each_rule() {
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y"]);
+        let out = format!("{}", sample_table().display(&vocab));
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("{a} <-> {x, y}"));
+    }
+}

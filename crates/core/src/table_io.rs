@@ -1,0 +1,179 @@
+//! Plain-text persistence for translation tables (the `.rules` format).
+//!
+//! One rule per line, item names joined by commas:
+//!
+//! ```text
+//! #2vrules1
+//! rainy, cold -> umbrella
+//! windy <-> kite
+//! sunny <- sunglasses
+//! ```
+//!
+//! Names must match the dataset vocabulary the table will be used with;
+//! reading resolves them and validates sides.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use twoview_data::error::DataError;
+use twoview_data::prelude::*;
+
+use crate::rule::{Direction, TranslationRule};
+use crate::table::TranslationTable;
+
+const MAGIC: &str = "#2vrules1";
+
+/// Writes a table with item names resolved through `vocab`.
+pub fn write_table<W: Write>(
+    table: &TranslationTable,
+    vocab: &Vocabulary,
+    writer: W,
+) -> Result<(), DataError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{MAGIC}")?;
+    for rule in table.iter() {
+        let side = |s: &ItemSet| {
+            s.iter()
+                .map(|i| vocab.name(i).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(
+            w,
+            "{} {} {}",
+            side(&rule.left),
+            rule.direction.arrow(),
+            side(&rule.right)
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a table, resolving item names through `vocab`.
+pub fn read_table<R: Read>(vocab: &Vocabulary, reader: R) -> Result<TranslationTable, DataError> {
+    let mut lines = BufReader::new(reader).lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| DataError::Format("empty rules input".into()))??;
+    if first.trim() != MAGIC {
+        return Err(DataError::Format(format!(
+            "bad magic: expected {MAGIC:?}, got {:?}",
+            first.trim()
+        )));
+    }
+    let mut table = TranslationTable::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let lineno = lineno + 2;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Longest arrow first so "<->" is not parsed as "<-".
+        let (arrow, direction) = if line.contains("<->") {
+            ("<->", Direction::Both)
+        } else if line.contains("->") {
+            ("->", Direction::Forward)
+        } else if line.contains("<-") {
+            ("<-", Direction::Backward)
+        } else {
+            return Err(DataError::Format(format!("line {lineno}: no arrow")));
+        };
+        let mut parts = line.splitn(2, arrow);
+        let left_txt = parts.next().unwrap_or("");
+        let right_txt = parts
+            .next()
+            .ok_or_else(|| DataError::Format(format!("line {lineno}: malformed rule")))?;
+        let parse_side = |txt: &str, expected: Side| -> Result<ItemSet, DataError> {
+            let mut items = Vec::new();
+            for name in txt.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let id = vocab.id_of(name).ok_or_else(|| {
+                    DataError::Format(format!("line {lineno}: unknown item {name:?}"))
+                })?;
+                if vocab.side_of(id) != expected {
+                    return Err(DataError::Format(format!(
+                        "line {lineno}: item {name:?} on the wrong side"
+                    )));
+                }
+                items.push(id);
+            }
+            if items.is_empty() {
+                return Err(DataError::Format(format!(
+                    "line {lineno}: empty rule side"
+                )));
+            }
+            Ok(ItemSet::from_items(items))
+        };
+        table.push(TranslationRule::new(
+            parse_side(left_txt, Side::Left)?,
+            parse_side(right_txt, Side::Right)?,
+            direction,
+        ));
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::new(["rainy", "cold"], ["umbrella", "coat"])
+    }
+
+    fn table() -> TranslationTable {
+        TranslationTable::from_rules([
+            TranslationRule::new(
+                ItemSet::from_items([0, 1]),
+                ItemSet::from_items([2]),
+                Direction::Forward,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([1]),
+                ItemSet::from_items([3]),
+                Direction::Both,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([0]),
+                ItemSet::from_items([2, 3]),
+                Direction::Backward,
+            ),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = vocab();
+        let t = table();
+        let mut buf = Vec::new();
+        write_table(&t, &v, &mut buf).unwrap();
+        let t2 = read_table(&v, &buf[..]).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn bidirectional_arrow_not_confused_with_backward() {
+        let v = vocab();
+        let src = "#2vrules1\ncold <-> coat\n";
+        let t = read_table(&v, src.as_bytes()).unwrap();
+        assert_eq!(t.rules()[0].direction, Direction::Both);
+    }
+
+    #[test]
+    fn rejects_unknown_items_and_wrong_sides() {
+        let v = vocab();
+        assert!(read_table(&v, "#2vrules1\nsnowy -> umbrella\n".as_bytes()).is_err());
+        assert!(read_table(&v, "#2vrules1\numbrella -> coat\n".as_bytes()).is_err());
+        assert!(read_table(&v, "#2vrules1\nrainy -> \n".as_bytes()).is_err());
+        assert!(read_table(&v, "#2vrules1\nrainy umbrella\n".as_bytes()).is_err());
+        assert!(read_table(&v, "#nope\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let v = vocab();
+        let src = "#2vrules1\n# note\n\nrainy -> umbrella\n";
+        let t = read_table(&v, src.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

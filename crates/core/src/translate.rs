@@ -1,0 +1,181 @@
+//! The TRANSLATE scheme (paper Algorithm 1) and lossless reconstruction.
+//!
+//! `TRANSLATE` from a side unions the consequents of every rule whose
+//! antecedent occurs in the source view of the transaction. XOR-ing the
+//! correction row then reconstructs the target view exactly:
+//! `t_R = TRANSLATE_{L→R}(t_L, T) ⊕ c_t^R`.
+
+use twoview_data::prelude::*;
+
+use crate::table::TranslationTable;
+
+/// Translates transaction `t` of `data` *from* `from` to the opposite view.
+///
+/// Returns a bitmap over the *local* indices of the target side.
+pub fn translate_transaction(
+    data: &TwoViewDataset,
+    table: &TranslationTable,
+    from: Side,
+    t: usize,
+) -> Bitmap {
+    let vocab = data.vocab();
+    let target = from.opposite();
+    let source_row = data.row(from, t);
+    let mut out = Bitmap::new(vocab.n_on(target));
+    for rule in table.rules_from(from) {
+        let antecedent = rule
+            .antecedent(from)
+            .expect("rules_from yields only firing rules");
+        let fires = antecedent
+            .iter()
+            .all(|i| source_row.contains(vocab.local_index(i)));
+        if fires {
+            for i in rule.consequent(from).iter() {
+                out.insert(vocab.local_index(i));
+            }
+        }
+    }
+    out
+}
+
+/// Translates the entire `from` view: one bitmap per transaction.
+pub fn translate_view(data: &TwoViewDataset, table: &TranslationTable, from: Side) -> Vec<Bitmap> {
+    (0..data.n_transactions())
+        .map(|t| translate_transaction(data, table, from, t))
+        .collect()
+}
+
+/// The correction row `c_t = t_target ⊕ TRANSLATE(t_source, T)`.
+pub fn correction_row(
+    data: &TwoViewDataset,
+    table: &TranslationTable,
+    from: Side,
+    t: usize,
+) -> Bitmap {
+    let mut c = translate_transaction(data, table, from, t);
+    c.xor_with(data.row(from.opposite(), t));
+    c
+}
+
+/// Applies a correction row to a translated row (XOR), reconstructing the
+/// original target view.
+pub fn apply_correction(translated: &Bitmap, correction: &Bitmap) -> Bitmap {
+    translated.xor(correction)
+}
+
+/// Verifies the lossless-translation property for every transaction and
+/// both directions. Returns the first violating `(side, transaction)`;
+/// `None` means the property holds (it always should — this is the paper's
+/// central model invariant, exercised heavily in tests).
+pub fn check_lossless(data: &TwoViewDataset, table: &TranslationTable) -> Option<(Side, usize)> {
+    for from in Side::BOTH {
+        for t in 0..data.n_transactions() {
+            let translated = translate_transaction(data, table, from, t);
+            let correction = correction_row(data, table, from, t);
+            if &apply_correction(&translated, &correction) != data.row(from.opposite(), t) {
+                return Some((from, t));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Direction, TranslationRule};
+
+    /// The toy dataset of the paper's Fig. 1, shape-wise: rules fire on
+    /// subsets of transactions and corrections fix both error kinds.
+    fn toy() -> (TwoViewDataset, TranslationTable) {
+        let vocab = Vocabulary::new(["A", "B", "C"], ["L", "U", "S", "P", "Q"]);
+        let data = TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 1, 3, 4],    // A B | L U
+                vec![2, 5, 6, 7],    // C   | S P Q
+                vec![2, 5],          // C   | S
+                vec![0, 1, 2, 3, 4], // A B C | L U
+                vec![0, 1, 4],       // A B | U
+            ],
+        );
+        let table = TranslationTable::from_rules([
+            TranslationRule::new(
+                ItemSet::from_items([0, 1]), // {A,B}
+                ItemSet::from_items([3, 4]), // {L,U}
+                Direction::Both,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([2]), // {C}
+                ItemSet::from_items([5]), // {S}
+                Direction::Forward,
+            ),
+        ]);
+        (data, table)
+    }
+
+    #[test]
+    fn translate_unions_firing_consequents() {
+        let (data, table) = toy();
+        // t0 contains {A,B} -> predicts {L,U}
+        let t0 = translate_transaction(&data, &table, Side::Left, 0);
+        assert_eq!(t0.to_vec(), vec![0, 1]); // local ids of L,U
+        // t1 contains {C} -> predicts {S}
+        let t1 = translate_transaction(&data, &table, Side::Left, 1);
+        assert_eq!(t1.to_vec(), vec![2]);
+        // t3 contains both antecedents -> union
+        let t3 = translate_transaction(&data, &table, Side::Left, 3);
+        assert_eq!(t3.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unidirectional_rules_do_not_fire_backward() {
+        let (data, table) = toy();
+        // Right-to-left: only the bidirectional rule fires. t1 has S but the
+        // C-rule is Forward-only, so nothing is predicted.
+        let t1 = translate_transaction(&data, &table, Side::Right, 1);
+        assert!(t1.is_empty());
+        // t0 has {L,U} -> the <-> rule predicts {A,B}.
+        let t0 = translate_transaction(&data, &table, Side::Right, 0);
+        assert_eq!(t0.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn corrections_fix_both_error_kinds() {
+        let (data, table) = toy();
+        // t4: {A,B} fires -> predicts {L,U}, but t4 has only U.
+        // Correction must remove the erroneous L.
+        let c4 = correction_row(&data, &table, Side::Left, 4);
+        assert_eq!(c4.to_vec(), vec![0]); // L
+        // t2: {C} fires -> predicts {S}; t2R = {S}: perfect, no correction.
+        let c2 = correction_row(&data, &table, Side::Left, 2);
+        assert!(c2.is_empty());
+        // t1: prediction {S}, actual {S,P,Q}: correction adds P,Q.
+        let c1 = correction_row(&data, &table, Side::Left, 1);
+        assert_eq!(c1.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn lossless_everywhere() {
+        let (data, table) = toy();
+        assert_eq!(check_lossless(&data, &table), None);
+    }
+
+    #[test]
+    fn lossless_with_empty_table() {
+        let (data, _) = toy();
+        assert_eq!(check_lossless(&data, &TranslationTable::new()), None);
+    }
+
+    #[test]
+    fn rule_order_is_irrelevant() {
+        let (data, table) = toy();
+        let reversed = TranslationTable::from_rules(table.iter().rev().cloned());
+        for t in 0..data.n_transactions() {
+            assert_eq!(
+                translate_transaction(&data, &table, Side::Left, t),
+                translate_transaction(&data, &reversed, Side::Left, t)
+            );
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Dense, fixed-capacity bitmaps.
+//!
+//! [`Bitmap`] is the workhorse of the whole workspace: transactions store
+//! their items in bitmaps, miners store per-item *tidsets* (sets of
+//! transaction ids) in bitmaps, and the TRANSLATOR cover state keeps one
+//! bitmap per transaction and side. All hot set operations (intersection,
+//! union, difference, xor, popcount) are word-parallel over `u64` limbs.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A dense bitmap over the fixed universe `0..capacity`.
+///
+/// The capacity is set at construction time and never changes; all binary
+/// operations require both operands to share the same capacity (checked with
+/// `debug_assert!` on the hot paths, so release builds pay nothing).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+#[inline]
+fn word_count(capacity: usize) -> usize {
+    capacity.div_ceil(WORD_BITS)
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Bitmap {
+            words: vec![0; word_count(capacity)],
+            capacity,
+        }
+    }
+
+    /// Creates a bitmap with every bit in `0..capacity` set.
+    pub fn full(capacity: usize) -> Self {
+        let mut bm = Bitmap {
+            words: vec![!0u64; word_count(capacity)],
+            capacity,
+        };
+        bm.trim_tail();
+        bm
+    }
+
+    /// Creates a bitmap from an iterator of bit indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= capacity`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(capacity: usize, indices: I) -> Self {
+        let mut bm = Bitmap::new(capacity);
+        for i in indices {
+            bm.insert(i);
+        }
+        bm
+    }
+
+    /// Clears any bits beyond `capacity` in the final word.
+    #[inline]
+    fn trim_tail(&mut self) {
+        let rem = self.capacity % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// The size of the universe this bitmap ranges over.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `i >= capacity`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "bit {i} out of range {}", self.capacity);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i`. Returns `true` if the bit was newly set.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of range {}", self.capacity);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *w & mask != 0;
+        *w |= mask;
+        !was
+    }
+
+    /// Clears bit `i`. Returns `true` if the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of range {}", self.capacity);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *w & mask != 0;
+        *w &= !mask;
+        was
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place intersection: `self &= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union: `self |= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place symmetric difference: `self ^= other`.
+    #[inline]
+    pub fn xor_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= *b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    #[inline]
+    pub fn subtract(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Allocating intersection.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Allocating union.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Allocating symmetric difference.
+    pub fn xor(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.xor_with(other);
+        out
+    }
+
+    /// Allocating difference (`self \ other`).
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.subtract(other);
+        out
+    }
+
+    /// `|self ∩ other|` without allocating.
+    #[inline]
+    pub fn intersection_len(&self, other: &Bitmap) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without allocating.
+    #[inline]
+    pub fn union_len(&self, other: &Bitmap) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` without allocating.
+    #[inline]
+    pub fn difference_len(&self, other: &Bitmap) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `true` iff `self ∩ other = ∅`, without allocating.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Bitmap) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` iff `self ⊆ other`, without allocating.
+    #[inline]
+    pub fn is_subset(&self, other: &Bitmap) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Jaccard coefficient `|A∩B| / |A∪B|`; `0.0` when both sets are empty.
+    pub fn jaccard(&self, other: &Bitmap) -> f64 {
+        let union = self.union_len(other);
+        if union == 0 {
+            0.0
+        } else {
+            self.intersection_len(other) as f64 / union as f64
+        }
+    }
+
+    /// Iterates over set bits in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the set bits into a vector (ascending order).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// The smallest set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// A stable 64-bit fingerprint of the contents (FNV-1a over the words).
+    ///
+    /// Used by the closed-itemset miner to bucket candidate tidsets before
+    /// running exact subsumption checks.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for Bitmap {
+    /// Builds a bitmap whose capacity is one past the largest index.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let capacity = indices.iter().copied().max().map_or(0, |m| m + 1);
+        Bitmap::from_indices(capacity, indices)
+    }
+}
+
+/// Iterator over the set bits of a [`Bitmap`].
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let bm = Bitmap::new(100);
+        assert!(bm.is_empty());
+        assert_eq!(bm.len(), 0);
+        assert_eq!(bm.capacity(), 100);
+    }
+
+    #[test]
+    fn full_sets_exactly_capacity_bits() {
+        for cap in [0, 1, 63, 64, 65, 128, 130] {
+            let bm = Bitmap::full(cap);
+            assert_eq!(bm.len(), cap, "capacity {cap}");
+            assert_eq!(bm.to_vec(), (0..cap).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut bm = Bitmap::new(70);
+        assert!(bm.insert(0));
+        assert!(bm.insert(69));
+        assert!(!bm.insert(69), "second insert reports no change");
+        assert!(bm.contains(0));
+        assert!(bm.contains(69));
+        assert!(!bm.contains(1));
+        assert!(bm.remove(69));
+        assert!(!bm.remove(69), "second remove reports no change");
+        assert!(!bm.contains(69));
+        assert_eq!(bm.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_out_of_range_panics() {
+        let mut bm = Bitmap::new(10);
+        bm.insert(10);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Bitmap::from_indices(130, [1, 5, 64, 100]);
+        let b = Bitmap::from_indices(130, [5, 64, 65, 129]);
+        assert_eq!(a.and(&b).to_vec(), vec![5, 64]);
+        assert_eq!(a.or(&b).to_vec(), vec![1, 5, 64, 65, 100, 129]);
+        assert_eq!(a.xor(&b).to_vec(), vec![1, 65, 100, 129]);
+        assert_eq!(a.and_not(&b).to_vec(), vec![1, 100]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.union_len(&b), 6);
+        assert_eq!(a.difference_len(&b), 2);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = Bitmap::from_indices(80, [3, 70]);
+        let b = Bitmap::from_indices(80, [3, 50, 70]);
+        let c = Bitmap::from_indices(80, [9]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(Bitmap::new(80).is_subset(&a), "empty set is subset of all");
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = Bitmap::from_indices(10, [0, 1, 2]);
+        let b = Bitmap::from_indices(10, [1, 2, 3]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(Bitmap::new(10).jaccard(&Bitmap::new(10)), 0.0);
+        assert_eq!(a.jaccard(&a), 1.0);
+    }
+
+    #[test]
+    fn iterator_crosses_word_boundaries() {
+        let idx = vec![0, 63, 64, 127, 128, 191];
+        let bm = Bitmap::from_indices(192, idx.clone());
+        assert_eq!(bm.to_vec(), idx);
+        assert_eq!(bm.first(), Some(0));
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let bm: Bitmap = [3usize, 7, 2].into_iter().collect();
+        assert_eq!(bm.capacity(), 8);
+        assert_eq!(bm.to_vec(), vec![2, 3, 7]);
+        let empty: Bitmap = std::iter::empty::<usize>().collect();
+        assert_eq!(empty.capacity(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_matches() {
+        let a = Bitmap::from_indices(100, [1, 2, 3]);
+        let b = Bitmap::from_indices(100, [1, 2, 3]);
+        let c = Bitmap::from_indices(100, [1, 2, 4]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bm = Bitmap::from_indices(40, [0, 39]);
+        bm.clear();
+        assert!(bm.is_empty());
+        assert_eq!(bm.capacity(), 40);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating() {
+        let a = Bitmap::from_indices(70, [0, 10, 65]);
+        let b = Bitmap::from_indices(70, [10, 20, 65]);
+        let mut x = a.clone();
+        x.intersect_with(&b);
+        assert_eq!(x, a.and(&b));
+        let mut y = a.clone();
+        y.union_with(&b);
+        assert_eq!(y, a.or(&b));
+        let mut z = a.clone();
+        z.xor_with(&b);
+        assert_eq!(z, a.xor(&b));
+        let mut w = a.clone();
+        w.subtract(&b);
+        assert_eq!(w, a.and_not(&b));
+    }
+}

@@ -1,0 +1,263 @@
+//! The paper's preprocessing pipeline (§6, "Data pre-processing"):
+//! numerical attributes are discretised into **five equal-height bins**,
+//! categorical attribute–values become one item each, and the result is a
+//! Boolean item matrix ready to be split into two views.
+//!
+//! This module reproduces that pipeline so users can bring their own
+//! attribute-value data: build an [`AttributeTable`], call
+//! [`AttributeTable::binarize`], then split with [`crate::split`].
+
+use crate::error::DataError;
+
+/// A column of raw attribute data.
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// Numeric attribute; `None` encodes a missing value (no item emitted).
+    Numeric(Vec<Option<f64>>),
+    /// Categorical attribute; `None` encodes a missing value. The paper's
+    /// House data treats "?" as its own category — encode that as
+    /// `Some("?")` if desired.
+    Categorical(Vec<Option<String>>),
+}
+
+impl Column {
+    fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+        }
+    }
+}
+
+/// A named table of raw attribute columns over the same objects.
+#[derive(Clone, Debug, Default)]
+pub struct AttributeTable {
+    names: Vec<String>,
+    columns: Vec<Column>,
+}
+
+/// The result of binarisation: item names plus, per object, the list of
+/// item indices that are set.
+#[derive(Clone, Debug)]
+pub struct Binarized {
+    /// One name per produced Boolean item, e.g. `age:bin3`, `party=rep`.
+    pub item_names: Vec<String>,
+    /// Per object, ascending item indices.
+    pub rows: Vec<Vec<usize>>,
+}
+
+/// Number of equal-height bins the paper uses.
+pub const PAPER_BINS: usize = 5;
+
+impl AttributeTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        AttributeTable::default()
+    }
+
+    /// Adds a column.
+    ///
+    /// # Errors
+    /// All columns must have the same number of objects.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        column: Column,
+    ) -> Result<(), DataError> {
+        if let Some(first) = self.columns.first() {
+            if first.len() != column.len() {
+                return Err(DataError::Config(format!(
+                    "column length {} != table length {}",
+                    column.len(),
+                    first.len()
+                )));
+            }
+        }
+        self.names.push(name.into());
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Number of objects (rows).
+    pub fn n_objects(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of attribute columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Binarises every column: numeric ones with `bins` equal-height bins,
+    /// categorical ones with one item per observed value.
+    pub fn binarize(&self, bins: usize) -> Result<Binarized, DataError> {
+        if bins < 2 {
+            return Err(DataError::Config("need at least 2 bins".into()));
+        }
+        let n = self.n_objects();
+        let mut item_names: Vec<String> = Vec::new();
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            match col {
+                Column::Numeric(values) => {
+                    let edges = equal_height_edges(values, bins);
+                    let base = item_names.len();
+                    for b in 0..edges.len() + 1 {
+                        item_names.push(format!("{name}:bin{}", b + 1));
+                    }
+                    for (obj, v) in values.iter().enumerate() {
+                        if let Some(x) = v {
+                            let b = edges.partition_point(|e| x > e);
+                            rows[obj].push(base + b);
+                        }
+                    }
+                }
+                Column::Categorical(values) => {
+                    // Deterministic item order: first occurrence.
+                    let mut seen: Vec<&str> = Vec::new();
+                    for v in values.iter().flatten() {
+                        if !seen.contains(&v.as_str()) {
+                            seen.push(v);
+                        }
+                    }
+                    let base = item_names.len();
+                    for v in &seen {
+                        item_names.push(format!("{name}={v}"));
+                    }
+                    for (obj, v) in values.iter().enumerate() {
+                        if let Some(val) = v {
+                            let idx = seen.iter().position(|s| s == val).expect("seen");
+                            rows[obj].push(base + idx);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Binarized { item_names, rows })
+    }
+}
+
+/// Equal-height (equal-frequency) bin edges: values `> edge[i-1]` and
+/// `<= edge[i]` fall in bin `i`. Returns at most `bins - 1` edges;
+/// duplicate quantiles collapse (fewer effective bins on ties).
+fn equal_height_edges(values: &[Option<f64>], bins: usize) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.iter().flatten().copied().collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let mut edges = Vec::new();
+    for k in 1..bins {
+        let idx = (k * sorted.len()) / bins;
+        if idx == 0 || idx >= sorted.len() {
+            continue;
+        }
+        let edge = sorted[idx - 1];
+        if edges.last() != Some(&edge) && edge < *sorted.last().unwrap() {
+            edges.push(edge);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_equal_height_bins_balance_counts() {
+        let values: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        let mut t = AttributeTable::new();
+        t.add_column("x", Column::Numeric(values)).unwrap();
+        let b = t.binarize(PAPER_BINS).unwrap();
+        assert_eq!(b.item_names.len(), 5);
+        // Count objects per bin: must be 20 each.
+        let mut counts = [0usize; 5];
+        for row in &b.rows {
+            assert_eq!(row.len(), 1);
+            counts[row[0]] += 1;
+        }
+        assert_eq!(counts, [20, 20, 20, 20, 20]);
+    }
+
+    #[test]
+    fn categorical_one_item_per_value() {
+        let mut t = AttributeTable::new();
+        t.add_column(
+            "party",
+            Column::Categorical(vec![
+                Some("dem".into()),
+                Some("rep".into()),
+                Some("dem".into()),
+                None,
+            ]),
+        )
+        .unwrap();
+        let b = t.binarize(5).unwrap();
+        assert_eq!(b.item_names, vec!["party=dem", "party=rep"]);
+        assert_eq!(b.rows[0], vec![0]);
+        assert_eq!(b.rows[1], vec![1]);
+        assert_eq!(b.rows[2], vec![0]);
+        assert!(b.rows[3].is_empty(), "missing value emits no item");
+    }
+
+    #[test]
+    fn mixed_columns_concatenate_items() {
+        let mut t = AttributeTable::new();
+        t.add_column("n", Column::Numeric(vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)]))
+            .unwrap();
+        t.add_column(
+            "c",
+            Column::Categorical(vec![
+                Some("a".into()),
+                Some("b".into()),
+                Some("a".into()),
+                Some("b".into()),
+            ]),
+        )
+        .unwrap();
+        let b = t.binarize(2).unwrap();
+        // Numeric gives 2 bins, categorical gives 2 values.
+        assert_eq!(b.item_names.len(), 4);
+        for row in &b.rows {
+            assert_eq!(row.len(), 2, "one item per column");
+        }
+    }
+
+    #[test]
+    fn ties_collapse_bins() {
+        // All-equal values cannot be split into bins.
+        let mut t = AttributeTable::new();
+        t.add_column("x", Column::Numeric(vec![Some(7.0); 10])).unwrap();
+        let b = t.binarize(5).unwrap();
+        assert_eq!(b.item_names.len(), 1, "single degenerate bin");
+        assert!(b.rows.iter().all(|r| r == &vec![0]));
+    }
+
+    #[test]
+    fn missing_numeric_values_skipped() {
+        let mut t = AttributeTable::new();
+        t.add_column(
+            "x",
+            Column::Numeric(vec![Some(1.0), None, Some(3.0), Some(4.0)]),
+        )
+        .unwrap();
+        let b = t.binarize(2).unwrap();
+        assert!(b.rows[1].is_empty());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut t = AttributeTable::new();
+        t.add_column("a", Column::Numeric(vec![Some(1.0)])).unwrap();
+        let err = t.add_column("b", Column::Numeric(vec![Some(1.0), Some(2.0)]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn too_few_bins_rejected() {
+        let t = AttributeTable::new();
+        assert!(t.binarize(1).is_err());
+    }
+}

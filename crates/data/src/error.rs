@@ -1,0 +1,54 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors produced when loading or constructing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input violated the `.2v` format.
+    Format(String),
+    /// A configuration value was out of range.
+    Config(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Format(m) => write!(f, "format error: {m}"),
+            DataError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io = DataError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(DataError::Format("bad".into()).to_string().contains("bad"));
+        assert!(DataError::Config("oops".into())
+            .to_string()
+            .contains("oops"));
+    }
+}

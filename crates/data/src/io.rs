@@ -1,0 +1,210 @@
+//! Plain-text persistence for two-view datasets (the `.2v` format).
+//!
+//! The format is line-oriented and human-editable:
+//!
+//! ```text
+//! #2v1                     <- magic header
+//! # free-form comments
+//! L name1 name2 ...        <- left vocabulary (whitespace-separated names)
+//! R name1 name2 ...        <- right vocabulary
+//! T a b | x y              <- one transaction per line: left items | right items
+//! T | x                    <- either side may be empty
+//! ```
+//!
+//! Item names must not contain whitespace or `|`; the corpus generators use
+//! `:`/`=`/`_` separators instead.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::dataset::TwoViewDataset;
+use crate::error::DataError;
+use crate::items::{ItemId, Side, Vocabulary};
+
+const MAGIC: &str = "#2v1";
+
+/// Serialises `dataset` into the `.2v` text format.
+pub fn write_dataset<W: Write>(dataset: &TwoViewDataset, writer: W) -> Result<(), DataError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{MAGIC}")?;
+    if !dataset.name().is_empty() {
+        writeln!(w, "# name: {}", dataset.name())?;
+    }
+    let vocab = dataset.vocab();
+    for (tag, side) in [("L", Side::Left), ("R", Side::Right)] {
+        write!(w, "{tag}")?;
+        for item in vocab.items_on(side) {
+            write!(w, " {}", vocab.name(item))?;
+        }
+        writeln!(w)?;
+    }
+    for t in 0..dataset.n_transactions() {
+        write!(w, "T")?;
+        for local in dataset.row(Side::Left, t).iter() {
+            write!(w, " {}", vocab.name(vocab.global_id(Side::Left, local)))?;
+        }
+        write!(w, " |")?;
+        for local in dataset.row(Side::Right, t).iter() {
+            write!(w, " {}", vocab.name(vocab.global_id(Side::Right, local)))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses a dataset from the `.2v` text format.
+pub fn read_dataset<R: Read>(reader: R) -> Result<TwoViewDataset, DataError> {
+    let mut lines = BufReader::new(reader).lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| DataError::Format("empty input".into()))??;
+    if first.trim() != MAGIC {
+        return Err(DataError::Format(format!(
+            "bad magic: expected {MAGIC:?}, got {:?}",
+            first.trim()
+        )));
+    }
+
+    let mut left: Option<Vec<String>> = None;
+    let mut right: Option<Vec<String>> = None;
+    let mut name = String::new();
+    let mut raw_transactions: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let lineno = lineno + 2; // 1-based, after the magic line
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# name:") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (tag, rest) = line.split_at(1);
+        match tag {
+            "L" => left = Some(rest.split_whitespace().map(str::to_string).collect()),
+            "R" => right = Some(rest.split_whitespace().map(str::to_string).collect()),
+            "T" => {
+                let mut parts = rest.splitn(2, '|');
+                let l = parts.next().unwrap_or("");
+                let r = parts.next().ok_or_else(|| {
+                    DataError::Format(format!("line {lineno}: transaction missing '|'"))
+                })?;
+                raw_transactions.push((
+                    l.split_whitespace().map(str::to_string).collect(),
+                    r.split_whitespace().map(str::to_string).collect(),
+                ));
+            }
+            other => {
+                return Err(DataError::Format(format!(
+                    "line {lineno}: unknown record tag {other:?}"
+                )))
+            }
+        }
+    }
+
+    let left = left.ok_or_else(|| DataError::Format("missing L vocabulary line".into()))?;
+    let right = right.ok_or_else(|| DataError::Format("missing R vocabulary line".into()))?;
+    let vocab = Vocabulary::new(left, right);
+
+    let mut transactions: Vec<Vec<ItemId>> = Vec::with_capacity(raw_transactions.len());
+    for (t, (l, r)) in raw_transactions.iter().enumerate() {
+        let mut items = Vec::with_capacity(l.len() + r.len());
+        for n in l.iter().chain(r.iter()) {
+            let id = vocab
+                .id_of(n)
+                .ok_or_else(|| DataError::Format(format!("transaction {t}: unknown item {n:?}")))?;
+            items.push(id);
+        }
+        // Enforce sides: left names must resolve to left items and vice versa.
+        for n in l {
+            if vocab.side_of(vocab.id_of(n).unwrap()) != Side::Left {
+                return Err(DataError::Format(format!(
+                    "transaction {t}: item {n:?} is not a left-view item"
+                )));
+            }
+        }
+        for n in r {
+            if vocab.side_of(vocab.id_of(n).unwrap()) != Side::Right {
+                return Err(DataError::Format(format!(
+                    "transaction {t}: item {n:?} is not a right-view item"
+                )));
+            }
+        }
+        transactions.push(items);
+    }
+
+    Ok(TwoViewDataset::from_transactions(vocab, &transactions).with_name(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::ItemSet;
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[vec![0, 1, 3], vec![0, 4], vec![1, 2, 3, 4], vec![]],
+        )
+        .with_name("toy")
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = toy();
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let d2 = read_dataset(&buf[..]).unwrap();
+        assert_eq!(d2.name(), "toy");
+        assert_eq!(d2.n_transactions(), d.n_transactions());
+        assert_eq!(d2.vocab().n_left(), 3);
+        assert_eq!(d2.vocab().n_right(), 2);
+        for t in 0..d.n_transactions() {
+            assert_eq!(d.transaction_items(t), d2.transaction_items(t));
+        }
+        assert_eq!(
+            d2.support_count(&ItemSet::from_items([1, 3])),
+            d.support_count(&ItemSet::from_items([1, 3]))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            read_dataset("#nope\n".as_bytes()),
+            Err(DataError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_separator() {
+        let src = "#2v1\nL a\nR x\nT a x\n";
+        assert!(read_dataset(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_item() {
+        let src = "#2v1\nL a\nR x\nT b | x\n";
+        assert!(read_dataset(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_item_on_wrong_side() {
+        let src = "#2v1\nL a\nR x\nT x | a\n";
+        assert!(read_dataset(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let src = "#2v1\n# hello\n\nL a b\nR x\nT a | x\nT b |\n";
+        let d = read_dataset(src.as_bytes()).unwrap();
+        assert_eq!(d.n_transactions(), 2);
+        assert_eq!(d.support(0), 1);
+    }
+}

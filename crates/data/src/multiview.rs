@@ -1,0 +1,229 @@
+//! Multi-view data: the k-view generalisation the paper names as future
+//! work (§7, "extending this approach to … cases with more than two
+//! views").
+//!
+//! A [`MultiViewDataset`] holds `k ≥ 2` item vocabularies over the same
+//! objects. Any ordered pair of views projects to a standard
+//! [`TwoViewDataset`], so the entire two-view machinery (mining,
+//! TRANSLATOR, MDL scoring) lifts to the multi-view setting pairwise — the
+//! natural first-order generalisation, implemented in
+//! `twoview_core::multiview`.
+
+use crate::dataset::TwoViewDataset;
+use crate::error::DataError;
+use crate::items::Vocabulary;
+
+/// A Boolean dataset with `k` named views over the same objects.
+#[derive(Clone, Debug)]
+pub struct MultiViewDataset {
+    view_names: Vec<String>,
+    /// Per view: item names.
+    item_names: Vec<Vec<String>>,
+    /// Per view, per object: ascending local item indices.
+    rows: Vec<Vec<Vec<usize>>>,
+    n_objects: usize,
+}
+
+impl MultiViewDataset {
+    /// Builds a multi-view dataset.
+    ///
+    /// `views` maps each view to its item names and per-object rows (local
+    /// item indices).
+    ///
+    /// # Errors
+    /// Requires ≥ 2 views, equal object counts, and in-range item indices.
+    pub fn new(
+        views: Vec<(String, Vec<String>, Vec<Vec<usize>>)>,
+    ) -> Result<MultiViewDataset, DataError> {
+        if views.len() < 2 {
+            return Err(DataError::Config("need at least two views".into()));
+        }
+        let n_objects = views[0].2.len();
+        for (name, items, rows) in &views {
+            if rows.len() != n_objects {
+                return Err(DataError::Config(format!(
+                    "view {name:?}: {} objects, expected {n_objects}",
+                    rows.len()
+                )));
+            }
+            for (t, row) in rows.iter().enumerate() {
+                if let Some(&bad) = row.iter().find(|&&i| i >= items.len()) {
+                    return Err(DataError::Format(format!(
+                        "view {name:?}, object {t}: item {bad} out of range {}",
+                        items.len()
+                    )));
+                }
+            }
+        }
+        let mut view_names = Vec::new();
+        let mut item_names = Vec::new();
+        let mut rows = Vec::new();
+        for (name, items, r) in views {
+            view_names.push(name);
+            item_names.push(items);
+            rows.push(r);
+        }
+        Ok(MultiViewDataset {
+            view_names,
+            item_names,
+            rows,
+            n_objects,
+        })
+    }
+
+    /// Number of views `k`.
+    pub fn n_views(&self) -> usize {
+        self.view_names.len()
+    }
+
+    /// Number of objects.
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// The name of view `v`.
+    pub fn view_name(&self, v: usize) -> &str {
+        &self.view_names[v]
+    }
+
+    /// Number of items in view `v`.
+    pub fn n_items(&self, v: usize) -> usize {
+        self.item_names[v].len()
+    }
+
+    /// Projects views `(a, b)` onto a [`TwoViewDataset`] (`a` becomes the
+    /// left view). Item names are prefixed with the view name to keep the
+    /// joint vocabulary collision-free.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn pair(&self, a: usize, b: usize) -> TwoViewDataset {
+        assert!(a != b, "a pair needs two distinct views");
+        let prefix = |v: usize| -> Vec<String> {
+            self.item_names[v]
+                .iter()
+                .map(|n| format!("{}:{}", self.view_names[v], n))
+                .collect()
+        };
+        let vocab = Vocabulary::new(prefix(a), prefix(b));
+        let n_left = self.item_names[a].len();
+        let transactions: Vec<Vec<crate::items::ItemId>> = (0..self.n_objects)
+            .map(|t| {
+                let mut items: Vec<crate::items::ItemId> = self.rows[a][t]
+                    .iter()
+                    .map(|&i| i as crate::items::ItemId)
+                    .collect();
+                items.extend(
+                    self.rows[b][t]
+                        .iter()
+                        .map(|&i| (n_left + i) as crate::items::ItemId),
+                );
+                items
+            })
+            .collect();
+        TwoViewDataset::from_transactions(vocab, &transactions)
+            .with_name(format!("{}~{}", self.view_names[a], self.view_names[b]))
+    }
+
+    /// All unordered view pairs `(a, b)` with `a < b`.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let k = self.n_views();
+        let mut out = Vec::with_capacity(k * (k - 1) / 2);
+        for a in 0..k {
+            for b in a + 1..k {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::Side;
+
+    fn three_views() -> MultiViewDataset {
+        MultiViewDataset::new(vec![
+            (
+                "demo".into(),
+                vec!["young".into(), "old".into()],
+                vec![vec![0], vec![0], vec![1], vec![1]],
+            ),
+            (
+                "medical".into(),
+                vec!["healthy".into(), "frail".into()],
+                vec![vec![0], vec![0], vec![1], vec![1]],
+            ),
+            (
+                "habits".into(),
+                vec!["sports".into()],
+                vec![vec![0], vec![0], vec![], vec![]],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let mv = three_views();
+        assert_eq!(mv.n_views(), 3);
+        assert_eq!(mv.n_objects(), 4);
+        assert_eq!(mv.n_items(0), 2);
+        assert_eq!(mv.n_items(2), 1);
+        assert_eq!(mv.view_name(1), "medical");
+        assert_eq!(mv.pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn pair_projection_is_a_valid_two_view_dataset() {
+        let mv = three_views();
+        let dv = mv.pair(0, 1);
+        assert_eq!(dv.n_transactions(), 4);
+        assert_eq!(dv.vocab().n_left(), 2);
+        assert_eq!(dv.vocab().n_right(), 2);
+        assert_eq!(dv.vocab().name(0), "demo:young");
+        assert_eq!(dv.vocab().name(2), "medical:healthy");
+        // Object 0: young + healthy.
+        assert!(dv.transaction_contains(0, 0));
+        assert!(dv.transaction_contains(0, 2));
+        assert!(!dv.transaction_contains(0, 3));
+        assert_eq!(dv.density(Side::Left), 0.5);
+    }
+
+    #[test]
+    fn pair_order_controls_sides() {
+        let mv = three_views();
+        let ab = mv.pair(0, 2);
+        let ba = mv.pair(2, 0);
+        assert_eq!(ab.vocab().n_left(), 2);
+        assert_eq!(ba.vocab().n_left(), 1);
+        assert_eq!(ba.vocab().name(0), "habits:sports");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(MultiViewDataset::new(vec![(
+            "only".into(),
+            vec!["a".into()],
+            vec![vec![0]],
+        )])
+        .is_err());
+        assert!(MultiViewDataset::new(vec![
+            ("a".into(), vec!["x".into()], vec![vec![0]]),
+            ("b".into(), vec!["y".into()], vec![vec![0], vec![0]]),
+        ])
+        .is_err());
+        assert!(MultiViewDataset::new(vec![
+            ("a".into(), vec!["x".into()], vec![vec![7]]),
+            ("b".into(), vec!["y".into()], vec![vec![0]]),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct views")]
+    fn same_view_pair_panics() {
+        three_views().pair(1, 1);
+    }
+}

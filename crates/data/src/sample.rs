@@ -1,0 +1,142 @@
+//! Deterministic transaction sampling: subsamples, shuffles, and
+//! exploratory/holdout splits.
+//!
+//! Webb's significant-pattern methodology (the Magnum Opus baseline)
+//! offers two ways to control false discoveries: a Bonferroni-style
+//! correction, or **holdout evaluation** — find rules on an exploratory
+//! half, test them on a holdout half. The splits here feed the latter
+//! (`twoview_baselines::magnum::magnum_opus_rules_holdout`).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::TwoViewDataset;
+use crate::items::ItemId;
+
+/// Builds a new dataset from a subset of transaction indices (order kept).
+///
+/// The vocabulary is preserved verbatim, so itemsets and rules remain valid
+/// across the original and the sample.
+pub fn take_transactions(data: &TwoViewDataset, indices: &[usize]) -> TwoViewDataset {
+    let transactions: Vec<Vec<ItemId>> = indices
+        .iter()
+        .map(|&t| {
+            assert!(t < data.n_transactions(), "transaction {t} out of range");
+            data.transaction_items(t).iter().collect()
+        })
+        .collect();
+    TwoViewDataset::from_transactions(data.vocab().clone(), &transactions)
+        .with_name(data.name().to_string())
+}
+
+/// Deterministic random subsample of `k` transactions (without
+/// replacement; `k` is clamped to `|D|`).
+pub fn subsample(data: &TwoViewDataset, k: usize, seed: u64) -> TwoViewDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..data.n_transactions()).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(k.min(data.n_transactions()));
+    idx.sort_unstable(); // keep original order for reproducible row ids
+    take_transactions(data, &idx)
+}
+
+/// Splits into an exploratory and a holdout part with the given exploratory
+/// fraction (deterministic given the seed).
+pub fn holdout_split(
+    data: &TwoViewDataset,
+    exploratory_fraction: f64,
+    seed: u64,
+) -> (TwoViewDataset, TwoViewDataset) {
+    assert!(
+        (0.0..=1.0).contains(&exploratory_fraction),
+        "fraction outside [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..data.n_transactions()).collect();
+    idx.shuffle(&mut rng);
+    let cut = (exploratory_fraction * data.n_transactions() as f64).round() as usize;
+    let (mut explore, mut hold) = (idx[..cut].to_vec(), idx[cut..].to_vec());
+    explore.sort_unstable();
+    hold.sort_unstable();
+    (
+        take_transactions(data, &explore),
+        take_transactions(data, &hold),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{ItemSet, Vocabulary};
+
+    fn toy(n: usize) -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        let txs: Vec<Vec<ItemId>> = (0..n)
+            .map(|t| match t % 3 {
+                0 => vec![0, 2],
+                1 => vec![1, 3],
+                _ => vec![0, 1, 2, 3],
+            })
+            .collect();
+        TwoViewDataset::from_transactions(vocab, &txs).with_name("toy")
+    }
+
+    #[test]
+    fn take_preserves_rows_and_vocab() {
+        let d = toy(9);
+        let s = take_transactions(&d, &[0, 4, 8]);
+        assert_eq!(s.n_transactions(), 3);
+        assert_eq!(s.vocab().n_items(), 4);
+        assert_eq!(s.name(), "toy");
+        assert_eq!(s.transaction_items(0), d.transaction_items(0));
+        assert_eq!(s.transaction_items(1), d.transaction_items(4));
+        assert_eq!(s.transaction_items(2), d.transaction_items(8));
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_sized() {
+        let d = toy(30);
+        let a = subsample(&d, 10, 42);
+        let b = subsample(&d, 10, 42);
+        assert_eq!(a.n_transactions(), 10);
+        for t in 0..10 {
+            assert_eq!(a.transaction_items(t), b.transaction_items(t));
+        }
+        let c = subsample(&d, 10, 43);
+        let differs = (0..10).any(|t| a.transaction_items(t) != c.transaction_items(t));
+        assert!(differs, "different seeds give different samples");
+        assert_eq!(subsample(&d, 100, 1).n_transactions(), 30, "clamped");
+    }
+
+    #[test]
+    fn holdout_partitions_exactly() {
+        let d = toy(20);
+        let (e, h) = holdout_split(&d, 0.5, 7);
+        assert_eq!(e.n_transactions() + h.n_transactions(), 20);
+        assert_eq!(e.n_transactions(), 10);
+        // Supports partition as well.
+        let set = ItemSet::singleton(0);
+        assert_eq!(
+            e.support_count(&set) + h.support_count(&set),
+            d.support_count(&set)
+        );
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let d = toy(10);
+        let (e, h) = holdout_split(&d, 1.0, 1);
+        assert_eq!(e.n_transactions(), 10);
+        assert_eq!(h.n_transactions(), 0);
+        let (e, h) = holdout_split(&d, 0.0, 1);
+        assert_eq!(e.n_transactions(), 0);
+        assert_eq!(h.n_transactions(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn take_rejects_bad_index() {
+        take_transactions(&toy(3), &[5]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Splitting single-view Boolean data into two views (paper §6):
+//! "the attributes were split such that the items were evenly distributed
+//! over two views having similar densities". Used for repository datasets
+//! that are not naturally two-view (Abalone, Wine, Mammals, …).
+//!
+//! The splitter greedily assigns items, heaviest support first, to the view
+//! whose accumulated support is currently smaller — the classic LPT
+//! balancing heuristic — while keeping the item *counts* of the views
+//! within one of each other.
+
+use crate::dataset::TwoViewDataset;
+use crate::error::DataError;
+use crate::items::{ItemId, Vocabulary};
+
+/// The assignment produced by [`balanced_split`].
+#[derive(Clone, Debug)]
+pub struct SplitPlan {
+    /// Indices (into the input items) assigned to the left view.
+    pub left: Vec<usize>,
+    /// Indices assigned to the right view.
+    pub right: Vec<usize>,
+}
+
+/// Computes a balanced two-view split of `n_items` items given their
+/// supports: view sizes differ by at most one item and total supports (and
+/// hence densities) are approximately equal.
+pub fn balanced_split(supports: &[usize]) -> SplitPlan {
+    let n_items = supports.len();
+    let mut order: Vec<usize> = (0..n_items).collect();
+    // Heaviest first; ties by index for determinism.
+    order.sort_by(|&a, &b| supports[b].cmp(&supports[a]).then(a.cmp(&b)));
+
+    let half_up = n_items.div_ceil(2);
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    let (mut load_l, mut load_r) = (0usize, 0usize);
+    for idx in order {
+        let go_left = if left.len() >= half_up {
+            false
+        } else if right.len() >= half_up {
+            true
+        } else {
+            load_l <= load_r
+        };
+        if go_left {
+            left.push(idx);
+            load_l += supports[idx];
+        } else {
+            right.push(idx);
+            load_r += supports[idx];
+        }
+    }
+    left.sort_unstable();
+    right.sort_unstable();
+    SplitPlan { left, right }
+}
+
+/// Builds a two-view dataset from single-view Boolean data by splitting the
+/// items with [`balanced_split`].
+///
+/// `item_names` are the original item names; `rows` hold, per object, the
+/// indices of set items.
+pub fn split_into_views(
+    item_names: &[String],
+    rows: &[Vec<usize>],
+) -> Result<TwoViewDataset, DataError> {
+    let n_items = item_names.len();
+    for (t, row) in rows.iter().enumerate() {
+        if let Some(&bad) = row.iter().find(|&&i| i >= n_items) {
+            return Err(DataError::Format(format!(
+                "row {t}: item index {bad} out of range {n_items}"
+            )));
+        }
+    }
+    let mut supports = vec![0usize; n_items];
+    for row in rows {
+        for &i in row {
+            supports[i] += 1;
+        }
+    }
+    let plan = balanced_split(&supports);
+
+    // Map original item index -> global id in the new vocabulary.
+    let mut global_of = vec![0 as ItemId; n_items];
+    for (g, &orig) in plan.left.iter().enumerate() {
+        global_of[orig] = g as ItemId;
+    }
+    for (g, &orig) in plan.right.iter().enumerate() {
+        global_of[orig] = (plan.left.len() + g) as ItemId;
+    }
+    let vocab = Vocabulary::new(
+        plan.left.iter().map(|&i| item_names[i].clone()),
+        plan.right.iter().map(|&i| item_names[i].clone()),
+    );
+    let transactions: Vec<Vec<ItemId>> = rows
+        .iter()
+        .map(|row| row.iter().map(|&i| global_of[i]).collect())
+        .collect();
+    Ok(TwoViewDataset::from_transactions(vocab, &transactions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::Side;
+
+    #[test]
+    fn split_balances_counts_and_loads() {
+        let supports = vec![100, 90, 10, 10, 5, 5];
+        let plan = balanced_split(&supports);
+        assert_eq!(plan.left.len(), 3);
+        assert_eq!(plan.right.len(), 3);
+        let load = |idx: &[usize]| idx.iter().map(|&i| supports[i]).sum::<usize>();
+        let (ll, lr) = (load(&plan.left), load(&plan.right));
+        assert!((ll as i64 - lr as i64).abs() <= 10, "loads {ll} vs {lr}");
+    }
+
+    #[test]
+    fn odd_item_counts_differ_by_one() {
+        let plan = balanced_split(&[5, 4, 3, 2, 1]);
+        let (a, b) = (plan.left.len(), plan.right.len());
+        assert_eq!(a + b, 5);
+        assert!((a as i64 - b as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn split_into_views_preserves_data() {
+        let names: Vec<String> = (0..6).map(|i| format!("it{i}")).collect();
+        let rows = vec![vec![0, 1, 2], vec![0, 3], vec![4, 5], vec![0, 1, 2, 3, 4, 5]];
+        let data = split_into_views(&names, &rows).unwrap();
+        assert_eq!(data.n_transactions(), 4);
+        assert_eq!(data.vocab().n_items(), 6);
+        // Every original (object, item) pair survives under its name.
+        for (t, row) in rows.iter().enumerate() {
+            for &i in row {
+                let id = data.vocab().id_of(&names[i]).expect("name kept");
+                assert!(data.transaction_contains(t, id), "lost ({t},{i})");
+            }
+            let total: usize =
+                data.row(Side::Left, t).len() + data.row(Side::Right, t).len();
+            assert_eq!(total, row.len(), "no extra items");
+        }
+    }
+
+    #[test]
+    fn densities_are_similar_after_split() {
+        // Skewed supports: heavy items must spread over both views.
+        let names: Vec<String> = (0..10).map(|i| format!("a{i}")).collect();
+        let mut rows = Vec::new();
+        for t in 0..50 {
+            let mut row = Vec::new();
+            for i in 0..10usize {
+                // item i occurs with frequency proportional to 10-i
+                if t % (i + 1) == 0 {
+                    row.push(i);
+                }
+            }
+            rows.push(row);
+        }
+        let data = split_into_views(&names, &rows).unwrap();
+        let dl = data.density(Side::Left);
+        let dr = data.density(Side::Right);
+        assert!(
+            (dl - dr).abs() < 0.1,
+            "densities diverge: {dl:.3} vs {dr:.3}"
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_items() {
+        let names = vec!["a".to_string()];
+        assert!(split_into_views(&names, &[vec![1]]).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let supports = vec![3, 3, 3, 3];
+        assert_eq!(balanced_split(&supports).left, balanced_split(&supports).left);
+    }
+}

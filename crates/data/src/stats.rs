@@ -1,0 +1,146 @@
+//! Descriptive statistics of two-view datasets: item-frequency skew and
+//! transaction-length distributions.
+//!
+//! Used by the experiment reports to characterise the synthetic corpus
+//! against the paper's Table 1 (densities alone hide the frequency skew
+//! that drives the encoded sizes — see the encoding note in
+//! EXPERIMENTS.md).
+
+use crate::dataset::TwoViewDataset;
+use crate::items::Side;
+
+/// Frequency-distribution summary of one view.
+#[derive(Clone, Debug)]
+pub struct ViewStats {
+    /// Number of items in the view.
+    pub n_items: usize,
+    /// Items that never occur.
+    pub n_empty_items: usize,
+    /// Minimum / median / maximum item support.
+    pub support_min: usize,
+    /// See `support_min`.
+    pub support_median: usize,
+    /// See `support_min`.
+    pub support_max: usize,
+    /// Gini coefficient of the item supports (0 = uniform, →1 = skewed).
+    pub support_gini: f64,
+    /// Mean items per transaction in this view.
+    pub avg_transaction_len: f64,
+    /// Maximum items per transaction.
+    pub max_transaction_len: usize,
+}
+
+/// Computes the frequency statistics of one view.
+pub fn view_stats(data: &TwoViewDataset, side: Side) -> ViewStats {
+    let vocab = data.vocab();
+    let mut supports: Vec<usize> = vocab
+        .items_on(side)
+        .map(|i| data.support(i))
+        .collect();
+    supports.sort_unstable();
+    let n_items = supports.len();
+    let n_empty = supports.iter().filter(|&&s| s == 0).count();
+
+    let n = data.n_transactions();
+    let mut total_len = 0usize;
+    let mut max_len = 0usize;
+    for t in 0..n {
+        let len = data.row(side, t).len();
+        total_len += len;
+        max_len = max_len.max(len);
+    }
+
+    ViewStats {
+        n_items,
+        n_empty_items: n_empty,
+        support_min: supports.first().copied().unwrap_or(0),
+        support_median: supports.get(n_items / 2).copied().unwrap_or(0),
+        support_max: supports.last().copied().unwrap_or(0),
+        support_gini: gini(&supports),
+        avg_transaction_len: if n == 0 {
+            0.0
+        } else {
+            total_len as f64 / n as f64
+        },
+        max_transaction_len: max_len,
+    }
+}
+
+/// Gini coefficient of a sorted non-negative sample (0 when all equal).
+fn gini(sorted: &[usize]) -> f64 {
+    let n = sorted.len();
+    let total: usize = sorted.iter().sum();
+    if n == 0 || total == 0 {
+        return 0.0;
+    }
+    // G = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n, with 1-based ranks over the
+    // ascending-sorted sample.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::Vocabulary;
+
+    #[test]
+    fn uniform_supports_have_zero_gini() {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        let d = TwoViewDataset::from_transactions(
+            vocab,
+            &[vec![0, 1, 2, 3], vec![0, 1, 2, 3]],
+        );
+        let s = view_stats(&d, Side::Left);
+        assert_eq!(s.n_items, 2);
+        assert_eq!(s.support_min, 2);
+        assert_eq!(s.support_max, 2);
+        assert!(s.support_gini.abs() < 1e-12);
+        assert!((s.avg_transaction_len - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_transaction_len, 2);
+    }
+
+    #[test]
+    fn skewed_supports_have_positive_gini() {
+        let vocab = Vocabulary::new(["rare", "common"], ["x"]);
+        let mut txs = vec![vec![0, 1, 2]];
+        for _ in 0..9 {
+            txs.push(vec![1, 2]);
+        }
+        let d = TwoViewDataset::from_transactions(vocab, &txs);
+        let s = view_stats(&d, Side::Left);
+        assert_eq!(s.support_min, 1);
+        assert_eq!(s.support_max, 10);
+        assert!(s.support_gini > 0.3, "gini {}", s.support_gini);
+    }
+
+    #[test]
+    fn empty_items_counted() {
+        let vocab = Vocabulary::new(["a", "never"], ["x"]);
+        let d = TwoViewDataset::from_transactions(vocab, &[vec![0, 2]]);
+        let s = view_stats(&d, Side::Left);
+        assert_eq!(s.n_empty_items, 1);
+        assert_eq!(s.support_min, 0);
+    }
+
+    #[test]
+    fn degenerate_empty_dataset() {
+        let vocab = Vocabulary::new(["a"], ["x"]);
+        let d = TwoViewDataset::from_transactions(vocab, &[]);
+        let s = view_stats(&d, Side::Right);
+        assert_eq!(s.avg_transaction_len, 0.0);
+        assert_eq!(s.support_gini, 0.0);
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // Two values {0, x}: G = 1/2 for any x>0 by the rank formula.
+        assert!((gini(&[0, 10]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates the paper's **Fig. 2**: evolution of uncovered/error counts
+//! and encoded lengths while TRANSLATOR-SELECT(1) builds a translation
+//! table for House. Writes `target/experiments/fig2.tsv` (plot-ready).
+
+use twoview_data::corpus::PaperDataset;
+use twoview_eval::figures::{fig2, render_fig2};
+use twoview_eval::report::write_artifact;
+
+fn main() {
+    let opts = twoview_eval::opts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let dataset = opts
+        .datasets
+        .as_ref()
+        .and_then(|d| d.first().copied())
+        .unwrap_or(PaperDataset::House);
+    let (points, model) = fig2(dataset, &opts.scale);
+    println!(
+        "Fig. 2: construction of a translation table for {} with TRANSLATOR-SELECT(1)",
+        dataset.name()
+    );
+    println!(
+        "final: |T| = {}, L% = {:.2}\n",
+        model.table.len(),
+        model.compression_pct()
+    );
+    let table = render_fig2(&points);
+    print!("{}", table.render());
+    match write_artifact("fig2.tsv", &table.to_tsv()) {
+        Ok(p) => eprintln!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("\nwarning: could not write artifact: {e}"),
+    }
+}

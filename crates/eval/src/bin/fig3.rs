@@ -1,0 +1,68 @@
+//! Regenerates the paper's **Fig. 3**: bipartite rule-set graphs for CAL500
+//! and House under TRANSLATOR-SELECT(1), the Magnum-Opus-style baseline and
+//! the ReReMi-style baseline. Prints summary statistics and writes DOT
+//! files under `target/experiments/` for rendering with Graphviz.
+
+use twoview_data::corpus::PaperDataset;
+use twoview_eval::comparison::table3_block;
+use twoview_eval::figures::{rule_graph_dot, rule_graph_stats};
+use twoview_eval::report::{fnum, write_artifact, Align, TextTable};
+
+fn main() {
+    let opts = twoview_eval::opts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let datasets = opts
+        .datasets
+        .unwrap_or_else(|| vec![PaperDataset::Cal500, PaperDataset::House]);
+
+    let mut table = TextTable::new(&[
+        ("Dataset", Align::Left),
+        ("method", Align::Left),
+        ("rules", Align::Right),
+        ("L items", Align::Right),
+        ("R items", Align::Right),
+        ("edges", Align::Right),
+        ("bidir edges", Align::Right),
+        ("avg degree", Align::Right),
+    ]);
+    for ds in datasets {
+        let block = table3_block(ds, &opts.scale);
+        let data = ds.generate_scaled(opts.scale.max_transactions).dataset;
+        // TRANSLATOR, MAGNUM OPUS*, REREMI* (KRIMP is not part of Fig. 3).
+        for (row, t) in block.rows.iter().zip(&block.tables).take(3) {
+            let stats = rule_graph_stats(row.method.clone(), &data, t);
+            table.row([
+                ds.name().to_string(),
+                stats.method.clone(),
+                stats.n_rules.to_string(),
+                stats.left_items_used.to_string(),
+                stats.right_items_used.to_string(),
+                stats.n_edges.to_string(),
+                stats.n_bidirectional_edges.to_string(),
+                fnum(stats.avg_degree, 2),
+            ]);
+            let dot = rule_graph_dot(&data, t, &format!("{} / {}", ds.name(), row.method));
+            let fname = format!(
+                "fig3_{}_{}.dot",
+                ds.name().to_ascii_lowercase(),
+                row.method
+                    .to_ascii_lowercase()
+                    .replace([' ', '*'], "")
+                    .replace('(', "_")
+                    .replace(')', "")
+            );
+            if let Err(e) = write_artifact(&fname, &dot) {
+                eprintln!("warning: could not write {fname}: {e}");
+            }
+        }
+        table.separator();
+    }
+    println!("Fig. 3: bipartite rule-set graph statistics (DOT files in target/experiments/)\n");
+    print!("{}", table.render());
+    match write_artifact("fig3.tsv", &table.to_tsv()) {
+        Ok(p) => eprintln!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("\nwarning: could not write artifact: {e}"),
+    }
+}

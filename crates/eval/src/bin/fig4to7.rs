@@ -1,0 +1,98 @@
+//! Regenerates the paper's **Figs. 4–7**: example rules with named items.
+//!
+//! * Fig. 4 — top-3 rules on House (TRANSLATOR / Magnum-Opus-style / ReReMi-style)
+//! * Fig. 5 — top-3 rules on Mammals (same three methods)
+//! * Fig. 6 — all rules containing `Genre:Rock` on CAL500
+//! * Fig. 7 — example rules on Elections (TRANSLATOR)
+//!
+//! Pass a dataset name (`house`, `mammals`, `cal500`, `elections`) to run a
+//! single figure; default runs all four.
+
+use twoview_core::{translator_select, SelectConfig};
+use twoview_data::corpus::PaperDataset;
+use twoview_eval::comparison::table3_block;
+use twoview_eval::figures::{rules_containing, top_rules, ExampleRule};
+use twoview_eval::tables::RunScale;
+
+fn print_rules(header: &str, rules: &[ExampleRule]) {
+    println!("  {header}");
+    if rules.is_empty() {
+        println!("    (none)");
+    }
+    for r in rules {
+        println!("    {}   [c+ = {:.2}, supp = {}]", r.text, r.cplus, r.support);
+    }
+}
+
+fn three_method_figure(ds: PaperDataset, scale: &RunScale, k: usize, title: &str) {
+    println!("{title}\n");
+    let block = table3_block(ds, scale);
+    let data = ds.generate_scaled(scale.max_transactions).dataset;
+    for (row, table) in block.rows.iter().zip(&block.tables).take(3) {
+        print_rules(&row.method, &top_rules(&data, table, k));
+        println!();
+    }
+}
+
+fn rock_figure(scale: &RunScale) {
+    println!("Fig. 6: rules containing 'Genre:Rock' on CAL500\n");
+    let block = table3_block(PaperDataset::Cal500, scale);
+    let data = PaperDataset::Cal500
+        .generate_scaled(scale.max_transactions)
+        .dataset;
+    for (row, table) in block.rows.iter().zip(&block.tables).take(3) {
+        print_rules(&row.method, &rules_containing(&data, table, "Genre:Rock"));
+        println!();
+    }
+}
+
+fn elections_figure(scale: &RunScale) {
+    println!("Fig. 7: example rules on Elections (TRANSLATOR-SELECT(1))\n");
+    let data = PaperDataset::Elections
+        .generate_scaled(scale.max_transactions)
+        .dataset;
+    let minsup = PaperDataset::Elections.minsup_for(data.n_transactions());
+    let model = translator_select(&data, &SelectConfig::new(1, minsup));
+    print_rules("TRANSLATOR", &top_rules(&data, &model.table, 4));
+    println!();
+}
+
+fn main() {
+    let opts = twoview_eval::opts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let which: Vec<String> = if opts.free.is_empty() {
+        vec![
+            "house".into(),
+            "mammals".into(),
+            "cal500".into(),
+            "elections".into(),
+        ]
+    } else {
+        opts.free.clone()
+    };
+    for name in which {
+        match name.as_str() {
+            "house" => three_method_figure(
+                PaperDataset::House,
+                &opts.scale,
+                3,
+                "Fig. 4: top-3 example rules on House",
+            ),
+            "mammals" => three_method_figure(
+                PaperDataset::Mammals,
+                &opts.scale,
+                3,
+                "Fig. 5: top-3 example rules on Mammals",
+            ),
+            "cal500" => rock_figure(&opts.scale),
+            "elections" => elections_figure(&opts.scale),
+            other => {
+                eprintln!("unknown figure target: {other} (use house|mammals|cal500|elections)");
+                std::process::exit(2);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,146 @@
+//! Consolidated reproduction report: runs Table 1, Table 2 (configurable
+//! dataset set), Table 3, and the Fig. 2 trace, then writes a single
+//! markdown report to `target/experiments/report.md` with paper-reported
+//! values side by side.
+//!
+//! This is the binary behind EXPERIMENTS.md; run with `--full` to redo the
+//! comparison at paper scale.
+
+use std::fmt::Write as _;
+
+use twoview_data::corpus::PaperDataset;
+use twoview_eval::comparison::{table3, TABLE3_DEFAULT};
+use twoview_eval::figures::{fig2, render_fig2};
+use twoview_eval::metrics::format_runtime;
+use twoview_eval::report::write_artifact;
+use twoview_eval::tables::{table1, table2};
+
+fn main() {
+    let opts = twoview_eval::opts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut md = String::new();
+    let _ = writeln!(md, "# Reproduction report\n");
+    let _ = writeln!(
+        md,
+        "Profile: max {} transactions, exact node cap {:?}.\n",
+        opts.scale.max_transactions, opts.scale.exact_node_cap
+    );
+
+    // ---------------------------------------------------------- Table 1
+    eprintln!("[report] table 1 ...");
+    let _ = writeln!(md, "## Table 1 — dataset properties\n");
+    let _ = writeln!(
+        md,
+        "| dataset | |D| | d_L | d_R | L(D,0) measured | L(D,0) paper |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for row in table1(&opts.scale) {
+        let p = row.dataset.paper();
+        let _ = writeln!(
+            md,
+            "| {} | {} | {:.3} | {:.3} | {:.0} | {:.0} |",
+            row.dataset.name(),
+            row.n,
+            row.d_left,
+            row.d_right,
+            row.l_empty,
+            p.l_empty
+        );
+    }
+
+    // ---------------------------------------------------------- Table 2
+    eprintln!("[report] table 2 ...");
+    let datasets: Vec<PaperDataset> = opts.datasets.clone().unwrap_or_else(|| {
+        vec![
+            PaperDataset::Wine,
+            PaperDataset::House,
+            PaperDataset::Yeast,
+            PaperDataset::Tictactoe,
+        ]
+    });
+    let _ = writeln!(md, "\n## Table 2 — search strategies\n");
+    let _ = writeln!(
+        md,
+        "| dataset | method | \\|T\\| | L% | runtime | paper \\|T\\| | paper L% |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|");
+    for row in table2(&datasets, &opts.scale) {
+        let p = row.dataset.paper();
+        for cell in &row.cells {
+            let (pt, pl) = match cell.method {
+                twoview_eval::tables::Table2Method::Select1 => {
+                    (p.select1_rules.to_string(), format!("{:.2}", p.select1_l_pct))
+                }
+                _ => ("—".into(), "—".into()),
+            };
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {:.2} | {} | {} | {} |",
+                row.dataset.name(),
+                cell.method.label(),
+                cell.n_rules,
+                cell.l_pct,
+                format_runtime(cell.runtime),
+                pt,
+                pl
+            );
+        }
+    }
+
+    // ---------------------------------------------------------- Table 3
+    eprintln!("[report] table 3 ...");
+    let t3_datasets: Vec<PaperDataset> = opts
+        .datasets
+        .clone()
+        .unwrap_or_else(|| TABLE3_DEFAULT[..3].to_vec());
+    let _ = writeln!(md, "\n## Table 3 — baseline comparison\n");
+    let _ = writeln!(md, "| dataset | method | \\|T\\| | l | \\|C\\|% | c+ | L% |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|");
+    for block in table3(&t3_datasets, &opts.scale) {
+        for m in &block.rows {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {:.1} | {:.2} | {:.2} | {:.2} |",
+                block.dataset.name(),
+                m.method,
+                m.n_rules,
+                m.avg_len,
+                m.c_pct,
+                m.avg_cplus,
+                m.l_pct
+            );
+        }
+        let _ = writeln!(
+            md,
+            "| {} | assoc. rules (raw) | {} | | | | |",
+            block.dataset.name(),
+            block.assoc_rule_count
+        );
+    }
+
+    // ------------------------------------------------------------ Fig 2
+    eprintln!("[report] fig 2 ...");
+    let (points, model) = fig2(PaperDataset::House, &opts.scale);
+    let _ = writeln!(
+        md,
+        "\n## Fig. 2 — House construction trace (SELECT(1), {} rules, L% = {:.2})\n",
+        model.table.len(),
+        model.compression_pct()
+    );
+    let _ = writeln!(md, "```");
+    let _ = write!(md, "{}", render_fig2(&points).render());
+    let _ = writeln!(md, "```");
+
+    match write_artifact("report.md", &md) {
+        Ok(p) => {
+            println!("{md}");
+            eprintln!("wrote {}", p.display());
+        }
+        Err(e) => {
+            println!("{md}");
+            eprintln!("warning: could not write artifact: {e}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's **Table 1** (dataset properties) over the
+//! synthetic corpus and writes `target/experiments/table1.tsv`.
+
+use twoview_eval::report::write_artifact;
+use twoview_eval::tables::{render_table1, table1};
+
+fn main() {
+    let opts = twoview_eval::opts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let rows = table1(&opts.scale);
+    let table = render_table1(&rows);
+    println!("Table 1: dataset properties (synthetic corpus vs paper)\n");
+    print!("{}", table.render());
+    match write_artifact("table1.tsv", &table.to_tsv()) {
+        Ok(p) => eprintln!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("\nwarning: could not write artifact: {e}"),
+    }
+}

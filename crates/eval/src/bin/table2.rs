@@ -1,0 +1,31 @@
+//! Regenerates the paper's **Table 2** (comparison of the three TRANSLATOR
+//! search strategies) and writes `target/experiments/table2.tsv`.
+//!
+//! Default profile subsamples datasets and caps the EXACT search; run with
+//! `--full` for paper-scale parameters (expect multi-hour runtimes, exactly
+//! as the paper reports).
+
+use twoview_data::corpus::PaperDataset;
+use twoview_eval::report::write_artifact;
+use twoview_eval::tables::{render_table2, table2};
+
+fn main() {
+    let opts = twoview_eval::opts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let datasets: Vec<PaperDataset> = opts.datasets.unwrap_or_else(|| {
+        PaperDataset::SMALL
+            .into_iter()
+            .chain(PaperDataset::LARGE)
+            .collect()
+    });
+    let rows = table2(&datasets, &opts.scale);
+    let table = render_table2(&rows);
+    println!("Table 2: TRANSLATOR-EXACT vs -SELECT(1) vs -SELECT(25) vs -GREEDY\n");
+    print!("{}", table.render());
+    match write_artifact("table2.tsv", &table.to_tsv()) {
+        Ok(p) => eprintln!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("\nwarning: could not write artifact: {e}"),
+    }
+}

@@ -1,0 +1,337 @@
+//! Runners for the paper's figures.
+//!
+//! * **Fig. 2** — evolution of `|U|`, `|E|` and encoded lengths while
+//!   SELECT(1) builds a table for House;
+//! * **Fig. 3** — bipartite rule-set graphs (rendered as DOT + summary
+//!   statistics) — see [`crate::comparison`] for the baseline rule sets;
+//! * **Figs. 4–7** — example rules with named items.
+
+use twoview_core::{translator_select, SelectConfig, TranslationTable, TranslatorModel};
+use twoview_data::corpus::PaperDataset;
+use twoview_data::prelude::*;
+
+use crate::metrics::max_confidence;
+use crate::report::{fnum, Align, TextTable};
+use crate::tables::RunScale;
+
+// ------------------------------------------------------------------ Fig 2
+
+/// One point of the Fig. 2 series (state after adding rule `i`).
+#[derive(Clone, Debug)]
+pub struct Fig2Point {
+    /// Number of rules in the table (x-axis).
+    pub n_rules: usize,
+    /// `|U_L|`, `|U_R|` — uncovered ones per side.
+    pub uncovered_left: usize,
+    /// See `uncovered_left`.
+    pub uncovered_right: usize,
+    /// `|E_L|`, `|E_R|` — erroneous ones per side.
+    pub errors_left: usize,
+    /// See `errors_left`.
+    pub errors_right: usize,
+    /// `L(D_{L→R} | T) = L(C_R | T)`.
+    pub l_left_to_right: f64,
+    /// `L(D_{L←R} | T) = L(C_L | T)`.
+    pub l_right_to_left: f64,
+    /// `L(T)`.
+    pub l_table: f64,
+    /// `L(D_{L↔R}, T)` — the total.
+    pub l_total: f64,
+}
+
+/// Fig. 2: runs SELECT(1) on the given dataset (House in the paper) and
+/// returns the per-rule evolution, including the empty-table point.
+pub fn fig2(dataset: PaperDataset, scale: &RunScale) -> (Vec<Fig2Point>, TranslatorModel) {
+    let data = dataset.generate_scaled(scale.max_transactions).dataset;
+    let minsup = dataset.minsup_for(data.n_transactions());
+    let model = translator_select(&data, &SelectConfig::new(1, minsup));
+
+    let codes = twoview_core::CodeLengths::new(&data);
+    let l_empty = codes.empty_model(&data);
+    let mut points = vec![Fig2Point {
+        n_rules: 0,
+        uncovered_left: data.ones(Side::Left),
+        uncovered_right: data.ones(Side::Right),
+        errors_left: 0,
+        errors_right: 0,
+        // With an empty table each side's correction table is the data.
+        l_left_to_right: data
+            .vocab()
+            .items_on(Side::Right)
+            .map(|i| data.support(i) as f64 * codes.item(i))
+            .sum(),
+        l_right_to_left: data
+            .vocab()
+            .items_on(Side::Left)
+            .map(|i| data.support(i) as f64 * codes.item(i))
+            .sum(),
+        l_table: 0.0,
+        l_total: l_empty,
+    }];
+    for step in &model.trace {
+        points.push(Fig2Point {
+            n_rules: step.rule_index + 1,
+            uncovered_left: step.uncovered_left,
+            uncovered_right: step.uncovered_right,
+            errors_left: step.errors_left,
+            errors_right: step.errors_right,
+            l_left_to_right: step.l_correction_right,
+            l_right_to_left: step.l_correction_left,
+            l_table: step.l_table,
+            l_total: step.l_total,
+        });
+    }
+    (points, model)
+}
+
+/// Renders the Fig. 2 series as a text table (and TSV via
+/// [`TextTable::to_tsv`]).
+pub fn render_fig2(points: &[Fig2Point]) -> TextTable {
+    let mut t = TextTable::new(&[
+        ("|T|", Align::Right),
+        ("|U_L|", Align::Right),
+        ("|U_R|", Align::Right),
+        ("|E_L|", Align::Right),
+        ("|E_R|", Align::Right),
+        ("L(L->R|T)", Align::Right),
+        ("L(L<-R|T)", Align::Right),
+        ("L(T)", Align::Right),
+        ("L(total)", Align::Right),
+    ]);
+    for p in points {
+        t.row([
+            p.n_rules.to_string(),
+            p.uncovered_left.to_string(),
+            p.uncovered_right.to_string(),
+            p.errors_left.to_string(),
+            p.errors_right.to_string(),
+            fnum(p.l_left_to_right, 1),
+            fnum(p.l_right_to_left, 1),
+            fnum(p.l_table, 1),
+            fnum(p.l_total, 1),
+        ]);
+    }
+    t
+}
+
+// ------------------------------------------------------------------ Fig 3
+
+/// Summary statistics of a bipartite rule-set graph (the quantitative
+/// content of the paper's Fig. 3 visualisations).
+#[derive(Clone, Debug)]
+pub struct RuleGraphStats {
+    /// Method label.
+    pub method: String,
+    /// Number of rules (middle nodes).
+    pub n_rules: usize,
+    /// Distinct left items touched by any rule.
+    pub left_items_used: usize,
+    /// Distinct right items touched by any rule.
+    pub right_items_used: usize,
+    /// Edges (rule-item incidences).
+    pub n_edges: usize,
+    /// Edges belonging to bidirectional rules (drawn black in the paper).
+    pub n_bidirectional_edges: usize,
+    /// Average items per rule.
+    pub avg_degree: f64,
+}
+
+/// Computes the Fig. 3 graph statistics for one rule set.
+pub fn rule_graph_stats(
+    method: impl Into<String>,
+    data: &TwoViewDataset,
+    table: &TranslationTable,
+) -> RuleGraphStats {
+    let vocab = data.vocab();
+    let mut left_used = Bitmap::new(vocab.n_left());
+    let mut right_used = Bitmap::new(vocab.n_right());
+    let mut edges = 0usize;
+    let mut bidir_edges = 0usize;
+    for rule in table.iter() {
+        let deg = rule.len();
+        edges += deg;
+        if rule.direction == twoview_core::Direction::Both {
+            bidir_edges += deg;
+        }
+        for i in rule.left.iter() {
+            left_used.insert(vocab.local_index(i));
+        }
+        for i in rule.right.iter() {
+            right_used.insert(vocab.local_index(i));
+        }
+    }
+    RuleGraphStats {
+        method: method.into(),
+        n_rules: table.len(),
+        left_items_used: left_used.len(),
+        right_items_used: right_used.len(),
+        n_edges: edges,
+        n_bidirectional_edges: bidir_edges,
+        avg_degree: if table.is_empty() {
+            0.0
+        } else {
+            edges as f64 / table.len() as f64
+        },
+    }
+}
+
+/// Emits the bipartite rule graph in Graphviz DOT format, mirroring the
+/// paper's drawing: items left/right, rules in the middle, grey edges for
+/// unidirectional rules and black for bidirectional ones.
+pub fn rule_graph_dot(data: &TwoViewDataset, table: &TranslationTable, title: &str) -> String {
+    let vocab = data.vocab();
+    let mut out = String::new();
+    out.push_str(&format!("graph \"{title}\" {{\n  rankdir=LR;\n"));
+    out.push_str("  node [shape=point];\n");
+    for (ri, rule) in table.iter().enumerate() {
+        let color = if rule.direction == twoview_core::Direction::Both {
+            "black"
+        } else {
+            "grey"
+        };
+        for i in rule.left.iter() {
+            out.push_str(&format!(
+                "  \"L:{}\" -- \"r{}\" [color={}];\n",
+                vocab.name(i),
+                ri,
+                color
+            ));
+        }
+        for i in rule.right.iter() {
+            out.push_str(&format!(
+                "  \"r{}\" -- \"R:{}\" [color={}];\n",
+                ri,
+                vocab.name(i),
+                color
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+// -------------------------------------------------------------- Figs 4-7
+
+/// A displayable example rule (Figs. 4–7).
+#[derive(Clone, Debug)]
+pub struct ExampleRule {
+    /// Rendered rule text (named items).
+    pub text: String,
+    /// `c+` of the rule.
+    pub cplus: f64,
+    /// Absolute support of the joint itemset.
+    pub support: usize,
+}
+
+/// Extracts the top-`k` rules of a table by construction order (the first
+/// rules added are the strongest under greedy compression), rendered with
+/// item names.
+pub fn top_rules(
+    data: &TwoViewDataset,
+    table: &TranslationTable,
+    k: usize,
+) -> Vec<ExampleRule> {
+    table
+        .iter()
+        .take(k)
+        .map(|r| ExampleRule {
+            text: format!("{}", r.display(data.vocab())),
+            cplus: max_confidence(data, &r.left, &r.right),
+            support: data.support_count(&r.left.union(&r.right)),
+        })
+        .collect()
+}
+
+/// Extracts every rule containing the given item (Fig. 6: `Genre:Rock`).
+pub fn rules_containing(
+    data: &TwoViewDataset,
+    table: &TranslationTable,
+    item_name: &str,
+) -> Vec<ExampleRule> {
+    let Some(item) = data.vocab().id_of(item_name) else {
+        return Vec::new();
+    };
+    table
+        .iter()
+        .filter(|r| r.left.contains(item) || r.right.contains(item))
+        .map(|r| ExampleRule {
+            text: format!("{}", r.display(data.vocab())),
+            cplus: max_confidence(data, &r.left, &r.right),
+            support: data.support_count(&r.left.union(&r.right)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoview_core::{Direction, TranslationRule};
+
+    #[test]
+    fn fig2_series_starts_at_empty_and_decreases() {
+        let (points, model) = fig2(PaperDataset::House, &RunScale::smoke());
+        assert_eq!(points.len(), model.table.len() + 1);
+        assert_eq!(points[0].n_rules, 0);
+        assert_eq!(points[0].errors_left + points[0].errors_right, 0);
+        for w in points.windows(2) {
+            assert!(w[1].l_total < w[0].l_total, "total length must decrease");
+            assert!(w[1].uncovered_right <= w[0].uncovered_right);
+            assert!(w[1].errors_right >= w[0].errors_right);
+        }
+        // The decomposition must always sum up.
+        for p in &points {
+            assert!(
+                (p.l_total - (p.l_left_to_right + p.l_right_to_left + p.l_table)).abs() < 1e-6
+            );
+        }
+        let rendered = render_fig2(&points).render();
+        assert!(rendered.contains("L(T)"));
+    }
+
+    #[test]
+    fn graph_stats_count_edges() {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        let data =
+            TwoViewDataset::from_transactions(vocab, &[vec![0, 1, 2, 3], vec![0, 2]]);
+        let table = TranslationTable::from_rules([
+            TranslationRule::new(
+                ItemSet::from_items([0]),
+                ItemSet::from_items([2]),
+                Direction::Both,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([0, 1]),
+                ItemSet::from_items([3]),
+                Direction::Forward,
+            ),
+        ]);
+        let stats = rule_graph_stats("test", &data, &table);
+        assert_eq!(stats.n_rules, 2);
+        assert_eq!(stats.n_edges, 5);
+        assert_eq!(stats.n_bidirectional_edges, 2);
+        assert_eq!(stats.left_items_used, 2);
+        assert_eq!(stats.right_items_used, 2);
+        let dot = rule_graph_dot(&data, &table, "toy");
+        assert!(dot.contains("\"L:a\" -- \"r0\""));
+        assert!(dot.contains("color=grey"));
+    }
+
+    #[test]
+    fn example_rule_extraction() {
+        let vocab = Vocabulary::new(["a"], ["x", "y"]);
+        let data = TwoViewDataset::from_transactions(vocab, &[vec![0, 1], vec![0, 1, 2]]);
+        let table = TranslationTable::from_rules([TranslationRule::new(
+            ItemSet::from_items([0]),
+            ItemSet::from_items([1]),
+            Direction::Both,
+        )]);
+        let top = top_rules(&data, &table, 3);
+        assert_eq!(top.len(), 1);
+        assert!(top[0].text.contains("{a} <-> {x}"));
+        assert_eq!(top[0].support, 2);
+        assert!((top[0].cplus - 1.0).abs() < 1e-12);
+        assert_eq!(rules_containing(&data, &table, "x").len(), 1);
+        assert_eq!(rules_containing(&data, &table, "y").len(), 0);
+        assert_eq!(rules_containing(&data, &table, "zzz").len(), 0);
+    }
+}

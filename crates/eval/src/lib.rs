@@ -1,0 +1,28 @@
+//! # twoview-eval
+//!
+//! Evaluation harness: metrics (paper §6) and runners that regenerate every
+//! table and figure of the paper's evaluation section.
+//!
+//! Binaries (all accept `--full` for paper-scale runs; default is a
+//! laptop-friendly subsampled profile):
+//!
+//! | binary     | reproduces |
+//! |------------|------------|
+//! | `table1`   | Table 1 — dataset properties |
+//! | `table2`   | Table 2 — EXACT / SELECT(1) / SELECT(25) / GREEDY |
+//! | `table3`   | Table 3 — TRANSLATOR vs Magnum-Opus-style vs ReReMi-style vs KRIMP |
+//! | `fig2`     | Fig. 2 — construction trace on House |
+//! | `fig3`     | Fig. 3 — rule-set graphs for CAL500 & House |
+//! | `fig4to7`  | Figs. 4–7 — example rules (House, Mammals, CAL500, Elections) |
+
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod figures;
+pub mod metrics;
+pub mod opts;
+pub mod report;
+pub mod tables;
+
+pub use metrics::{avg_max_confidence, format_runtime, max_confidence, MethodMetrics};
+pub use tables::RunScale;

@@ -1,0 +1,190 @@
+//! Evaluation metrics (paper §6, "Evaluation criteria").
+//!
+//! * `|T|` — number of rules;
+//! * `l` — average rule length (items per rule);
+//! * `L%` — compression ratio `100 · L(D,T) / L(D,∅)`;
+//! * `|C|%` — correction density `100 · |C| / ((|I_L|+|I_R|)·|D|)`;
+//! * `c+` — maximum confidence `max{c(X→Y), c(Y→X)}`, averaged over the
+//!   rule set;
+//! * runtime.
+
+use std::time::Duration;
+
+use twoview_core::{evaluate_table, TranslationTable, TranslatorModel};
+use twoview_data::prelude::*;
+
+/// Maximum confidence of a rule: `c+(X ◇ Y) = max{c(X→Y), c(X←Y)}` where
+/// `c(X→Y) = |supp(X ∪ Y)| / |supp(X)|` (paper §6).
+pub fn max_confidence(data: &TwoViewDataset, left: &ItemSet, right: &ItemSet) -> f64 {
+    let sx = data.support_count(left);
+    let sy = data.support_count(right);
+    let sxy = data.support_count(&left.union(right));
+    let fwd = if sx == 0 { 0.0 } else { sxy as f64 / sx as f64 };
+    let bwd = if sy == 0 { 0.0 } else { sxy as f64 / sy as f64 };
+    fwd.max(bwd)
+}
+
+/// Average `c+` over a translation table (0 for an empty table).
+pub fn avg_max_confidence(data: &TwoViewDataset, table: &TranslationTable) -> f64 {
+    if table.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = table
+        .iter()
+        .map(|r| max_confidence(data, &r.left, &r.right))
+        .sum();
+    total / table.len() as f64
+}
+
+/// The full metric row reported in the paper's comparison tables.
+#[derive(Clone, Debug)]
+pub struct MethodMetrics {
+    /// Method label (e.g. `T-SELECT(1)`).
+    pub method: String,
+    /// `|T|`.
+    pub n_rules: usize,
+    /// Average rule length `l`.
+    pub avg_len: f64,
+    /// Compression ratio `L%`.
+    pub l_pct: f64,
+    /// Correction density `|C|%`.
+    pub c_pct: f64,
+    /// Average maximum confidence `c+`.
+    pub avg_cplus: f64,
+    /// Wall-clock runtime of the fitting stage.
+    pub runtime: Duration,
+}
+
+impl MethodMetrics {
+    /// Computes the metric row for an arbitrary translation table
+    /// (re-evaluating the cover from scratch — works for baseline-derived
+    /// tables too).
+    pub fn for_table(
+        method: impl Into<String>,
+        data: &TwoViewDataset,
+        table: &TranslationTable,
+        runtime: Duration,
+    ) -> MethodMetrics {
+        let score = evaluate_table(data, table);
+        MethodMetrics {
+            method: method.into(),
+            n_rules: table.len(),
+            avg_len: table.avg_rule_length(),
+            l_pct: score.compression_pct(),
+            c_pct: score.correction_pct(),
+            avg_cplus: avg_max_confidence(data, table),
+            runtime,
+        }
+    }
+
+    /// Computes the metric row for a fitted TRANSLATOR model (reuses the
+    /// model's final score instead of re-covering).
+    pub fn for_model(
+        method: impl Into<String>,
+        data: &TwoViewDataset,
+        model: &TranslatorModel,
+        runtime: Duration,
+    ) -> MethodMetrics {
+        MethodMetrics {
+            method: method.into(),
+            n_rules: model.table.len(),
+            avg_len: model.table.avg_rule_length(),
+            l_pct: model.score.compression_pct(),
+            c_pct: model.score.correction_pct(),
+            avg_cplus: avg_max_confidence(data, &model.table),
+            runtime,
+        }
+    }
+}
+
+/// Formats a [`Duration`] the way the paper prints runtimes
+/// (`< 1 s`, `42 s`, `8 m 16 s`, `2 h 47 m`, `2 d 1 h`).
+pub fn format_runtime(d: Duration) -> String {
+    let secs = d.as_secs();
+    if d < Duration::from_secs(1) {
+        return "< 1 s".to_string();
+    }
+    if secs < 60 {
+        return format!("{secs} s");
+    }
+    let (mins, rem_s) = (secs / 60, secs % 60);
+    if mins < 60 {
+        return format!("{mins} m {rem_s:02} s");
+    }
+    let (hours, rem_m) = (mins / 60, mins % 60);
+    if hours < 24 {
+        return format!("{hours} h {rem_m:02} m");
+    }
+    format!("{} d {:02} h", hours / 24, hours % 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoview_core::{Direction, TranslationRule};
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 2],
+                vec![0, 2],
+                vec![0, 2],
+                vec![0],
+                vec![2],
+                vec![1, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn max_confidence_takes_the_stronger_direction() {
+        let d = toy();
+        // supp(a)=4, supp(x)=4, supp(ax)=3: both directions 3/4.
+        let a = ItemSet::from_items([0]);
+        let x = ItemSet::from_items([2]);
+        assert!((max_confidence(&d, &a, &x) - 0.75).abs() < 1e-12);
+        // supp(b)=1, supp(y)=1, supp(by)=1: confidence 1 both ways.
+        let b = ItemSet::from_items([1]);
+        let y = ItemSet::from_items([3]);
+        assert!((max_confidence(&d, &b, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_row_for_table() {
+        let d = toy();
+        let table = TranslationTable::from_rules([TranslationRule::new(
+            ItemSet::from_items([0]),
+            ItemSet::from_items([2]),
+            Direction::Both,
+        )]);
+        let m = MethodMetrics::for_table("test", &d, &table, Duration::from_millis(5));
+        assert_eq!(m.n_rules, 1);
+        assert!((m.avg_len - 2.0).abs() < 1e-12);
+        assert!(m.l_pct > 0.0 && m.l_pct < 200.0);
+        assert!(m.c_pct > 0.0);
+        assert!((m.avg_cplus - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_confidence_zero() {
+        let d = toy();
+        assert_eq!(avg_max_confidence(&d, &TranslationTable::new()), 0.0);
+    }
+
+    #[test]
+    fn runtime_formatting() {
+        assert_eq!(format_runtime(Duration::from_millis(200)), "< 1 s");
+        assert_eq!(format_runtime(Duration::from_secs(42)), "42 s");
+        assert_eq!(format_runtime(Duration::from_secs(8 * 60 + 16)), "8 m 16 s");
+        assert_eq!(
+            format_runtime(Duration::from_secs(2 * 3600 + 47 * 60)),
+            "2 h 47 m"
+        );
+        assert_eq!(
+            format_runtime(Duration::from_secs(2 * 86_400 + 3600)),
+            "2 d 01 h"
+        );
+    }
+}

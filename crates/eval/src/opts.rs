@@ -1,0 +1,80 @@
+//! Minimal CLI option parsing shared by the experiment binaries.
+
+use twoview_data::corpus::PaperDataset;
+
+use crate::tables::RunScale;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Run profile.
+    pub scale: RunScale,
+    /// Dataset filter (`None` = the runner's default set).
+    pub datasets: Option<Vec<PaperDataset>>,
+    /// Remaining free arguments.
+    pub free: Vec<String>,
+}
+
+/// Parses `--full`, `--quick`, `--smoke`, `--datasets=a,b,c` and free args.
+///
+/// Unknown `--flags` abort with a usage message; the binaries have no other
+/// options by design.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts {
+        scale: RunScale::quick(),
+        datasets: None,
+        free: Vec::new(),
+    };
+    for arg in args {
+        if arg == "--full" {
+            opts.scale = RunScale::full();
+        } else if arg == "--quick" {
+            opts.scale = RunScale::quick();
+        } else if arg == "--smoke" {
+            opts.scale = RunScale::smoke();
+        } else if let Some(list) = arg.strip_prefix("--datasets=") {
+            let mut ds = Vec::new();
+            for name in list.split(',').filter(|s| !s.is_empty()) {
+                match PaperDataset::by_name(name) {
+                    Some(d) => ds.push(d),
+                    None => return Err(format!("unknown dataset: {name}")),
+                }
+            }
+            opts.datasets = Some(ds);
+        } else if arg.starts_with("--") {
+            return Err(format!(
+                "unknown option {arg}; known: --full --quick --smoke --datasets=a,b,c"
+            ));
+        } else {
+            opts.free.push(arg);
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_profiles_and_datasets() {
+        let o = parse(["--full".to_string(), "--datasets=wine,house".to_string()]).unwrap();
+        assert_eq!(o.scale.max_transactions, usize::MAX);
+        assert_eq!(
+            o.datasets,
+            Some(vec![PaperDataset::Wine, PaperDataset::House])
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_dataset() {
+        assert!(parse(["--nope".to_string()]).is_err());
+        assert!(parse(["--datasets=zzz".to_string()]).is_err());
+    }
+
+    #[test]
+    fn free_args_pass_through() {
+        let o = parse(["house".to_string()]).unwrap();
+        assert_eq!(o.free, vec!["house"]);
+    }
+}

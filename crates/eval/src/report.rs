@@ -1,0 +1,197 @@
+//! Plain-text table rendering and TSV export for experiment runners.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder mirroring the paper's table layout.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    header: Vec<String>,
+    align: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers and alignments.
+    pub fn new(columns: &[(&str, Align)]) -> Self {
+        TextTable {
+            header: columns.iter().map(|(h, _)| h.to_string()).collect(),
+            align: columns.iter().map(|&(_, a)| a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().collect();
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a separator row (rendered as dashes).
+    pub fn separator(&mut self) {
+        self.rows.push(Vec::new());
+    }
+
+    /// Number of data rows (separators excluded).
+    pub fn n_rows(&self) -> usize {
+        self.rows.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match self.align[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{cell:<width$}", width = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{cell:>width$}", width = widths[i]);
+                    }
+                }
+            }
+            // Trim the padding of the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                write_row(&mut out, row);
+            }
+        }
+        out
+    }
+
+    /// Writes the table as TSV (no separators).
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.header.join("\t");
+        out.push('\n');
+        for row in self.rows.iter().filter(|r| !r.is_empty()) {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory where runners drop machine-readable outputs.
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Writes `content` under `target/experiments/<name>`, creating directories.
+pub fn write_artifact(name: &str, content: &str) -> io::Result<PathBuf> {
+    let dir = experiments_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Reads an artifact back (test helper).
+pub fn read_artifact(path: &Path) -> io::Result<String> {
+    fs::read_to_string(path)
+}
+
+/// Formats a float with `digits` decimals, using the paper's style.
+pub fn fnum(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a big integer with thousands separators (paper style `48,842`).
+pub fn inum(v: usize) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&[("name", Align::Left), ("value", Align::Right)]);
+        t.row(["abc".into(), "1".into()]);
+        t.row(["x".into(), "1234".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name  value");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "abc       1");
+        assert_eq!(lines[3], "x      1234");
+    }
+
+    #[test]
+    fn separator_rows() {
+        let mut t = TextTable::new(&[("a", Align::Left)]);
+        t.row(["1".into()]);
+        t.separator();
+        t.row(["2".into()]);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.render().lines().count(), 5);
+    }
+
+    #[test]
+    fn tsv_skips_separators() {
+        let mut t = TextTable::new(&[("a", Align::Left), ("b", Align::Right)]);
+        t.row(["1".into(), "2".into()]);
+        t.separator();
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(&[("a", Align::Left)]);
+        t.row(["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(inum(5), "5");
+        assert_eq!(inum(48_842), "48,842");
+        assert_eq!(inum(2_845_491), "2,845,491");
+        assert_eq!(fnum(54.8132, 2), "54.81");
+    }
+}

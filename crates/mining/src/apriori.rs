@@ -1,0 +1,180 @@
+//! Apriori: breadth-first frequent itemset mining (Agrawal & Srikant,
+//! VLDB'94) over the horizontal layout.
+//!
+//! Kept alongside ECLAT as an independent reference implementation: the two
+//! miners share no code and are cross-checked against each other (and
+//! against brute force) in the test-suite, which protects the candidate
+//! generation used by TRANSLATOR against single-implementation bugs. ECLAT
+//! is the faster choice on every workload we measured; Apriori's
+//! level-wise candidate generation is also the scheme Magnum-Opus-style
+//! antecedent enumeration descends from.
+
+use std::collections::HashSet;
+
+use twoview_data::prelude::*;
+
+use crate::eclat::{FrequentItemset, MinerConfig, MiningResult};
+
+/// Mines all frequent itemsets level-wise.
+pub fn mine_apriori(data: &TwoViewDataset, cfg: &MinerConfig) -> MiningResult {
+    let minsup = cfg.minsup.max(1);
+    let mut out = MiningResult {
+        itemsets: Vec::new(),
+        truncated: false,
+    };
+
+    // Level 1: frequent single items.
+    let mut level: Vec<ItemSet> = (0..data.vocab().n_items() as ItemId)
+        .filter(|&i| data.support(i) >= minsup)
+        .map(ItemSet::singleton)
+        .collect();
+    for items in &level {
+        if out.itemsets.len() >= cfg.max_itemsets {
+            out.truncated = true;
+            return out;
+        }
+        out.itemsets.push(FrequentItemset {
+            support: data.support_count(items),
+            items: items.clone(),
+        });
+    }
+
+    let mut k = 1usize;
+    while !level.is_empty() {
+        k += 1;
+        if let Some(ml) = cfg.max_len {
+            if k > ml {
+                break;
+            }
+        }
+        let frequent_prev: HashSet<&ItemSet> = level.iter().collect();
+        let mut next: Vec<ItemSet> = Vec::new();
+        // Join step: combine pairs sharing the first k-2 items.
+        for (a_idx, a) in level.iter().enumerate() {
+            for b in &level[a_idx + 1..] {
+                let (pa, pb) = (a.as_slice(), b.as_slice());
+                if pa[..k - 2] != pb[..k - 2] {
+                    continue;
+                }
+                let candidate = a.union(b);
+                debug_assert_eq!(candidate.len(), k);
+                // Prune step: all (k-1)-subsets must be frequent.
+                let all_subsets_frequent = candidate.iter().all(|drop| {
+                    let sub: ItemSet = candidate.iter().filter(|&i| i != drop).collect();
+                    frequent_prev.contains(&sub)
+                });
+                if !all_subsets_frequent {
+                    continue;
+                }
+                // Count step (tidset intersection — exact and fast enough).
+                let support = data.support_count(&candidate);
+                if support >= minsup {
+                    if out.itemsets.len() >= cfg.max_itemsets {
+                        out.truncated = true;
+                        return out;
+                    }
+                    out.itemsets.push(FrequentItemset {
+                        items: candidate.clone(),
+                        support,
+                    });
+                    next.push(candidate);
+                }
+            }
+        }
+        next.sort();
+        next.dedup();
+        level = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eclat::{brute_force_frequent, mine_frequent};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn canon(v: &[FrequentItemset]) -> Vec<(Vec<ItemId>, usize)> {
+        let mut out: Vec<(Vec<ItemId>, usize)> = v
+            .iter()
+            .map(|f| (f.items.as_slice().to_vec(), f.support))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 1, 3],
+                vec![0, 1, 3, 4],
+                vec![0, 2, 4],
+                vec![1, 3],
+                vec![0, 1, 2, 3, 4],
+                vec![2],
+            ],
+        )
+    }
+
+    #[test]
+    fn apriori_matches_brute_force() {
+        let d = toy();
+        for minsup in 1..=4 {
+            let cfg = MinerConfig::with_minsup(minsup);
+            let apriori = mine_apriori(&d, &cfg);
+            let slow = brute_force_frequent(&d, &cfg);
+            assert_eq!(canon(&apriori.itemsets), canon(&slow), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn apriori_matches_eclat_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..15 {
+            let vocab = Vocabulary::unnamed(5, 5);
+            let txs: Vec<Vec<ItemId>> = (0..25)
+                .map(|_| (0..10).filter(|_| rng.gen_bool(0.35)).collect())
+                .collect();
+            let d = TwoViewDataset::from_transactions(vocab, &txs);
+            for minsup in [1usize, 2, 4] {
+                let cfg = MinerConfig::with_minsup(minsup);
+                let a = mine_apriori(&d, &cfg);
+                let e = mine_frequent(&d, &cfg);
+                assert_eq!(
+                    canon(&a.itemsets),
+                    canon(&e.itemsets),
+                    "trial={trial} minsup={minsup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_len_stops_level_expansion() {
+        let d = toy();
+        let cfg = MinerConfig::with_minsup(1).max_len(2);
+        let res = mine_apriori(&d, &cfg);
+        assert!(res.itemsets.iter().all(|f| f.items.len() <= 2));
+        assert!(res.itemsets.iter().any(|f| f.items.len() == 2));
+    }
+
+    #[test]
+    fn truncation_valve() {
+        let d = toy();
+        let mut cfg = MinerConfig::with_minsup(1);
+        cfg.max_itemsets = 4;
+        let res = mine_apriori(&d, &cfg);
+        assert!(res.truncated);
+        assert_eq!(res.itemsets.len(), 4);
+    }
+
+    #[test]
+    fn empty_on_impossible_minsup() {
+        let d = toy();
+        let res = mine_apriori(&d, &MinerConfig::with_minsup(1000));
+        assert!(res.itemsets.is_empty());
+    }
+}

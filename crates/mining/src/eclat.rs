@@ -1,0 +1,216 @@
+//! ECLAT: frequent itemset mining over the vertical (tidset) layout.
+//!
+//! Depth-first enumeration with tidset intersections (Zaki et al., *New
+//! algorithms for fast discovery of association rules*, KDD'97). This is
+//! both a baseline building block (classic association rule mining) and the
+//! reference enumerator the closed miner and the tests are checked against.
+
+use twoview_data::prelude::*;
+
+/// Configuration shared by the miners in this crate.
+#[derive(Clone, Debug)]
+pub struct MinerConfig {
+    /// Minimum (absolute) support. Clamped to at least 1.
+    pub minsup: usize,
+    /// Maximum itemset length (`None` = unbounded).
+    pub max_len: Option<usize>,
+    /// Safety valve: stop enumerating after this many itemsets.
+    pub max_itemsets: usize,
+}
+
+impl MinerConfig {
+    /// A config with the given minimum support and no other limits.
+    pub fn with_minsup(minsup: usize) -> Self {
+        MinerConfig {
+            minsup: minsup.max(1),
+            max_len: None,
+            max_itemsets: 5_000_000,
+        }
+    }
+
+    /// Sets the maximum itemset length.
+    pub fn max_len(mut self, len: usize) -> Self {
+        self.max_len = Some(len);
+        self
+    }
+}
+
+/// A frequent itemset and its absolute support.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items (global ids, sorted).
+    pub items: ItemSet,
+    /// `|supp(items)|`.
+    pub support: usize,
+}
+
+/// The result of a mining run.
+#[derive(Clone, Debug)]
+pub struct MiningResult {
+    /// The discovered itemsets (enumeration order).
+    pub itemsets: Vec<FrequentItemset>,
+    /// `true` if enumeration stopped early because `max_itemsets` was hit.
+    pub truncated: bool,
+}
+
+/// Mines **all** frequent non-empty itemsets of `data`.
+pub fn mine_frequent(data: &TwoViewDataset, cfg: &MinerConfig) -> MiningResult {
+    let minsup = cfg.minsup.max(1);
+    // Ascending support order keeps tidsets small early, the classic ECLAT
+    // heuristic.
+    let mut items: Vec<ItemId> = (0..data.vocab().n_items() as ItemId)
+        .filter(|&i| data.support(i) >= minsup)
+        .collect();
+    items.sort_unstable_by_key(|&i| data.support(i));
+
+    let mut out = MiningResult {
+        itemsets: Vec::new(),
+        truncated: false,
+    };
+    let mut prefix: Vec<ItemId> = Vec::new();
+    let full = Bitmap::full(data.n_transactions());
+    dfs(data, cfg, &items, &full, &mut prefix, &mut out);
+    out
+}
+
+fn dfs(
+    data: &TwoViewDataset,
+    cfg: &MinerConfig,
+    ext: &[ItemId],
+    tid: &Bitmap,
+    prefix: &mut Vec<ItemId>,
+    out: &mut MiningResult,
+) {
+    if out.truncated {
+        return;
+    }
+    if let Some(ml) = cfg.max_len {
+        if prefix.len() >= ml {
+            return;
+        }
+    }
+    for (pos, &i) in ext.iter().enumerate() {
+        let ti = tid.and(data.tidset(i));
+        let support = ti.len();
+        if support < cfg.minsup {
+            continue;
+        }
+        prefix.push(i);
+        if out.itemsets.len() >= cfg.max_itemsets {
+            out.truncated = true;
+            prefix.pop();
+            return;
+        }
+        out.itemsets.push(FrequentItemset {
+            items: ItemSet::from_items(prefix.iter().copied()),
+            support,
+        });
+        dfs(data, cfg, &ext[pos + 1..], &ti, prefix, out);
+        prefix.pop();
+        if out.truncated {
+            return;
+        }
+    }
+}
+
+/// Brute-force frequent itemset enumeration — exponential, only for tests
+/// and tiny inputs, kept here so every crate can cross-check its miner.
+pub fn brute_force_frequent(data: &TwoViewDataset, cfg: &MinerConfig) -> Vec<FrequentItemset> {
+    let n_items = data.vocab().n_items();
+    assert!(n_items <= 20, "brute force is for tiny vocabularies only");
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n_items) {
+        let items: ItemSet = (0..n_items as ItemId)
+            .filter(|&i| mask >> i & 1 == 1)
+            .collect();
+        if let Some(ml) = cfg.max_len {
+            if items.len() > ml {
+                continue;
+            }
+        }
+        let support = data.support_count(&items);
+        if support >= cfg.minsup {
+            out.push(FrequentItemset { items, support });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TwoViewDataset {
+        // a,b,c | x,y over 6 transactions
+        let vocab = Vocabulary::new(["a", "b", "c"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 1, 3],
+                vec![0, 1, 3, 4],
+                vec![0, 2, 4],
+                vec![1, 3],
+                vec![0, 1, 2, 3, 4],
+                vec![2],
+            ],
+        )
+    }
+
+    fn sorted(mut v: Vec<FrequentItemset>) -> Vec<(Vec<ItemId>, usize)> {
+        let mut out: Vec<(Vec<ItemId>, usize)> = v
+            .drain(..)
+            .map(|f| (f.items.as_slice().to_vec(), f.support))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let d = toy();
+        for minsup in 1..=4 {
+            let cfg = MinerConfig::with_minsup(minsup);
+            let fast = mine_frequent(&d, &cfg);
+            assert!(!fast.truncated);
+            let slow = brute_force_frequent(&d, &cfg);
+            assert_eq!(sorted(fast.itemsets), sorted(slow), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let d = toy();
+        let cfg = MinerConfig::with_minsup(1).max_len(2);
+        let res = mine_frequent(&d, &cfg);
+        assert!(res.itemsets.iter().all(|f| f.items.len() <= 2));
+        let slow = brute_force_frequent(&d, &cfg);
+        assert_eq!(sorted(res.itemsets), sorted(slow));
+    }
+
+    #[test]
+    fn supports_are_correct() {
+        let d = toy();
+        let res = mine_frequent(&d, &MinerConfig::with_minsup(2));
+        for f in &res.itemsets {
+            assert_eq!(f.support, d.support_count(&f.items), "{:?}", f.items);
+        }
+    }
+
+    #[test]
+    fn truncation_flag() {
+        let d = toy();
+        let mut cfg = MinerConfig::with_minsup(1);
+        cfg.max_itemsets = 3;
+        let res = mine_frequent(&d, &cfg);
+        assert!(res.truncated);
+        assert_eq!(res.itemsets.len(), 3);
+    }
+
+    #[test]
+    fn high_minsup_yields_nothing() {
+        let d = toy();
+        let res = mine_frequent(&d, &MinerConfig::with_minsup(100));
+        assert!(res.itemsets.is_empty());
+        assert!(!res.truncated);
+    }
+}

@@ -1,0 +1,153 @@
+//! Two-view candidate mining: itemsets that span both views.
+//!
+//! TRANSLATOR-SELECT and -GREEDY (paper §5.3) take as candidates all closed
+//! frequent itemsets `Z` with `Z ∩ I_L ≠ ∅` and `Z ∩ I_R ≠ ∅`. A candidate
+//! is stored pre-split into its two view projections, since every consumer
+//! (rule construction, gain computation) needs them separately.
+
+use twoview_data::prelude::*;
+
+use crate::closed::mine_closed;
+use crate::eclat::{mine_frequent, MinerConfig};
+
+/// A frequent itemset spanning both views, split into its projections.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwoViewCandidate {
+    /// `Z ∩ I_L` (non-empty).
+    pub left: ItemSet,
+    /// `Z ∩ I_R` (non-empty).
+    pub right: ItemSet,
+    /// `|supp(Z)|` over the whole dataset.
+    pub support: usize,
+}
+
+impl TwoViewCandidate {
+    /// Total number of items `|Z|`.
+    pub fn len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Candidates are never empty; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The joint itemset `Z`.
+    pub fn joint(&self) -> ItemSet {
+        self.left.union(&self.right)
+    }
+}
+
+/// The outcome of candidate mining.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    /// Candidates, in miner enumeration order.
+    pub candidates: Vec<TwoViewCandidate>,
+    /// Whether enumeration hit the `max_itemsets` valve.
+    pub truncated: bool,
+}
+
+/// Mines closed frequent two-view itemsets (the paper's candidate class).
+pub fn mine_closed_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> CandidateSet {
+    let res = mine_closed(data, cfg);
+    CandidateSet {
+        candidates: split_spanning(data, res.itemsets.into_iter()),
+        truncated: res.truncated,
+    }
+}
+
+/// Mines **all** frequent two-view itemsets (ablation: SELECT on non-closed
+/// candidates; also the raw search space of association rule mining).
+pub fn mine_frequent_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> CandidateSet {
+    let res = mine_frequent(data, cfg);
+    CandidateSet {
+        candidates: split_spanning(data, res.itemsets.into_iter()),
+        truncated: res.truncated,
+    }
+}
+
+fn split_spanning(
+    data: &TwoViewDataset,
+    itemsets: impl Iterator<Item = crate::eclat::FrequentItemset>,
+) -> Vec<TwoViewCandidate> {
+    let vocab = data.vocab();
+    itemsets
+        .filter(|f| f.items.spans_both_views(vocab))
+        .map(|f| {
+            let (left, right) = f.items.split(vocab);
+            TwoViewCandidate {
+                left,
+                right,
+                support: f.support,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 1, 2],
+                vec![0, 2],
+                vec![0, 2, 3],
+                vec![1, 3],
+                vec![0, 1, 2, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn all_candidates_span_views() {
+        let d = toy();
+        let cs = mine_closed_twoview(&d, &MinerConfig::with_minsup(1));
+        assert!(!cs.candidates.is_empty());
+        for c in &cs.candidates {
+            assert!(!c.left.is_empty());
+            assert!(!c.right.is_empty());
+            assert!(c.left.iter().all(|i| d.vocab().side_of(i) == Side::Left));
+            assert!(c.right.iter().all(|i| d.vocab().side_of(i) == Side::Right));
+            assert_eq!(c.support, d.support_count(&c.joint()));
+        }
+    }
+
+    #[test]
+    fn closed_candidates_subset_of_frequent_candidates() {
+        let d = toy();
+        let cfg = MinerConfig::with_minsup(1);
+        let closed = mine_closed_twoview(&d, &cfg);
+        let frequent = mine_frequent_twoview(&d, &cfg);
+        assert!(closed.candidates.len() <= frequent.candidates.len());
+        for c in &closed.candidates {
+            assert!(
+                frequent.candidates.iter().any(|f| f == c),
+                "closed candidate {c:?} missing from frequent set"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_reassembles() {
+        let d = toy();
+        let cs = mine_closed_twoview(&d, &MinerConfig::with_minsup(1));
+        for c in &cs.candidates {
+            let joint = c.joint();
+            assert_eq!(joint.len(), c.len());
+            assert!(joint.spans_both_views(d.vocab()));
+        }
+    }
+
+    #[test]
+    fn minsup_filters() {
+        let d = toy();
+        let low = mine_closed_twoview(&d, &MinerConfig::with_minsup(1));
+        let high = mine_closed_twoview(&d, &MinerConfig::with_minsup(3));
+        assert!(high.candidates.len() < low.candidates.len());
+        assert!(high.candidates.iter().all(|c| c.support >= 3));
+    }
+}

@@ -1,0 +1,223 @@
+//! `twoview` — command-line interface to the library.
+//!
+//! ```text
+//! twoview generate <dataset> [--rows N] [--out data.2v]
+//! twoview stats    <data.2v>
+//! twoview fit      <data.2v> [--method select|greedy|exact] [--k K]
+//!                  [--minsup M] [--out rules.txt]
+//! twoview score    <data.2v> <rules.txt>
+//! twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
+//! ```
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use twoview::core::{table_io, translate};
+use twoview::data::corpus::PaperDataset;
+use twoview::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  twoview generate <dataset> [--rows N] [--out data.2v]
+  twoview stats    <data.2v>
+  twoview fit      <data.2v> [--method select|greedy|exact] [--k K] [--minsup M] [--out rules.txt]
+  twoview score    <data.2v> <rules.txt>
+  twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
+
+datasets: abalone adult cal500 car chesskrvk crime elections emotions
+          house mammals nursery tictactoe wine yeast";
+
+struct Flags {
+    positional: Vec<String>,
+    rows: Option<usize>,
+    out: Option<String>,
+    method: String,
+    k: usize,
+    minsup: Option<usize>,
+    from: Side,
+    limit: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        positional: Vec::new(),
+        rows: None,
+        out: None,
+        method: "select".into(),
+        k: 1,
+        minsup: None,
+        from: Side::Left,
+        limit: 10,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--rows" => f.rows = Some(value("--rows")?.parse().map_err(|e| format!("{e}"))?),
+            "--out" => f.out = Some(value("--out")?),
+            "--method" => f.method = value("--method")?,
+            "--k" => f.k = value("--k")?.parse().map_err(|e| format!("{e}"))?,
+            "--minsup" => {
+                f.minsup = Some(value("--minsup")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--from" => {
+                f.from = match value("--from")?.as_str() {
+                    "left" => Side::Left,
+                    "right" => Side::Right,
+                    other => return Err(format!("--from must be left|right, got {other}")),
+                }
+            }
+            "--limit" => f.limit = value("--limit")?.parse().map_err(|e| format!("{e}"))?,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => f.positional.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+fn load(path: &str) -> Result<TwoViewDataset, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    twoview::data::io::read_dataset(file).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => {
+            let name = flags
+                .positional
+                .first()
+                .ok_or("generate needs a dataset name")?;
+            let ds = PaperDataset::by_name(name).ok_or(format!("unknown dataset {name:?}"))?;
+            let data = ds
+                .generate_scaled(flags.rows.unwrap_or(usize::MAX))
+                .dataset;
+            let path = flags
+                .out
+                .unwrap_or_else(|| format!("{}.2v", name.to_ascii_lowercase()));
+            let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+            twoview::data::io::write_dataset(&data, file).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {path}: {} transactions, {}+{} items",
+                data.n_transactions(),
+                data.vocab().n_left(),
+                data.vocab().n_right()
+            );
+            Ok(())
+        }
+        "stats" => {
+            let path = flags.positional.first().ok_or("stats needs a .2v file")?;
+            let data = load(path)?;
+            let codes = CodeLengths::new(&data);
+            println!("name       : {}", data.name());
+            println!("|D|        : {}", data.n_transactions());
+            println!("|IL|, |IR| : {}, {}", data.vocab().n_left(), data.vocab().n_right());
+            println!(
+                "density    : {:.3} / {:.3}",
+                data.density(Side::Left),
+                data.density(Side::Right)
+            );
+            println!("L(D,0)     : {:.0} bits", codes.empty_model(&data));
+            Ok(())
+        }
+        "fit" => {
+            let path = flags.positional.first().ok_or("fit needs a .2v file")?;
+            let data = load(path)?;
+            let minsup = flags.minsup.unwrap_or(1);
+            let model = match flags.method.as_str() {
+                "select" => translator_select(&data, &SelectConfig::new(flags.k, minsup)),
+                "greedy" => translator_greedy(&data, &GreedyConfig::new(minsup)),
+                "exact" => translator_exact_with(
+                    &data,
+                    &ExactConfig {
+                        max_nodes: Some(20_000_000),
+                        ..ExactConfig::default()
+                    },
+                ),
+                other => return Err(format!("unknown method {other} (select|greedy|exact)")),
+            };
+            println!(
+                "fitted {} rules, L% = {:.2} (|C|% = {:.2})",
+                model.table.len(),
+                model.compression_pct(),
+                model.score.correction_pct()
+            );
+            match &flags.out {
+                Some(out) => {
+                    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+                    table_io::write_table(&model.table, data.vocab(), file)
+                        .map_err(|e| e.to_string())?;
+                    println!("rules written to {out}");
+                }
+                None => print!("{}", model.table.display(data.vocab())),
+            }
+            Ok(())
+        }
+        "score" => {
+            let [data_path, rules_path] = flags.positional.as_slice() else {
+                return Err("score needs <data.2v> <rules.txt>".into());
+            };
+            let data = load(data_path)?;
+            let file = File::open(rules_path).map_err(|e| format!("open {rules_path}: {e}"))?;
+            let table =
+                table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
+            let score = evaluate_table(&data, &table);
+            println!("|T|   : {}", table.len());
+            println!("L%    : {:.2}", score.compression_pct());
+            println!("|C|%  : {:.2}", score.correction_pct());
+            println!("L(T)  : {:.1} bits", score.l_table);
+            println!("L(C_L): {:.1} bits", score.l_correction_left);
+            println!("L(C_R): {:.1} bits", score.l_correction_right);
+            Ok(())
+        }
+        "translate" => {
+            let [data_path, rules_path] = flags.positional.as_slice() else {
+                return Err("translate needs <data.2v> <rules.txt>".into());
+            };
+            let data = load(data_path)?;
+            let file = File::open(rules_path).map_err(|e| format!("open {rules_path}: {e}"))?;
+            let table =
+                table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
+            let target = flags.from.opposite();
+            for t in 0..data.n_transactions().min(flags.limit) {
+                let predicted = translate::translate_transaction(&data, &table, flags.from, t);
+                let names: Vec<&str> = predicted
+                    .iter()
+                    .map(|l| data.vocab().name(data.vocab().global_id(target, l)))
+                    .collect();
+                let correction = translate::correction_row(&data, &table, flags.from, t);
+                println!(
+                    "t{t}: predicted {{{}}} ({} corrections)",
+                    names.join(", "),
+                    correction.len()
+                );
+            }
+            let q = twoview::core::predict::prediction_quality(&data, &table, flags.from);
+            println!(
+                "overall: precision {:.3}, recall {:.3}, F1 {:.3}, {} exact rows",
+                q.precision, q.recall, q.f1, q.exact_matches
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}

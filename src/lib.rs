@@ -1,0 +1,68 @@
+//! # twoview
+//!
+//! A production-quality Rust reproduction of **"Association Discovery in
+//! Two-View Data"** (van Leeuwen & Galbrun, IEEE TKDE 27(12), 2015): MDL-
+//! selected *translation tables* that describe how the two views of a
+//! Boolean dataset relate, induced by the TRANSLATOR-EXACT / -SELECT /
+//! -GREEDY algorithms, together with the itemset-mining substrate, the
+//! paper's four baselines, and the full experiment harness.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`data`] ([`twoview_data`]) — two-view datasets, bitmaps, I/O and the
+//!   synthetic corpus mirroring the paper's 14 evaluation datasets;
+//! * [`mining`] ([`twoview_mining`]) — ECLAT, closed itemset mining, and
+//!   two-view candidate generation;
+//! * [`core`] ([`twoview_core`]) — translation rules/tables, the TRANSLATE
+//!   scheme, MDL scoring, and the three TRANSLATOR algorithms;
+//! * [`baselines`] ([`twoview_baselines`]) — association rules,
+//!   significant-rule discovery, redescription mining, KRIMP;
+//! * [`eval`] ([`twoview_eval`]) — metrics and the runners regenerating
+//!   every table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use twoview::prelude::*;
+//!
+//! // Two views over the same objects: weather conditions vs activities.
+//! let vocab = Vocabulary::new(
+//!     ["rainy", "sunny", "windy"],
+//!     ["umbrella", "sunglasses", "kite"],
+//! );
+//! let data = TwoViewDataset::from_transactions(
+//!     vocab,
+//!     &[
+//!         vec![0, 3],       // rainy -> umbrella
+//!         vec![0, 3],
+//!         vec![0, 2, 3, 5], // rainy+windy -> umbrella+kite
+//!         vec![1, 4],       // sunny -> sunglasses
+//!         vec![1, 4],
+//!         vec![1, 2, 4, 5],
+//!     ],
+//! );
+//!
+//! // Induce a translation table with TRANSLATOR-SELECT(1).
+//! let model = translator_select(&data, &SelectConfig::new(1, 1));
+//! assert!(model.compression_pct() < 100.0);
+//! for rule in model.table.iter() {
+//!     println!("{}", rule.display(data.vocab()));
+//! }
+//! ```
+
+pub use twoview_baselines as baselines;
+pub use twoview_core as core;
+pub use twoview_data as data;
+pub use twoview_eval as eval;
+pub use twoview_mining as mining;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use twoview_core::{
+        evaluate_table, translator_exact, translator_exact_with, translator_greedy,
+        translator_select, CodeLengths, CoverState, Direction, ExactConfig, GreedyConfig,
+        ModelScore, SelectConfig, TranslationRule, TranslationTable, TranslatorModel,
+    };
+    pub use twoview_data::prelude::*;
+    pub use twoview_mining::{mine_closed_twoview, MinerConfig, TwoViewCandidate};
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the baseline methods on corpus data, including
+//! the comparative claims the paper's Table 3 rests on.
+
+use twoview::baselines::{
+    krimp, magnum_opus_rules, mine_association_rules, reremi_redescriptions, AssocConfig,
+    KrimpConfig, MagnumConfig, ReremiConfig,
+};
+use twoview::data::corpus::PaperDataset;
+use twoview::eval::avg_max_confidence;
+use twoview::prelude::*;
+
+fn wine() -> TwoViewDataset {
+    PaperDataset::Wine.generate().dataset
+}
+
+#[test]
+fn association_rules_explode_relative_to_translator() {
+    let data = wine();
+    let model = translator_select(&data, &SelectConfig::new(1, 2));
+    let assoc = mine_association_rules(&data, &AssocConfig::new(2, 0.5));
+    assert!(
+        assoc.total_rules > 10 * model.table.len(),
+        "AR {} vs |T| {}",
+        assoc.total_rules,
+        model.table.len()
+    );
+}
+
+#[test]
+fn magnum_rules_are_individually_strong_but_less_compressive() {
+    let data = wine();
+    let magnum = magnum_opus_rules(&data, &MagnumConfig::default());
+    assert!(!magnum.rules.is_empty());
+    let table = magnum.to_translation_table();
+    // High average confidence (the paper: "MAGNUM OPUS achieves good
+    // average c+").
+    assert!(avg_max_confidence(&data, &table) > 0.5);
+    // But compression is worse than TRANSLATOR's.
+    let translator = translator_select(&data, &SelectConfig::new(1, 2));
+    let magnum_score = evaluate_table(&data, &table);
+    assert!(magnum_score.compression_pct() > translator.compression_pct());
+}
+
+#[test]
+fn reremi_rules_are_bidirectional_and_accurate() {
+    let data = wine();
+    let res = reremi_redescriptions(&data, &ReremiConfig::default());
+    assert!(!res.redescriptions.is_empty());
+    for r in &res.redescriptions {
+        assert!(r.jaccard >= 0.2);
+        let tl = data.support_set(&r.left);
+        let tr = data.support_set(&r.right);
+        assert!((r.jaccard - tl.jaccard(&tr)).abs() < 1e-12);
+    }
+    // All converted rules are bidirectional; the conversion preserves count.
+    let table = res.to_translation_table();
+    assert_eq!(table.len(), res.redescriptions.len());
+    assert_eq!(table.n_bidirectional(), table.len());
+}
+
+#[test]
+fn krimp_compresses_its_own_objective_but_not_translation() {
+    let data = PaperDataset::Wine.generate_scaled(150).dataset;
+    let km = krimp(&data, &KrimpConfig::new(2));
+    // KRIMP improves over the singleton-only code table on its own score...
+    assert!(km.l_total < km.l_baseline);
+    // ...but as a translation table it is far from TRANSLATOR (the paper's
+    // central comparison).
+    let translator = translator_select(&data, &SelectConfig::new(1, 2));
+    let km_table = km.to_translation_table(data.vocab());
+    let km_score = evaluate_table(&data, &km_table);
+    assert!(
+        km_score.compression_pct() > translator.compression_pct(),
+        "krimp {} vs translator {}",
+        km_score.compression_pct(),
+        translator.compression_pct()
+    );
+}
+
+#[test]
+fn krimp_usage_accounting_is_exact() {
+    let data = PaperDataset::Wine.generate_scaled(120).dataset;
+    let km = krimp(&data, &KrimpConfig::new(2));
+    // Recompute covers from scratch with the final code table and compare
+    // usage counts.
+    let mut expected: std::collections::HashMap<ItemSet, usize> =
+        km.entries.iter().map(|e| (e.items.clone(), 0)).collect();
+    let order: Vec<&twoview::baselines::krimp::CodeTableEntry> = km.entries.iter().collect();
+    for t in 0..data.n_transactions() {
+        let mut remaining = data.transaction_items(t);
+        for e in &order {
+            if e.items.is_subset(&remaining) {
+                *expected.get_mut(&e.items).unwrap() += 1;
+                remaining = ItemSet::from_items(
+                    remaining.iter().filter(|i| !e.items.contains(*i)),
+                );
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+        }
+        assert!(remaining.is_empty(), "cover incomplete at t={t}");
+    }
+    for e in &km.entries {
+        assert_eq!(
+            expected[&e.items], e.usage,
+            "usage mismatch for {:?}",
+            e.items
+        );
+    }
+}
+
+#[test]
+fn magnum_bidirectional_merging_on_symmetric_data() {
+    // Construct data where the association is perfectly symmetric: the
+    // merged output must contain a Both-direction rule.
+    let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+    let mut txs = Vec::new();
+    for i in 0..60 {
+        if i % 2 == 0 {
+            txs.push(vec![0, 2]);
+        } else {
+            txs.push(vec![1, 3]);
+        }
+    }
+    let data = TwoViewDataset::from_transactions(vocab, &txs);
+    let res = magnum_opus_rules(&data, &MagnumConfig::default());
+    assert!(res
+        .rules
+        .iter()
+        .any(|r| r.direction == Direction::Both));
+}
+
+#[test]
+fn baselines_run_on_every_scaled_corpus_dataset() {
+    for ds in [
+        PaperDataset::House,
+        PaperDataset::Yeast,
+        PaperDataset::Tictactoe,
+    ] {
+        let data = ds.generate_scaled(150).dataset;
+        let magnum = magnum_opus_rules(&data, &MagnumConfig::default());
+        let reremi = reremi_redescriptions(&data, &ReremiConfig::default());
+        let km = krimp(&data, &KrimpConfig::new(3));
+        // Conversions must produce scoreable tables.
+        for table in [
+            magnum.to_translation_table(),
+            reremi.to_translation_table(),
+            km.to_translation_table(data.vocab()),
+        ] {
+            let score = evaluate_table(&data, &table);
+            assert!(score.l_total.is_finite(), "{}: non-finite score", ds.name());
+        }
+    }
+}

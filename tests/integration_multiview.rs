@@ -1,0 +1,128 @@
+//! Integration tests for the multi-view extension (paper §7 future work)
+//! and the holdout-evaluated significant-rules baseline, on corpus-derived
+//! data.
+
+use twoview::baselines::{magnum_opus_rules, magnum_opus_rules_holdout, MagnumConfig};
+use twoview::core::multiview::fit_multiview;
+use twoview::data::corpus::PaperDataset;
+use twoview::data::multiview::MultiViewDataset;
+use twoview::data::sample::holdout_split;
+use twoview::prelude::*;
+
+/// Builds a 3-view dataset by splitting House's left view in half and
+/// keeping the right view whole: views 0 and 1 both couple to view 2
+/// through the planted concepts, and to each other via party/vote links.
+fn house_three_views() -> MultiViewDataset {
+    let data = PaperDataset::House.generate_scaled(300).dataset;
+    let vocab = data.vocab();
+    let nl = vocab.n_left();
+    let cut = nl / 2;
+    let left_a: Vec<String> = (0..cut).map(|l| vocab.name(l as u32).to_string()).collect();
+    let left_b: Vec<String> = (cut..nl).map(|l| vocab.name(l as u32).to_string()).collect();
+    let right: Vec<String> = vocab
+        .items_on(Side::Right)
+        .map(|i| vocab.name(i).to_string())
+        .collect();
+
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut rows_r = Vec::new();
+    for t in 0..data.n_transactions() {
+        let lrow = data.row(Side::Left, t);
+        rows_a.push(lrow.iter().filter(|&l| l < cut).collect::<Vec<_>>());
+        rows_b.push(
+            lrow.iter()
+                .filter(|&l| l >= cut)
+                .map(|l| l - cut)
+                .collect::<Vec<_>>(),
+        );
+        rows_r.push(data.row(Side::Right, t).iter().collect::<Vec<_>>());
+    }
+    MultiViewDataset::new(vec![
+        ("profile".into(), left_a, rows_a),
+        ("votes-a".into(), left_b, rows_b),
+        ("votes-b".into(), right, rows_r),
+    ])
+    .expect("valid 3-view data")
+}
+
+#[test]
+fn multiview_fit_produces_scoreable_pairs() {
+    let mv = house_three_views();
+    let model = fit_multiview(&mv, &SelectConfig::new(1, 5));
+    assert_eq!(model.pair_models.len(), 3);
+    for (a, b, m) in &model.pair_models {
+        assert!(
+            m.compression_pct() <= 100.0 + 1e-9,
+            "pair ({a},{b}) inflated: {}",
+            m.compression_pct()
+        );
+    }
+    // At least one pair must exhibit real structure (the planted concepts
+    // span the original left/right boundary).
+    let best = model
+        .pair_models
+        .iter()
+        .map(|(_, _, m)| m.compression_pct())
+        .fold(f64::INFINITY, f64::min);
+    assert!(best < 95.0, "no structured pair found: best {best}");
+}
+
+#[test]
+fn multiview_pair_projection_round_trips_rules() {
+    let mv = house_three_views();
+    let pair = mv.pair(0, 2);
+    let model = translator_select(&pair, &SelectConfig::new(1, 5));
+    // Rules fitted on the projection use the prefixed vocabulary.
+    for rule in model.table.iter() {
+        for i in rule.left.iter() {
+            assert!(pair.vocab().name(i).starts_with("profile:"));
+        }
+        for i in rule.right.iter() {
+            assert!(pair.vocab().name(i).starts_with("votes-b:"));
+        }
+    }
+}
+
+#[test]
+fn holdout_and_bonferroni_magnum_agree_on_strong_structure() {
+    let data = PaperDataset::House.generate_scaled(400).dataset;
+    let bonferroni = magnum_opus_rules(&data, &MagnumConfig::default());
+    let holdout = magnum_opus_rules_holdout(&data, &MagnumConfig::default(), 0.5, 17);
+    assert!(!bonferroni.rules.is_empty());
+    assert!(!holdout.rules.is_empty());
+    // Both protocols must find some of the same strong pairs.
+    let bonferroni_pairs: std::collections::HashSet<_> = bonferroni
+        .rules
+        .iter()
+        .map(|r| (r.left.clone(), r.right.clone()))
+        .collect();
+    let overlap = holdout
+        .rules
+        .iter()
+        .filter(|r| bonferroni_pairs.contains(&(r.left.clone(), r.right.clone())))
+        .count();
+    assert!(
+        overlap > 0,
+        "protocols found disjoint rule sets ({} vs {})",
+        bonferroni.rules.len(),
+        holdout.rules.len()
+    );
+}
+
+#[test]
+fn holdout_split_supports_translator_generalization_check() {
+    // Fit on one half, score on the other: compression transfers when the
+    // structure is real (the paper's "rules generalize well").
+    let data = PaperDataset::House.generate_scaled(400).dataset;
+    let (train, test) = holdout_split(&data, 0.5, 23);
+    let model = translator_select(&train, &SelectConfig::new(1, 4));
+    let train_pct = model.compression_pct();
+    let test_score = evaluate_table(&test, &model.table);
+    assert!(train_pct < 85.0, "train did not compress: {train_pct}");
+    assert!(
+        test_score.compression_pct() < 95.0,
+        "rules failed to generalize: test L% {}",
+        test_score.compression_pct()
+    );
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration tests: corpus generation → mining → TRANSLATOR
+//! fitting → scoring, across crate boundaries.
+
+use twoview::core::translate;
+use twoview::data::corpus::PaperDataset;
+use twoview::prelude::*;
+
+fn wine() -> TwoViewDataset {
+    PaperDataset::Wine.generate().dataset
+}
+
+#[test]
+fn select_fits_wine_and_is_lossless() {
+    let data = wine();
+    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    assert!(model.table.len() > 5, "Wine has plenty of structure");
+    assert!(model.compression_pct() < 90.0);
+    assert_eq!(translate::check_lossless(&data, &model.table), None);
+    // Score decomposition holds.
+    let s = &model.score;
+    assert!(
+        (s.l_total - (s.l_table + s.l_correction_left + s.l_correction_right)).abs() < 1e-6
+    );
+}
+
+#[test]
+fn greedy_and_select_agree_on_score_accounting() {
+    let data = wine();
+    for model in [
+        translator_select(&data, &SelectConfig::new(1, 2)),
+        translator_greedy(&data, &GreedyConfig::new(2)),
+    ] {
+        // Re-evaluating the fitted table from scratch gives the same score.
+        let fresh = evaluate_table(&data, &model.table);
+        assert!(
+            (fresh.l_total - model.score.l_total).abs() < 1e-6,
+            "incremental vs fresh: {} vs {}",
+            model.score.l_total,
+            fresh.l_total
+        );
+        assert_eq!(fresh.correction_ones, model.score.correction_ones);
+    }
+}
+
+#[test]
+fn fitting_is_deterministic_across_runs() {
+    let data = wine();
+    let a = translator_select(&data, &SelectConfig::new(25, 2));
+    let b = translator_select(&data, &SelectConfig::new(25, 2));
+    assert_eq!(a.table, b.table);
+    let a = translator_greedy(&data, &GreedyConfig::new(2));
+    let b = translator_greedy(&data, &GreedyConfig::new(2));
+    assert_eq!(a.table, b.table);
+}
+
+#[test]
+fn every_fitted_rule_occurs_in_the_data() {
+    // The paper's search space only contains rules whose joint itemset
+    // occurs at least once.
+    let data = wine();
+    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    for rule in model.table.iter() {
+        let joint = rule.left.union(&rule.right);
+        assert!(
+            data.support_count(&joint) >= 1,
+            "rule {:?} never occurs",
+            rule
+        );
+    }
+}
+
+#[test]
+fn trace_reconstructs_final_score() {
+    let data = wine();
+    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    let last = model.trace.last().expect("non-empty trace");
+    assert!((last.l_total - model.score.l_total).abs() < 1e-6);
+    assert_eq!(model.trace.len(), model.table.len());
+    // Gains recorded in the trace sum to the total compression achieved.
+    let gain_sum: f64 = model.trace.iter().map(|s| s.gain).sum();
+    assert!(
+        (gain_sum - (model.score.l_empty - model.score.l_total)).abs() < 1e-6,
+        "gains {} vs drop {}",
+        gain_sum,
+        model.score.l_empty - model.score.l_total
+    );
+}
+
+#[test]
+fn exact_capped_never_loses_to_select1() {
+    // With candidate seeding, a node-capped EXACT picks at least the
+    // SELECT(1)-best rule every iteration.
+    let data = PaperDataset::Wine.generate_scaled(120).dataset;
+    let exact = translator_exact_with(
+        &data,
+        &ExactConfig {
+            max_nodes: Some(50_000),
+            ..ExactConfig::default()
+        },
+    );
+    let select = translator_select(&data, &SelectConfig::new(1, 1));
+    assert!(
+        exact.compression_pct() <= select.compression_pct() + 1e-6,
+        "exact {} vs select {}",
+        exact.compression_pct(),
+        select.compression_pct()
+    );
+}
+
+#[test]
+fn io_roundtrip_preserves_fitting_results() {
+    let data = PaperDataset::House.generate_scaled(150).dataset;
+    let mut buf = Vec::new();
+    twoview::data::io::write_dataset(&data, &mut buf).unwrap();
+    let reloaded = twoview::data::io::read_dataset(&buf[..]).unwrap();
+    let a = translator_select(&data, &SelectConfig::new(1, 2));
+    let b = translator_select(&reloaded, &SelectConfig::new(1, 2));
+    assert_eq!(a.table, b.table);
+    assert!((a.score.l_total - b.score.l_total).abs() < 1e-9);
+}
+
+#[test]
+fn larger_k_is_never_dramatically_worse() {
+    // SELECT(k) trades optimality for speed; the paper reports nearly
+    // identical compression for k=1 vs k=25.
+    let data = wine();
+    let k1 = translator_select(&data, &SelectConfig::new(1, 2));
+    let k25 = translator_select(&data, &SelectConfig::new(25, 2));
+    assert!(
+        (k25.compression_pct() - k1.compression_pct()).abs() < 5.0,
+        "k=1: {}, k=25: {}",
+        k1.compression_pct(),
+        k25.compression_pct()
+    );
+}
+
+#[test]
+fn all_corpus_datasets_generate_and_fit_scaled() {
+    for ds in PaperDataset::ALL {
+        let data = ds.generate_scaled(200).dataset;
+        assert_eq!(data.name(), ds.name());
+        let minsup = ds.minsup_for(data.n_transactions()).max(2);
+        let model = translator_greedy(&data, &GreedyConfig::new(minsup));
+        assert!(
+            model.compression_pct() <= 100.0 + 1e-9,
+            "{}: GREEDY inflated to {}",
+            ds.name(),
+            model.compression_pct()
+        );
+        assert_eq!(
+            translate::check_lossless(&data, &model.table),
+            None,
+            "{}: lossy translation",
+            ds.name()
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based tests over the core invariants of the reproduction.
+//!
+//! These check, on randomly generated datasets and models:
+//! * bitmaps agree with a `HashSet` reference model;
+//! * translation is lossless for *any* table;
+//! * the incremental cover state always matches a from-scratch rebuild and
+//!   the standalone TRANSLATE scheme;
+//! * the gain of a rule equals the actual drop in total encoded size;
+//! * the miners agree with brute-force enumeration;
+//! * the exact search returns the true best rule.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use twoview::core::exact::{best_rule, brute_force_best_rule, ExactConfig};
+use twoview::core::{translate, CoverState};
+use twoview::mining::closed::brute_force_closed;
+use twoview::mining::eclat::brute_force_frequent;
+use twoview::prelude::*;
+
+// ---------------------------------------------------------------- bitmaps
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmap_matches_hashset_model(
+        a in proptest::collection::vec(0usize..200, 0..60),
+        b in proptest::collection::vec(0usize..200, 0..60),
+    ) {
+        let ba = Bitmap::from_indices(200, a.iter().copied());
+        let bb = Bitmap::from_indices(200, b.iter().copied());
+        let sa: HashSet<usize> = a.iter().copied().collect();
+        let sb: HashSet<usize> = b.iter().copied().collect();
+
+        prop_assert_eq!(ba.len(), sa.len());
+        let and: HashSet<usize> = sa.intersection(&sb).copied().collect();
+        let or: HashSet<usize> = sa.union(&sb).copied().collect();
+        let xor: HashSet<usize> = sa.symmetric_difference(&sb).copied().collect();
+        let diff: HashSet<usize> = sa.difference(&sb).copied().collect();
+
+        prop_assert_eq!(ba.and(&bb).to_vec(), sorted(&and));
+        prop_assert_eq!(ba.or(&bb).to_vec(), sorted(&or));
+        prop_assert_eq!(ba.xor(&bb).to_vec(), sorted(&xor));
+        prop_assert_eq!(ba.and_not(&bb).to_vec(), sorted(&diff));
+        prop_assert_eq!(ba.intersection_len(&bb), and.len());
+        prop_assert_eq!(ba.union_len(&bb), or.len());
+        prop_assert_eq!(ba.is_subset(&bb), sa.is_subset(&sb));
+        prop_assert_eq!(ba.is_disjoint(&bb), sa.is_disjoint(&sb));
+    }
+
+    #[test]
+    fn itemset_ops_match_sets(
+        a in proptest::collection::vec(0u32..30, 0..12),
+        b in proptest::collection::vec(0u32..30, 0..12),
+    ) {
+        let ia = ItemSet::from_items(a.iter().copied());
+        let ib = ItemSet::from_items(b.iter().copied());
+        let sa: HashSet<u32> = a.iter().copied().collect();
+        let sb: HashSet<u32> = b.iter().copied().collect();
+        prop_assert_eq!(
+            ia.union(&ib).as_slice().to_vec(),
+            sorted32(&sa.union(&sb).copied().collect())
+        );
+        prop_assert_eq!(
+            ia.intersect(&ib).as_slice().to_vec(),
+            sorted32(&sa.intersection(&sb).copied().collect())
+        );
+        prop_assert_eq!(ia.is_subset(&ib), sa.is_subset(&sb));
+        prop_assert_eq!(ia.is_disjoint(&ib), sa.is_disjoint(&sb));
+    }
+}
+
+fn sorted(s: &HashSet<usize>) -> Vec<usize> {
+    let mut v: Vec<usize> = s.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+fn sorted32(s: &HashSet<u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = s.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+// ------------------------------------------------- datasets + rules strategy
+
+/// A random small two-view dataset: 3-5 left items, 3-5 right items,
+/// 4-20 transactions with ~40% density.
+fn dataset_strategy() -> impl Strategy<Value = TwoViewDataset> {
+    (3usize..=5, 3usize..=5, 4usize..=20, 0u64..10_000).prop_map(|(nl, nr, n, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vocab = Vocabulary::unnamed(nl, nr);
+        let txs: Vec<Vec<ItemId>> = (0..n)
+            .map(|_| {
+                (0..(nl + nr) as ItemId)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect()
+            })
+            .collect();
+        TwoViewDataset::from_transactions(vocab, &txs)
+    })
+}
+
+/// Random rules valid for a dataset of the given dimensions (only occurring
+/// itemsets are interesting, but validity must hold for any rule).
+fn rules_for(data: &TwoViewDataset, seed: u64, k: usize) -> Vec<TranslationRule> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = data.vocab();
+    (0..k)
+        .filter_map(|_| {
+            let nl = rng.gen_range(1..=2.min(vocab.n_left()));
+            let nr = rng.gen_range(1..=2.min(vocab.n_right()));
+            let left: ItemSet = (0..nl)
+                .map(|_| rng.gen_range(0..vocab.n_left()) as ItemId)
+                .collect();
+            let right: ItemSet = (0..nr)
+                .map(|_| (vocab.n_left() + rng.gen_range(0..vocab.n_right())) as ItemId)
+                .collect();
+            // Only itemsets occurring in the data are eligible (paper: rules
+            // must occur); skip others.
+            if data.support_count(&left) == 0 || data.support_count(&right) == 0 {
+                return None;
+            }
+            let dir = match rng.gen_range(0..3) {
+                0 => Direction::Forward,
+                1 => Direction::Backward,
+                _ => Direction::Both,
+            };
+            Some(TranslationRule::new(left, right, dir))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn translation_is_always_lossless(
+        data in dataset_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let rules = rules_for(&data, seed, 4);
+        let table = TranslationTable::from_rules(rules);
+        prop_assert_eq!(translate::check_lossless(&data, &table), None);
+    }
+
+    #[test]
+    fn cover_state_matches_translate_and_rebuild(
+        data in dataset_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let rules = rules_for(&data, seed, 4);
+        let mut state = CoverState::new(&data);
+        for r in &rules {
+            state.apply_rule(r.clone());
+        }
+        // Internal consistency.
+        prop_assert_eq!(state.verify(1e-6), None);
+        // Corrections equal the XOR corrections of standalone TRANSLATE.
+        let table = state.table().clone();
+        for t in 0..data.n_transactions() {
+            prop_assert_eq!(
+                state.correction_row(Side::Right, t),
+                translate::correction_row(&data, &table, Side::Left, t)
+            );
+            prop_assert_eq!(
+                state.correction_row(Side::Left, t),
+                translate::correction_row(&data, &table, Side::Right, t)
+            );
+        }
+    }
+
+    #[test]
+    fn gain_equals_actual_length_drop(
+        data in dataset_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let rules = rules_for(&data, seed, 5);
+        let mut state = CoverState::new(&data);
+        for r in rules {
+            let predicted = state.rule_gain(&r);
+            let before = state.total_length();
+            state.apply_rule(r);
+            let actual = before - state.total_length();
+            prop_assert!(
+                (predicted - actual).abs() < 1e-6,
+                "predicted {} vs actual {}", predicted, actual
+            );
+        }
+    }
+
+    #[test]
+    fn miners_match_brute_force(data in dataset_strategy(), minsup in 1usize..4) {
+        let cfg = MinerConfig::with_minsup(minsup);
+        let fast = twoview::mining::mine_frequent(&data, &cfg);
+        let slow = brute_force_frequent(&data, &cfg);
+        prop_assert_eq!(canon(&fast.itemsets), canon(&slow));
+
+        let fast_closed = twoview::mining::mine_closed(&data, &cfg);
+        let slow_closed = brute_force_closed(&data, &cfg);
+        prop_assert_eq!(canon(&fast_closed.itemsets), canon(&slow_closed));
+    }
+
+    #[test]
+    fn exact_search_is_optimal(data in dataset_strategy()) {
+        let state = CoverState::new(&data);
+        let cfg = ExactConfig { candidate_seed_minsup: None, ..ExactConfig::default() };
+        let fast = best_rule(&state, &cfg);
+        let slow = brute_force_best_rule(&state);
+        match (fast.best, slow) {
+            (Some((_, fg)), Some((_, sg))) => prop_assert!((fg - sg).abs() < 1e-9),
+            (None, None) => {}
+            (f, s) => prop_assert!(false, "disagreement: {:?} vs {:?}", f, s),
+        }
+    }
+
+    #[test]
+    fn model_scores_are_internally_consistent(
+        data in dataset_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let rules = rules_for(&data, seed, 3);
+        let table = TranslationTable::from_rules(rules);
+        let score = evaluate_table(&data, &table);
+        prop_assert!(
+            (score.l_total - (score.l_table + score.l_correction_left + score.l_correction_right))
+                .abs() < 1e-6
+        );
+        prop_assert!(score.correction_ones <= score.total_cells);
+        // Empty table scores exactly 100%.
+        let empty = evaluate_table(&data, &TranslationTable::new());
+        if empty.l_empty > 0.0 {
+            prop_assert!((empty.compression_pct() - 100.0).abs() < 1e-9);
+        }
+    }
+}
+
+fn canon(v: &[twoview::mining::FrequentItemset]) -> Vec<(Vec<ItemId>, usize)> {
+    let mut out: Vec<(Vec<ItemId>, usize)> = v
+        .iter()
+        .map(|f| (f.items.as_slice().to_vec(), f.support))
+        .collect();
+    out.sort();
+    out
+}

@@ -1,0 +1,162 @@
+//! Property tests for the search bounds of TRANSLATOR-EXACT (paper §5.2)
+//! and for the prediction API.
+//!
+//! The bounds are the load-bearing part of the exact search: if `rub` or
+//! `qub` ever undershot a true gain, the "exact" search could prune the
+//! optimum away silently. These tests enumerate random rules on random
+//! data and verify domination directly.
+
+use proptest::prelude::*;
+
+use twoview::core::{predict, translate, CoverState};
+use twoview::prelude::*;
+
+fn random_dataset(nl: usize, nr: usize, n: usize, seed: u64, density: f64) -> TwoViewDataset {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = Vocabulary::unnamed(nl, nr);
+    let txs: Vec<Vec<ItemId>> = (0..n)
+        .map(|_| {
+            (0..(nl + nr) as ItemId)
+                .filter(|_| rng.gen_bool(density))
+                .collect()
+        })
+        .collect();
+    TwoViewDataset::from_transactions(vocab, &txs)
+}
+
+/// All occurring single/pair itemset combinations on each side (small
+/// enough to enumerate, big enough to exercise the bounds).
+fn occurring_pairs(data: &TwoViewDataset) -> Vec<(ItemSet, ItemSet)> {
+    let vocab = data.vocab();
+    let mut lefts: Vec<ItemSet> = Vec::new();
+    let left_ids: Vec<ItemId> = vocab.items_on(Side::Left).collect();
+    for (i, &a) in left_ids.iter().enumerate() {
+        lefts.push(ItemSet::singleton(a));
+        for &b in &left_ids[i + 1..] {
+            lefts.push(ItemSet::from_items([a, b]));
+        }
+    }
+    let mut rights: Vec<ItemSet> = Vec::new();
+    let right_ids: Vec<ItemId> = vocab.items_on(Side::Right).collect();
+    for (i, &a) in right_ids.iter().enumerate() {
+        rights.push(ItemSet::singleton(a));
+        for &b in &right_ids[i + 1..] {
+            rights.push(ItemSet::from_items([a, b]));
+        }
+    }
+    let mut out = Vec::new();
+    for l in &lefts {
+        if data.support_count(l) == 0 {
+            continue;
+        }
+        for r in &rights {
+            if data.support_count(r) == 0 {
+                continue;
+            }
+            out.push((l.clone(), r.clone()));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `rub` and `qub` dominate the true gains of every direction, at the
+    /// empty model and after a rule has been applied.
+    #[test]
+    fn bounds_dominate_true_gains(seed in 0u64..2_000) {
+        let data = random_dataset(4, 4, 15, seed, 0.4);
+        let mut state = CoverState::new(&data);
+
+        for round in 0..2 {
+            let mut best: Option<TranslationRule> = None;
+            let mut best_gain = 0.0f64;
+            for (left, right) in occurring_pairs(&data) {
+                let lt = data.support_set(&left);
+                let rt = data.support_set(&right);
+                let gains = state.pair_gains(&left, &right, &lt, &rt);
+                let len_l: f64 = left.iter().map(|i| state.codes().item(i)).sum();
+                let len_r: f64 = right.iter().map(|i| state.codes().item(i)).sum();
+                let l_bidir = len_l + len_r + 1.0;
+
+                // qub (paper §5.2).
+                let qub = lt.len() as f64 * len_r + rt.len() as f64 * len_l - l_bidir;
+                // rub: tub sums over the supports.
+                let sum_l: f64 = lt.iter().map(|t| state.uncovered_weight(Side::Right, t)).sum();
+                let sum_r: f64 = rt.iter().map(|t| state.uncovered_weight(Side::Left, t)).sum();
+                let rub = sum_l + sum_r - l_bidir;
+
+                for (gain, dir) in gains.into_iter().zip(Direction::ALL) {
+                    prop_assert!(
+                        qub + 1e-9 >= gain,
+                        "round {}: qub {} < gain {} for {:?} {:?} {:?}",
+                        round, qub, gain, left, right, dir
+                    );
+                    prop_assert!(
+                        rub + 1e-9 >= gain,
+                        "round {}: rub {} < gain {} for {:?} {:?} {:?}",
+                        round, rub, gain, left, right, dir
+                    );
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best = Some(TranslationRule::new(left.clone(), right.clone(), dir));
+                    }
+                }
+            }
+            // Apply the best rule (if any) and re-check in the new state.
+            match best {
+                Some(rule) => state.apply_rule(rule),
+                None => break,
+            }
+            let _ = round;
+        }
+    }
+
+    /// Prediction counts tie out with the cover state's U/E accounting.
+    #[test]
+    fn prediction_errors_match_cover_state(seed in 0u64..2_000) {
+        let data = random_dataset(4, 4, 12, seed, 0.4);
+        let mut state = CoverState::new(&data);
+        // Apply up to two best single-pair rules.
+        for _ in 0..2 {
+            let mut best: Option<(TranslationRule, f64)> = None;
+            for (left, right) in occurring_pairs(&data) {
+                if left.len() != 1 || right.len() != 1 {
+                    continue;
+                }
+                let lt = data.support_set(&left);
+                let rt = data.support_set(&right);
+                let gains = state.pair_gains(&left, &right, &lt, &rt);
+                for (gain, dir) in gains.into_iter().zip(Direction::ALL) {
+                    if gain > best.as_ref().map_or(0.0, |(_, g)| *g) {
+                        best = Some((TranslationRule::new(left.clone(), right.clone(), dir), gain));
+                    }
+                }
+            }
+            match best {
+                Some((rule, _)) => state.apply_rule(rule),
+                None => break,
+            }
+        }
+        let table = state.table().clone();
+
+        // From the left: false positives = |E_R|, false negatives = |U_R|.
+        let q = predict::prediction_quality(&data, &table, Side::Left);
+        prop_assert_eq!(q.false_positives, state.n_errors(Side::Right));
+        prop_assert_eq!(q.false_negatives, state.n_uncovered(Side::Right));
+        let q = predict::prediction_quality(&data, &table, Side::Right);
+        prop_assert_eq!(q.false_positives, state.n_errors(Side::Left));
+        prop_assert_eq!(q.false_negatives, state.n_uncovered(Side::Left));
+
+        // And in-sample predict_row agrees with TRANSLATE everywhere.
+        for t in 0..data.n_transactions() {
+            prop_assert_eq!(
+                predict::predict_row(&data, &table, Side::Left, data.row(Side::Left, t)),
+                translate::translate_transaction(&data, &table, Side::Left, t)
+            );
+        }
+    }
+}
