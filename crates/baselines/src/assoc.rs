@@ -138,7 +138,10 @@ mod tests {
             assert!(r.confidence >= 0.7);
             assert!(r.support >= 2);
             let sides: Vec<Side> = r.antecedent.iter().map(|i| d.vocab().side_of(i)).collect();
-            assert!(sides.windows(2).all(|w| w[0] == w[1]), "antecedent single-view");
+            assert!(
+                sides.windows(2).all(|w| w[0] == w[1]),
+                "antecedent single-view"
+            );
         }
     }
 

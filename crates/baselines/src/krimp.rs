@@ -259,7 +259,10 @@ impl<'d> Krimp<'d> {
             }
             let code = -((u as f64) / tu).log2();
             l_data += u as f64 * code;
-            let st: f64 = self.items_of[e].iter().map(|i| self.st_code[i as usize]).sum();
+            let st: f64 = self.items_of[e]
+                .iter()
+                .map(|i| self.st_code[i as usize])
+                .sum();
             l_ct += st + code;
         }
         l_data + l_ct
@@ -276,7 +279,10 @@ impl<'d> Krimp<'d> {
             }
             let code = -((u as f64) / tu).log2();
             l_data += u as f64 * code;
-            let st: f64 = self.items_of[e].iter().map(|i| self.st_code[i as usize]).sum();
+            let st: f64 = self.items_of[e]
+                .iter()
+                .map(|i| self.st_code[i as usize])
+                .sum();
             l_ct += st + code;
         }
         (l_data, l_ct)
@@ -301,10 +307,8 @@ impl<'d> Krimp<'d> {
     fn try_candidate(&mut self, items: ItemSet, current_size: &mut f64, prune: bool) -> bool {
         let tids = self.data.support_set(&items);
         let id = self.add_entry(items);
-        let saved_covers: Vec<(usize, Vec<usize>)> = tids
-            .iter()
-            .map(|t| (t, self.covers[t].clone()))
-            .collect();
+        let saved_covers: Vec<(usize, Vec<usize>)> =
+            tids.iter().map(|t| (t, self.covers[t].clone())).collect();
         self.recover_transactions(&tids);
         let new_size = self.total_size();
         if new_size < *current_size {
@@ -357,10 +361,8 @@ impl<'d> Krimp<'d> {
                         tids.insert(t);
                     }
                 }
-                let saved: Vec<(usize, Vec<usize>)> = tids
-                    .iter()
-                    .map(|t| (t, self.covers[t].clone()))
-                    .collect();
+                let saved: Vec<(usize, Vec<usize>)> =
+                    tids.iter().map(|t| (t, self.covers[t].clone())).collect();
                 self.remove_entry_from_order(e);
                 self.recover_transactions(&tids);
                 let new_size = self.total_size();
@@ -482,9 +484,7 @@ mod tests {
         assert!(model.compression_pct() < 100.0);
         // The dominant block {a,b,x} must be in the code table.
         assert!(
-            model
-                .patterns()
-                .any(|e| e.items.as_slice() == [0, 1, 3]),
+            model.patterns().any(|e| e.items.as_slice() == [0, 1, 3]),
             "entries: {:?}",
             model.entries
         );

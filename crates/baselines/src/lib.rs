@@ -27,5 +27,7 @@ pub mod reremi;
 
 pub use assoc::{mine_association_rules, AssocConfig, AssocResult, AssociationRule};
 pub use krimp::{krimp, KrimpConfig, KrimpModel};
-pub use magnum::{magnum_opus_rules, magnum_opus_rules_holdout, MagnumConfig, MagnumResult, SignificantRule};
+pub use magnum::{
+    magnum_opus_rules, magnum_opus_rules_holdout, MagnumConfig, MagnumResult, SignificantRule,
+};
 pub use reremi::{reremi_redescriptions, Redescription, ReremiConfig, ReremiResult};

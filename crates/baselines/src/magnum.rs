@@ -82,9 +82,11 @@ impl MagnumResult {
     /// Converts the rule set into a translation table for MDL evaluation
     /// (paper Table 3 protocol).
     pub fn to_translation_table(&self) -> TranslationTable {
-        TranslationTable::from_rules(self.rules.iter().map(|r| {
-            TranslationRule::new(r.left.clone(), r.right.clone(), r.direction)
-        }))
+        TranslationTable::from_rules(
+            self.rules
+                .iter()
+                .map(|r| TranslationRule::new(r.left.clone(), r.right.clone(), r.direction)),
+        )
     }
 }
 
@@ -370,9 +372,7 @@ fn is_productive(
         if sg == 0 {
             return false;
         }
-        let sgy = data
-            .support_set(&general)
-            .intersection_len(data.tidset(y));
+        let sgy = data.support_set(&general).intersection_len(data.tidset(y));
         if sgy as f64 / sg as f64 >= confidence {
             return false; // generalisation is at least as confident
         }
@@ -464,7 +464,9 @@ mod tests {
         let d = strong_pair();
         let res = magnum_opus_rules_holdout(&d, &MagnumConfig::default(), 0.5, 11);
         assert!(
-            res.rules.iter().any(|r| r.left.contains(0) && r.right.contains(2)),
+            res.rules
+                .iter()
+                .any(|r| r.left.contains(0) && r.right.contains(2)),
             "holdout missed the planted a<->x rule: {:?}",
             res.rules
         );

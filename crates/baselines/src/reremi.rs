@@ -69,9 +69,11 @@ impl ReremiResult {
     /// Converts to a translation table: redescriptions are, by definition,
     /// bidirectional rules (paper Table 3 protocol).
     pub fn to_translation_table(&self) -> TranslationTable {
-        TranslationTable::from_rules(self.redescriptions.iter().map(|r| {
-            TranslationRule::new(r.left.clone(), r.right.clone(), Direction::Both)
-        }))
+        TranslationTable::from_rules(
+            self.redescriptions
+                .iter()
+                .map(|r| TranslationRule::new(r.left.clone(), r.right.clone(), Direction::Both)),
+        )
     }
 }
 
@@ -300,9 +302,7 @@ mod tests {
     fn conversion_yields_bidirectional_rules_only() {
         let d = structured();
         let table = reremi_redescriptions(&d, &ReremiConfig::default()).to_translation_table();
-        assert!(table
-            .iter()
-            .all(|r| r.direction == Direction::Both));
+        assert!(table.iter().all(|r| r.direction == Direction::Both));
     }
 
     #[test]

@@ -24,7 +24,12 @@ fn bench_stats(c: &mut Criterion) {
     let data = PaperDataset::House.generate().dataset;
     let mut g = c.benchmark_group("table1/stats");
     g.bench_function("densities", |b| {
-        b.iter(|| (black_box(data.density(Side::Left)), black_box(data.density(Side::Right))));
+        b.iter(|| {
+            (
+                black_box(data.density(Side::Left)),
+                black_box(data.density(Side::Right)),
+            )
+        });
     });
     g.bench_function("l_empty", |b| {
         let codes = CodeLengths::new(&data);

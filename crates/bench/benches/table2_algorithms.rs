@@ -15,7 +15,11 @@ use twoview_data::corpus::PaperDataset;
 const SCALE: usize = 250;
 
 fn bench_methods(c: &mut Criterion) {
-    for ds in [PaperDataset::Wine, PaperDataset::House, PaperDataset::Tictactoe] {
+    for ds in [
+        PaperDataset::Wine,
+        PaperDataset::House,
+        PaperDataset::Tictactoe,
+    ] {
         let data = bench_dataset(ds, SCALE);
         let minsup = bench_minsup(ds, &data).max(2);
         let mut g = c.benchmark_group(format!("table2/{}", ds.name()));

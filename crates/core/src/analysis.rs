@@ -120,10 +120,7 @@ pub fn rule_set_redundancy(table: &TranslationTable) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let joints: Vec<ItemSet> = table
-        .iter()
-        .map(|r| r.left.union(&r.right))
-        .collect();
+    let joints: Vec<ItemSet> = table.iter().map(|r| r.left.union(&r.right)).collect();
     let mut sum = 0.0;
     let mut pairs = 0usize;
     for i in 0..n {
@@ -164,7 +161,10 @@ mod tests {
         let d = toy();
         let st = rule_stats(&d, &ItemSet::singleton(0), &ItemSet::singleton(2));
         // supp(a)=4, supp(x)=4, supp(ax)=3, n=6
-        assert_eq!((st.support_left, st.support_right, st.support_joint), (4, 4, 3));
+        assert_eq!(
+            (st.support_left, st.support_right, st.support_joint),
+            (4, 4, 3)
+        );
         assert!((st.confidence_forward - 0.75).abs() < 1e-12);
         assert!((st.confidence_backward - 0.75).abs() < 1e-12);
         assert!((st.max_confidence - 0.75).abs() < 1e-12);
@@ -180,10 +180,7 @@ mod tests {
         // independent pair instead: items occurring in disjoint halves with
         // the right joint frequency.
         let vocab = Vocabulary::new(["p"], ["q"]);
-        let d = TwoViewDataset::from_transactions(
-            vocab,
-            &[vec![0, 1], vec![0], vec![1], vec![]],
-        );
+        let d = TwoViewDataset::from_transactions(vocab, &[vec![0, 1], vec![0], vec![1], vec![]]);
         // P(p)=1/2, P(q)=1/2, P(pq)=1/4 => lift 1, leverage 0.
         let st = rule_stats(&d, &ItemSet::singleton(0), &ItemSet::singleton(1));
         assert!((st.lift - 1.0).abs() < 1e-12);

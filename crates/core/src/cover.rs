@@ -81,15 +81,26 @@ impl<'d> CoverState<'d> {
             let mut total = 0.0;
             let mut count = 0usize;
             for t in 0..n {
-                let w: f64 = data.row(side, t).iter().map(|l| table[l]).sum();
+                let row = data.row(side, t);
+                let w = row.weighted_len(table);
                 state.uncovered_weight[ix(side)].push(w);
                 total += w;
-                count += data.row(side, t).len();
+                count += row.len();
             }
             state.l_corrections[ix(side)] = total;
             state.n_uncovered[ix(side)] = count;
         }
         state
+    }
+
+    /// The consequent as a bitmap over the target side's local indices —
+    /// the representation every cover update and gain evaluation works on.
+    fn consequent_bitmap(&self, target: Side, consequent: &ItemSet) -> Bitmap {
+        let vocab = self.data.vocab();
+        Bitmap::from_indices(
+            vocab.n_on(target),
+            consequent.iter().map(|i| vocab.local_index(i)),
+        )
     }
 
     /// Builds a state by applying every rule of `table` to a fresh state.
@@ -183,30 +194,23 @@ impl<'d> CoverState<'d> {
         consequent: &ItemSet,
     ) -> f64 {
         let target = from.opposite();
-        let vocab = self.data.vocab();
         let codes = self.codes.side_table(target);
         let covered = &self.covered[ix(target)];
         let errors = &self.errors[ix(target)];
-        // Pre-resolve consequent items to (local index, code length).
-        let cons: Vec<(usize, f64)> = consequent
-            .iter()
-            .map(|i| {
-                let l = vocab.local_index(i);
-                (l, codes[l])
-            })
-            .collect();
+        let cons = self.consequent_bitmap(target, consequent);
+        // One scratch bitmap reused across the support; every set operation
+        // below is a word-parallel Bitmap kernel call.
+        let mut scratch = Bitmap::new(cons.capacity());
         let mut gain = 0.0;
         for t in antecedent_tids.iter() {
             let row = self.data.row(target, t);
-            for &(l, len) in &cons {
-                if row.contains(l) {
-                    if !covered[t].contains(l) {
-                        gain += len; // uncovered item becomes covered
-                    }
-                } else if !errors[t].contains(l) {
-                    gain -= len; // fresh error must be corrected
-                }
-            }
+            // Hits: predicted ∧ present, gain for the not-yet-covered ones.
+            cons.and_into(row, &mut scratch);
+            gain += scratch.difference_weight(&covered[t], codes);
+            // Misses: predicted ∧ absent, cost for the fresh errors.
+            scratch.copy_from(&cons);
+            scratch.subtract(row);
+            gain -= scratch.difference_weight(&errors[t], codes);
         }
         gain
     }
@@ -227,8 +231,8 @@ impl<'d> CoverState<'d> {
         let g_bwd = self.directional_gain(Side::Right, right_tids, left);
         let base = self.codes.itemset(left) + self.codes.itemset(right);
         [
-            g_fwd - (base + 2.0),        // X → Y
-            g_bwd - (base + 2.0),        // X ← Y
+            g_fwd - (base + 2.0),         // X → Y
+            g_bwd - (base + 2.0),         // X ← Y
             g_fwd + g_bwd - (base + 1.0), // X ↔ Y
         ]
     }
@@ -261,29 +265,28 @@ impl<'d> CoverState<'d> {
 
     fn apply_directional(&mut self, from: Side, antecedent_tids: &Bitmap, consequent: &ItemSet) {
         let target = from.opposite();
-        let vocab = self.data.vocab();
-        let cons: Vec<(usize, f64)> = consequent
-            .iter()
-            .map(|i| {
-                let l = vocab.local_index(i);
-                (l, self.codes.side_table(target)[l])
-            })
-            .collect();
         let ti = ix(target);
+        let cons = self.consequent_bitmap(target, consequent);
+        let mut scratch = Bitmap::new(cons.capacity());
         for t in antecedent_tids.iter() {
             let row = self.data.row(target, t);
-            for &(l, len) in &cons {
-                if row.contains(l) {
-                    if self.covered[ti][t].insert(l) {
-                        self.l_corrections[ti] -= len;
-                        self.uncovered_weight[ti][t] -= len;
-                        self.n_uncovered[ti] -= 1;
-                    }
-                } else if self.errors[ti][t].insert(l) {
-                    self.l_corrections[ti] += len;
-                    self.n_errors[ti] += 1;
-                }
+            // Hits become covered; account only for the newly covered bits.
+            cons.and_into(row, &mut scratch);
+            for l in scratch.iter_and_not(&self.covered[ti][t]) {
+                let len = self.codes.side_table(target)[l];
+                self.l_corrections[ti] -= len;
+                self.uncovered_weight[ti][t] -= len;
+                self.n_uncovered[ti] -= 1;
             }
+            self.covered[ti][t].union_with(&scratch);
+            // Misses become errors; account only for the fresh ones.
+            scratch.copy_from(&cons);
+            scratch.subtract(row);
+            for l in scratch.iter_and_not(&self.errors[ti][t]) {
+                self.l_corrections[ti] += self.codes.side_table(target)[l];
+                self.n_errors[ti] += 1;
+            }
+            self.errors[ti][t].union_with(&scratch);
         }
     }
 

@@ -42,10 +42,7 @@ impl CodeLengths {
     pub fn new(data: &TwoViewDataset) -> CodeLengths {
         let n = data.n_transactions();
         let vocab = data.vocab();
-        let side_ones = [
-            data.ones(Side::Left) as f64,
-            data.ones(Side::Right) as f64,
-        ];
+        let side_ones = [data.ones(Side::Left) as f64, data.ones(Side::Right) as f64];
         let by_global: Vec<f64> = (0..vocab.n_items() as ItemId)
             .map(|i| {
                 let supp = data.support(i);

@@ -132,8 +132,7 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
                 state.apply_rule(rule.clone());
                 // Invalidate seeds sharing items with the applied rule.
                 for (idx, cand) in seeds.iter().enumerate() {
-                    if !cand.left.is_disjoint(&rule.left) || !cand.right.is_disjoint(&rule.right)
-                    {
+                    if !cand.left.is_disjoint(&rule.left) || !cand.right.is_disjoint(&rule.right) {
                         dirty[idx] = true;
                     }
                 }
@@ -336,13 +335,15 @@ impl Search<'_, '_> {
                 Side::Left => (&node.tid_left, &node.tid_right),
                 Side::Right => (&node.tid_right, &node.tid_left),
             };
+            let ts = data.tidset(item);
             let new_tid = match tid {
-                Some(t) => t.and(data.tidset(item)),
-                None => data.tidset(item).clone(),
+                // Disjointness is checked through the kernel before the
+                // child tidset is materialised.
+                Some(t) if t.is_disjoint(ts) => continue,
+                Some(t) => t.and(ts),
+                None if ts.is_empty() => continue,
+                None => ts.clone(),
             };
-            if new_tid.is_empty() {
-                continue; // the side itself never occurs; extensions can't fix it
-            }
             // XY must occur at least once in the data; supports only shrink
             // under extension, so an empty joint support prunes the subtree.
             if let Some(other) = other_tid {
@@ -462,10 +463,7 @@ pub fn brute_force_best_rule(state: &CoverState<'_>) -> Option<(TranslationRule,
             let gains = state.pair_gains(&left, &right, &lt, &rt);
             for (gain, dir) in gains.into_iter().zip(Direction::ALL) {
                 if gain > best.as_ref().map_or(0.0, |(_, g)| *g) {
-                    best = Some((
-                        TranslationRule::new(left.clone(), right.clone(), dir),
-                        gain,
-                    ));
+                    best = Some((TranslationRule::new(left.clone(), right.clone(), dir), gain));
                 }
             }
         }

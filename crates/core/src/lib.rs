@@ -52,14 +52,14 @@ pub mod table;
 pub mod table_io;
 pub mod translate;
 
-pub use analysis::{rule_stats, rule_set_redundancy, summarize, RuleStats, TableSummary};
+pub use analysis::{rule_set_redundancy, rule_stats, summarize, RuleStats, TableSummary};
 pub use cover::CoverState;
 pub use encoding::{correction_encoding_gap, CodeLengths};
 pub use exact::{translator_exact, translator_exact_with, ExactConfig};
 pub use fit::{fit, Algorithm};
 pub use greedy::{translator_greedy, CandidateOrder, GreedyConfig};
 pub use model::{evaluate_table, ModelScore, TraceStep, TranslatorModel};
-pub use predict::{prediction_quality, predict_row, PredictionQuality};
+pub use predict::{predict_row, prediction_quality, PredictionQuality};
 pub use rule::{Direction, TranslationRule};
 pub use select::{translator_select, SelectConfig};
 pub use table::TranslationTable;

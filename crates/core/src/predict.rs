@@ -173,6 +173,7 @@ mod tests {
         let row = Bitmap::from_indices(2, [0usize]);
         let predicted = predict_row(&data, &table, Side::Left, &row);
         assert_eq!(predicted.to_vec(), vec![0]); // x
+
         // New object with left view {b}: no rule fires.
         let row = Bitmap::from_indices(2, [1usize]);
         assert!(predict_row(&data, &table, Side::Left, &row).is_empty());

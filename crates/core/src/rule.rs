@@ -147,11 +147,7 @@ mod tests {
     use super::*;
 
     fn rule(dir: Direction) -> TranslationRule {
-        TranslationRule::new(
-            ItemSet::from_items([0, 1]),
-            ItemSet::from_items([5]),
-            dir,
-        )
+        TranslationRule::new(ItemSet::from_items([0, 1]), ItemSet::from_items([5]), dir)
     }
 
     #[test]

@@ -288,14 +288,8 @@ mod tests {
         let d = structured();
         let select = translator_select(&d, &SelectConfig::new(1, 1));
         let exact = crate::exact::translator_exact(&d);
-        assert_eq!(
-            select.table.rules()[0].left,
-            exact.table.rules()[0].left
-        );
-        assert_eq!(
-            select.table.rules()[0].right,
-            exact.table.rules()[0].right
-        );
+        assert_eq!(select.table.rules()[0].left, exact.table.rules()[0].left);
+        assert_eq!(select.table.rules()[0].right, exact.table.rules()[0].right);
     }
 
     #[test]

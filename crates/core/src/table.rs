@@ -74,7 +74,9 @@ impl TranslationTable {
     /// All rules that fire when translating from `side`, i.e. whose
     /// direction covers that orientation.
     pub fn rules_from(&self, side: Side) -> impl Iterator<Item = &TranslationRule> {
-        self.rules.iter().filter(move |r| r.direction.fires_from(side))
+        self.rules
+            .iter()
+            .filter(move |r| r.direction.fires_from(side))
     }
 
     /// Renders the table with item names, one rule per line.

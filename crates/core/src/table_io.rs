@@ -98,9 +98,7 @@ pub fn read_table<R: Read>(vocab: &Vocabulary, reader: R) -> Result<TranslationT
                 items.push(id);
             }
             if items.is_empty() {
-                return Err(DataError::Format(format!(
-                    "line {lineno}: empty rule side"
-                )));
+                return Err(DataError::Format(format!("line {lineno}: empty rule side")));
             }
             Ok(ItemSet::from_items(items))
         };

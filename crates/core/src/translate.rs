@@ -120,6 +120,7 @@ mod tests {
         // t0 contains {A,B} -> predicts {L,U}
         let t0 = translate_transaction(&data, &table, Side::Left, 0);
         assert_eq!(t0.to_vec(), vec![0, 1]); // local ids of L,U
+
         // t1 contains {C} -> predicts {S}
         let t1 = translate_transaction(&data, &table, Side::Left, 1);
         assert_eq!(t1.to_vec(), vec![2]);
@@ -147,6 +148,7 @@ mod tests {
         // Correction must remove the erroneous L.
         let c4 = correction_row(&data, &table, Side::Left, 4);
         assert_eq!(c4.to_vec(), vec![0]); // L
+
         // t2: {C} fires -> predicts {S}; t2R = {S}: perfect, no correction.
         let c2 = correction_row(&data, &table, Side::Left, 2);
         assert!(c2.is_empty());

@@ -124,6 +124,29 @@ impl Bitmap {
         self.words.fill(0);
     }
 
+    /// Copies the contents of `other` into `self` without reallocating.
+    ///
+    /// The in-place analogue of `*self = other.clone()` for hot paths that
+    /// reuse one scratch bitmap across many operations.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Writes `self & other` into `out` without allocating.
+    ///
+    /// The miners use this to materialise a surviving child tidset after a
+    /// [`Bitmap::intersection_len`] support check has already passed.
+    #[inline]
+    pub fn and_into(&self, other: &Bitmap, out: &mut Bitmap) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        debug_assert_eq!(self.capacity, out.capacity);
+        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a & b;
+        }
+    }
+
     /// In-place intersection: `self &= other`.
     #[inline]
     pub fn intersect_with(&mut self, other: &Bitmap) {
@@ -238,6 +261,53 @@ impl Bitmap {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// `true` iff `(self ∩ other) ⊆ of`, without allocating.
+    ///
+    /// Lets the closed miner run its duplicate and absorption checks on
+    /// `tid(P) ∩ tid(i)` before that child tidset is ever materialised.
+    #[inline]
+    pub fn and_is_subset(&self, other: &Bitmap, of: &Bitmap) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        debug_assert_eq!(self.capacity, of.capacity);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .zip(&of.words)
+            .all(|((a, b), c)| a & b & !c == 0)
+    }
+
+    /// `Σ weights[i]` over the set bits, without allocating.
+    ///
+    /// This is the MDL workhorse: with per-item Shannon code lengths as
+    /// `weights` it computes `L(row | D_side)` in one pass.
+    ///
+    /// # Panics
+    /// Panics if `weights` is shorter than the highest set bit requires.
+    #[inline]
+    pub fn weighted_len(&self, weights: &[f64]) -> f64 {
+        self.iter().map(|i| weights[i]).sum()
+    }
+
+    /// `Σ weights[i]` over `self \ other`, without allocating.
+    #[inline]
+    pub fn difference_weight(&self, other: &Bitmap, weights: &[f64]) -> f64 {
+        self.iter_and_not(other).map(|i| weights[i]).sum()
+    }
+
+    /// Iterates the bits of `self ∩ other` without materialising the
+    /// intersection.
+    pub fn iter_and<'a>(&'a self, other: &'a Bitmap) -> MaskedBitIter<'a> {
+        debug_assert_eq!(self.capacity, other.capacity);
+        MaskedBitIter::new(&self.words, &other.words, false)
+    }
+
+    /// Iterates the bits of `self \ other` without materialising the
+    /// difference.
+    pub fn iter_and_not<'a>(&'a self, other: &'a Bitmap) -> MaskedBitIter<'a> {
+        debug_assert_eq!(self.capacity, other.capacity);
+        MaskedBitIter::new(&self.words, &other.words, true)
+    }
+
     /// Jaccard coefficient `|A∩B| / |A∪B|`; `0.0` when both sets are empty.
     pub fn jaccard(&self, other: &Bitmap) -> f64 {
         let union = self.union_len(other);
@@ -317,6 +387,57 @@ impl Iterator for BitIter<'_> {
         }
         let tz = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+/// Iterator over the bits of `a ∩ b` or `a \ b` (see [`Bitmap::iter_and`]
+/// and [`Bitmap::iter_and_not`]), masking word by word.
+pub struct MaskedBitIter<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    invert_b: bool,
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> MaskedBitIter<'a> {
+    fn new(a: &'a [u64], b: &'a [u64], invert_b: bool) -> Self {
+        let current = match (a.first(), b.first()) {
+            (Some(&wa), Some(&wb)) => {
+                if invert_b {
+                    wa & !wb
+                } else {
+                    wa & wb
+                }
+            }
+            _ => 0,
+        };
+        MaskedBitIter {
+            a,
+            b,
+            invert_b,
+            word_idx: 0,
+            current,
+        }
+    }
+}
+
+impl Iterator for MaskedBitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.a.len() {
+                return None;
+            }
+            let wb = self.b[self.word_idx];
+            self.current = self.a[self.word_idx] & if self.invert_b { !wb } else { wb };
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
         Some(self.word_idx * WORD_BITS + tz)
     }
 }
@@ -432,6 +553,59 @@ mod tests {
         bm.clear();
         assert!(bm.is_empty());
         assert_eq!(bm.capacity(), 40);
+    }
+
+    #[test]
+    fn copy_from_and_and_into_match_allocating() {
+        let a = Bitmap::from_indices(130, [1, 5, 64, 100]);
+        let b = Bitmap::from_indices(130, [5, 64, 65, 129]);
+        let mut scratch = Bitmap::new(130);
+        scratch.copy_from(&a);
+        assert_eq!(scratch, a);
+        let mut out = Bitmap::from_indices(130, [0, 128]); // stale contents
+        a.and_into(&b, &mut out);
+        assert_eq!(out, a.and(&b));
+    }
+
+    #[test]
+    fn and_is_subset_matches_materialised_check() {
+        let a = Bitmap::from_indices(80, [1, 3, 70]);
+        let b = Bitmap::from_indices(80, [3, 50, 70]);
+        let big = Bitmap::from_indices(80, [3, 50, 70, 79]);
+        let small = Bitmap::from_indices(80, [3]);
+        assert_eq!(a.and_is_subset(&b, &big), a.and(&b).is_subset(&big));
+        assert_eq!(a.and_is_subset(&b, &small), a.and(&b).is_subset(&small));
+        assert!(a.and_is_subset(&b, &big));
+        assert!(!a.and_is_subset(&b, &small));
+    }
+
+    #[test]
+    fn masked_iters_match_allocating_ops() {
+        let a = Bitmap::from_indices(200, [0, 5, 64, 65, 128, 199]);
+        let b = Bitmap::from_indices(200, [5, 64, 100, 199]);
+        assert_eq!(
+            a.iter_and(&b).collect::<Vec<_>>(),
+            a.and(&b).to_vec(),
+            "iter_and"
+        );
+        assert_eq!(
+            a.iter_and_not(&b).collect::<Vec<_>>(),
+            a.and_not(&b).to_vec(),
+            "iter_and_not"
+        );
+        let empty = Bitmap::new(200);
+        assert_eq!(a.iter_and(&empty).count(), 0);
+        assert_eq!(a.iter_and_not(&empty).collect::<Vec<_>>(), a.to_vec());
+    }
+
+    #[test]
+    fn weighted_ops_sum_the_right_bits() {
+        let weights: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let a = Bitmap::from_indices(10, [1, 4, 9]);
+        let b = Bitmap::from_indices(10, [4]);
+        assert!((a.weighted_len(&weights) - 14.0).abs() < 1e-12);
+        assert!((a.difference_weight(&b, &weights) - 10.0).abs() < 1e-12);
+        assert_eq!(Bitmap::new(10).weighted_len(&weights), 0.0);
     }
 
     #[test]

@@ -133,60 +133,158 @@ impl PaperDataset {
     pub fn paper(self) -> PaperStats {
         match self {
             PaperDataset::Abalone => PaperStats {
-                n: 4177, n_left: 27, n_right: 31, d_left: 0.185, d_right: 0.129,
-                l_empty: 170_748.0, minsup: 1, select1_rules: 86, select1_l_pct: 54.86,
+                n: 4177,
+                n_left: 27,
+                n_right: 31,
+                d_left: 0.185,
+                d_right: 0.129,
+                l_empty: 170_748.0,
+                minsup: 1,
+                select1_rules: 86,
+                select1_l_pct: 54.86,
             },
             PaperDataset::Adult => PaperStats {
-                n: 48_842, n_left: 44, n_right: 53, d_left: 0.179, d_right: 0.132,
-                l_empty: 2_845_491.0, minsup: 4885, select1_rules: 8, select1_l_pct: 54.29,
+                n: 48_842,
+                n_left: 44,
+                n_right: 53,
+                d_left: 0.179,
+                d_right: 0.132,
+                l_empty: 2_845_491.0,
+                minsup: 4885,
+                select1_rules: 8,
+                select1_l_pct: 54.29,
             },
             PaperDataset::Cal500 => PaperStats {
-                n: 502, n_left: 78, n_right: 97, d_left: 0.241, d_right: 0.074,
-                l_empty: 76_862.0, minsup: 20, select1_rules: 59, select1_l_pct: 86.45,
+                n: 502,
+                n_left: 78,
+                n_right: 97,
+                d_left: 0.241,
+                d_right: 0.074,
+                l_empty: 76_862.0,
+                minsup: 20,
+                select1_rules: 59,
+                select1_l_pct: 86.45,
             },
             PaperDataset::Car => PaperStats {
-                n: 1728, n_left: 15, n_right: 10, d_left: 0.267, d_right: 0.300,
-                l_empty: 42_708.0, minsup: 1, select1_rules: 9, select1_l_pct: 94.67,
+                n: 1728,
+                n_left: 15,
+                n_right: 10,
+                d_left: 0.267,
+                d_right: 0.300,
+                l_empty: 42_708.0,
+                minsup: 1,
+                select1_rules: 9,
+                select1_l_pct: 94.67,
             },
             PaperDataset::ChessKrVk => PaperStats {
-                n: 28_056, n_left: 24, n_right: 34, d_left: 0.167, d_right: 0.088,
-                l_empty: 889_555.0, minsup: 1, select1_rules: 311, select1_l_pct: 94.94,
+                n: 28_056,
+                n_left: 24,
+                n_right: 34,
+                d_left: 0.167,
+                d_right: 0.088,
+                l_empty: 889_555.0,
+                minsup: 1,
+                select1_rules: 311,
+                select1_l_pct: 94.94,
             },
             PaperDataset::Crime => PaperStats {
-                n: 2215, n_left: 244, n_right: 294, d_left: 0.201, d_right: 0.194,
-                l_empty: 1_865_057.0, minsup: 200, select1_rules: 144, select1_l_pct: 87.45,
+                n: 2215,
+                n_left: 244,
+                n_right: 294,
+                d_left: 0.201,
+                d_right: 0.194,
+                l_empty: 1_865_057.0,
+                minsup: 200,
+                select1_rules: 144,
+                select1_l_pct: 87.45,
             },
             PaperDataset::Elections => PaperStats {
-                n: 1846, n_left: 82, n_right: 867, d_left: 0.061, d_right: 0.034,
-                l_empty: 451_823.0, minsup: 47, select1_rules: 80, select1_l_pct: 93.28,
+                n: 1846,
+                n_left: 82,
+                n_right: 867,
+                d_left: 0.061,
+                d_right: 0.034,
+                l_empty: 451_823.0,
+                minsup: 47,
+                select1_rules: 80,
+                select1_l_pct: 93.28,
             },
             PaperDataset::Emotions => PaperStats {
-                n: 593, n_left: 430, n_right: 12, d_left: 0.167, d_right: 0.501,
-                l_empty: 375_288.0, minsup: 40, select1_rules: 22, select1_l_pct: 97.35,
+                n: 593,
+                n_left: 430,
+                n_right: 12,
+                d_left: 0.167,
+                d_right: 0.501,
+                l_empty: 375_288.0,
+                minsup: 40,
+                select1_rules: 22,
+                select1_l_pct: 97.35,
             },
             PaperDataset::House => PaperStats {
-                n: 435, n_left: 26, n_right: 24, d_left: 0.347, d_right: 0.334,
-                l_empty: 31_625.0, minsup: 8, select1_rules: 37, select1_l_pct: 49.26,
+                n: 435,
+                n_left: 26,
+                n_right: 24,
+                d_left: 0.347,
+                d_right: 0.334,
+                l_empty: 31_625.0,
+                minsup: 8,
+                select1_rules: 37,
+                select1_l_pct: 49.26,
             },
             PaperDataset::Mammals => PaperStats {
-                n: 2575, n_left: 95, n_right: 94, d_left: 0.172, d_right: 0.169,
-                l_empty: 468_742.0, minsup: 773, select1_rules: 55, select1_l_pct: 68.23,
+                n: 2575,
+                n_left: 95,
+                n_right: 94,
+                d_left: 0.172,
+                d_right: 0.169,
+                l_empty: 468_742.0,
+                minsup: 773,
+                select1_rules: 55,
+                select1_l_pct: 68.23,
             },
             PaperDataset::Nursery => PaperStats {
-                n: 12_960, n_left: 19, n_right: 13, d_left: 0.263, d_right: 0.308,
-                l_empty: 453_443.0, minsup: 1, select1_rules: 27, select1_l_pct: 98.36,
+                n: 12_960,
+                n_left: 19,
+                n_right: 13,
+                d_left: 0.263,
+                d_right: 0.308,
+                l_empty: 453_443.0,
+                minsup: 1,
+                select1_rules: 27,
+                select1_l_pct: 98.36,
             },
             PaperDataset::Tictactoe => PaperStats {
-                n: 958, n_left: 15, n_right: 14, d_left: 0.333, d_right: 0.357,
-                l_empty: 36_396.0, minsup: 1, select1_rules: 64, select1_l_pct: 85.20,
+                n: 958,
+                n_left: 15,
+                n_right: 14,
+                d_left: 0.333,
+                d_right: 0.357,
+                l_empty: 36_396.0,
+                minsup: 1,
+                select1_rules: 64,
+                select1_l_pct: 85.20,
             },
             PaperDataset::Wine => PaperStats {
-                n: 178, n_left: 35, n_right: 33, d_left: 0.200, d_right: 0.212,
-                l_empty: 11_608.0, minsup: 1, select1_rules: 27, select1_l_pct: 69.15,
+                n: 178,
+                n_left: 35,
+                n_right: 33,
+                d_left: 0.200,
+                d_right: 0.212,
+                l_empty: 11_608.0,
+                minsup: 1,
+                select1_rules: 27,
+                select1_l_pct: 69.15,
             },
             PaperDataset::Yeast => PaperStats {
-                n: 1484, n_left: 24, n_right: 26, d_left: 0.167, d_right: 0.192,
-                l_empty: 52_697.0, minsup: 1, select1_rules: 32, select1_l_pct: 82.73,
+                n: 1484,
+                n_left: 24,
+                n_right: 26,
+                d_left: 0.167,
+                d_right: 0.192,
+                l_empty: 52_697.0,
+                minsup: 1,
+                select1_rules: 32,
+                select1_l_pct: 82.73,
             },
         }
     }
@@ -318,22 +416,73 @@ pub fn house_vocabulary() -> Vocabulary {
 }
 
 const MAMMAL_SPECIES: [&str; 68] = [
-    "European_Mole", "Red_Fox", "Red_Squirrel", "Eurasian_Lynx", "Brown_Bear",
-    "Grey_Wolf", "Wild_Boar", "Red_Deer", "Roe_Deer", "Moose",
-    "European_Badger", "Pine_Marten", "Beech_Marten", "Least_Weasel", "Stoat",
-    "European_Polecat", "Eurasian_Otter", "Wildcat", "Mountain_Hare",
-    "European_Rabbit", "Alpine_Marmot", "Bank_Vole", "Field_Vole",
-    "Common_Vole", "Water_Vole", "Muskrat", "Brown_Rat", "Black_Rat",
-    "House_Mouse", "Wood_Mouse", "Yellow_Necked_Mouse", "Striped_Field_Mouse",
-    "Common_Shrew", "Pygmy_Shrew", "Water_Shrew", "White_Toothed_Shrew",
-    "European_Hedgehog", "Common_Pipistrelle", "Noctule", "Serotine",
-    "Daubentons_Bat", "Natterers_Bat", "Brown_Long_Eared_Bat",
-    "Greater_Horseshoe_Bat", "Barbastelle", "European_Bison", "Chamois",
-    "Alpine_Ibex", "Mouflon", "Fallow_Deer", "Sika_Deer", "Reindeer",
-    "Arctic_Fox", "Raccoon_Dog", "Golden_Jackal", "Wolverine",
-    "European_Mink", "American_Mink", "Garden_Dormouse", "Edible_Dormouse",
-    "Hazel_Dormouse", "Common_Hamster", "Northern_Birch_Mouse",
-    "Lesser_Mole_Rat", "Crested_Porcupine", "Coypu", "Harvest_Mouse",
+    "European_Mole",
+    "Red_Fox",
+    "Red_Squirrel",
+    "Eurasian_Lynx",
+    "Brown_Bear",
+    "Grey_Wolf",
+    "Wild_Boar",
+    "Red_Deer",
+    "Roe_Deer",
+    "Moose",
+    "European_Badger",
+    "Pine_Marten",
+    "Beech_Marten",
+    "Least_Weasel",
+    "Stoat",
+    "European_Polecat",
+    "Eurasian_Otter",
+    "Wildcat",
+    "Mountain_Hare",
+    "European_Rabbit",
+    "Alpine_Marmot",
+    "Bank_Vole",
+    "Field_Vole",
+    "Common_Vole",
+    "Water_Vole",
+    "Muskrat",
+    "Brown_Rat",
+    "Black_Rat",
+    "House_Mouse",
+    "Wood_Mouse",
+    "Yellow_Necked_Mouse",
+    "Striped_Field_Mouse",
+    "Common_Shrew",
+    "Pygmy_Shrew",
+    "Water_Shrew",
+    "White_Toothed_Shrew",
+    "European_Hedgehog",
+    "Common_Pipistrelle",
+    "Noctule",
+    "Serotine",
+    "Daubentons_Bat",
+    "Natterers_Bat",
+    "Brown_Long_Eared_Bat",
+    "Greater_Horseshoe_Bat",
+    "Barbastelle",
+    "European_Bison",
+    "Chamois",
+    "Alpine_Ibex",
+    "Mouflon",
+    "Fallow_Deer",
+    "Sika_Deer",
+    "Reindeer",
+    "Arctic_Fox",
+    "Raccoon_Dog",
+    "Golden_Jackal",
+    "Wolverine",
+    "European_Mink",
+    "American_Mink",
+    "Garden_Dormouse",
+    "Edible_Dormouse",
+    "Hazel_Dormouse",
+    "Common_Hamster",
+    "Northern_Birch_Mouse",
+    "Lesser_Mole_Rat",
+    "Crested_Porcupine",
+    "Coypu",
+    "Harvest_Mouse",
     "European_Hare",
 ];
 
@@ -354,50 +503,191 @@ pub fn mammals_vocabulary() -> Vocabulary {
 /// right = 25 genres + 40 instruments + 32 vocal qualities (97).
 pub fn cal500_vocabulary() -> Vocabulary {
     const EMOTIONS: [&str; 36] = [
-        "happy", "sad", "angry", "tender", "exciting", "calming", "aggressive",
-        "mellow", "bizarre", "cheerful", "arousing", "boring", "carefree",
-        "emotional", "laid-back", "light", "loving", "optimistic",
-        "pessimistic", "positive", "powerful", "weary", "touching", "tense",
-        "soothing", "romantic", "pleasant", "peaceful", "passionate",
-        "joyful", "hopeful", "haunting", "gentle", "energetic", "dreamy",
+        "happy",
+        "sad",
+        "angry",
+        "tender",
+        "exciting",
+        "calming",
+        "aggressive",
+        "mellow",
+        "bizarre",
+        "cheerful",
+        "arousing",
+        "boring",
+        "carefree",
+        "emotional",
+        "laid-back",
+        "light",
+        "loving",
+        "optimistic",
+        "pessimistic",
+        "positive",
+        "powerful",
+        "weary",
+        "touching",
+        "tense",
+        "soothing",
+        "romantic",
+        "pleasant",
+        "peaceful",
+        "passionate",
+        "joyful",
+        "hopeful",
+        "haunting",
+        "gentle",
+        "energetic",
+        "dreamy",
         "cool",
     ];
     const USAGES: [&str; 21] = [
-        "driving", "studying", "sleeping", "party", "workout", "dancing",
-        "reading", "cleaning", "waking-up", "relaxing", "dinner", "romancing",
-        "celebrating", "commuting", "gaming", "background", "concentration",
-        "meditation", "running", "socializing", "traveling",
+        "driving",
+        "studying",
+        "sleeping",
+        "party",
+        "workout",
+        "dancing",
+        "reading",
+        "cleaning",
+        "waking-up",
+        "relaxing",
+        "dinner",
+        "romancing",
+        "celebrating",
+        "commuting",
+        "gaming",
+        "background",
+        "concentration",
+        "meditation",
+        "running",
+        "socializing",
+        "traveling",
     ];
     const SONG: [&str; 21] = [
-        "catchy", "danceable", "fast", "slow", "loud", "quiet", "heavy",
-        "soft", "melodic", "rhythmic", "repetitive", "complex", "simple",
-        "acoustic-feel", "electric-feel", "high-energy", "low-energy",
-        "positive-feelings", "negative-feelings", "memorable", "groovy",
+        "catchy",
+        "danceable",
+        "fast",
+        "slow",
+        "loud",
+        "quiet",
+        "heavy",
+        "soft",
+        "melodic",
+        "rhythmic",
+        "repetitive",
+        "complex",
+        "simple",
+        "acoustic-feel",
+        "electric-feel",
+        "high-energy",
+        "low-energy",
+        "positive-feelings",
+        "negative-feelings",
+        "memorable",
+        "groovy",
     ];
     const GENRES: [&str; 25] = [
-        "Rock", "R&B", "Pop", "Jazz", "Blues", "Country", "Folk",
-        "Electronica", "Hip-Hop", "Rap", "Metal", "Punk", "Alternative",
-        "Alternative-Rock", "Classic-Rock", "Soft-Rock", "Hard-Rock", "Soul",
-        "Funk", "Gospel", "Reggae", "World", "Classical", "Dance",
+        "Rock",
+        "R&B",
+        "Pop",
+        "Jazz",
+        "Blues",
+        "Country",
+        "Folk",
+        "Electronica",
+        "Hip-Hop",
+        "Rap",
+        "Metal",
+        "Punk",
+        "Alternative",
+        "Alternative-Rock",
+        "Classic-Rock",
+        "Soft-Rock",
+        "Hard-Rock",
+        "Soul",
+        "Funk",
+        "Gospel",
+        "Reggae",
+        "World",
+        "Classical",
+        "Dance",
         "Singer-Songwriter",
     ];
     const INSTRUMENTS: [&str; 40] = [
-        "Guitar-Acoustic", "Guitar-Electric", "Guitar-Distorted", "Bass",
-        "Drum-Set", "Drum-Machine", "Piano", "Keyboard", "Synthesizer",
-        "Organ", "Violin", "Fiddle", "Cello", "String-Section",
-        "Horn-Section", "Trumpet", "Saxophone", "Trombone", "Flute",
-        "Clarinet", "Harmonica", "Accordion", "Banjo", "Mandolin", "Ukulele",
-        "Harp", "Bells", "Xylophone", "Vibraphone", "Tambourine", "Congas",
-        "Bongos", "Shakers", "Scratching", "Samples", "Sequencer",
-        "Ambient-Sounds", "Hand-Claps", "Whistling", "Strings-Plucked",
+        "Guitar-Acoustic",
+        "Guitar-Electric",
+        "Guitar-Distorted",
+        "Bass",
+        "Drum-Set",
+        "Drum-Machine",
+        "Piano",
+        "Keyboard",
+        "Synthesizer",
+        "Organ",
+        "Violin",
+        "Fiddle",
+        "Cello",
+        "String-Section",
+        "Horn-Section",
+        "Trumpet",
+        "Saxophone",
+        "Trombone",
+        "Flute",
+        "Clarinet",
+        "Harmonica",
+        "Accordion",
+        "Banjo",
+        "Mandolin",
+        "Ukulele",
+        "Harp",
+        "Bells",
+        "Xylophone",
+        "Vibraphone",
+        "Tambourine",
+        "Congas",
+        "Bongos",
+        "Shakers",
+        "Scratching",
+        "Samples",
+        "Sequencer",
+        "Ambient-Sounds",
+        "Hand-Claps",
+        "Whistling",
+        "Strings-Plucked",
     ];
     const VOCALS: [&str; 32] = [
-        "Male-Lead", "Female-Lead", "Duet", "Choir", "Backing", "Falsetto",
-        "Rapping", "Spoken", "Screaming", "Aggressive", "Breathy",
-        "Gravelly", "Smooth", "High-Pitched", "Low-Pitched", "Emotional",
-        "Monotone", "Vocal-Harmonies", "Call-Response", "Altered-Effects",
-        "Strong", "Gentle", "Raspy", "Nasal", "Operatic", "Whispering",
-        "Chanting", "Yodeling", "Humming", "Scat", "Crooning", "Powerful",
+        "Male-Lead",
+        "Female-Lead",
+        "Duet",
+        "Choir",
+        "Backing",
+        "Falsetto",
+        "Rapping",
+        "Spoken",
+        "Screaming",
+        "Aggressive",
+        "Breathy",
+        "Gravelly",
+        "Smooth",
+        "High-Pitched",
+        "Low-Pitched",
+        "Emotional",
+        "Monotone",
+        "Vocal-Harmonies",
+        "Call-Response",
+        "Altered-Effects",
+        "Strong",
+        "Gentle",
+        "Raspy",
+        "Nasal",
+        "Operatic",
+        "Whispering",
+        "Chanting",
+        "Yodeling",
+        "Humming",
+        "Scat",
+        "Crooning",
+        "Powerful",
     ];
     let mut left: Vec<String> = EMOTIONS.iter().map(|e| format!("Emotion:{e}")).collect();
     left.extend(USAGES.iter().map(|u| format!("Usage:{u}")));
@@ -412,36 +702,98 @@ pub fn cal500_vocabulary() -> Vocabulary {
 /// from 30 multiple-choice questions (answer options + importances).
 pub fn elections_vocabulary() -> Vocabulary {
     const PARTIES: [&str; 18] = [
-        "Green-League", "SDP", "National-Coalition", "Centre", "Finns-Party",
-        "Left-Alliance", "Swedish-Peoples", "Christian-Democrats",
-        "Change-2011", "Pirate", "Communist", "Senior-Citizens",
-        "Independence", "Workers", "Freedom", "Liberal", "Animal-Justice",
+        "Green-League",
+        "SDP",
+        "National-Coalition",
+        "Centre",
+        "Finns-Party",
+        "Left-Alliance",
+        "Swedish-Peoples",
+        "Christian-Democrats",
+        "Change-2011",
+        "Pirate",
+        "Communist",
+        "Senior-Citizens",
+        "Independence",
+        "Workers",
+        "Freedom",
+        "Liberal",
+        "Animal-Justice",
         "Independent",
     ];
     const DISTRICTS: [&str; 15] = [
-        "Helsinki", "Uusimaa", "Varsinais-Suomi", "Satakunta", "Hame",
-        "Pirkanmaa", "Kymi", "South-Savo", "North-Savo", "North-Karelia",
-        "Vaasa", "Central-Finland", "Oulu", "Lapland", "Aland",
+        "Helsinki",
+        "Uusimaa",
+        "Varsinais-Suomi",
+        "Satakunta",
+        "Hame",
+        "Pirkanmaa",
+        "Kymi",
+        "South-Savo",
+        "North-Savo",
+        "North-Karelia",
+        "Vaasa",
+        "Central-Finland",
+        "Oulu",
+        "Lapland",
+        "Aland",
     ];
     const OCCUPATIONS: [&str; 10] = [
-        "entrepreneur", "teacher", "lawyer", "doctor", "engineer", "farmer",
-        "student", "pensioner", "artist", "researcher",
+        "entrepreneur",
+        "teacher",
+        "lawyer",
+        "doctor",
+        "engineer",
+        "farmer",
+        "student",
+        "pensioner",
+        "artist",
+        "researcher",
     ];
     const QUESTION_TOPICS: [&str; 30] = [
-        "defense", "finance", "development-aid", "nuclear-energy",
-        "immigration", "nato", "eu-policy", "taxation", "healthcare",
-        "education", "pensions", "unemployment", "climate", "forestry",
-        "agriculture", "transport", "municipal-reform", "language-policy",
-        "gay-marriage", "alcohol-policy", "conscription", "wind-power",
-        "tuition-fees", "labour-market", "privatisation", "child-benefits",
-        "russia-policy", "greece-bailout", "media-support", "hunting",
+        "defense",
+        "finance",
+        "development-aid",
+        "nuclear-energy",
+        "immigration",
+        "nato",
+        "eu-policy",
+        "taxation",
+        "healthcare",
+        "education",
+        "pensions",
+        "unemployment",
+        "climate",
+        "forestry",
+        "agriculture",
+        "transport",
+        "municipal-reform",
+        "language-policy",
+        "gay-marriage",
+        "alcohol-policy",
+        "conscription",
+        "wind-power",
+        "tuition-fees",
+        "labour-market",
+        "privatisation",
+        "child-benefits",
+        "russia-policy",
+        "greece-bailout",
+        "media-support",
+        "hunting",
     ];
 
     let mut left: Vec<String> = PARTIES.iter().map(|p| format!("party={p}")).collect();
     for a in ["18-25", "26-35", "36-45", "46-55", "56-65", "66+"] {
         left.push(format!("age={a}"));
     }
-    for e in ["basic", "vocational", "upper-secondary", "bachelor", "master"] {
+    for e in [
+        "basic",
+        "vocational",
+        "upper-secondary",
+        "bachelor",
+        "master",
+    ] {
         left.push(format!("education={e}"));
     }
     for g in ["female", "male"] {
@@ -458,10 +810,20 @@ pub fn elections_vocabulary() -> Vocabulary {
         left.push(format!("children={v}"));
     }
     left.extend(OCCUPATIONS.iter().map(|o| format!("occupation={o}")));
-    for q in ["income=q1", "income=q2", "income=q3", "income=q4", "income=q5"] {
+    for q in [
+        "income=q1",
+        "income=q2",
+        "income=q3",
+        "income=q4",
+        "income=q5",
+    ] {
         left.push(q.to_string());
     }
-    for m in ["church-member=yes", "church-member=no", "church-member=other"] {
+    for m in [
+        "church-member=yes",
+        "church-member=no",
+        "church-member=other",
+    ] {
         left.push(m.to_string());
     }
     for c in ["council-member=yes", "council-member=no"] {
@@ -503,9 +865,17 @@ pub fn elections_vocabulary() -> Vocabulary {
 pub fn emotions_vocabulary() -> Vocabulary {
     let left = (0..86).flat_map(|f| (1..=5).map(move |b| format!("audio-f{f:02}:bin{b}")));
     let right = [
-        "amazed-surprised", "happy-pleased", "relaxing-calm", "quiet-still",
-        "sad-lonely", "angry-aggressive", "excited-energetic",
-        "calm-soothing", "depressive-gloomy", "euphoric", "nostalgic",
+        "amazed-surprised",
+        "happy-pleased",
+        "relaxing-calm",
+        "quiet-still",
+        "sad-lonely",
+        "angry-aggressive",
+        "excited-energetic",
+        "calm-soothing",
+        "depressive-gloomy",
+        "euphoric",
+        "nostalgic",
         "anxious-tense",
     ]
     .iter()

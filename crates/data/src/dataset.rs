@@ -28,10 +28,7 @@ impl TwoViewDataset {
     ///
     /// # Panics
     /// Panics if a transaction references an item outside the vocabulary.
-    pub fn from_transactions(
-        vocab: Vocabulary,
-        transactions: &[Vec<ItemId>],
-    ) -> TwoViewDataset {
+    pub fn from_transactions(vocab: Vocabulary, transactions: &[Vec<ItemId>]) -> TwoViewDataset {
         let n = transactions.len();
         let (nl, nr) = (vocab.n_left(), vocab.n_right());
         let mut rows_left = vec![Bitmap::new(nl); n];

@@ -59,11 +59,7 @@ impl AttributeTable {
     ///
     /// # Errors
     /// All columns must have the same number of objects.
-    pub fn add_column(
-        &mut self,
-        name: impl Into<String>,
-        column: Column,
-    ) -> Result<(), DataError> {
+    pub fn add_column(&mut self, name: impl Into<String>, column: Column) -> Result<(), DataError> {
         if let Some(first) = self.columns.first() {
             if first.len() != column.len() {
                 return Err(DataError::Config(format!(
@@ -205,8 +201,11 @@ mod tests {
     #[test]
     fn mixed_columns_concatenate_items() {
         let mut t = AttributeTable::new();
-        t.add_column("n", Column::Numeric(vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)]))
-            .unwrap();
+        t.add_column(
+            "n",
+            Column::Numeric(vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)]),
+        )
+        .unwrap();
         t.add_column(
             "c",
             Column::Categorical(vec![
@@ -229,7 +228,8 @@ mod tests {
     fn ties_collapse_bins() {
         // All-equal values cannot be split into bins.
         let mut t = AttributeTable::new();
-        t.add_column("x", Column::Numeric(vec![Some(7.0); 10])).unwrap();
+        t.add_column("x", Column::Numeric(vec![Some(7.0); 10]))
+            .unwrap();
         let b = t.binarize(5).unwrap();
         assert_eq!(b.item_names.len(), 1, "single degenerate bin");
         assert!(b.rows.iter().all(|r| r == &vec![0]));

@@ -203,12 +203,9 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert!(MultiViewDataset::new(vec![(
-            "only".into(),
-            vec!["a".into()],
-            vec![vec![0]],
-        )])
-        .is_err());
+        assert!(
+            MultiViewDataset::new(vec![("only".into(), vec!["a".into()], vec![vec![0]],)]).is_err()
+        );
         assert!(MultiViewDataset::new(vec![
             ("a".into(), vec!["x".into()], vec![vec![0]]),
             ("b".into(), vec!["y".into()], vec![vec![0], vec![0]]),

@@ -125,7 +125,12 @@ mod tests {
     #[test]
     fn split_into_views_preserves_data() {
         let names: Vec<String> = (0..6).map(|i| format!("it{i}")).collect();
-        let rows = vec![vec![0, 1, 2], vec![0, 3], vec![4, 5], vec![0, 1, 2, 3, 4, 5]];
+        let rows = vec![
+            vec![0, 1, 2],
+            vec![0, 3],
+            vec![4, 5],
+            vec![0, 1, 2, 3, 4, 5],
+        ];
         let data = split_into_views(&names, &rows).unwrap();
         assert_eq!(data.n_transactions(), 4);
         assert_eq!(data.vocab().n_items(), 6);
@@ -135,8 +140,7 @@ mod tests {
                 let id = data.vocab().id_of(&names[i]).expect("name kept");
                 assert!(data.transaction_contains(t, id), "lost ({t},{i})");
             }
-            let total: usize =
-                data.row(Side::Left, t).len() + data.row(Side::Right, t).len();
+            let total: usize = data.row(Side::Left, t).len() + data.row(Side::Right, t).len();
             assert_eq!(total, row.len(), "no extra items");
         }
     }
@@ -174,6 +178,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let supports = vec![3, 3, 3, 3];
-        assert_eq!(balanced_split(&supports).left, balanced_split(&supports).left);
+        assert_eq!(
+            balanced_split(&supports).left,
+            balanced_split(&supports).left
+        );
     }
 }

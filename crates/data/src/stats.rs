@@ -33,10 +33,7 @@ pub struct ViewStats {
 /// Computes the frequency statistics of one view.
 pub fn view_stats(data: &TwoViewDataset, side: Side) -> ViewStats {
     let vocab = data.vocab();
-    let mut supports: Vec<usize> = vocab
-        .items_on(side)
-        .map(|i| data.support(i))
-        .collect();
+    let mut supports: Vec<usize> = vocab.items_on(side).map(|i| data.support(i)).collect();
     supports.sort_unstable();
     let n_items = supports.len();
     let n_empty = supports.iter().filter(|&&s| s == 0).count();
@@ -91,10 +88,7 @@ mod tests {
     #[test]
     fn uniform_supports_have_zero_gini() {
         let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
-        let d = TwoViewDataset::from_transactions(
-            vocab,
-            &[vec![0, 1, 2, 3], vec![0, 1, 2, 3]],
-        );
+        let d = TwoViewDataset::from_transactions(vocab, &[vec![0, 1, 2, 3], vec![0, 1, 2, 3]]);
         let s = view_stats(&d, Side::Left);
         assert_eq!(s.n_items, 2);
         assert_eq!(s.support_min, 2);

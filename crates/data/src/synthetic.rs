@@ -178,21 +178,45 @@ pub fn generate_with_vocab(
     for t in 0..n {
         for c in &concepts {
             if rng.gen_bool(c.occurrence) {
-                fire(&mut left_rows[t], &c.left, &vocab, spec.structure.item_fire, &mut rng);
+                fire(
+                    &mut left_rows[t],
+                    &c.left,
+                    &vocab,
+                    spec.structure.item_fire,
+                    &mut rng,
+                );
                 if rng.gen_bool(c.confidence) {
-                    fire(&mut right_rows[t], &c.right, &vocab, spec.structure.item_fire, &mut rng);
+                    fire(
+                        &mut right_rows[t],
+                        &c.right,
+                        &vocab,
+                        spec.structure.item_fire,
+                        &mut rng,
+                    );
                 }
             } else if !c.bidirectional && rng.gen_bool(c.occurrence * 0.6) {
                 // Asymmetric concepts fire their right side alone now and
                 // then: the L→R direction stays strong, the R→L one weakens.
-                fire(&mut right_rows[t], &c.right, &vocab, spec.structure.item_fire, &mut rng);
+                fire(
+                    &mut right_rows[t],
+                    &c.right,
+                    &vocab,
+                    spec.structure.item_fire,
+                    &mut rng,
+                );
             }
         }
     }
 
     // Phase 2: noise, calibrated to reach the target densities.
     add_noise(&mut left_rows, spec.n_left, spec.density_left, n, &mut rng);
-    add_noise(&mut right_rows, spec.n_right, spec.density_right, n, &mut rng);
+    add_noise(
+        &mut right_rows,
+        spec.n_right,
+        spec.density_right,
+        n,
+        &mut rng,
+    );
 
     // Assemble transactions as global id lists.
     let mut transactions: Vec<Vec<ItemId>> = Vec::with_capacity(n);
@@ -244,9 +268,8 @@ fn plant_concepts(
         .map(|j| {
             let ls = rng.gen_range(spec.structure.left_size.0..=spec.structure.left_size.1);
             let rs = rng.gen_range(spec.structure.right_size.0..=spec.structure.right_size.1);
-            let bidirectional =
-                (j as f64 + 0.5) / spec.structure.n_concepts.max(1) as f64
-                    <= spec.structure.bidir_fraction;
+            let bidirectional = (j as f64 + 0.5) / spec.structure.n_concepts.max(1) as f64
+                <= spec.structure.bidir_fraction;
             PlantedConcept {
                 left: take(&mut left_pool, &mut li, ls, rng),
                 right: take(&mut right_pool, &mut ri, rs, rng),
@@ -270,13 +293,7 @@ fn fire(row: &mut Bitmap, set: &ItemSet, vocab: &Vocabulary, p: f64, rng: &mut S
 /// Adds independent noise so the side reaches `target_density` in
 /// expectation. Noise only *adds* ones; if the planted structure alone
 /// already exceeds the target the side is left as-is (documented behaviour).
-fn add_noise(
-    rows: &mut [Bitmap],
-    n_items: usize,
-    target_density: f64,
-    n: usize,
-    rng: &mut StdRng,
-) {
+fn add_noise(rows: &mut [Bitmap], n_items: usize, target_density: f64, n: usize, rng: &mut StdRng) {
     let cells = n * n_items;
     if cells == 0 {
         return;
@@ -347,7 +364,11 @@ mod tests {
     fn densities_hit_target() {
         let s = spec(StructureSpec::strong(4));
         let d = generate(&s).unwrap().dataset;
-        assert!((d.density(Side::Left) - 0.2).abs() < 0.03, "{}", d.density(Side::Left));
+        assert!(
+            (d.density(Side::Left) - 0.2).abs() < 0.03,
+            "{}",
+            d.density(Side::Left)
+        );
         assert!(
             (d.density(Side::Right) - 0.25).abs() < 0.03,
             "{}",

@@ -20,7 +20,10 @@ fn print_rules(header: &str, rules: &[ExampleRule]) {
         println!("    (none)");
     }
     for r in rules {
-        println!("    {}   [c+ = {:.2}, supp = {}]", r.text, r.cplus, r.support);
+        println!(
+            "    {}   [c+ = {:.2}, supp = {}]",
+            r.text, r.cplus, r.support
+        );
     }
 }
 

@@ -70,9 +70,10 @@ fn main() {
         let p = row.dataset.paper();
         for cell in &row.cells {
             let (pt, pl) = match cell.method {
-                twoview_eval::tables::Table2Method::Select1 => {
-                    (p.select1_rules.to_string(), format!("{:.2}", p.select1_l_pct))
-                }
+                twoview_eval::tables::Table2Method::Select1 => (
+                    p.select1_rules.to_string(),
+                    format!("{:.2}", p.select1_l_pct),
+                ),
                 _ => ("—".into(), "—".into()),
             };
             let _ = writeln!(
@@ -96,7 +97,10 @@ fn main() {
         .clone()
         .unwrap_or_else(|| TABLE3_DEFAULT[..3].to_vec());
     let _ = writeln!(md, "\n## Table 3 — baseline comparison\n");
-    let _ = writeln!(md, "| dataset | method | \\|T\\| | l | \\|C\\|% | c+ | L% |");
+    let _ = writeln!(
+        md,
+        "| dataset | method | \\|T\\| | l | \\|C\\|% | c+ | L% |"
+    );
     let _ = writeln!(md, "|---|---|---|---|---|---|---|");
     for block in table3(&t3_datasets, &opts.scale) {
         for m in &block.rows {

@@ -139,10 +139,7 @@ fn krimp_config_for(data: &TwoViewDataset, minsup: usize) -> KrimpConfig {
 
 /// Runs Table 3 on the given datasets.
 pub fn table3(datasets: &[PaperDataset], scale: &RunScale) -> Vec<Table3Block> {
-    datasets
-        .iter()
-        .map(|&ds| table3_block(ds, scale))
-        .collect()
+    datasets.iter().map(|&ds| table3_block(ds, scale)).collect()
 }
 
 /// Renders Table 3 in the paper's layout.

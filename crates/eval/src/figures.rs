@@ -226,11 +226,7 @@ pub struct ExampleRule {
 /// Extracts the top-`k` rules of a table by construction order (the first
 /// rules added are the strongest under greedy compression), rendered with
 /// item names.
-pub fn top_rules(
-    data: &TwoViewDataset,
-    table: &TranslationTable,
-    k: usize,
-) -> Vec<ExampleRule> {
+pub fn top_rules(data: &TwoViewDataset, table: &TranslationTable, k: usize) -> Vec<ExampleRule> {
     table
         .iter()
         .take(k)
@@ -280,9 +276,7 @@ mod tests {
         }
         // The decomposition must always sum up.
         for p in &points {
-            assert!(
-                (p.l_total - (p.l_left_to_right + p.l_right_to_left + p.l_table)).abs() < 1e-6
-            );
+            assert!((p.l_total - (p.l_left_to_right + p.l_right_to_left + p.l_table)).abs() < 1e-6);
         }
         let rendered = render_fig2(&points).render();
         assert!(rendered.contains("L(T)"));
@@ -291,8 +285,7 @@ mod tests {
     #[test]
     fn graph_stats_count_edges() {
         let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
-        let data =
-            TwoViewDataset::from_transactions(vocab, &[vec![0, 1, 2, 3], vec![0, 2]]);
+        let data = TwoViewDataset::from_transactions(vocab, &[vec![0, 1, 2, 3], vec![0, 2]]);
         let table = TranslationTable::from_rules([
             TranslationRule::new(
                 ItemSet::from_items([0]),

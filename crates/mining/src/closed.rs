@@ -74,16 +74,23 @@ fn dfs(
     }
     let mut pre_local: Vec<ItemId> = pre.to_vec();
     for (pos, &i) in post.iter().enumerate() {
-        let ti = tid.and(data.tidset(i));
-        let support = ti.len();
+        let ts = data.tidset(i);
+        // Support check and duplicate check both run on the un-materialised
+        // intersection `tid ∩ tid(i)` through the Bitmap kernel; the child
+        // tidset is only allocated once the extension is known to be novel.
+        let support = tid.intersection_len(ts);
         if support < minsup {
             continue; // infrequent items can never cover a frequent tidset
         }
         // Duplicate check: some earlier item's branch owns this closure.
-        if pre_local.iter().any(|&j| ti.is_subset(data.tidset(j))) {
+        if pre_local
+            .iter()
+            .any(|&j| tid.and_is_subset(ts, data.tidset(j)))
+        {
             pre_local.push(i);
             continue;
         }
+        let ti = tid.and(ts);
         // Absorb later items that are part of the closure.
         let mut child_post: Vec<ItemId> = Vec::with_capacity(post.len() - pos - 1);
         let mut absorbed: Vec<ItemId> = Vec::new();
@@ -139,7 +146,9 @@ pub fn brute_force_closed(data: &TwoViewDataset, cfg: &MinerConfig) -> Vec<Frequ
     all.iter()
         .filter(|f| {
             !all.iter().any(|g| {
-                g.support == f.support && g.items.len() > f.items.len() && f.items.is_subset(&g.items)
+                g.support == f.support
+                    && g.items.len() > f.items.len()
+                    && f.items.is_subset(&g.items)
             })
         })
         .cloned()
@@ -242,13 +251,14 @@ mod tests {
     fn item_in_every_transaction_joins_all_closures() {
         // Item "z" occurs everywhere: every closed set must contain it.
         let vocab = Vocabulary::new(["a", "z"], ["x"]);
-        let d = TwoViewDataset::from_transactions(
-            vocab,
-            &[vec![0, 1, 2], vec![1, 2], vec![0, 1]],
-        );
+        let d = TwoViewDataset::from_transactions(vocab, &[vec![0, 1, 2], vec![1, 2], vec![0, 1]]);
         let res = mine_closed(&d, &MinerConfig::with_minsup(1));
         for f in &res.itemsets {
-            assert!(f.items.contains(1), "{:?} misses the universal item", f.items);
+            assert!(
+                f.items.contains(1),
+                "{:?} misses the universal item",
+                f.items
+            );
         }
     }
 

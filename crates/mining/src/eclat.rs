@@ -90,11 +90,14 @@ fn dfs(
         }
     }
     for (pos, &i) in ext.iter().enumerate() {
-        let ti = tid.and(data.tidset(i));
-        let support = ti.len();
+        let ts = data.tidset(i);
+        // Count through the kernel first; only materialise the child tidset
+        // for extensions that survive the support check.
+        let support = tid.intersection_len(ts);
         if support < cfg.minsup {
             continue;
         }
+        let ti = tid.and(ts);
         prefix.push(i);
         if out.itemsets.len() >= cfg.max_itemsets {
             out.truncated = true;

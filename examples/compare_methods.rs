@@ -33,15 +33,30 @@ fn main() {
 
     let t0 = Instant::now();
     let m = translator_select(&data, &SelectConfig::new(1, minsup));
-    rows.push(MethodMetrics::for_model("T-SELECT(1)", &data, &m, t0.elapsed()));
+    rows.push(MethodMetrics::for_model(
+        "T-SELECT(1)",
+        &data,
+        &m,
+        t0.elapsed(),
+    ));
 
     let t0 = Instant::now();
     let m = translator_select(&data, &SelectConfig::new(25, minsup));
-    rows.push(MethodMetrics::for_model("T-SELECT(25)", &data, &m, t0.elapsed()));
+    rows.push(MethodMetrics::for_model(
+        "T-SELECT(25)",
+        &data,
+        &m,
+        t0.elapsed(),
+    ));
 
     let t0 = Instant::now();
     let m = translator_greedy(&data, &GreedyConfig::new(minsup));
-    rows.push(MethodMetrics::for_model("T-GREEDY", &data, &m, t0.elapsed()));
+    rows.push(MethodMetrics::for_model(
+        "T-GREEDY",
+        &data,
+        &m,
+        t0.elapsed(),
+    ));
 
     let t0 = Instant::now();
     let mm = magnum_opus_rules(&data, &MagnumConfig::default());

@@ -22,7 +22,10 @@ fn main() {
 
     // Construction trace: the first rules capture the most structure.
     println!("\nconstruction trace (first 8 rules):");
-    println!("{:>4}  {:>9}  {:>9}  {:>7}  rule", "#", "gain", "L(D,T)", "|U|+|E|");
+    println!(
+        "{:>4}  {:>9}  {:>9}  {:>7}  rule",
+        "#", "gain", "L(D,T)", "|U|+|E|"
+    );
     for step in model.trace.iter().take(8) {
         println!(
             "{:>4}  {:>9.1}  {:>9.1}  {:>7}  {}",
@@ -45,7 +48,10 @@ fn main() {
         None,
         "translation must be lossless"
     );
-    println!("\nlossless check: all {} transactions reconstruct exactly, both directions", data.n_transactions());
+    println!(
+        "\nlossless check: all {} transactions reconstruct exactly, both directions",
+        data.n_transactions()
+    );
 
     // How much of the right view does the left view predict?
     let mut predicted = 0usize;

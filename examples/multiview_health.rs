@@ -20,10 +20,7 @@ fn main() {
     for _ in 0..n {
         let senior = rng.gen_bool(0.4);
         let urban = rng.gen_bool(0.5);
-        demo.push(vec![
-            if senior { 1 } else { 0 },
-            if urban { 2 } else { 3 },
-        ]);
+        demo.push(vec![if senior { 1 } else { 0 }, if urban { 2 } else { 3 }]);
         let mut m = Vec::new();
         if senior && rng.gen_bool(0.75) {
             m.push(0); // hypertension
@@ -51,12 +48,21 @@ fn main() {
     let mv = MultiViewDataset::new(vec![
         (
             "demo".into(),
-            vec!["age<65".into(), "age>=65".into(), "urban".into(), "rural".into()],
+            vec![
+                "age<65".into(),
+                "age>=65".into(),
+                "urban".into(),
+                "rural".into(),
+            ],
             demo,
         ),
         (
             "medical".into(),
-            vec!["hypertension".into(), "arthritis".into(), "sports-injury".into()],
+            vec![
+                "hypertension".into(),
+                "arthritis".into(),
+                "sports-injury".into(),
+            ],
             med,
         ),
         (
@@ -71,7 +77,10 @@ fn main() {
         "{} persons, {} views: {}",
         mv.n_objects(),
         mv.n_views(),
-        (0..mv.n_views()).map(|v| mv.view_name(v)).collect::<Vec<_>>().join(", ")
+        (0..mv.n_views())
+            .map(|v| mv.view_name(v))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     let model = fit_multiview(&mv, &SelectConfig::new(1, 5));

@@ -48,7 +48,10 @@ fn main() {
         println!("  {}", rule.display(data.vocab()));
     }
 
-    println!("\n{:<14}{:<14}{:<16}{:<14}reconstructed", "D_L", "D_R", "D'_R = T(D_L)", "C_R");
+    println!(
+        "\n{:<14}{:<14}{:<16}{:<14}reconstructed",
+        "D_L", "D_R", "D'_R = T(D_L)", "C_R"
+    );
     for t in 0..data.n_transactions() {
         let translated = translate::translate_transaction(&data, &table, Side::Left, t);
         let correction = translate::correction_row(&data, &table, Side::Left, t);
@@ -79,8 +82,10 @@ fn main() {
 
     // And the MDL accounting of this toy model.
     let score = evaluate_table(&data, &table);
-    println!("\nMDL accounting: L(T) = {:.1}, L(C_L|T) = {:.1}, L(C_R|T) = {:.1}",
-        score.l_table, score.l_correction_left, score.l_correction_right);
+    println!(
+        "\nMDL accounting: L(T) = {:.1}, L(C_L|T) = {:.1}, L(C_R|T) = {:.1}",
+        score.l_table, score.l_correction_left, score.l_correction_right
+    );
     println!(
         "total L(D,T) = {:.1} bits vs L(D,0) = {:.1} bits  (L% = {:.1})",
         score.l_total,

@@ -29,8 +29,12 @@ fn main() {
     ];
     let data = TwoViewDataset::from_transactions(vocab, &transactions).with_name("weather");
 
-    println!("dataset: {} transactions, {} + {} items", data.n_transactions(),
-        data.vocab().n_left(), data.vocab().n_right());
+    println!(
+        "dataset: {} transactions, {} + {} items",
+        data.n_transactions(),
+        data.vocab().n_left(),
+        data.vocab().n_right()
+    );
 
     // Fit a translation table with TRANSLATOR-SELECT(1).
     let model = translator_select(&data, &SelectConfig::new(1, 1));
@@ -49,14 +53,25 @@ fn main() {
     let correction = translate::correction_row(&data, &model.table, Side::Left, t);
     let reconstructed = translate::apply_correction(&predicted, &correction);
     println!("\ntransaction {t}:");
-    println!("  left view : {}", data.transaction_items(t).display(data.vocab()));
+    println!(
+        "  left view : {}",
+        data.transaction_items(t).display(data.vocab())
+    );
     print!("  predicted right:");
     for local in predicted.iter() {
-        print!(" {}", data.vocab().name(data.vocab().global_id(Side::Right, local)));
+        print!(
+            " {}",
+            data.vocab()
+                .name(data.vocab().global_id(Side::Right, local))
+        );
     }
     println!();
     println!("  corrections needed: {} item(s)", correction.len());
-    assert_eq!(&reconstructed, data.row(Side::Right, t), "translation is lossless");
+    assert_eq!(
+        &reconstructed,
+        data.row(Side::Right, t),
+        "translation is lossless"
+    );
     println!("  reconstruction: exact (lossless by construction)");
 
     // The MDL score lets you compare arbitrary hand-written tables too.

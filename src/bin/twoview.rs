@@ -73,9 +73,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--out" => f.out = Some(value("--out")?),
             "--method" => f.method = value("--method")?,
             "--k" => f.k = value("--k")?.parse().map_err(|e| format!("{e}"))?,
-            "--minsup" => {
-                f.minsup = Some(value("--minsup")?.parse().map_err(|e| format!("{e}"))?)
-            }
+            "--minsup" => f.minsup = Some(value("--minsup")?.parse().map_err(|e| format!("{e}"))?),
             "--from" => {
                 f.from = match value("--from")?.as_str() {
                     "left" => Side::Left,
@@ -108,9 +106,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .first()
                 .ok_or("generate needs a dataset name")?;
             let ds = PaperDataset::by_name(name).ok_or(format!("unknown dataset {name:?}"))?;
-            let data = ds
-                .generate_scaled(flags.rows.unwrap_or(usize::MAX))
-                .dataset;
+            let data = ds.generate_scaled(flags.rows.unwrap_or(usize::MAX)).dataset;
             let path = flags
                 .out
                 .unwrap_or_else(|| format!("{}.2v", name.to_ascii_lowercase()));
@@ -130,7 +126,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let codes = CodeLengths::new(&data);
             println!("name       : {}", data.name());
             println!("|D|        : {}", data.n_transactions());
-            println!("|IL|, |IR| : {}, {}", data.vocab().n_left(), data.vocab().n_right());
+            println!(
+                "|IL|, |IR| : {}, {}",
+                data.vocab().n_left(),
+                data.vocab().n_right()
+            );
             println!(
                 "density    : {:.3} / {:.3}",
                 data.density(Side::Left),
@@ -178,8 +178,7 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             let data = load(data_path)?;
             let file = File::open(rules_path).map_err(|e| format!("open {rules_path}: {e}"))?;
-            let table =
-                table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
+            let table = table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
             let score = evaluate_table(&data, &table);
             println!("|T|   : {}", table.len());
             println!("L%    : {:.2}", score.compression_pct());
@@ -195,8 +194,7 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             let data = load(data_path)?;
             let file = File::open(rules_path).map_err(|e| format!("open {rules_path}: {e}"))?;
-            let table =
-                table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
+            let table = table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
             let target = flags.from.opposite();
             for t in 0..data.n_transactions().min(flags.limit) {
                 let predicted = translate::translate_transaction(&data, &table, flags.from, t);

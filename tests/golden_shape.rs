@@ -22,7 +22,9 @@ fn spec(structure: StructureSpec, seed: u64) -> SyntheticSpec {
 fn structured_data_compresses_structure_free_data_does_not() {
     // The paper: "if there is little or no structure connecting the two
     // views, this will be reflected in the attained compression ratios."
-    let structured = generate(&spec(StructureSpec::strong(4), 11)).unwrap().dataset;
+    let structured = generate(&spec(StructureSpec::strong(4), 11))
+        .unwrap()
+        .dataset;
     let noise = generate(&spec(StructureSpec::none(), 11)).unwrap().dataset;
 
     let m_structured = translator_select(&structured, &SelectConfig::new(1, 2));

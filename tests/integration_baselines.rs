@@ -91,9 +91,7 @@ fn krimp_usage_accounting_is_exact() {
         for e in &order {
             if e.items.is_subset(&remaining) {
                 *expected.get_mut(&e.items).unwrap() += 1;
-                remaining = ItemSet::from_items(
-                    remaining.iter().filter(|i| !e.items.contains(*i)),
-                );
+                remaining = ItemSet::from_items(remaining.iter().filter(|i| !e.items.contains(*i)));
                 if remaining.is_empty() {
                     break;
                 }
@@ -125,10 +123,7 @@ fn magnum_bidirectional_merging_on_symmetric_data() {
     }
     let data = TwoViewDataset::from_transactions(vocab, &txs);
     let res = magnum_opus_rules(&data, &MagnumConfig::default());
-    assert!(res
-        .rules
-        .iter()
-        .any(|r| r.direction == Direction::Both));
+    assert!(res.rules.iter().any(|r| r.direction == Direction::Both));
 }
 
 #[test]

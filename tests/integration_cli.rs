@@ -31,7 +31,11 @@ fn full_cli_pipeline() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("178 transactions"), "{stdout}");
 
@@ -57,7 +61,11 @@ fn full_cli_pipeline() {
         ])
         .output()
         .expect("run fit");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("fitted"), "{stdout}");
 
@@ -103,7 +111,10 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn unknown_dataset_fails() {
-    let out = bin().args(["generate", "nonexistent"]).output().expect("run");
+    let out = bin()
+        .args(["generate", "nonexistent"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
 }
 

@@ -18,7 +18,9 @@ fn house_three_views() -> MultiViewDataset {
     let nl = vocab.n_left();
     let cut = nl / 2;
     let left_a: Vec<String> = (0..cut).map(|l| vocab.name(l as u32).to_string()).collect();
-    let left_b: Vec<String> = (cut..nl).map(|l| vocab.name(l as u32).to_string()).collect();
+    let left_b: Vec<String> = (cut..nl)
+        .map(|l| vocab.name(l as u32).to_string())
+        .collect();
     let right: Vec<String> = vocab
         .items_on(Side::Right)
         .map(|i| vocab.name(i).to_string())

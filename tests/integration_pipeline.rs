@@ -18,9 +18,7 @@ fn select_fits_wine_and_is_lossless() {
     assert_eq!(translate::check_lossless(&data, &model.table), None);
     // Score decomposition holds.
     let s = &model.score;
-    assert!(
-        (s.l_total - (s.l_table + s.l_correction_left + s.l_correction_right)).abs() < 1e-6
-    );
+    assert!((s.l_total - (s.l_table + s.l_correction_left + s.l_correction_right)).abs() < 1e-6);
 }
 
 #[test]

@@ -25,9 +25,7 @@ fn abalone_like(n: usize, seed: u64) -> AttributeTable {
         length.push(Some(size));
         weight.push(Some(size * 2.0 + rng.gen_range(-0.05..0.05)));
         rings.push(Some((size * 20.0 + rng.gen_range(-1.0..1.0)).round()));
-        sex.push(Some(
-            ["M", "F", "I"][rng.gen_range(0..3usize)].to_string(),
-        ));
+        sex.push(Some(["M", "F", "I"][rng.gen_range(0..3usize)].to_string()));
     }
     let mut t = AttributeTable::new();
     t.add_column("length", Column::Numeric(length)).unwrap();

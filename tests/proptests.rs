@@ -49,6 +49,63 @@ proptest! {
         prop_assert_eq!(ba.is_disjoint(&bb), sa.is_disjoint(&sb));
     }
 
+    /// Every in-place / non-allocating kernel operation agrees with its
+    /// allocating counterpart — the contract the miners and the cover state
+    /// rely on after the consolidation onto the `Bitmap` kernel.
+    #[test]
+    fn bitmap_in_place_ops_match_allocating(
+        a in proptest::collection::vec(0usize..200, 0..60),
+        b in proptest::collection::vec(0usize..200, 0..60),
+        c in proptest::collection::vec(0usize..200, 0..60),
+    ) {
+        let ba = Bitmap::from_indices(200, a.iter().copied());
+        let bb = Bitmap::from_indices(200, b.iter().copied());
+        let bc = Bitmap::from_indices(200, c.iter().copied());
+
+        let mut x = ba.clone();
+        x.intersect_with(&bb);
+        prop_assert_eq!(&x, &ba.and(&bb), "intersect_with");
+        let mut x = ba.clone();
+        x.union_with(&bb);
+        prop_assert_eq!(&x, &ba.or(&bb), "union_with");
+        let mut x = ba.clone();
+        x.xor_with(&bb);
+        prop_assert_eq!(&x, &ba.xor(&bb), "xor_with");
+        let mut x = ba.clone();
+        x.subtract(&bb);
+        prop_assert_eq!(&x, &ba.and_not(&bb), "subtract");
+
+        let mut out = bc.clone(); // stale contents must be overwritten
+        ba.and_into(&bb, &mut out);
+        prop_assert_eq!(&out, &ba.and(&bb), "and_into");
+        let mut copy = Bitmap::new(200);
+        copy.copy_from(&ba);
+        prop_assert_eq!(&copy, &ba, "copy_from");
+
+        prop_assert_eq!(ba.intersection_len(&bb), ba.and(&bb).len());
+        prop_assert_eq!(
+            ba.iter_and(&bb).collect::<Vec<_>>(),
+            ba.and(&bb).to_vec(),
+            "iter_and"
+        );
+        prop_assert_eq!(
+            ba.iter_and_not(&bb).collect::<Vec<_>>(),
+            ba.and_not(&bb).to_vec(),
+            "iter_and_not"
+        );
+        prop_assert_eq!(
+            ba.and_is_subset(&bb, &bc),
+            ba.and(&bb).is_subset(&bc),
+            "and_is_subset"
+        );
+
+        let weights: Vec<f64> = (0..200).map(|i| (i + 1) as f64).collect();
+        let direct: f64 = ba.and_not(&bb).iter().map(|i| weights[i]).sum();
+        prop_assert!((ba.difference_weight(&bb, &weights) - direct).abs() < 1e-9);
+        let full: f64 = ba.iter().map(|i| weights[i]).sum();
+        prop_assert!((ba.weighted_len(&weights) - full).abs() < 1e-9);
+    }
+
     #[test]
     fn itemset_ops_match_sets(
         a in proptest::collection::vec(0u32..30, 0..12),
