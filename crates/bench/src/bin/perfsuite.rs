@@ -1,0 +1,251 @@
+//! `perfsuite` — the repo's machine-readable performance trajectory.
+//!
+//! Times the TRANSLATOR hot paths on synthetic corpora and writes a
+//! `BENCH_select.json` snapshot (at the repo root by default) so speedups
+//! and regressions are comparable across PRs:
+//!
+//! * **candidate mining** — closed frequent two-view itemsets;
+//! * **gain refresh** — one full pass recomputing every candidate's three
+//!   directional gains, measured against both cover-state layouts: the
+//!   columnar production [`CoverState`] and the row-major pre-columnar
+//!   reference [`RowCoverState`] (the recorded `speedup` is the headline
+//!   number of the columnar transposition);
+//! * **full runs** — SELECT (1 thread and all cores), GREEDY, and a
+//!   node-capped EXACT;
+//! * **identity checks** — SELECT must produce the same table and total
+//!   encoded length with `rub` pruning on/off and for 1 vs N refresh
+//!   threads.
+//!
+//! Usage (from the repo root):
+//!
+//! ```text
+//! cargo run --release -p twoview-bench --bin perfsuite            # full
+//! cargo run --release -p twoview-bench --bin perfsuite -- --smoke # CI
+//! cargo run --release -p twoview-bench --bin perfsuite -- --out p.json
+//! ```
+
+use std::time::Instant;
+
+use twoview_core::greedy::translator_greedy_candidates;
+use twoview_core::select::{translator_select_candidates, SelectConfig};
+use twoview_core::{
+    translator_exact_with, CoverState, ExactConfig, GreedyConfig, RowCoverState, TranslatorModel,
+};
+use twoview_data::prelude::*;
+use twoview_data::synthetic::{self, StructureSpec, SyntheticSpec};
+use twoview_mining::{mine_closed_twoview, MinerConfig, TwoViewCandidate};
+
+/// The dense synthetic corpus: ~30% density on both sides with strong
+/// planted cross-view structure — the regime where per-transaction gain
+/// loops hurt the most (large supports, long rows).
+fn dense_corpus(n: usize) -> TwoViewDataset {
+    let spec = SyntheticSpec {
+        name: "dense".into(),
+        n_transactions: n,
+        n_left: 40,
+        n_right: 30,
+        density_left: 0.30,
+        density_right: 0.30,
+        structure: StructureSpec::strong(6),
+        seed: 7,
+    };
+    synthetic::generate(&spec).expect("valid spec").dataset
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// One full gain-refresh pass: every candidate's three directional gains
+/// through the given layout's `pair_gains`. Returns the gain sum as a
+/// checksum (also keeps the loop from being optimised away).
+fn refresh_pass(
+    cands: &[TwoViewCandidate],
+    tids: &[(Bitmap, Bitmap)],
+    pair_gains: impl Fn(&ItemSet, &ItemSet, &Bitmap, &Bitmap) -> [f64; 3],
+) -> f64 {
+    let mut sum = 0.0;
+    for (c, (lt, rt)) in cands.iter().zip(tids) {
+        let g = pair_gains(&c.left, &c.right, lt, rt);
+        sum += g[0] + g[1] + g[2];
+    }
+    sum
+}
+
+fn models_match(a: &TranslatorModel, b: &TranslatorModel) -> bool {
+    a.table == b.table && (a.score.l_total - b.score.l_total).abs() < 1e-9
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Smoke runs default to their own file so a CI-sized local run never
+    // clobbers the committed full-corpus BENCH_select.json record.
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if smoke {
+            "BENCH_smoke.json"
+        } else {
+            "BENCH_select.json"
+        })
+        .to_string();
+
+    let n = if smoke { 300 } else { 2000 };
+    let minsup = (n / 10).max(1);
+    let reps = if smoke { 2 } else { 3 };
+
+    eprintln!("perfsuite: dense corpus n={n}, minsup={minsup}");
+    let data = dense_corpus(n);
+
+    // --- candidate mining -------------------------------------------------
+    let mut mcfg = MinerConfig::with_minsup(minsup);
+    mcfg.max_itemsets = 2_000_000;
+    let (mine_ms, mined) = time_best(reps, || mine_closed_twoview(&data, &mcfg));
+    let cands = mined.candidates;
+    eprintln!(
+        "  mined {} closed candidates in {mine_ms:.1} ms",
+        cands.len()
+    );
+
+    // --- gain refresh: columnar vs row-major ------------------------------
+    // Measure against a mid-build state: apply the first rules SELECT(1)
+    // actually picks, so covered/error tables are non-trivial.
+    let warm = translator_select_candidates(
+        &data,
+        &SelectConfig {
+            max_iterations: Some(3),
+            ..SelectConfig::new(1, minsup)
+        },
+        &cands,
+    );
+    let mut col_state = CoverState::new(&data);
+    let mut row_state = RowCoverState::new(&data);
+    for rule in warm.table.iter() {
+        col_state.apply_rule(rule.clone());
+        row_state.apply_rule(rule.clone());
+    }
+    let tids: Vec<(Bitmap, Bitmap)> = cands
+        .iter()
+        .map(|c| (data.support_set(&c.left), data.support_set(&c.right)))
+        .collect();
+    let (refresh_columnar_ms, sum_col) = time_best(reps, || {
+        refresh_pass(&cands, &tids, |l, r, lt, rt| {
+            col_state.pair_gains(l, r, lt, rt)
+        })
+    });
+    let (refresh_rows_ms, sum_rows) = time_best(reps, || {
+        refresh_pass(&cands, &tids, |l, r, lt, rt| {
+            row_state.pair_gains(l, r, lt, rt)
+        })
+    });
+    let layouts_agree = (sum_col - sum_rows).abs() < 1e-6 * (1.0 + sum_col.abs());
+    let speedup = refresh_rows_ms / refresh_columnar_ms.max(1e-9);
+    eprintln!(
+        "  gain refresh: rows {refresh_rows_ms:.2} ms, columnar {refresh_columnar_ms:.2} ms \
+         ({speedup:.1}x, checksums agree: {layouts_agree})"
+    );
+
+    // --- full runs --------------------------------------------------------
+    let cfg_1t = SelectConfig {
+        n_threads: Some(1),
+        ..SelectConfig::new(1, minsup)
+    };
+    let (select_1t_ms, model_1t) = time_best(reps, || {
+        translator_select_candidates(&data, &cfg_1t, &cands)
+    });
+    let cfg_mt = SelectConfig {
+        n_threads: None,
+        ..SelectConfig::new(1, minsup)
+    };
+    let (select_mt_ms, model_mt) = time_best(reps, || {
+        translator_select_candidates(&data, &cfg_mt, &cands)
+    });
+    let cfg_norub = SelectConfig {
+        use_rub: false,
+        n_threads: Some(1),
+        ..SelectConfig::new(1, minsup)
+    };
+    let (select_norub_ms, model_norub) = time_best(reps, || {
+        translator_select_candidates(&data, &cfg_norub, &cands)
+    });
+    // Cost gate forced off: every dirty candidate goes through the
+    // rub-prune branch, which must still be model-identical.
+    let cfg_rub_forced = SelectConfig {
+        rub_cost_gate: false,
+        n_threads: Some(1),
+        ..SelectConfig::new(1, minsup)
+    };
+    let (select_rub_forced_ms, model_rub_forced) = time_best(reps, || {
+        translator_select_candidates(&data, &cfg_rub_forced, &cands)
+    });
+    let threads_identical = models_match(&model_1t, &model_mt);
+    let rub_identical =
+        models_match(&model_1t, &model_norub) && models_match(&model_1t, &model_rub_forced);
+    eprintln!(
+        "  SELECT(1): {select_1t_ms:.1} ms (1 thread) / {select_mt_ms:.1} ms (all cores) / \
+         {select_norub_ms:.1} ms (rub off) / {select_rub_forced_ms:.1} ms (rub forced); {} rules",
+        model_1t.table.len()
+    );
+
+    let (greedy_ms, greedy_model) = time_best(reps, || {
+        translator_greedy_candidates(&data, &GreedyConfig::new(minsup), &cands)
+    });
+    let exact_cfg = ExactConfig {
+        max_nodes: Some(if smoke { 20_000 } else { 200_000 }),
+        max_rules: Some(3),
+        candidate_seed_minsup: Some(minsup),
+        ..ExactConfig::default()
+    };
+    let (exact_ms, exact_model) = time_best(1, || translator_exact_with(&data, &exact_cfg));
+    eprintln!(
+        "  GREEDY: {greedy_ms:.1} ms ({} rules); EXACT (capped): {exact_ms:.1} ms ({} rules)",
+        greedy_model.table.len(),
+        exact_model.table.len()
+    );
+
+    // --- JSON -------------------------------------------------------------
+    let json = format!(
+        "{{\n  \"suite\": \"select\",\n  \"mode\": \"{mode}\",\n  \"corpus\": {{\n    \
+         \"name\": \"dense-synthetic\",\n    \"n_transactions\": {n},\n    \"n_left\": 40,\n    \
+         \"n_right\": 30,\n    \"density\": 0.30,\n    \"minsup\": {minsup},\n    \
+         \"n_candidates\": {ncand}\n  }},\n  \"timings_ms\": {{\n    \
+         \"mine_closed\": {mine_ms:.3},\n    \
+         \"gain_refresh_rows\": {refresh_rows_ms:.3},\n    \
+         \"gain_refresh_columnar\": {refresh_columnar_ms:.3},\n    \
+         \"select1_single_thread\": {select_1t_ms:.3},\n    \
+         \"select1_multi_thread\": {select_mt_ms:.3},\n    \
+         \"select1_no_rub\": {select_norub_ms:.3},\n    \
+         \"select1_rub_forced\": {select_rub_forced_ms:.3},\n    \
+         \"greedy\": {greedy_ms:.3},\n    \
+         \"exact_capped\": {exact_ms:.3}\n  }},\n  \
+         \"gain_refresh_speedup\": {speedup:.3},\n  \
+         \"select1_rules\": {nrules},\n  \
+         \"select1_l_total\": {ltotal:.6},\n  \"identity\": {{\n    \
+         \"layout_checksums_agree\": {layouts_agree},\n    \
+         \"threads_identical\": {threads_identical},\n    \
+         \"rub_identical\": {rub_identical}\n  }}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        ncand = cands.len(),
+        nrules = model_1t.table.len(),
+        ltotal = model_1t.score.l_total,
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("  wrote {out_path}");
+
+    if !(layouts_agree && threads_identical && rub_identical) {
+        eprintln!("perfsuite: IDENTITY CHECK FAILED");
+        std::process::exit(1);
+    }
+}

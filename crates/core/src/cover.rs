@@ -3,21 +3,42 @@
 //! The paper splits each correction table `C` into `U` (items still
 //! *uncovered* after translation) and `E` (items introduced *erroneously*);
 //! `C = U ∪ E` and the two are disjoint (§5.1). [`CoverState`] maintains
-//! both per transaction and side, together with all encoded-length totals,
-//! and supports
+//! both per side, together with all encoded-length totals.
 //!
-//! * `O(|supp| · |Y|)` **gain** evaluation for a candidate rule
-//!   (`Δ_{D,T}(X ◇ Y)`, Eq. 1–2), and
-//! * incremental **application** of a chosen rule.
+//! ## Columnar layout
+//!
+//! The tables are stored **transposed**: one *tidset column* per target-side
+//! item (`covered[item]`, `errors[item]`, each over `0..|D|` transaction
+//! bits) instead of one row bitmap per transaction. Gain evaluation for a
+//! candidate rule (`Δ_{D,T}(X ◇ Y)`, Eq. 1–2) then collapses from
+//! `O(|supp| · |Y|)` per-transaction probes into `|Y|` fused word-parallel
+//! popcount kernels:
+//!
+//! ```text
+//! Δ = Σ_{y ∈ Y} w_y · ( |tids ∧ supp(y) ∧ ¬covered[y]|
+//!                     − |tids ∧ ¬supp(y) ∧ ¬errors[y]| )
+//! ```
+//!
+//! with `tids = supp(X)` and `w_y` the item's Shannon code length — see
+//! [`Bitmap::and_and_not_len`] and [`Bitmap::and_not_not_len`]. Rule
+//! application updates the same columns incrementally. Row views
+//! ([`CoverState::correction_row`]) are reconstructed on demand; the
+//! per-transaction `tub` column ([`CoverState::uncovered_weight`]) is
+//! maintained exactly as before.
+//!
+//! The pre-columnar row-major implementation survives as
+//! [`crate::cover_rows::RowCoverState`] for differential testing and as the
+//! `perfsuite` benchmark baseline; the two are bit-identical in semantics.
 //!
 //! Invariants (checked by [`CoverState::verify`] and the property tests):
-//! `covered_t ⊆ t`, `errors_t ∩ t = ∅`, `U_t = t \ covered_t`,
+//! `covered[y] ⊆ supp(y)`, `errors[y] ∩ supp(y) = ∅`, the reconstructed
 //! `C_t = U_t ∪ E_t` equals the XOR-correction of the standalone
-//! [`crate::translate`] scheme, and every cached total equals its
-//! from-scratch recomputation.
+//! [`crate::translate`] scheme and the row-major reference, and every
+//! cached total equals its from-scratch recomputation.
 
 use twoview_data::prelude::*;
 
+use crate::cover_rows::RowCoverState;
 use crate::encoding::CodeLengths;
 use crate::rule::{Direction, TranslationRule};
 use crate::table::TranslationTable;
@@ -27,9 +48,9 @@ use crate::table::TranslationTable;
 pub struct CoverState<'d> {
     data: &'d TwoViewDataset,
     codes: CodeLengths,
-    /// Per side, per transaction: target-side items predicted correctly.
+    /// Per side, per local item: tids where the item is predicted correctly.
     covered: [Vec<Bitmap>; 2],
-    /// Per side, per transaction: target-side items predicted erroneously.
+    /// Per side, per local item: tids where the item is predicted erroneously.
     errors: [Vec<Bitmap>; 2],
     /// Per side, per transaction: `L(U_t | D_side)` — the paper's `tub(t)`.
     uncovered_weight: [Vec<f64>; 2],
@@ -60,12 +81,12 @@ impl<'d> CoverState<'d> {
         let vocab = data.vocab();
         let mut state = CoverState {
             covered: [
-                vec![Bitmap::new(vocab.n_left()); n],
-                vec![Bitmap::new(vocab.n_right()); n],
+                vec![Bitmap::new(n); vocab.n_left()],
+                vec![Bitmap::new(n); vocab.n_right()],
             ],
             errors: [
-                vec![Bitmap::new(vocab.n_left()); n],
-                vec![Bitmap::new(vocab.n_right()); n],
+                vec![Bitmap::new(n); vocab.n_left()],
+                vec![Bitmap::new(n); vocab.n_right()],
             ],
             uncovered_weight: [Vec::with_capacity(n), Vec::with_capacity(n)],
             l_corrections: [0.0, 0.0],
@@ -91,16 +112,6 @@ impl<'d> CoverState<'d> {
             state.n_uncovered[ix(side)] = count;
         }
         state
-    }
-
-    /// The consequent as a bitmap over the target side's local indices —
-    /// the representation every cover update and gain evaluation works on.
-    fn consequent_bitmap(&self, target: Side, consequent: &ItemSet) -> Bitmap {
-        let vocab = self.data.vocab();
-        Bitmap::from_indices(
-            vocab.n_on(target),
-            consequent.iter().map(|i| vocab.local_index(i)),
-        )
     }
 
     /// Builds a state by applying every rule of `table` to a fresh state.
@@ -176,17 +187,45 @@ impl<'d> CoverState<'d> {
         &self.uncovered_weight[ix(side)]
     }
 
-    /// The correction row `C_t = U_t ∪ E_t` on `side` (local indices).
+    /// The covered-tids column of the `local`-th item of `side`.
+    #[inline]
+    pub fn covered_tids(&self, side: Side, local: usize) -> &Bitmap {
+        &self.covered[ix(side)][local]
+    }
+
+    /// The error-tids column of the `local`-th item of `side`.
+    #[inline]
+    pub fn error_tids(&self, side: Side, local: usize) -> &Bitmap {
+        &self.errors[ix(side)][local]
+    }
+
+    /// The correction row `C_t = U_t ∪ E_t` on `side` (local indices),
+    /// reconstructed from the item columns on demand.
     pub fn correction_row(&self, side: Side, t: usize) -> Bitmap {
-        let mut c = self.data.row(side, t).and_not(&self.covered[ix(side)][t]);
-        c.union_with(&self.errors[ix(side)][t]);
+        let i = ix(side);
+        let mut c = Bitmap::new(self.data.vocab().n_on(side));
+        // U_t: present but not covered.
+        for l in self.data.row(side, t).iter() {
+            if !self.covered[i][l].contains(t) {
+                c.insert(l);
+            }
+        }
+        // E_t: predicted although absent.
+        for (l, col) in self.errors[i].iter().enumerate() {
+            if col.contains(t) {
+                c.insert(l);
+            }
+        }
         c
     }
 
     /// Data-gain of firing `consequent` into `target = from.opposite()` for
     /// every transaction in `antecedent_tids` (Eq. 2, one direction):
     ///
-    /// `Σ_t  L(Y ∩ U_t | D) − L(Y \ (t ∪ E_t) | D)`.
+    /// `Σ_t  L(Y ∩ U_t | D) − L(Y \ (t ∪ E_t) | D)`,
+    ///
+    /// computed column-wise as `|Y|` fused popcount kernels over the
+    /// transposed tables (see the module docs).
     pub fn directional_gain(
         &self,
         from: Side,
@@ -194,23 +233,17 @@ impl<'d> CoverState<'d> {
         consequent: &ItemSet,
     ) -> f64 {
         let target = from.opposite();
-        let codes = self.codes.side_table(target);
-        let covered = &self.covered[ix(target)];
-        let errors = &self.errors[ix(target)];
-        let cons = self.consequent_bitmap(target, consequent);
-        // One scratch bitmap reused across the support; every set operation
-        // below is a word-parallel Bitmap kernel call.
-        let mut scratch = Bitmap::new(cons.capacity());
+        let ti = ix(target);
+        let vocab = self.data.vocab();
         let mut gain = 0.0;
-        for t in antecedent_tids.iter() {
-            let row = self.data.row(target, t);
-            // Hits: predicted ∧ present, gain for the not-yet-covered ones.
-            cons.and_into(row, &mut scratch);
-            gain += scratch.difference_weight(&covered[t], codes);
-            // Misses: predicted ∧ absent, cost for the fresh errors.
-            scratch.copy_from(&cons);
-            scratch.subtract(row);
-            gain -= scratch.difference_weight(&errors[t], codes);
+        for item in consequent.iter() {
+            let l = vocab.local_index(item);
+            let supp = self.data.column(target, l);
+            // Hits: rule fires, item present, not yet covered.
+            let hits = antecedent_tids.and_and_not_len(supp, &self.covered[ti][l]);
+            // Misses: rule fires, item absent, not yet an error.
+            let misses = antecedent_tids.and_not_not_len(supp, &self.errors[ti][l]);
+            gain += self.codes.item(item) * (hits as f64 - misses as f64);
         }
         gain
     }
@@ -249,7 +282,7 @@ impl<'d> CoverState<'d> {
         }
     }
 
-    /// Applies a rule: updates covered/error sets and all cached totals.
+    /// Applies a rule: updates covered/error columns and all cached totals.
     pub fn apply_rule(&mut self, rule: TranslationRule) {
         if rule.direction.fires_from(Side::Left) {
             let tids = self.data.support_set(&rule.left);
@@ -266,35 +299,40 @@ impl<'d> CoverState<'d> {
     fn apply_directional(&mut self, from: Side, antecedent_tids: &Bitmap, consequent: &ItemSet) {
         let target = from.opposite();
         let ti = ix(target);
-        let cons = self.consequent_bitmap(target, consequent);
-        let mut scratch = Bitmap::new(cons.capacity());
-        for t in antecedent_tids.iter() {
-            let row = self.data.row(target, t);
-            // Hits become covered; account only for the newly covered bits.
-            cons.and_into(row, &mut scratch);
-            for l in scratch.iter_and_not(&self.covered[ti][t]) {
-                let len = self.codes.side_table(target)[l];
-                self.l_corrections[ti] -= len;
-                self.uncovered_weight[ti][t] -= len;
+        let vocab = self.data.vocab();
+        let mut scratch = Bitmap::new(self.data.n_transactions());
+        for item in consequent.iter() {
+            let l = vocab.local_index(item);
+            let w = self.codes.item(item);
+            let supp = self.data.column(target, l);
+            // Hits become covered; account only for the newly covered tids
+            // (each also shrinks its transaction's tub).
+            antecedent_tids.and_into(supp, &mut scratch);
+            for t in scratch.iter_and_not(&self.covered[ti][l]) {
+                self.l_corrections[ti] -= w;
+                self.uncovered_weight[ti][t] -= w;
                 self.n_uncovered[ti] -= 1;
             }
-            self.covered[ti][t].union_with(&scratch);
-            // Misses become errors; account only for the fresh ones.
-            scratch.copy_from(&cons);
-            scratch.subtract(row);
-            for l in scratch.iter_and_not(&self.errors[ti][t]) {
-                self.l_corrections[ti] += self.codes.side_table(target)[l];
-                self.n_errors[ti] += 1;
-            }
-            self.errors[ti][t].union_with(&scratch);
+            self.covered[ti][l].union_with(&scratch);
+            // Misses become errors; only fresh ones cost anything, and they
+            // never touch the tub column (errors are not uncovered mass).
+            scratch.copy_from(antecedent_tids);
+            scratch.subtract(supp);
+            let fresh = scratch.difference_len(&self.errors[ti][l]);
+            self.l_corrections[ti] += w * fresh as f64;
+            self.n_errors[ti] += fresh;
+            self.errors[ti][l].union_with(&scratch);
         }
     }
 
     /// Recomputes every cached quantity from scratch and compares (within
-    /// `tol` bits). Returns a description of the first mismatch, `None` if
-    /// consistent. Test / debugging aid.
+    /// `tol` bits), checks the columnar invariants, and cross-checks the
+    /// whole state against the row-major reference implementation
+    /// ([`RowCoverState`]) built from the same table. Returns a description
+    /// of the first mismatch, `None` if consistent. Test / debugging aid.
     pub fn verify(&self, tol: f64) -> Option<String> {
         let fresh = CoverState::from_table(self.data, &self.table);
+        let rows = RowCoverState::from_table(self.data, &self.table);
         for side in Side::BOTH {
             let i = ix(side);
             if (self.l_corrections[i] - fresh.l_corrections[i]).abs() > tol {
@@ -303,18 +341,38 @@ impl<'d> CoverState<'d> {
                     self.l_corrections[i], fresh.l_corrections[i]
                 ));
             }
-            if self.n_uncovered[i] != fresh.n_uncovered[i] {
+            if (self.l_corrections[i] - rows.l_correction(side)).abs() > tol {
+                return Some(format!(
+                    "L(C_{side}) disagrees with row reference: {} vs {}",
+                    self.l_corrections[i],
+                    rows.l_correction(side)
+                ));
+            }
+            if self.n_uncovered[i] != fresh.n_uncovered[i]
+                || self.n_uncovered[i] != rows.n_uncovered(side)
+            {
                 return Some(format!("|U_{side}| mismatch"));
             }
-            if self.n_errors[i] != fresh.n_errors[i] {
+            if self.n_errors[i] != fresh.n_errors[i] || self.n_errors[i] != rows.n_errors(side) {
                 return Some(format!("|E_{side}| mismatch"));
             }
-            for t in 0..self.data.n_transactions() {
-                if !self.covered[i][t].is_subset(self.data.row(side, t)) {
-                    return Some(format!("covered ⊄ row at ({side},{t})"));
+            for l in 0..self.data.vocab().n_on(side) {
+                let supp = self.data.column(side, l);
+                if !self.covered[i][l].is_subset(supp) {
+                    return Some(format!("covered[{l}] ⊄ supp at side {side}"));
                 }
-                if !self.errors[i][t].is_disjoint(self.data.row(side, t)) {
-                    return Some(format!("errors ∩ row ≠ ∅ at ({side},{t})"));
+                if !self.errors[i][l].is_disjoint(supp) {
+                    return Some(format!("errors[{l}] ∩ supp ≠ ∅ at side {side}"));
+                }
+            }
+            for t in 0..self.data.n_transactions() {
+                if (self.uncovered_weight[i][t] - rows.uncovered_weight(side, t)).abs() > tol {
+                    return Some(format!("tub disagrees with row reference at ({side},{t})"));
+                }
+                if self.correction_row(side, t) != rows.correction_row(side, t) {
+                    return Some(format!(
+                        "correction row disagrees with row reference at ({side},{t})"
+                    ));
                 }
             }
         }
@@ -499,5 +557,55 @@ mod tests {
             let rule = TranslationRule::new(left.clone(), right.clone(), dir);
             assert!((g - s.rule_gain(&rule)).abs() < 1e-12, "{dir:?}");
         }
+    }
+
+    #[test]
+    fn columnar_matches_row_reference_after_rules() {
+        let d = toy();
+        let mut col = CoverState::new(&d);
+        let mut row = RowCoverState::new(&d);
+        let rules = [
+            rule_ab_xy(Direction::Both),
+            TranslationRule::new(
+                ItemSet::from_items([0]),
+                ItemSet::from_items([3, 4]),
+                Direction::Forward,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([2]),
+                ItemSet::from_items([5]),
+                Direction::Backward,
+            ),
+        ];
+        for r in rules {
+            let lt = d.support_set(&r.left);
+            let rt = d.support_set(&r.right);
+            let gc = col.pair_gains(&r.left, &r.right, &lt, &rt);
+            let gr = row.pair_gains(&r.left, &r.right, &lt, &rt);
+            for (a, b) in gc.iter().zip(gr) {
+                assert!((a - b).abs() < 1e-9, "gain {a} vs {b}");
+            }
+            col.apply_rule(r.clone());
+            row.apply_rule(r);
+            assert!((col.total_length() - row.total_length()).abs() < 1e-9);
+        }
+        assert_eq!(col.verify(1e-9), None);
+        for side in Side::BOTH {
+            for t in 0..d.n_transactions() {
+                assert_eq!(col.correction_row(side, t), row.correction_row(side, t));
+            }
+        }
+    }
+
+    #[test]
+    fn column_accessors_expose_cover_columns() {
+        let d = toy();
+        let mut s = CoverState::new(&d);
+        assert!(s.covered_tids(Side::Right, 0).is_empty());
+        s.apply_rule(rule_ab_xy(Direction::Forward));
+        // {a,b} holds in t0, t1, t4; x (local 0) present in all three.
+        assert_eq!(s.covered_tids(Side::Right, 0).to_vec(), vec![0, 1, 4]);
+        // y (local 1) absent from t1 -> error there.
+        assert_eq!(s.error_tids(Side::Right, 1).to_vec(), vec![1]);
     }
 }

@@ -138,14 +138,16 @@ pub fn correction_encoding_gap(state: &crate::cover::CoverState<'_>) -> (f64, f6
     let mut global_bits = 0.0;
     let mut optimal_bits = 0.0;
     for side in Side::BOTH {
-        // Count per-item occurrences in C_side.
+        // Per-item occurrences in C_side, read off the columnar state in
+        // three popcounts per item: |C[l]| = |U[l]| + |E[l]| with
+        // |U[l]| = |supp(l)| − |covered[l]| (covered ⊆ supp, U ∩ E = ∅).
         let n_local = vocab.n_on(side);
-        let mut counts = vec![0usize; n_local];
-        for t in 0..data.n_transactions() {
-            for l in state.correction_row(side, t).iter() {
-                counts[l] += 1;
-            }
-        }
+        let counts: Vec<usize> = (0..n_local)
+            .map(|l| {
+                data.column(side, l).len() - state.covered_tids(side, l).len()
+                    + state.error_tids(side, l).len()
+            })
+            .collect();
         let total: usize = counts.iter().sum();
         if total == 0 {
             continue;

@@ -19,6 +19,7 @@
 
 use twoview_data::prelude::*;
 
+use crate::bounds;
 use crate::cover::CoverState;
 use crate::model::{score_of, TraceStep, TranslatorModel};
 use crate::rule::{Direction, TranslationRule};
@@ -76,16 +77,10 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
         None => Vec::new(),
     };
     let mut state = CoverState::new(data);
-    // State-independent prefilter (see `select`): qub ≤ 0 can never help.
+    // State-independent prefilter (see `bounds`): qub ≤ 0 can never help.
     {
         let codes = state.codes();
-        seeds.retain(|c| {
-            let len_l = codes.itemset(&c.left);
-            let len_r = codes.itemset(&c.right);
-            let sx = data.support_count(&c.left) as f64;
-            let sy = data.support_count(&c.right) as f64;
-            sx * len_r + sy * len_l - (len_l + len_r + 1.0) > 0.0
-        });
+        seeds.retain(|c| bounds::qub(codes, data, &c.left, &c.right) > 0.0);
     }
     let n_seeds = seeds.len();
     let mut seed_gains: Vec<f64> = vec![f64::NEG_INFINITY; n_seeds];
@@ -293,8 +288,7 @@ impl Search<'_, '_> {
                 }
                 // Quick bound before the exact evaluation.
                 let len_right = self.state.codes().item(j);
-                let qub = ti.len() as f64 * len_right + tj.len() as f64 * len_left
-                    - (len_left + len_right + 1.0);
+                let qub = bounds::qub_parts(ti.len() as f64, tj.len() as f64, len_left, len_right);
                 if qub <= self.best_gain {
                     continue;
                 }
@@ -383,14 +377,18 @@ impl Search<'_, '_> {
             };
 
             // Rule bound: valid for this node and every extension.
-            let l_bidir = child.len_left + child.len_right + 1.0;
-            let rub = child.sum_left + child.sum_right - l_bidir;
+            let rub = bounds::rub_parts(
+                child.sum_left,
+                child.sum_right,
+                child.len_left,
+                child.len_right,
+            );
             if self.cfg.use_rub && rub <= self.best_gain {
                 continue;
             }
 
             if !child.left.is_empty() && !child.right.is_empty() {
-                self.evaluate(&child, l_bidir);
+                self.evaluate(&child);
             }
             self.dfs(pos + 1, &child);
         }
@@ -398,13 +396,16 @@ impl Search<'_, '_> {
 
     /// Evaluates the three rules constructible at a node, behind the quick
     /// bound.
-    fn evaluate(&mut self, node: &Node, l_bidir: f64) {
+    fn evaluate(&mut self, node: &Node) {
         let tid_left = node.tid_left.as_ref().expect("X non-empty");
         let tid_right = node.tid_right.as_ref().expect("Y non-empty");
         if self.cfg.use_qub {
-            let qub = tid_left.len() as f64 * node.len_right
-                + tid_right.len() as f64 * node.len_left
-                - l_bidir;
+            let qub = bounds::qub_parts(
+                tid_left.len() as f64,
+                tid_right.len() as f64,
+                node.len_left,
+                node.len_right,
+            );
             if qub <= self.best_gain {
                 return;
             }

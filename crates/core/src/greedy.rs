@@ -8,6 +8,7 @@
 use twoview_data::prelude::*;
 use twoview_mining::{mine_closed_twoview, mine_frequent_twoview, MinerConfig, TwoViewCandidate};
 
+use crate::bounds;
 use crate::cover::CoverState;
 use crate::model::{score_of, TraceStep, TranslatorModel};
 use crate::rule::{Direction, TranslationRule};
@@ -87,15 +88,8 @@ pub fn translator_greedy_candidates(
     for cand in ordered {
         // State-independent quick bound: a candidate whose `qub` is not
         // positive can never yield a positive gain; skip the evaluation.
-        {
-            let codes = state.codes();
-            let len_l = codes.itemset(&cand.left);
-            let len_r = codes.itemset(&cand.right);
-            let sx = data.support_count(&cand.left) as f64;
-            let sy = data.support_count(&cand.right) as f64;
-            if sx * len_r + sy * len_l - (len_l + len_r + 1.0) <= 0.0 {
-                continue;
-            }
+        if bounds::qub(state.codes(), data, &cand.left, &cand.right) <= 0.0 {
+            continue;
         }
         let lt = data.support_set(&cand.left);
         let rt = data.support_set(&cand.right);

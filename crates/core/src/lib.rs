@@ -11,8 +11,11 @@
 //! * [`translate`] — the TRANSLATE scheme and lossless XOR-correction
 //!   reconstruction (Algorithm 1);
 //! * [`encoding`] — per-item Shannon codes and all encoded lengths (§4);
-//! * [`cover`] — the incremental `U`/`E` cover state with exact
-//!   rule-gain evaluation (§5.1);
+//! * [`cover`] — the incremental `U`/`E` cover state in a columnar
+//!   (per-item tidset) layout with fused-kernel rule-gain evaluation (§5.1);
+//! * [`cover_rows`] — the row-major reference cover state (differential
+//!   testing + benchmark baseline);
+//! * [`bounds`] — the shared `qub`/`rub` gain bounds (§5.2);
 //! * [`exact`] — TRANSLATOR-EXACT: per-iteration optimal rule search with
 //!   `tub`/`rub`/`qub` pruning (§5.2, Algorithm 2);
 //! * [`select`] — TRANSLATOR-SELECT(k) over closed frequent two-view
@@ -38,7 +41,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod bounds;
 pub mod cover;
+pub mod cover_rows;
 pub mod encoding;
 pub mod exact;
 pub mod fit;
@@ -54,6 +59,7 @@ pub mod translate;
 
 pub use analysis::{rule_set_redundancy, rule_stats, summarize, RuleStats, TableSummary};
 pub use cover::CoverState;
+pub use cover_rows::RowCoverState;
 pub use encoding::{correction_encoding_gap, CodeLengths};
 pub use exact::{translator_exact, translator_exact_with, ExactConfig};
 pub use fit::{fit, Algorithm};

@@ -244,6 +244,46 @@ impl Bitmap {
             .sum()
     }
 
+    /// `|self ∩ b ∩ ¬c|` in one fused pass, without allocating.
+    ///
+    /// This is the *hit* kernel of the columnar cover state: with `self` an
+    /// antecedent tidset, `b` an item's support tidset and `c` the item's
+    /// covered-tids column, it counts the transactions where firing the rule
+    /// newly covers the item.
+    #[inline]
+    pub fn and_and_not_len(&self, b: &Bitmap, c: &Bitmap) -> usize {
+        debug_assert_eq!(self.capacity, b.capacity);
+        debug_assert_eq!(self.capacity, c.capacity);
+        self.words
+            .iter()
+            .zip(&b.words)
+            .zip(&c.words)
+            .map(|((x, y), z)| (x & y & !z).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∩ ¬b ∩ ¬c|` in one fused pass, without allocating.
+    ///
+    /// The *miss* kernel of the columnar cover state: with `self` an
+    /// antecedent tidset, `b` an item's support tidset and `c` the item's
+    /// error-tids column, it counts the transactions where firing the rule
+    /// introduces a fresh error for the item.
+    ///
+    /// Both masks are complemented, so stray bits beyond `capacity` would
+    /// survive `!b & !c`; `self` is always tail-trimmed by construction,
+    /// which masks them out.
+    #[inline]
+    pub fn and_not_not_len(&self, b: &Bitmap, c: &Bitmap) -> usize {
+        debug_assert_eq!(self.capacity, b.capacity);
+        debug_assert_eq!(self.capacity, c.capacity);
+        self.words
+            .iter()
+            .zip(&b.words)
+            .zip(&c.words)
+            .map(|((x, y), z)| (x & !y & !z).count_ones() as usize)
+            .sum()
+    }
+
     /// `true` iff `self ∩ other = ∅`, without allocating.
     #[inline]
     pub fn is_disjoint(&self, other: &Bitmap) -> bool {
@@ -596,6 +636,23 @@ mod tests {
         let empty = Bitmap::new(200);
         assert_eq!(a.iter_and(&empty).count(), 0);
         assert_eq!(a.iter_and_not(&empty).collect::<Vec<_>>(), a.to_vec());
+    }
+
+    #[test]
+    fn fused_triple_counts_match_materialised() {
+        let a = Bitmap::from_indices(200, [0, 5, 63, 64, 65, 128, 199]);
+        let b = Bitmap::from_indices(200, [5, 64, 100, 199]);
+        let c = Bitmap::from_indices(200, [5, 65, 128]);
+        assert_eq!(a.and_and_not_len(&b, &c), a.and(&b).and_not(&c).len());
+        assert_eq!(a.and_not_not_len(&b, &c), a.and_not(&b).and_not(&c).len());
+        let empty = Bitmap::new(200);
+        assert_eq!(a.and_and_not_len(&empty, &empty), 0);
+        assert_eq!(a.and_not_not_len(&empty, &empty), a.len());
+        // Capacity not a word multiple: complements must not leak tail bits.
+        let x = Bitmap::from_indices(70, [0, 69]);
+        let none = Bitmap::new(70);
+        assert_eq!(x.and_not_not_len(&none, &none), 2);
+        assert_eq!(Bitmap::full(70).and_not_not_len(&none, &none), 70);
     }
 
     #[test]

@@ -112,6 +112,16 @@ impl TwoViewDataset {
         &self.tidsets[item as usize]
     }
 
+    /// The tidset of the `local`-th item of `side` — the per-item *column*
+    /// view of the data the columnar cover state works on.
+    ///
+    /// Equivalent to `self.tidset(vocab.global_id(side, local))` without the
+    /// caller having to translate indices.
+    #[inline]
+    pub fn column(&self, side: Side, local: usize) -> &Bitmap {
+        &self.tidsets[self.vocab.global_id(side, local) as usize]
+    }
+
     /// `|supp(item)|`.
     #[inline]
     pub fn support(&self, item: ItemId) -> usize {
@@ -211,6 +221,15 @@ mod tests {
         assert_eq!(d.tidset(3).to_vec(), vec![0, 2]); // x
         assert_eq!(d.support(4), 2); // y
         assert_eq!(d.support(2), 1); // c
+    }
+
+    #[test]
+    fn columns_are_local_index_tidsets() {
+        let d = toy();
+        assert_eq!(d.column(Side::Left, 0), d.tidset(0)); // a
+        assert_eq!(d.column(Side::Left, 2), d.tidset(2)); // c
+        assert_eq!(d.column(Side::Right, 0), d.tidset(3)); // x
+        assert_eq!(d.column(Side::Right, 1).to_vec(), vec![1, 2]); // y
     }
 
     #[test]

@@ -13,7 +13,8 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 use twoview::core::exact::{best_rule, brute_force_best_rule, ExactConfig};
-use twoview::core::{translate, CoverState};
+use twoview::core::select::{translator_select_candidates, SelectConfig};
+use twoview::core::{translate, CoverState, RowCoverState};
 use twoview::mining::closed::brute_force_closed;
 use twoview::mining::eclat::brute_force_frequent;
 use twoview::prelude::*;
@@ -248,6 +249,70 @@ proptest! {
                 (predicted - actual).abs() < 1e-6,
                 "predicted {} vs actual {}", predicted, actual
             );
+        }
+    }
+
+    /// The columnar cover state and the row-major reference implementation
+    /// are interchangeable: for any random rule sequence, per-rule gains,
+    /// all encoded-length totals, tub columns and reconstructed correction
+    /// rows agree, and the columnar invariants hold throughout.
+    #[test]
+    fn columnar_cover_state_matches_row_reference(
+        data in dataset_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let rules = rules_for(&data, seed, 5);
+        let mut col = CoverState::new(&data);
+        let mut row = RowCoverState::new(&data);
+        prop_assert!((col.total_length() - row.total_length()).abs() < 1e-9);
+        for r in &rules {
+            let lt = data.support_set(&r.left);
+            let rt = data.support_set(&r.right);
+            let gc = col.pair_gains(&r.left, &r.right, &lt, &rt);
+            let gr = row.pair_gains(&r.left, &r.right, &lt, &rt);
+            for (a, b) in gc.iter().zip(gr) {
+                prop_assert!((a - b).abs() < 1e-6, "gain {} vs {}", a, b);
+            }
+            col.apply_rule(r.clone());
+            row.apply_rule(r.clone());
+            prop_assert!((col.total_length() - row.total_length()).abs() < 1e-6);
+            for side in Side::BOTH {
+                prop_assert!(
+                    (col.l_correction(side) - row.l_correction(side)).abs() < 1e-6
+                );
+                prop_assert_eq!(col.n_uncovered(side), row.n_uncovered(side));
+                prop_assert_eq!(col.n_errors(side), row.n_errors(side));
+            }
+        }
+        // verify() also cross-checks tub columns and correction rows
+        // against a RowCoverState rebuilt from the same table.
+        prop_assert_eq!(col.verify(1e-6), None);
+    }
+
+    /// SELECT is model-identical across refresh thread counts and with the
+    /// rub round-pruning on or off.
+    #[test]
+    fn select_identical_across_threads_and_rub(data in dataset_strategy(), k in 1usize..4) {
+        let mined = twoview::mining::mine_closed_twoview(
+            &data,
+            &MinerConfig::with_minsup(1),
+        );
+        let base = translator_select_candidates(
+            &data,
+            &SelectConfig { n_threads: Some(1), ..SelectConfig::new(k, 1) },
+            &mined.candidates,
+        );
+        for cfg in [
+            SelectConfig { n_threads: Some(4), ..SelectConfig::new(k, 1) },
+            SelectConfig { use_rub: false, n_threads: Some(1), ..SelectConfig::new(k, 1) },
+            // Gate off => the rub-prune branch really runs on this tiny data.
+            SelectConfig { rub_cost_gate: false, n_threads: Some(1), ..SelectConfig::new(k, 1) },
+            SelectConfig { rub_cost_gate: false, n_threads: Some(4), ..SelectConfig::new(k, 1) },
+            SelectConfig { use_rub: false, gain_cache: false, ..SelectConfig::new(k, 1) },
+        ] {
+            let other = translator_select_candidates(&data, &cfg, &mined.candidates);
+            prop_assert_eq!(&base.table, &other.table);
+            prop_assert!((base.score.l_total - other.score.l_total).abs() < 1e-9);
         }
     }
 

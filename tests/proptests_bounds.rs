@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use twoview::core::{predict, translate, CoverState};
+use twoview::core::{bounds, predict, translate, CoverState};
 use twoview::prelude::*;
 
 fn random_dataset(nl: usize, nr: usize, n: usize, seed: u64, density: f64) -> TwoViewDataset {
@@ -78,16 +78,21 @@ proptest! {
                 let lt = data.support_set(&left);
                 let rt = data.support_set(&right);
                 let gains = state.pair_gains(&left, &right, &lt, &rt);
+
+                // The shared bound helpers (paper §5.2) every TRANSLATOR
+                // algorithm prunes with.
+                let qub = bounds::qub(state.codes(), &data, &left, &right);
+                let rub = bounds::rub(&state, &left, &right, &lt, &rt);
+                // They must match the paper formulas computed longhand.
                 let len_l: f64 = left.iter().map(|i| state.codes().item(i)).sum();
                 let len_r: f64 = right.iter().map(|i| state.codes().item(i)).sum();
                 let l_bidir = len_l + len_r + 1.0;
-
-                // qub (paper §5.2).
-                let qub = lt.len() as f64 * len_r + rt.len() as f64 * len_l - l_bidir;
-                // rub: tub sums over the supports.
+                let qub_direct = lt.len() as f64 * len_r + rt.len() as f64 * len_l - l_bidir;
                 let sum_l: f64 = lt.iter().map(|t| state.uncovered_weight(Side::Right, t)).sum();
                 let sum_r: f64 = rt.iter().map(|t| state.uncovered_weight(Side::Left, t)).sum();
-                let rub = sum_l + sum_r - l_bidir;
+                let rub_direct = sum_l + sum_r - l_bidir;
+                prop_assert!((qub - qub_direct).abs() < 1e-9);
+                prop_assert!((rub - rub_direct).abs() < 1e-9);
 
                 for (gain, dir) in gains.into_iter().zip(Direction::ALL) {
                     prop_assert!(
