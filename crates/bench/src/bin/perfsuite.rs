@@ -1,20 +1,27 @@
 //! `perfsuite` — the repo's machine-readable performance trajectory.
 //!
-//! Times the TRANSLATOR hot paths on synthetic corpora and writes a
+//! Times the TRANSLATOR hot paths over a small **matrix of synthetic
+//! corpora** (varying `n`, vocabulary size, and density) and writes a
 //! `BENCH_select.json` snapshot (at the repo root by default) so speedups
-//! and regressions are comparable across PRs:
+//! and regressions are comparable across PRs. Per corpus it records:
 //!
-//! * **candidate mining** — closed frequent two-view itemsets;
+//! * **candidate mining** — closed frequent two-view itemsets, serial vs
+//!   the pool's parallel first-level expansion (bit-identical results);
 //! * **gain refresh** — one full pass recomputing every candidate's three
-//!   directional gains, measured against both cover-state layouts: the
-//!   columnar production [`CoverState`] and the row-major pre-columnar
-//!   reference [`RowCoverState`] (the recorded `speedup` is the headline
-//!   number of the columnar transposition);
-//! * **full runs** — SELECT (1 thread and all cores), GREEDY, and a
-//!   node-capped EXACT;
-//! * **identity checks** — SELECT must produce the same table and total
-//!   encoded length with `rub` pruning on/off and for 1 vs N refresh
-//!   threads.
+//!   directional gains against both cover-state layouts: the columnar
+//!   production [`CoverState`] and the row-major pre-columnar reference
+//!   [`RowCoverState`];
+//! * **SELECT(1)** — serial, legacy per-round `std::thread::scope`
+//!   refresh, and the persistent-pool refresh (the pool-vs-scope
+//!   comparison is the headline number of the runtime crate), plus the
+//!   `rub`-off / `rub`-forced ablations;
+//! * **GREEDY** and **EXACT** — EXACT node-capped at 1 thread (serial
+//!   reference), 2 threads, and all cores through the parallel root
+//!   fan-out; on the smallest corpus also an *uncapped* serial-vs-parallel
+//!   run, whose result must be bit-identical;
+//! * **identity checks** — thread counts, pool vs scope, parallel vs
+//!   serial mining, rub on/off/forced, and layout checksums must all
+//!   agree; the process exits non-zero (and CI fails) if any is false.
 //!
 //! Usage (from the repo root):
 //!
@@ -24,6 +31,7 @@
 //! cargo run --release -p twoview-bench --bin perfsuite -- --out p.json
 //! ```
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use twoview_core::greedy::translator_greedy_candidates;
@@ -35,18 +43,70 @@ use twoview_data::prelude::*;
 use twoview_data::synthetic::{self, StructureSpec, SyntheticSpec};
 use twoview_mining::{mine_closed_twoview, MinerConfig, TwoViewCandidate};
 
-/// The dense synthetic corpus: ~30% density on both sides with strong
-/// planted cross-view structure — the regime where per-transaction gain
-/// loops hurt the most (large supports, long rows).
-fn dense_corpus(n: usize) -> TwoViewDataset {
-    let spec = SyntheticSpec {
-        name: "dense".into(),
-        n_transactions: n,
+/// One cell of the corpus matrix.
+struct CorpusSpec {
+    name: &'static str,
+    n_full: usize,
+    n_smoke: usize,
+    n_left: usize,
+    n_right: usize,
+    density: f64,
+    concepts: usize,
+    /// `minsup = n / minsup_div`.
+    minsup_div: usize,
+    /// Run the uncapped EXACT serial-vs-parallel identity check here
+    /// (affordable only where the search space is small).
+    exact_uncapped_check: bool,
+}
+
+/// The matrix: small/sparse, mid/dense (the pre-matrix `perfsuite` corpus,
+/// kept comparable across PRs), large/sparse.
+const CORPORA: &[CorpusSpec] = &[
+    CorpusSpec {
+        name: "small-sparse",
+        n_full: 600,
+        n_smoke: 200,
+        n_left: 16,
+        n_right: 12,
+        density: 0.15,
+        concepts: 4,
+        minsup_div: 12,
+        exact_uncapped_check: true,
+    },
+    CorpusSpec {
+        name: "mid-dense",
+        n_full: 2000,
+        n_smoke: 300,
         n_left: 40,
         n_right: 30,
-        density_left: 0.30,
-        density_right: 0.30,
-        structure: StructureSpec::strong(6),
+        density: 0.30,
+        concepts: 6,
+        minsup_div: 10,
+        exact_uncapped_check: false,
+    },
+    CorpusSpec {
+        name: "large-sparse",
+        n_full: 6000,
+        n_smoke: 500,
+        n_left: 48,
+        n_right: 36,
+        density: 0.12,
+        concepts: 8,
+        minsup_div: 15,
+        exact_uncapped_check: false,
+    },
+];
+
+fn generate(spec: &CorpusSpec, smoke: bool) -> TwoViewDataset {
+    let n = if smoke { spec.n_smoke } else { spec.n_full };
+    let spec = SyntheticSpec {
+        name: spec.name.into(),
+        n_transactions: n,
+        n_left: spec.n_left,
+        n_right: spec.n_right,
+        density_left: spec.density,
+        density_right: spec.density,
+        structure: StructureSpec::strong(spec.concepts),
         seed: 7,
     };
     synthetic::generate(&spec).expect("valid spec").dataset
@@ -65,9 +125,8 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.expect("reps >= 1"))
 }
 
-/// One full gain-refresh pass: every candidate's three directional gains
-/// through the given layout's `pair_gains`. Returns the gain sum as a
-/// checksum (also keeps the loop from being optimised away).
+/// One full gain-refresh pass through the given layout's `pair_gains`.
+/// Returns the gain sum as a checksum (also keeps the loop live).
 fn refresh_pass(
     cands: &[TwoViewCandidate],
     tids: &[(Bitmap, Bitmap)],
@@ -85,42 +144,58 @@ fn models_match(a: &TranslatorModel, b: &TranslatorModel) -> bool {
     a.table == b.table && (a.score.l_total - b.score.l_total).abs() < 1e-9
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    // Smoke runs default to their own file so a CI-sized local run never
-    // clobbers the committed full-corpus BENCH_select.json record.
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or(if smoke {
-            "BENCH_smoke.json"
-        } else {
-            "BENCH_select.json"
-        })
-        .to_string();
+/// Identity flags of one corpus run; all must be true.
+struct Identities {
+    layout_checksums_agree: bool,
+    mining_threads_identical: bool,
+    select_threads_identical: bool,
+    select_pool_vs_scope_identical: bool,
+    rub_identical: bool,
+    exact_threads_identical: bool,
+    exact_uncapped_identical: bool,
+}
 
-    let n = if smoke { 300 } else { 2000 };
-    let minsup = (n / 10).max(1);
+impl Identities {
+    fn all(&self) -> bool {
+        self.layout_checksums_agree
+            && self.mining_threads_identical
+            && self.select_threads_identical
+            && self.select_pool_vs_scope_identical
+            && self.rub_identical
+            && self.exact_threads_identical
+            && self.exact_uncapped_identical
+    }
+}
+
+fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> bool {
     let reps = if smoke { 2 } else { 3 };
-
-    eprintln!("perfsuite: dense corpus n={n}, minsup={minsup}");
-    let data = dense_corpus(n);
-
-    // --- candidate mining -------------------------------------------------
-    let mut mcfg = MinerConfig::with_minsup(minsup);
-    mcfg.max_itemsets = 2_000_000;
-    let (mine_ms, mined) = time_best(reps, || mine_closed_twoview(&data, &mcfg));
-    let cands = mined.candidates;
+    let max_threads = twoview_runtime::configured_threads().max(2);
+    let data = generate(spec, smoke);
+    let n = data.n_transactions();
+    let minsup = (n / spec.minsup_div).max(1);
     eprintln!(
-        "  mined {} closed candidates in {mine_ms:.1} ms",
-        cands.len()
+        "perfsuite[{}]: n={n}, {}x{} items, density {:.2}, minsup {minsup}",
+        spec.name, spec.n_left, spec.n_right, spec.density
     );
 
-    // --- gain refresh: columnar vs row-major ------------------------------
-    // Measure against a mid-build state: apply the first rules SELECT(1)
+    // --- candidate mining: serial vs pool -------------------------------
+    let mut mcfg_serial = MinerConfig::with_minsup(minsup);
+    mcfg_serial.max_itemsets = 2_000_000;
+    mcfg_serial.n_threads = Some(1);
+    let mut mcfg_par = mcfg_serial.clone();
+    mcfg_par.n_threads = Some(max_threads);
+    let (mine_serial_ms, mined) = time_best(reps, || mine_closed_twoview(&data, &mcfg_serial));
+    let (mine_par_ms, mined_par) = time_best(reps, || mine_closed_twoview(&data, &mcfg_par));
+    let mining_threads_identical = mined.candidates == mined_par.candidates;
+    let cands = mined.candidates;
+    eprintln!(
+        "  mining: {ncand} closed candidates, serial {mine_serial_ms:.1} ms / \
+         pool {mine_par_ms:.1} ms (identical: {mining_threads_identical})",
+        ncand = cands.len()
+    );
+
+    // --- gain refresh: columnar vs row-major ----------------------------
+    // Measured against a mid-build state: apply the first rules SELECT(1)
     // actually picks, so covered/error tables are non-trivial.
     let warm = translator_select_candidates(
         &data,
@@ -150,101 +225,204 @@ fn main() {
             row_state.pair_gains(l, r, lt, rt)
         })
     });
-    let layouts_agree = (sum_col - sum_rows).abs() < 1e-6 * (1.0 + sum_col.abs());
-    let speedup = refresh_rows_ms / refresh_columnar_ms.max(1e-9);
+    let layout_checksums_agree = (sum_col - sum_rows).abs() < 1e-6 * (1.0 + sum_col.abs());
+    let refresh_speedup = refresh_rows_ms / refresh_columnar_ms.max(1e-9);
     eprintln!(
         "  gain refresh: rows {refresh_rows_ms:.2} ms, columnar {refresh_columnar_ms:.2} ms \
-         ({speedup:.1}x, checksums agree: {layouts_agree})"
+         ({refresh_speedup:.1}x, checksums agree: {layout_checksums_agree})"
     );
 
-    // --- full runs --------------------------------------------------------
-    let cfg_1t = SelectConfig {
-        n_threads: Some(1),
+    // --- SELECT(1): serial vs legacy scope vs pool ----------------------
+    let select_cfg = |n_threads, legacy_scope| SelectConfig {
+        n_threads: Some(n_threads),
+        legacy_scope,
         ..SelectConfig::new(1, minsup)
     };
-    let (select_1t_ms, model_1t) = time_best(reps, || {
-        translator_select_candidates(&data, &cfg_1t, &cands)
+    let (select_serial_ms, model_serial) = time_best(reps, || {
+        translator_select_candidates(&data, &select_cfg(1, false), &cands)
     });
-    let cfg_mt = SelectConfig {
-        n_threads: None,
-        ..SelectConfig::new(1, minsup)
-    };
-    let (select_mt_ms, model_mt) = time_best(reps, || {
-        translator_select_candidates(&data, &cfg_mt, &cands)
+    let (select_scope_ms, model_scope) = time_best(reps, || {
+        translator_select_candidates(&data, &select_cfg(max_threads, true), &cands)
     });
-    let cfg_norub = SelectConfig {
-        use_rub: false,
-        n_threads: Some(1),
-        ..SelectConfig::new(1, minsup)
-    };
+    let (select_pool_ms, model_pool) = time_best(reps, || {
+        translator_select_candidates(&data, &select_cfg(max_threads, false), &cands)
+    });
     let (select_norub_ms, model_norub) = time_best(reps, || {
-        translator_select_candidates(&data, &cfg_norub, &cands)
+        let cfg = SelectConfig {
+            use_rub: false,
+            ..select_cfg(1, false)
+        };
+        translator_select_candidates(&data, &cfg, &cands)
     });
     // Cost gate forced off: every dirty candidate goes through the
     // rub-prune branch, which must still be model-identical.
-    let cfg_rub_forced = SelectConfig {
-        rub_cost_gate: false,
-        n_threads: Some(1),
-        ..SelectConfig::new(1, minsup)
-    };
     let (select_rub_forced_ms, model_rub_forced) = time_best(reps, || {
-        translator_select_candidates(&data, &cfg_rub_forced, &cands)
+        let cfg = SelectConfig {
+            rub_cost_gate: false,
+            ..select_cfg(1, false)
+        };
+        translator_select_candidates(&data, &cfg, &cands)
     });
-    let threads_identical = models_match(&model_1t, &model_mt);
+    let select_threads_identical = models_match(&model_serial, &model_pool);
+    let select_pool_vs_scope_identical = models_match(&model_pool, &model_scope);
     let rub_identical =
-        models_match(&model_1t, &model_norub) && models_match(&model_1t, &model_rub_forced);
+        models_match(&model_serial, &model_norub) && models_match(&model_serial, &model_rub_forced);
+    let select_pool_not_slower = select_pool_ms <= select_scope_ms * 1.10;
     eprintln!(
-        "  SELECT(1): {select_1t_ms:.1} ms (1 thread) / {select_mt_ms:.1} ms (all cores) / \
-         {select_norub_ms:.1} ms (rub off) / {select_rub_forced_ms:.1} ms (rub forced); {} rules",
-        model_1t.table.len()
+        "  SELECT(1): serial {select_serial_ms:.1} ms / scope {select_scope_ms:.1} ms / \
+         pool {select_pool_ms:.1} ms ({} rules; pool ≥ scope: {select_pool_not_slower})",
+        model_serial.table.len()
     );
 
+    // --- GREEDY ---------------------------------------------------------
     let (greedy_ms, greedy_model) = time_best(reps, || {
         translator_greedy_candidates(&data, &GreedyConfig::new(minsup), &cands)
     });
-    let exact_cfg = ExactConfig {
+
+    // --- EXACT: capped, 1 / 2 / max threads -----------------------------
+    let exact_cfg = |n_threads| ExactConfig {
         max_nodes: Some(if smoke { 20_000 } else { 200_000 }),
         max_rules: Some(3),
         candidate_seed_minsup: Some(minsup),
+        n_threads: Some(n_threads),
         ..ExactConfig::default()
     };
-    let (exact_ms, exact_model) = time_best(1, || translator_exact_with(&data, &exact_cfg));
+    let (exact_1t_ms, _exact_1t) = time_best(1, || translator_exact_with(&data, &exact_cfg(1)));
+    let (exact_2t_ms, exact_2t) = time_best(1, || translator_exact_with(&data, &exact_cfg(2)));
+    let (exact_mt_ms, exact_mt) =
+        time_best(1, || translator_exact_with(&data, &exact_cfg(max_threads)));
+    // Capped parallel runs use deterministic per-subtree budgets: every
+    // thread count > 1 must produce the same model. Compare 2 vs 3
+    // threads explicitly — on a ≤2-core machine `max_threads` collapses
+    // to 2 and a 2-vs-max comparison would be vacuous — plus 2 vs max.
+    let exact_3t = translator_exact_with(&data, &exact_cfg(3));
+    let exact_threads_identical =
+        models_match(&exact_2t, &exact_3t) && models_match(&exact_2t, &exact_mt);
+    let exact_speedup_2t = exact_1t_ms / exact_2t_ms.max(1e-9);
     eprintln!(
-        "  GREEDY: {greedy_ms:.1} ms ({} rules); EXACT (capped): {exact_ms:.1} ms ({} rules)",
+        "  GREEDY {greedy_ms:.1} ms ({} rules); EXACT capped: 1t {exact_1t_ms:.1} ms / \
+         2t {exact_2t_ms:.1} ms / {max_threads}t {exact_mt_ms:.1} ms \
+         ({exact_speedup_2t:.2}x at 2t, identical: {exact_threads_identical})",
         greedy_model.table.len(),
-        exact_model.table.len()
     );
 
-    // --- JSON -------------------------------------------------------------
-    let json = format!(
-        "{{\n  \"suite\": \"select\",\n  \"mode\": \"{mode}\",\n  \"corpus\": {{\n    \
-         \"name\": \"dense-synthetic\",\n    \"n_transactions\": {n},\n    \"n_left\": 40,\n    \
-         \"n_right\": 30,\n    \"density\": 0.30,\n    \"minsup\": {minsup},\n    \
-         \"n_candidates\": {ncand}\n  }},\n  \"timings_ms\": {{\n    \
-         \"mine_closed\": {mine_ms:.3},\n    \
-         \"gain_refresh_rows\": {refresh_rows_ms:.3},\n    \
-         \"gain_refresh_columnar\": {refresh_columnar_ms:.3},\n    \
-         \"select1_single_thread\": {select_1t_ms:.3},\n    \
-         \"select1_multi_thread\": {select_mt_ms:.3},\n    \
-         \"select1_no_rub\": {select_norub_ms:.3},\n    \
-         \"select1_rub_forced\": {select_rub_forced_ms:.3},\n    \
-         \"greedy\": {greedy_ms:.3},\n    \
-         \"exact_capped\": {exact_ms:.3}\n  }},\n  \
-         \"gain_refresh_speedup\": {speedup:.3},\n  \
-         \"select1_rules\": {nrules},\n  \
-         \"select1_l_total\": {ltotal:.6},\n  \"identity\": {{\n    \
-         \"layout_checksums_agree\": {layouts_agree},\n    \
-         \"threads_identical\": {threads_identical},\n    \
-         \"rub_identical\": {rub_identical}\n  }}\n}}\n",
-        mode = if smoke { "smoke" } else { "full" },
+    // --- EXACT uncapped identity (small corpus only) --------------------
+    let exact_uncapped_identical = if spec.exact_uncapped_check {
+        let uncapped = |n_threads| ExactConfig {
+            max_nodes: None,
+            max_rules: Some(2),
+            candidate_seed_minsup: Some(minsup),
+            n_threads: Some(n_threads),
+            ..ExactConfig::default()
+        };
+        let serial = translator_exact_with(&data, &uncapped(1));
+        let parallel = translator_exact_with(&data, &uncapped(max_threads));
+        let same = models_match(&serial, &parallel);
+        eprintln!("  EXACT uncapped serial-vs-parallel identical: {same}");
+        same
+    } else {
+        true
+    };
+
+    let identities = Identities {
+        layout_checksums_agree,
+        mining_threads_identical,
+        select_threads_identical,
+        select_pool_vs_scope_identical,
+        rub_identical,
+        exact_threads_identical,
+        exact_uncapped_identical,
+    };
+
+    write!(
+        json,
+        r#"    {{
+      "name": "{name}",
+      "n_transactions": {n},
+      "n_left": {nl},
+      "n_right": {nr},
+      "density": {density},
+      "minsup": {minsup},
+      "n_candidates": {ncand},
+      "timings_ms": {{
+        "mine_closed_serial": {mine_serial_ms:.3},
+        "mine_closed_pool": {mine_par_ms:.3},
+        "gain_refresh_rows": {refresh_rows_ms:.3},
+        "gain_refresh_columnar": {refresh_columnar_ms:.3},
+        "select1_serial": {select_serial_ms:.3},
+        "select1_scope": {select_scope_ms:.3},
+        "select1_pool": {select_pool_ms:.3},
+        "select1_no_rub": {select_norub_ms:.3},
+        "select1_rub_forced": {select_rub_forced_ms:.3},
+        "greedy": {greedy_ms:.3},
+        "exact_capped_1t": {exact_1t_ms:.3},
+        "exact_capped_2t": {exact_2t_ms:.3},
+        "exact_capped_maxt": {exact_mt_ms:.3}
+      }},
+      "gain_refresh_speedup": {refresh_speedup:.3},
+      "exact_speedup_2t": {exact_speedup_2t:.3},
+      "select_pool_not_slower": {select_pool_not_slower},
+      "select1_rules": {nrules},
+      "select1_l_total": {ltotal:.6},
+      "identity": {{
+        "layout_checksums_agree": {layout_checksums_agree},
+        "mining_threads_identical": {mining_threads_identical},
+        "select_threads_identical": {select_threads_identical},
+        "select_pool_vs_scope_identical": {select_pool_vs_scope_identical},
+        "rub_identical": {rub_identical},
+        "exact_threads_identical": {exact_threads_identical},
+        "exact_uncapped_identical": {exact_uncapped_identical}
+      }}
+    }}"#,
+        name = spec.name,
+        nl = spec.n_left,
+        nr = spec.n_right,
+        density = spec.density,
         ncand = cands.len(),
-        nrules = model_1t.table.len(),
-        ltotal = model_1t.score.l_total,
+        nrules = model_serial.table.len(),
+        ltotal = model_serial.score.l_total,
+    )
+    .expect("write json");
+
+    identities.all()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Smoke runs default to their own file so a CI-sized local run never
+    // clobbers the committed full-corpus BENCH_select.json record.
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if smoke {
+            "BENCH_smoke.json"
+        } else {
+            "BENCH_select.json"
+        })
+        .to_string();
+
+    let mut corpora_json: Vec<String> = Vec::new();
+    let mut all_identities = true;
+    for spec in CORPORA {
+        let mut json = String::new();
+        all_identities &= run_corpus(spec, smoke, &mut json);
+        corpora_json.push(json);
+    }
+
+    let json = format!(
+        "{{\n  \"suite\": \"select\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \
+         \"corpora\": [\n{corpora}\n  ],\n  \"all_identities\": {all_identities}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        threads = twoview_runtime::configured_threads(),
+        corpora = corpora_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("  wrote {out_path}");
 
-    if !(layouts_agree && threads_identical && rub_identical) {
+    if !all_identities {
         eprintln!("perfsuite: IDENTITY CHECK FAILED");
         std::process::exit(1);
     }

@@ -201,6 +201,10 @@ impl<'d> CoverState<'d> {
 
     /// The correction row `C_t = U_t ∪ E_t` on `side` (local indices),
     /// reconstructed from the item columns on demand.
+    ///
+    /// One row costs a probe of every item column; paths that need many
+    /// rows (eval, reporting, [`CoverState::verify`]) should use the
+    /// batched transposition [`CoverState::correction_rows_batch`] instead.
     pub fn correction_row(&self, side: Side, t: usize) -> Bitmap {
         let i = ix(side);
         let mut c = Bitmap::new(self.data.vocab().n_on(side));
@@ -217,6 +221,35 @@ impl<'d> CoverState<'d> {
             }
         }
         c
+    }
+
+    /// All correction rows `C_t = U_t ∪ E_t` of `side` at once — the
+    /// batched column→row transposition.
+    ///
+    /// Instead of probing every item column per row (`O(|D| · |I_side|)`
+    /// word-indexed probes for the full table), this makes **one pass over
+    /// the columns**, scattering each column's uncovered tids
+    /// (`supp(l) \ covered[l]`, streamed through the lazy
+    /// [`Bitmap::iter_and_not`] kernel) and error tids into the row
+    /// bitmaps. Row `t` of the result equals
+    /// [`CoverState::correction_row`]`(side, t)` exactly.
+    pub fn correction_rows_batch(&self, side: Side) -> Vec<Bitmap> {
+        let i = ix(side);
+        let n = self.data.n_transactions();
+        let width = self.data.vocab().n_on(side);
+        let mut rows = vec![Bitmap::new(width); n];
+        for l in 0..width {
+            // U column: present but not covered.
+            let supp = self.data.column(side, l);
+            for t in supp.iter_and_not(&self.covered[i][l]) {
+                rows[t].insert(l);
+            }
+            // E column: predicted although absent.
+            for t in self.errors[i][l].iter() {
+                rows[t].insert(l);
+            }
+        }
+        rows
     }
 
     /// Data-gain of firing `consequent` into `target = from.opposite()` for
@@ -365,13 +398,19 @@ impl<'d> CoverState<'d> {
                     return Some(format!("errors[{l}] ∩ supp ≠ ∅ at side {side}"));
                 }
             }
-            for t in 0..self.data.n_transactions() {
+            let batch = self.correction_rows_batch(side);
+            for (t, batch_row) in batch.iter().enumerate() {
                 if (self.uncovered_weight[i][t] - rows.uncovered_weight(side, t)).abs() > tol {
                     return Some(format!("tub disagrees with row reference at ({side},{t})"));
                 }
-                if self.correction_row(side, t) != rows.correction_row(side, t) {
+                if batch_row != &rows.correction_row(side, t) {
                     return Some(format!(
                         "correction row disagrees with row reference at ({side},{t})"
+                    ));
+                }
+                if batch_row != &self.correction_row(side, t) {
+                    return Some(format!(
+                        "batched transposition disagrees with item-probe row at ({side},{t})"
                     ));
                 }
             }
@@ -593,6 +632,36 @@ mod tests {
         for side in Side::BOTH {
             for t in 0..d.n_transactions() {
                 assert_eq!(col.correction_row(side, t), row.correction_row(side, t));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_per_row_reconstruction() {
+        let d = toy();
+        let mut s = CoverState::new(&d);
+        let rules = [
+            rule_ab_xy(Direction::Both),
+            TranslationRule::new(
+                ItemSet::from_items([0]),
+                ItemSet::from_items([3, 4]),
+                Direction::Forward,
+            ),
+        ];
+        for check_point in 0..=rules.len() {
+            for side in Side::BOTH {
+                let batch = s.correction_rows_batch(side);
+                assert_eq!(batch.len(), d.n_transactions());
+                for (t, row) in batch.iter().enumerate() {
+                    assert_eq!(
+                        row,
+                        &s.correction_row(side, t),
+                        "side {side}, t {t}, after {check_point} rules"
+                    );
+                }
+            }
+            if let Some(rule) = rules.get(check_point) {
+                s.apply_rule(rule.clone());
             }
         }
     }

@@ -16,6 +16,36 @@
 //!
 //! Items are ordered descending by their single-item `rub` contribution so
 //! strong rules are found early and pruning bites.
+//!
+//! ## Parallel root fan-out
+//!
+//! The DFS subtrees rooted at each first item are independent, so with
+//! [`ExactConfig::n_threads`] `> 1` they fan out across the persistent
+//! [`twoview_runtime`] pool: each pool participant clones the (read-only
+//! during search) [`CoverState`] once, then claims root subtrees off an
+//! atomic counter. Cross-subtree pruning flows through a **shared atomic
+//! best-bound** that only ever tightens monotonically, so `rub`/`qub`
+//! pruning stays admissible and the search stays exactly optimal. Two
+//! details make the *returned rule* (not just its gain) bit-identical to
+//! the serial search for any thread count:
+//!
+//! * each subtree tracks its own local best with the strict `>` rule the
+//!   serial DFS uses, seeded at the (deterministic) incumbent gain, and
+//!   the shared bound is consulted for pruning with strict `<` only — a
+//!   node whose bound *equals* the shared best may still contain the rule
+//!   that an earlier-ordered subtree would have won with, and must not be
+//!   discarded by a later-ordered subtree that merely finished first;
+//! * subtree results are merged by an **ordered reduction** in root
+//!   submission order with the same strict-improvement rule, reproducing
+//!   the serial first-wins tie-breaking exactly.
+//!
+//! A node-capped search (`max_nodes`) instead gives every subtree a fixed
+//! `cap / n_roots` budget and disables the shared bound, so capped runs
+//! are deterministic per thread count too (the visited node set is a pure
+//! function of the data), at the price of slightly weaker pruning.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use twoview_data::prelude::*;
 
@@ -43,6 +73,21 @@ pub struct ExactConfig {
     /// seed — but it tightens pruning dramatically and guarantees that a
     /// *node-capped* run is never worse than TRANSLATOR-SELECT(1).
     pub candidate_seed_minsup: Option<usize>,
+    /// Worker threads for the root-level DFS fan-out and candidate-seed
+    /// mining. `Some(1)` keeps the single-DFS legacy search; `Some(t > 1)`
+    /// fans out; `None` fans out once the vocabulary is large enough
+    /// (≥ 24 items) and sizes the pool from the process default
+    /// ([`twoview_runtime::configured_threads`]).
+    ///
+    /// The *structure* choice is a pure function of this field and the
+    /// data, never of the machine, so a given config reproduces the same
+    /// model everywhere; `TWOVIEW_RUNTIME_THREADS` only scales execution.
+    /// Uncapped searches return identical rules under every setting;
+    /// node-capped searches are identical across all fanned-out settings
+    /// (`None` and every `Some(t > 1)`), while `Some(1)`'s global node cap
+    /// visits a different truncation frontier than the fan-out's
+    /// per-subtree budgets.
+    pub n_threads: Option<usize>,
 }
 
 impl Default for ExactConfig {
@@ -53,6 +98,7 @@ impl Default for ExactConfig {
             use_qub: true,
             max_rules: None,
             candidate_seed_minsup: Some(1),
+            n_threads: None,
         }
     }
 }
@@ -72,6 +118,7 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
         Some(minsup) => {
             let mut mcfg = twoview_mining::MinerConfig::with_minsup(minsup);
             mcfg.max_itemsets = 2_000_000;
+            mcfg.n_threads = cfg.n_threads;
             twoview_mining::mine_closed_twoview(data, &mcfg).candidates
         }
         None => Vec::new(),
@@ -83,6 +130,21 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
         seeds.retain(|c| bounds::qub(codes, data, &c.left, &c.right) > 0.0);
     }
     let n_seeds = seeds.len();
+    // Cache the seed antecedent tidsets once (same memory budget as
+    // SELECT's candidate cache): supports never change, and recomputing
+    // them on every refresh dominated incumbent maintenance on large
+    // corpora.
+    const TIDSET_CACHE_BUDGET_BYTES: usize = 400 << 20;
+    let per_seed = 2 * data.n_transactions().div_ceil(8);
+    let seed_tids: Vec<Option<(Bitmap, Bitmap)>> =
+        if per_seed.saturating_mul(n_seeds) <= TIDSET_CACHE_BUDGET_BYTES {
+            seeds
+                .iter()
+                .map(|c| Some((data.support_set(&c.left), data.support_set(&c.right))))
+                .collect()
+        } else {
+            vec![None; n_seeds]
+        };
     let mut seed_gains: Vec<f64> = vec![f64::NEG_INFINITY; n_seeds];
     let mut seed_dirs: Vec<Direction> = vec![Direction::Both; n_seeds];
     let mut dirty: Vec<bool> = vec![true; n_seeds];
@@ -99,9 +161,15 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
         let mut incumbent: Option<(TranslationRule, f64)> = None;
         for (idx, cand) in seeds.iter().enumerate() {
             if dirty[idx] {
-                let lt = data.support_set(&cand.left);
-                let rt = data.support_set(&cand.right);
-                let gains = state.pair_gains(&cand.left, &cand.right, &lt, &rt);
+                let computed;
+                let (lt, rt) = match &seed_tids[idx] {
+                    Some((lt, rt)) => (lt, rt),
+                    None => {
+                        computed = (data.support_set(&cand.left), data.support_set(&cand.right));
+                        (&computed.0, &computed.1)
+                    }
+                };
+                let gains = state.pair_gains(&cand.left, &cand.right, lt, rt);
                 let (best_gain, best_dir) = gains
                     .into_iter()
                     .zip(Direction::ALL)
@@ -150,8 +218,11 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
 #[derive(Debug)]
 pub struct SearchOutcome {
     /// The best rule and its gain, if any rule has strictly positive gain.
+    /// Deterministic (including tie-breaking) for any thread count.
     pub best: Option<(TranslationRule, f64)>,
-    /// Number of DFS nodes visited.
+    /// Number of DFS nodes visited. Deterministic for serial and capped
+    /// runs; for uncapped parallel runs the count (never the result)
+    /// varies with how early the shared bound tightened.
     pub nodes: u64,
     /// Whether the node cap fired (search no longer exact).
     pub truncated: bool,
@@ -204,17 +275,58 @@ pub fn best_rule_with_incumbent(
     let mut search = Search {
         state,
         cfg,
-        items,
+        items: &items,
         best,
         best_gain,
         nodes: 0,
         truncated: false,
+        shared: None,
+        node_cap: cfg.max_nodes,
     };
     // Additionally seed with the best single-item-pair rule. Seeds are real
     // rules, so the (uncapped) search result is unchanged, but `rub` prunes
     // from the first DFS node instead of only after a good rule is found.
+    // Runs serially in both modes so every parallel subtree starts from
+    // the same deterministic incumbent.
     search.seed_with_singleton_pairs();
-    let root = Node {
+
+    // The fan-out decision must be a pure function of the config and the
+    // data — never of the machine's thread count. A node-capped fan-out
+    // distributes per-subtree budgets, which visits a different node set
+    // than the serial global cap; if the choice tracked available
+    // parallelism (or TWOVIEW_RUNTIME_THREADS), the same capped run could
+    // return different models on different machines. The pool size only
+    // scales how fast the chosen structure executes.
+    let fanout = items.len() >= 2
+        && match cfg.n_threads {
+            Some(t) => t > 1,
+            None => items.len() >= 24,
+        };
+    if fanout {
+        let threads = twoview_runtime::resolve_threads(cfg.n_threads);
+        return parallel_root_fanout(
+            state,
+            cfg,
+            &items,
+            search.best,
+            search.best_gain,
+            total_tub,
+            threads,
+        );
+    }
+
+    let root = root_node(total_tub);
+    search.dfs(0, &root);
+    SearchOutcome {
+        best: search.best.map(|r| (r, search.best_gain)),
+        nodes: search.nodes,
+        truncated: search.truncated,
+    }
+}
+
+/// The empty-pair DFS root.
+fn root_node(total_tub: [f64; 2]) -> Node {
+    Node {
         left: Vec::new(),
         right: Vec::new(),
         len_left: 0.0,
@@ -223,12 +335,114 @@ pub fn best_rule_with_incumbent(
         tid_right: None,
         sum_left: total_tub[1],  // X ⊆ t_L sums tub over *right* rows
         sum_right: total_tub[0], // Y ⊆ t_R sums tub over *left* rows
+    }
+}
+
+/// Result of one root subtree of the parallel fan-out.
+#[derive(Clone)]
+struct RootOutcome {
+    best: Option<(TranslationRule, f64)>,
+    nodes: u64,
+    truncated: bool,
+}
+
+/// Fans the root-level DFS out across the pool (see the module docs for
+/// why the merged result is bit-identical to the serial search).
+fn parallel_root_fanout(
+    state: &CoverState<'_>,
+    cfg: &ExactConfig,
+    items: &[ItemId],
+    incumbent: Option<TranslationRule>,
+    incumbent_gain: f64,
+    total_tub: [f64; 2],
+    threads: usize,
+) -> SearchOutcome {
+    let n_roots = items.len();
+    // Capped searches get fixed per-subtree budgets and no shared bound:
+    // the visited node set is then a pure function of the data, making
+    // node-capped results deterministic for every thread count > 1.
+    let (node_cap, share_bound) = match cfg.max_nodes {
+        Some(cap) => (Some((cap / n_roots as u64).max(1)), false),
+        None => (None, true),
     };
-    search.dfs(0, &root);
+    // Monotone best-bound. Published gains are strictly positive, and
+    // non-negative f64 bit patterns order like the floats, so fetch_max on
+    // the bits is exactly "tighten if better".
+    let shared_bits = AtomicU64::new(incumbent_gain.to_bits());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RootOutcome>>> = Mutex::new(vec![None; n_roots]);
+
+    let runtime = twoview_runtime::global();
+    let participant = &|| {
+        // Claim the first root before paying for the state clone: late
+        // participants (threads beyond the root count or the pool size)
+        // then exit without copying anything.
+        let mut claimed = next.fetch_add(1, Ordering::Relaxed);
+        if claimed >= n_roots {
+            return;
+        }
+        // Per-worker clone: the state is read-only during the search, and
+        // a private copy keeps the hot tub/cover columns out of the other
+        // workers' cache traffic.
+        let local_state = state.clone();
+        loop {
+            let pos = claimed;
+            let mut search = Search {
+                state: &local_state,
+                cfg,
+                items,
+                best: None,
+                best_gain: incumbent_gain,
+                nodes: 0,
+                truncated: false,
+                shared: share_bound.then_some(&shared_bits),
+                node_cap,
+            };
+            let root = root_node(total_tub);
+            search.visit(pos, &root);
+            let outcome = RootOutcome {
+                best: search.best.map(|r| (r, search.best_gain)),
+                nodes: search.nodes,
+                truncated: search.truncated,
+            };
+            results.lock().unwrap()[pos] = Some(outcome);
+            claimed = next.fetch_add(1, Ordering::Relaxed);
+            if claimed >= n_roots {
+                break;
+            }
+        }
+    };
+    // Extra participants beyond the pool size queue behind the real
+    // workers; results are unaffected (ordered reduction), so the fan-out
+    // machinery is exercised identically on any machine.
+    runtime.install(|scope| {
+        for _ in 1..threads {
+            scope.spawn(participant);
+        }
+        participant();
+    });
+
+    // Ordered reduction in root submission order with strict improvement:
+    // the serial DFS's first-wins tie-breaking, reproduced exactly.
+    let mut best = incumbent;
+    let mut best_gain = incumbent_gain;
+    let mut nodes = 0;
+    let mut truncated = false;
+    for outcome in results.into_inner().unwrap() {
+        let outcome = outcome.expect("every root subtree claimed and searched");
+        nodes += outcome.nodes;
+        truncated |= outcome.truncated;
+        if let Some((rule, gain)) = outcome.best {
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(rule);
+            }
+        }
+    }
     SearchOutcome {
-        best: search.best.map(|r| (r, search.best_gain)),
-        nodes: search.nodes,
-        truncated: search.truncated,
+        best: best.map(|r| (r, best_gain)),
+        nodes,
+        truncated,
     }
 }
 
@@ -251,11 +465,18 @@ struct Node {
 struct Search<'a, 'd> {
     state: &'a CoverState<'d>,
     cfg: &'a ExactConfig,
-    items: Vec<ItemId>,
+    items: &'a [ItemId],
     best: Option<TranslationRule>,
     best_gain: f64,
     nodes: u64,
     truncated: bool,
+    /// Shared monotone best-bound (bits of a non-negative f64) for
+    /// cross-subtree pruning in the parallel fan-out; `None` when serial
+    /// or node-capped. Consulted with strict `<` only — see module docs.
+    shared: Option<&'a AtomicU64>,
+    /// Node budget of THIS search: the global `max_nodes` when serial,
+    /// the per-subtree share when fanned out.
+    node_cap: Option<u64>,
 }
 
 impl Search<'_, '_> {
@@ -308,90 +529,118 @@ impl Search<'_, '_> {
         if self.truncated {
             return;
         }
-        let data = self.state.data();
-        let vocab = data.vocab();
         for pos in start..self.items.len() {
             if self.truncated {
                 return;
             }
-            let item = self.items[pos];
-            let side = vocab.side_of(item);
-            self.nodes += 1;
-            if let Some(cap) = self.cfg.max_nodes {
-                if self.nodes > cap {
-                    self.truncated = true;
-                    return;
-                }
-            }
-
-            // Extend the item's own side.
-            let (tid, other_tid) = match side {
-                Side::Left => (&node.tid_left, &node.tid_right),
-                Side::Right => (&node.tid_right, &node.tid_left),
-            };
-            let ts = data.tidset(item);
-            let new_tid = match tid {
-                // Disjointness is checked through the kernel before the
-                // child tidset is materialised.
-                Some(t) if t.is_disjoint(ts) => continue,
-                Some(t) => t.and(ts),
-                None if ts.is_empty() => continue,
-                None => ts.clone(),
-            };
-            // XY must occur at least once in the data; supports only shrink
-            // under extension, so an empty joint support prunes the subtree.
-            if let Some(other) = other_tid {
-                if new_tid.is_disjoint(other) {
-                    continue;
-                }
-            }
-
-            let opp = side.opposite();
-            let new_sum: f64 = new_tid
-                .iter()
-                .map(|t| self.state.uncovered_weight(opp, t))
-                .sum();
-            let item_len = self.state.codes().item(item);
-
-            let child = match side {
-                Side::Left => Node {
-                    left: push(&node.left, item),
-                    right: node.right.clone(),
-                    len_left: node.len_left + item_len,
-                    len_right: node.len_right,
-                    tid_left: Some(new_tid),
-                    tid_right: node.tid_right.clone(),
-                    sum_left: new_sum,
-                    sum_right: node.sum_right,
-                },
-                Side::Right => Node {
-                    left: node.left.clone(),
-                    right: push(&node.right, item),
-                    len_left: node.len_left,
-                    len_right: node.len_right + item_len,
-                    tid_left: node.tid_left.clone(),
-                    tid_right: Some(new_tid),
-                    sum_left: node.sum_left,
-                    sum_right: new_sum,
-                },
-            };
-
-            // Rule bound: valid for this node and every extension.
-            let rub = bounds::rub_parts(
-                child.sum_left,
-                child.sum_right,
-                child.len_left,
-                child.len_right,
-            );
-            if self.cfg.use_rub && rub <= self.best_gain {
-                continue;
-            }
-
-            if !child.left.is_empty() && !child.right.is_empty() {
-                self.evaluate(&child);
-            }
-            self.dfs(pos + 1, &child);
+            self.visit(pos, node);
         }
+    }
+
+    /// `true` iff the shared bound (when present) proves a node with upper
+    /// bound `value` cannot contain a rule the merged result would keep.
+    /// Strict `<`: an equal-bound node may still hold the rule an
+    /// earlier-ordered subtree wins with.
+    #[inline]
+    fn shared_prunes(&self, value: f64) -> bool {
+        match self.shared {
+            Some(bits) => value < f64::from_bits(bits.load(Ordering::Relaxed)),
+            None => false,
+        }
+    }
+
+    /// Publishes a locally improved gain to the shared bound (monotone
+    /// tightening only).
+    #[inline]
+    fn publish(&self, gain: f64) {
+        if let Some(bits) = self.shared {
+            bits.fetch_max(gain.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// One iteration of the DFS loop: extend `node` with `items[pos]`,
+    /// evaluate, and recurse into the extension's subtree. This is also
+    /// the unit the parallel fan-out claims per root.
+    fn visit(&mut self, pos: usize, node: &Node) {
+        let data = self.state.data();
+        let vocab = data.vocab();
+        let item = self.items[pos];
+        let side = vocab.side_of(item);
+        self.nodes += 1;
+        if let Some(cap) = self.node_cap {
+            if self.nodes > cap {
+                self.truncated = true;
+                return;
+            }
+        }
+
+        // Extend the item's own side.
+        let (tid, other_tid) = match side {
+            Side::Left => (&node.tid_left, &node.tid_right),
+            Side::Right => (&node.tid_right, &node.tid_left),
+        };
+        let ts = data.tidset(item);
+        let new_tid = match tid {
+            // Disjointness is checked through the kernel before the
+            // child tidset is materialised.
+            Some(t) if t.is_disjoint(ts) => return,
+            Some(t) => t.and(ts),
+            None if ts.is_empty() => return,
+            None => ts.clone(),
+        };
+        // XY must occur at least once in the data; supports only shrink
+        // under extension, so an empty joint support prunes the subtree.
+        if let Some(other) = other_tid {
+            if new_tid.is_disjoint(other) {
+                return;
+            }
+        }
+
+        let opp = side.opposite();
+        let new_sum: f64 = new_tid
+            .iter()
+            .map(|t| self.state.uncovered_weight(opp, t))
+            .sum();
+        let item_len = self.state.codes().item(item);
+
+        let child = match side {
+            Side::Left => Node {
+                left: push(&node.left, item),
+                right: node.right.clone(),
+                len_left: node.len_left + item_len,
+                len_right: node.len_right,
+                tid_left: Some(new_tid),
+                tid_right: node.tid_right.clone(),
+                sum_left: new_sum,
+                sum_right: node.sum_right,
+            },
+            Side::Right => Node {
+                left: node.left.clone(),
+                right: push(&node.right, item),
+                len_left: node.len_left,
+                len_right: node.len_right + item_len,
+                tid_left: node.tid_left.clone(),
+                tid_right: Some(new_tid),
+                sum_left: node.sum_left,
+                sum_right: new_sum,
+            },
+        };
+
+        // Rule bound: valid for this node and every extension.
+        let rub = bounds::rub_parts(
+            child.sum_left,
+            child.sum_right,
+            child.len_left,
+            child.len_right,
+        );
+        if self.cfg.use_rub && (rub <= self.best_gain || self.shared_prunes(rub)) {
+            return;
+        }
+
+        if !child.left.is_empty() && !child.right.is_empty() {
+            self.evaluate(&child);
+        }
+        self.dfs(pos + 1, &child);
     }
 
     /// Evaluates the three rules constructible at a node, behind the quick
@@ -406,7 +655,7 @@ impl Search<'_, '_> {
                 node.len_left,
                 node.len_right,
             );
-            if qub <= self.best_gain {
+            if qub <= self.best_gain || self.shared_prunes(qub) {
                 return;
             }
         }
@@ -417,6 +666,7 @@ impl Search<'_, '_> {
             if gain > self.best_gain {
                 self.best_gain = gain;
                 self.best = Some(TranslationRule::new(left.clone(), right.clone(), dir));
+                self.publish(gain);
             }
         }
     }
@@ -600,6 +850,57 @@ mod tests {
         };
         let model = translator_exact_with(&d, &cfg);
         assert!(model.table.len() <= 1);
+    }
+
+    #[test]
+    fn parallel_fanout_is_bit_identical_uncapped() {
+        // Explicit thread configs force the fan-out even on small data.
+        // The uncapped search must return the *same rule* (not just the
+        // same gain) for any thread count, including through the shared
+        // bound's strict-< pruning.
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..10 {
+            let vocab = Vocabulary::unnamed(5, 5);
+            let txs: Vec<Vec<ItemId>> = (0..20)
+                .map(|_| (0..10).filter(|_| rng.gen_bool(0.4)).collect())
+                .collect();
+            let d = TwoViewDataset::from_transactions(vocab, &txs);
+            let serial = ExactConfig {
+                n_threads: Some(1),
+                ..ExactConfig::default()
+            };
+            let base = translator_exact_with(&d, &serial);
+            for threads in [2, 4, 16] {
+                let cfg = ExactConfig {
+                    n_threads: Some(threads),
+                    ..ExactConfig::default()
+                };
+                let par = translator_exact_with(&d, &cfg);
+                assert_eq!(par.table, base.table, "trial {trial} threads {threads}");
+                assert!(
+                    (par.score.l_total - base.score.l_total).abs() < 1e-9,
+                    "trial {trial} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_capped_is_identical_across_thread_counts() {
+        // Node-capped runs use deterministic per-subtree budgets with the
+        // shared bound off: every thread count > 1 must agree exactly.
+        let d = structured();
+        let capped = |threads| ExactConfig {
+            max_nodes: Some(10),
+            n_threads: Some(threads),
+            ..ExactConfig::default()
+        };
+        let two = translator_exact_with(&d, &capped(2));
+        for threads in [3, 4, 8] {
+            let other = translator_exact_with(&d, &capped(threads));
+            assert_eq!(two.table, other.table, "threads {threads}");
+            assert_eq!(two.truncated, other.truncated);
+        }
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct GreedyConfig {
     pub max_candidates: usize,
     /// Single-pass ordering.
     pub order: CandidateOrder,
+    /// Worker threads for candidate mining (the filtering pass itself is
+    /// inherently sequential). `None` = the process default; the model is
+    /// identical for any value.
+    pub n_threads: Option<usize>,
 }
 
 impl GreedyConfig {
@@ -43,6 +47,7 @@ impl GreedyConfig {
             closed_candidates: true,
             max_candidates: 2_000_000,
             order: CandidateOrder::LengthThenSupport,
+            n_threads: None,
         }
     }
 }
@@ -51,6 +56,7 @@ impl GreedyConfig {
 pub fn translator_greedy(data: &TwoViewDataset, cfg: &GreedyConfig) -> TranslatorModel {
     let mut miner_cfg = MinerConfig::with_minsup(cfg.minsup);
     miner_cfg.max_itemsets = cfg.max_candidates;
+    miner_cfg.n_threads = cfg.n_threads;
     let mined = if cfg.closed_candidates {
         mine_closed_twoview(data, &miner_cfg)
     } else {

@@ -9,8 +9,9 @@
 
 use twoview_data::prelude::*;
 
+use crate::cover::CoverState;
+use crate::rule::{Direction, TranslationRule};
 use crate::table::TranslationTable;
-use crate::translate::translate_transaction;
 
 /// Micro-averaged prediction quality of a table in one direction.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -33,27 +34,46 @@ pub struct PredictionQuality {
 
 /// Evaluates how well `table` translates `data` from `from` to the
 /// opposite view, micro-averaged over all transactions.
+///
+/// Computed through the columnar [`CoverState`] rather than by
+/// re-translating every transaction: applying only the `from`-firing half
+/// of each rule makes `covered` exactly the true positives, `U` the false
+/// negatives, and `E` the false positives, and the exact-match count is
+/// the number of empty rows in the batched column→row transposition
+/// ([`CoverState::correction_rows_batch`]) — a handful of column kernels
+/// instead of `O(|D| · |T|)` per-transaction rule firings.
 pub fn prediction_quality(
     data: &TwoViewDataset,
     table: &TranslationTable,
     from: Side,
 ) -> PredictionQuality {
     let target = from.opposite();
-    let mut tp = 0usize;
-    let mut fp = 0usize;
-    let mut fneg = 0usize;
-    let mut exact = 0usize;
-    for t in 0..data.n_transactions() {
-        let predicted = translate_transaction(data, table, from, t);
-        let actual = data.row(target, t);
-        let inter = predicted.intersection_len(actual);
-        tp += inter;
-        fp += predicted.len() - inter;
-        fneg += actual.len() - inter;
-        if &predicted == actual {
-            exact += 1;
+    // Direction-restricted state: only the `from → target` half of each
+    // rule fires, matching what TRANSLATE predicts from `from`.
+    let mut state = CoverState::new(data);
+    let one_way = match from {
+        Side::Left => Direction::Forward,
+        Side::Right => Direction::Backward,
+    };
+    for rule in table.iter() {
+        if rule.direction.fires_from(from) {
+            state.apply_rule(TranslationRule::new(
+                rule.left.clone(),
+                rule.right.clone(),
+                one_way,
+            ));
         }
     }
+    // predicted = (actual \ U) ∪ E, so the micro counts fall out of the
+    // cover tallies directly.
+    let fneg = state.n_uncovered(target);
+    let fp = state.n_errors(target);
+    let tp = data.ones(target) - fneg;
+    let exact = state
+        .correction_rows_batch(target)
+        .iter()
+        .filter(|row| row.is_empty())
+        .count();
     let precision = if tp + fp == 0 {
         0.0
     } else {
@@ -108,7 +128,7 @@ pub fn predict_row(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rule::{Direction, TranslationRule};
+    use crate::translate::translate_transaction;
 
     fn toy() -> (TwoViewDataset, TranslationTable) {
         let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
@@ -177,6 +197,70 @@ mod tests {
         // New object with left view {b}: no rule fires.
         let row = Bitmap::from_indices(2, [1usize]);
         assert!(predict_row(&data, &table, Side::Left, &row).is_empty());
+    }
+
+    #[test]
+    fn cover_state_metrics_match_naive_translation() {
+        // The columnar/batched implementation must agree with a literal
+        // re-translation of every transaction, for either direction and
+        // for tables mixing all three rule directions.
+        let vocab = Vocabulary::unnamed(4, 4);
+        let data = TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 1, 4, 5],
+                vec![0, 1, 4],
+                vec![0, 2, 6],
+                vec![1, 5, 7],
+                vec![0, 1, 2, 4, 5, 6],
+                vec![3],
+                vec![7],
+                vec![0, 4, 7],
+            ],
+        );
+        let table = TranslationTable::from_rules([
+            TranslationRule::new(
+                ItemSet::from_items([0, 1]),
+                ItemSet::from_items([4, 5]),
+                Direction::Both,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([2]),
+                ItemSet::from_items([6]),
+                Direction::Forward,
+            ),
+            TranslationRule::new(
+                ItemSet::from_items([3]),
+                ItemSet::from_items([7]),
+                Direction::Backward,
+            ),
+            // Overlapping consequent: unions must not double-count.
+            TranslationRule::new(
+                ItemSet::from_items([0]),
+                ItemSet::from_items([4]),
+                Direction::Forward,
+            ),
+        ]);
+        for from in Side::BOTH {
+            let target = from.opposite();
+            let (mut tp, mut fp, mut fneg, mut exact) = (0, 0, 0, 0);
+            for t in 0..data.n_transactions() {
+                let predicted = translate_transaction(&data, &table, from, t);
+                let actual = data.row(target, t);
+                let inter = predicted.intersection_len(actual);
+                tp += inter;
+                fp += predicted.len() - inter;
+                fneg += actual.len() - inter;
+                if &predicted == actual {
+                    exact += 1;
+                }
+            }
+            let q = prediction_quality(&data, &table, from);
+            assert_eq!(q.true_positives, tp, "from {from}");
+            assert_eq!(q.false_positives, fp, "from {from}");
+            assert_eq!(q.false_negatives, fneg, "from {from}");
+            assert_eq!(q.exact_matches, exact, "from {from}");
+        }
     }
 
     #[test]

@@ -19,10 +19,16 @@
 //!   (or not positive) provably cannot enter this round's top-k; it skips
 //!   exact evaluation and stays dirty for the next round.
 //! * **multithreaded refresh** — dirty candidates are refreshed in
-//!   parallel across disjoint chunks of the gain table with
-//!   `std::thread::scope` workers reading the shared `&CoverState`. The
-//!   pruning threshold is fixed before the workers start, so the outcome is
-//!   identical for any thread count.
+//!   parallel over chunks of the dirty-index work list through the
+//!   persistent [`twoview_runtime`] pool ([`Runtime::map_chunks`] —
+//!   results merged in submission order), with every worker reading the
+//!   shared `&CoverState`. The pruning threshold is fixed before the
+//!   refresh starts, so the outcome is identical for any thread count.
+//!   The pre-pool per-round `std::thread::scope` implementation survives
+//!   behind [`SelectConfig::legacy_scope`] for differential testing and
+//!   as the `perfsuite` pool-vs-scope baseline.
+//!
+//! [`Runtime::map_chunks`]: twoview_runtime::Runtime::map_chunks
 
 use twoview_data::prelude::*;
 use twoview_mining::{mine_closed_twoview, mine_frequent_twoview, MinerConfig, TwoViewCandidate};
@@ -62,10 +68,15 @@ pub struct SelectConfig {
     /// the bound for every dirty candidate — result-identical either way;
     /// tests use it to exercise the pruning branch on tiny data.
     pub rub_cost_gate: bool,
-    /// Worker threads for the gain refresh. `None` = one per available
-    /// core; `Some(1)` = single-threaded. The model is identical for any
-    /// value.
+    /// Worker threads for the gain refresh and candidate mining. `None` =
+    /// the process default ([`twoview_runtime::configured_threads`]:
+    /// `TWOVIEW_RUNTIME_THREADS` or one per available core); `Some(1)` =
+    /// single-threaded. The model is identical for any value.
     pub n_threads: Option<usize>,
+    /// Refresh through per-round `std::thread::scope` spawns instead of
+    /// the persistent pool (result-identical; kept for differential
+    /// testing and as the `perfsuite` baseline, like `RowCoverState`).
+    pub legacy_scope: bool,
     /// Iteration safety valve (`None` = run to convergence).
     pub max_iterations: Option<usize>,
 }
@@ -82,6 +93,7 @@ impl SelectConfig {
             use_rub: true,
             rub_cost_gate: true,
             n_threads: None,
+            legacy_scope: false,
             max_iterations: None,
         }
     }
@@ -91,6 +103,7 @@ impl SelectConfig {
 pub fn translator_select(data: &TwoViewDataset, cfg: &SelectConfig) -> TranslatorModel {
     let mut miner_cfg = MinerConfig::with_minsup(cfg.minsup);
     miner_cfg.max_itemsets = cfg.max_candidates;
+    miner_cfg.n_threads = cfg.n_threads;
     let mined = if cfg.closed_candidates {
         mine_closed_twoview(data, &miner_cfg)
     } else {
@@ -171,9 +184,12 @@ pub fn translator_select_candidates(
     // Per-candidate `rub` eligibility under the cost gate. Supports and
     // itemset sizes never change, so this is decided once: the bound's
     // weighted popcount walks `|supp(X)| + |supp(Y)|` bits against the
-    // columnar kernel's `2·(|X|+|Y|)·⌈n/64⌉` word strides (a bit costs
-    // ≈ 4 words). Ineligible candidates are always evaluated exactly, so
-    // the gate never changes the model.
+    // columnar kernel's `2·(|X|+|Y|)·⌈n/64⌉` word strides. With the
+    // word-parallel gather kernel behind `Bitmap::weighted_len` (per-word
+    // weight slices, independent accumulators) a bit costs ≈ 2 word ops,
+    // so the gate admits twice the support mass it used to. Ineligible
+    // candidates are always evaluated exactly, so the gate never changes
+    // the model.
     let rub_eligible: Vec<bool> = if cfg.use_rub {
         let n_words = data.n_transactions().div_ceil(64);
         live.iter()
@@ -186,7 +202,7 @@ pub fn translator_select_candidates(
                     Some((lt, rt)) => lt.len() + rt.len(),
                     None => data.support_count(&c.left) + data.support_count(&c.right),
                 };
-                4 * bound_bits < 2 * (c.left.len() + c.right.len()) * n_words
+                bound_bits < (c.left.len() + c.right.len()) * n_words
             })
             .collect()
     } else {
@@ -201,14 +217,11 @@ pub fn translator_select_candidates(
     let mut dirty: Vec<bool> = vec![true; live.len()];
     let mut skipped: Vec<bool> = vec![false; live.len()];
 
-    let n_workers = cfg
-        .n_threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
-        .max(1);
+    let n_workers = twoview_runtime::resolve_threads(cfg.n_threads);
+    // The parallel refresh pays off once a round touches enough dirty
+    // candidates; explicitly configured thread counts lower the bar so
+    // small differential tests still exercise the parallel merge path.
+    let refresh_floor = if cfg.n_threads.is_some() { 16 } else { 256 };
 
     let n_items = data.vocab().n_items();
     let mut iterations = 0usize;
@@ -253,36 +266,47 @@ pub fn translator_select_candidates(
         let force = !cfg.gain_cache;
         skipped.fill(false);
         let work: Vec<usize> = (0..live.len()).filter(|&i| dirty[i] || force).collect();
-        if n_workers > 1 && work.len() > 256 {
-            let chunk = work.len().div_ceil(n_workers).max(1);
+        if n_workers > 1 && work.len() > refresh_floor {
             let (state, live, tid_cache, rub_eligible) = (&state, &live, &tid_cache, &rub_eligible);
-            let results: Vec<Vec<(usize, [f64; 3], bool)>> = std::thread::scope(|s| {
-                let handles: Vec<_> = work
-                    .chunks(chunk)
-                    .map(|idxs| {
-                        s.spawn(move || {
-                            idxs.iter()
-                                .map(|&i| {
-                                    let mut g = [f64::NEG_INFINITY; 3];
-                                    let ok = refresh_candidate(
-                                        state,
-                                        live[i],
-                                        &tid_cache[i],
-                                        threshold,
-                                        rub_eligible[i],
-                                        &mut g,
-                                    );
-                                    (i, g, ok)
-                                })
-                                .collect::<Vec<_>>()
-                        })
+            let refresh_chunk = |idxs: &[usize]| {
+                idxs.iter()
+                    .map(|&i| {
+                        let mut g = [f64::NEG_INFINITY; 3];
+                        let ok = refresh_candidate(
+                            state,
+                            live[i],
+                            &tid_cache[i],
+                            threshold,
+                            rub_eligible[i],
+                            &mut g,
+                        );
+                        (i, g, ok)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("refresh worker panicked"))
-                    .collect()
-            });
+                    .collect::<Vec<_>>()
+            };
+            let results: Vec<Vec<(usize, [f64; 3], bool)>> = if cfg.legacy_scope {
+                // Pre-pool baseline: spawn-and-join one OS thread per
+                // worker each round, one static chunk per thread.
+                let chunk = work.len().div_ceil(n_workers).max(1);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = work
+                        .chunks(chunk)
+                        .map(|idxs| s.spawn(move || refresh_chunk(idxs)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("refresh worker panicked"))
+                        .collect()
+                })
+            } else {
+                // Persistent pool: finer chunks (stolen dynamically, so
+                // uneven candidate costs still balance) with results
+                // merged in submission order — the model is identical to
+                // the serial and scoped paths for any thread count.
+                let chunk = work.len().div_ceil(4 * n_workers).max(16);
+                twoview_runtime::global()
+                    .map_chunks(n_workers, &work, chunk, |_, idxs| refresh_chunk(idxs))
+            };
             for (i, g, refreshed) in results.into_iter().flatten() {
                 if refreshed {
                     gains[i] = g;
@@ -490,6 +514,52 @@ mod tests {
         );
         assert_eq!(one.table, four.table);
         assert!((one.score.l_total - four.score.l_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_path_matches_legacy_scoped_path() {
+        // A corpus big enough to clear the explicit-thread refresh floor,
+        // so the pool and the legacy scoped refresh both really run.
+        use twoview_data::synthetic::{self, StructureSpec, SyntheticSpec};
+        let spec = SyntheticSpec {
+            name: "pool-vs-scope".into(),
+            n_transactions: 200,
+            n_left: 12,
+            n_right: 10,
+            density_left: 0.3,
+            density_right: 0.3,
+            structure: StructureSpec::strong(3),
+            seed: 5,
+        };
+        let d = synthetic::generate(&spec).expect("valid spec").dataset;
+        let serial = translator_select(
+            &d,
+            &SelectConfig {
+                n_threads: Some(1),
+                ..SelectConfig::new(2, 2)
+            },
+        );
+        for threads in [2, 4] {
+            let pool = translator_select(
+                &d,
+                &SelectConfig {
+                    n_threads: Some(threads),
+                    ..SelectConfig::new(2, 2)
+                },
+            );
+            let scoped = translator_select(
+                &d,
+                &SelectConfig {
+                    n_threads: Some(threads),
+                    legacy_scope: true,
+                    ..SelectConfig::new(2, 2)
+                },
+            );
+            assert_eq!(serial.table, pool.table, "pool, {threads} threads");
+            assert_eq!(serial.table, scoped.table, "scope, {threads} threads");
+            assert!((serial.score.l_total - pool.score.l_total).abs() < 1e-9);
+            assert!((serial.score.l_total - scoped.score.l_total).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -319,13 +319,42 @@ impl Bitmap {
     /// `Σ weights[i]` over the set bits, without allocating.
     ///
     /// This is the MDL workhorse: with per-item Shannon code lengths as
-    /// `weights` it computes `L(row | D_side)` in one pass.
+    /// `weights` it computes `L(row | D_side)` in one pass, and with `tub`
+    /// columns as `weights` it is the inner sum of the `rub` bound.
+    ///
+    /// Word-parallel gather kernel: zero words are skipped with a single
+    /// compare, each non-zero word gathers its weights from a per-word
+    /// 64-slot slice (one add to form the base index instead of a full
+    /// division per bit), and two accumulators break the floating-point
+    /// add dependency chain so dense words keep both FMA pipes busy. The
+    /// summation *order* over the set bits is unchanged up to the final
+    /// pairwise combine, and the result is deterministic for a given
+    /// bitmap and weights.
     ///
     /// # Panics
     /// Panics if `weights` is shorter than the highest set bit requires.
     #[inline]
     pub fn weighted_len(&self, weights: &[f64]) -> f64 {
-        self.iter().map(|i| weights[i]).sum()
+        let mut even = 0.0f64;
+        let mut odd = 0.0f64;
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let ws = &weights[wi * WORD_BITS..];
+            let mut bits = word;
+            while bits != 0 {
+                let a = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                even += ws[a];
+                if bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    odd += ws[b];
+                }
+            }
+        }
+        even + odd
     }
 
     /// `Σ weights[i]` over `self \ other`, without allocating.
@@ -653,6 +682,30 @@ mod tests {
         let none = Bitmap::new(70);
         assert_eq!(x.and_not_not_len(&none, &none), 2);
         assert_eq!(Bitmap::full(70).and_not_not_len(&none, &none), 70);
+    }
+
+    #[test]
+    fn weighted_kernel_matches_bitwise_sum() {
+        // Pseudo-random weights + bit patterns across word boundaries: the
+        // gather kernel must agree with the naive per-bit sum to fp
+        // accumulation-order tolerance, for dense and sparse words alike.
+        let cap = 321; // not a word multiple
+        let weights: Vec<f64> = (0..cap)
+            .map(|i| ((i * 37 + 11) % 101) as f64 * 0.125)
+            .collect();
+        for (stride, offset) in [(1, 0), (2, 1), (3, 0), (7, 5), (63, 2), (64, 0), (65, 1)] {
+            let bm = Bitmap::from_indices(cap, (offset..cap).step_by(stride));
+            let naive: f64 = bm.iter().map(|i| weights[i]).sum();
+            let kernel = bm.weighted_len(&weights);
+            assert!(
+                (kernel - naive).abs() < 1e-9 * (1.0 + naive.abs()),
+                "stride {stride}: kernel {kernel} vs naive {naive}"
+            );
+        }
+        assert_eq!(Bitmap::new(cap).weighted_len(&weights), 0.0);
+        let full = Bitmap::full(cap);
+        let total: f64 = weights.iter().sum();
+        assert!((full.weighted_len(&weights) - total).abs() < 1e-9);
     }
 
     #[test]

@@ -16,10 +16,19 @@
 //!
 //! This enumerates every closed frequent itemset exactly once without any
 //! global subsumption table.
+//!
+//! Like the ECLAT enumerator, the **first-level subtrees fan out across
+//! the persistent [`twoview_runtime`] pool** on large inputs: at the root,
+//! the order-preserving `pre` list of the subtree under item `items[p]` is
+//! exactly `items[..p]` (every earlier frequent item has been either
+//! processed or absorbed into an earlier branch), so each root task is
+//! self-contained and the per-root segments concatenate, in root order,
+//! into precisely the serial enumeration — bit-identical for any thread
+//! count, including under `max_itemsets` truncation.
 
 use twoview_data::prelude::*;
 
-use crate::eclat::{FrequentItemset, MinerConfig, MiningResult};
+use crate::eclat::{fanout_threads, merge_segments, FrequentItemset, MinerConfig, MiningResult};
 
 /// Mines all closed frequent itemsets of `data`.
 ///
@@ -33,23 +42,86 @@ pub fn mine_closed(data: &TwoViewDataset, cfg: &MinerConfig) -> MiningResult {
     // Ascending support, the conventional ECLAT order.
     items.sort_unstable_by_key(|&i| data.support(i));
 
-    let mut out = MiningResult {
+    let threads = fanout_threads(cfg.n_threads, items.len(), data.n_transactions());
+    if threads > 1 {
+        // Every subtree gets the full `max_itemsets` budget (a
+        // thread-count-independent bound); `merge_segments` re-applies
+        // the global valve.
+        let roots: Vec<usize> = (0..items.len()).collect();
+        let segments = twoview_runtime::global().map_chunks(threads, &roots, 1, |_, pos| {
+            expand_root(data, minsup, &items, pos[0], cfg.max_itemsets)
+        });
+        return merge_segments(segments, cfg.max_itemsets);
+    }
+
+    // Serial: same per-root expansion with the *remaining* budget, so
+    // truncation stops exactly where the single-DFS enumerator used to.
+    let mut segments = Vec::with_capacity(items.len());
+    let mut produced = 0usize;
+    for pos in 0..items.len() {
+        let seg = expand_root(data, minsup, &items, pos, cfg.max_itemsets - produced);
+        produced += seg.itemsets.len();
+        let stop = seg.truncated;
+        segments.push(seg);
+        if stop {
+            break;
+        }
+    }
+    merge_segments(segments, cfg.max_itemsets)
+}
+
+/// One first-level subtree of the closed-itemset DFS: the root-loop body
+/// for `items[pos]` with `tid = full` (so the child tidset is `tid(i)`
+/// itself) and `pre = items[..pos]` — at the root, every earlier frequent
+/// item has been either processed or found duplicate, and both cases push
+/// onto the serial `pre_local`. Bounded by `budget` itemsets. Shared by
+/// the serial and the fanned-out miner so the two cannot drift apart.
+fn expand_root(
+    data: &TwoViewDataset,
+    minsup: usize,
+    items: &[ItemId],
+    pos: usize,
+    budget: usize,
+) -> MiningResult {
+    let mut seg = MiningResult {
         itemsets: Vec::new(),
         truncated: false,
     };
-    let full = Bitmap::full(data.n_transactions());
-    let mut closure: Vec<ItemId> = Vec::new();
+    let item = items[pos];
+    let ti = data.tidset(item);
+    // Duplicate (order-preserving) check against every earlier branch.
+    if items[..pos].iter().any(|&j| ti.is_subset(data.tidset(j))) {
+        return seg;
+    }
+    // Absorb later items whose tidsets cover this one.
+    let mut child_post: Vec<ItemId> = Vec::new();
+    let mut closure: Vec<ItemId> = vec![item];
+    for &j in &items[pos + 1..] {
+        if ti.is_subset(data.tidset(j)) {
+            closure.push(j);
+        } else {
+            child_post.push(j);
+        }
+    }
+    if budget == 0 {
+        seg.truncated = true;
+        return seg;
+    }
+    seg.itemsets.push(FrequentItemset {
+        items: ItemSet::from_items(closure.iter().copied()),
+        support: ti.len(),
+    });
     dfs(
         data,
         minsup,
-        cfg.max_itemsets,
-        &full,
-        &items,
-        &[],
+        budget,
+        ti,
+        &child_post,
+        &items[..pos],
         &mut closure,
-        &mut out,
+        &mut seg,
     );
-    out
+    seg
 }
 
 /// One DFS node.
@@ -259,6 +331,38 @@ mod tests {
                 "{:?} misses the universal item",
                 f.items
             );
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..8 {
+            let vocab = Vocabulary::unnamed(5, 4);
+            let txs: Vec<Vec<ItemId>> = (0..14)
+                .map(|_| (0..9).filter(|_| rng.gen_bool(0.45)).collect())
+                .collect();
+            let d = TwoViewDataset::from_transactions(vocab, &txs);
+            for max_itemsets in [usize::MAX, 5, 1] {
+                let serial = MinerConfig {
+                    n_threads: Some(1),
+                    max_itemsets,
+                    ..MinerConfig::with_minsup(1)
+                };
+                let base = mine_closed(&d, &serial);
+                for threads in [2, 8] {
+                    let cfg = MinerConfig {
+                        n_threads: Some(threads),
+                        ..serial.clone()
+                    };
+                    let par = mine_closed(&d, &cfg);
+                    assert_eq!(
+                        par.itemsets, base.itemsets,
+                        "trial={trial} threads={threads} cap={max_itemsets}"
+                    );
+                    assert_eq!(par.truncated, base.truncated, "trial={trial}");
+                }
+            }
         }
     }
 

@@ -4,6 +4,17 @@
 //! algorithms for fast discovery of association rules*, KDD'97). This is
 //! both a baseline building block (classic association rule mining) and the
 //! reference enumerator the closed miner and the tests are checked against.
+//!
+//! ## Parallel first-level expansion
+//!
+//! The subtrees rooted at the first-level items are independent, so on
+//! large inputs they are expanded concurrently through the persistent
+//! [`twoview_runtime`] pool — one stealable task per root item, results
+//! concatenated in root order. Because every subtree's internal DFS order
+//! is untouched and the merge preserves submission order, the itemset list
+//! (including its enumeration order, and including where a `max_itemsets`
+//! truncation cuts it) is **bit-identical to the serial miner for any
+//! thread count**; see [`merge_segments`].
 
 use twoview_data::prelude::*;
 
@@ -15,7 +26,18 @@ pub struct MinerConfig {
     /// Maximum itemset length (`None` = unbounded).
     pub max_len: Option<usize>,
     /// Safety valve: stop enumerating after this many itemsets.
+    ///
+    /// Parallel runs bound each first-level subtree by this many itemsets
+    /// and trim the ordered concatenation to it, which reproduces the
+    /// serial result exactly; the transient memory high-water mark can
+    /// exceed the serial miner's when several subtrees are near the valve
+    /// at once.
     pub max_itemsets: usize,
+    /// Worker threads for first-level expansion. `None` = the process
+    /// default ([`twoview_runtime::configured_threads`]) once the input is
+    /// large enough to pay for task submission; an explicit `Some(t > 1)`
+    /// always fans out. The mined result is identical for any value.
+    pub n_threads: Option<usize>,
 }
 
 impl MinerConfig {
@@ -25,6 +47,7 @@ impl MinerConfig {
             minsup: minsup.max(1),
             max_len: None,
             max_itemsets: 5_000_000,
+            n_threads: None,
         }
     }
 
@@ -33,6 +56,42 @@ impl MinerConfig {
         self.max_len = Some(len);
         self
     }
+}
+
+/// Decides whether a mining run fans out across first-level subtrees:
+/// explicit thread configs always do, automatic ones only when the tidset
+/// volume makes the per-task submission cost negligible.
+pub(crate) fn fanout_threads(cfg_threads: Option<usize>, n_roots: usize, n_tx: usize) -> usize {
+    let threads = twoview_runtime::resolve_threads(cfg_threads);
+    if threads <= 1 || n_roots < 2 {
+        return 1;
+    }
+    if cfg_threads.is_none() && n_roots.saturating_mul(n_tx) < (1 << 16) {
+        return 1;
+    }
+    threads
+}
+
+/// Concatenates per-root segments in root (submission) order, applying the
+/// `max_itemsets` valve exactly like the serial enumerator: the output is
+/// the first `max_itemsets` itemsets of the full serial enumeration order,
+/// and `truncated` is set iff the serial run would have set it.
+pub(crate) fn merge_segments(segments: Vec<MiningResult>, max_itemsets: usize) -> MiningResult {
+    let mut out = MiningResult {
+        itemsets: Vec::new(),
+        truncated: false,
+    };
+    for seg in segments {
+        out.truncated |= seg.truncated;
+        for itemset in seg.itemsets {
+            if out.itemsets.len() >= max_itemsets {
+                out.truncated = true;
+                return out;
+            }
+            out.itemsets.push(itemset);
+        }
+    }
+    out
 }
 
 /// A frequent itemset and its absolute support.
@@ -63,14 +122,79 @@ pub fn mine_frequent(data: &TwoViewDataset, cfg: &MinerConfig) -> MiningResult {
         .collect();
     items.sort_unstable_by_key(|&i| data.support(i));
 
-    let mut out = MiningResult {
+    let threads = fanout_threads(cfg.n_threads, items.len(), data.n_transactions());
+    if threads > 1 {
+        // One task per first-level subtree, stolen chunk-wise from the
+        // pool; segments come back in root order, so the concatenation is
+        // the serial enumeration order. Every subtree gets the full
+        // `max_itemsets` budget (a thread-count-independent bound);
+        // `merge_segments` re-applies the global valve.
+        let roots: Vec<usize> = (0..items.len()).collect();
+        let segments = twoview_runtime::global().map_chunks(threads, &roots, 1, |_, pos| {
+            expand_root(data, cfg, &items, pos[0], cfg.max_itemsets)
+        });
+        return merge_segments(segments, cfg.max_itemsets);
+    }
+
+    // Serial: same per-root expansion, with the *remaining* budget handed
+    // to each subtree so truncation stops the run exactly where the
+    // single-DFS enumerator used to.
+    let mut segments = Vec::with_capacity(items.len());
+    let mut produced = 0usize;
+    for pos in 0..items.len() {
+        let seg = expand_root(data, cfg, &items, pos, cfg.max_itemsets - produced);
+        produced += seg.itemsets.len();
+        let stop = seg.truncated;
+        segments.push(seg);
+        if stop {
+            break;
+        }
+    }
+    merge_segments(segments, cfg.max_itemsets)
+}
+
+/// One first-level subtree: the root-loop body for `items[pos]` with
+/// `tid = full` (so the root tidset is `tid(item)` itself, and the item is
+/// frequent by pre-filtering), bounded by `budget` itemsets. Shared by the
+/// serial and the fanned-out miner so the two cannot drift apart.
+fn expand_root(
+    data: &TwoViewDataset,
+    cfg: &MinerConfig,
+    items: &[ItemId],
+    pos: usize,
+    budget: usize,
+) -> MiningResult {
+    let item = items[pos];
+    let mut seg = MiningResult {
         itemsets: Vec::new(),
         truncated: false,
     };
-    let mut prefix: Vec<ItemId> = Vec::new();
-    let full = Bitmap::full(data.n_transactions());
-    dfs(data, cfg, &items, &full, &mut prefix, &mut out);
-    out
+    if cfg.max_len == Some(0) {
+        return seg;
+    }
+    if budget == 0 {
+        seg.truncated = true;
+        return seg;
+    }
+    let budgeted = MinerConfig {
+        max_itemsets: budget,
+        ..cfg.clone()
+    };
+    let tid = data.tidset(item);
+    seg.itemsets.push(FrequentItemset {
+        items: ItemSet::singleton(item),
+        support: tid.len(),
+    });
+    let mut prefix = vec![item];
+    dfs(
+        data,
+        &budgeted,
+        &items[pos + 1..],
+        tid,
+        &mut prefix,
+        &mut seg,
+    );
+    seg
 }
 
 fn dfs(
@@ -207,6 +331,57 @@ mod tests {
         let res = mine_frequent(&d, &cfg);
         assert!(res.truncated);
         assert_eq!(res.itemsets.len(), 3);
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical() {
+        // Explicit thread configs force the fan-out even on toy data; the
+        // itemset list (values AND order) must match the serial miner for
+        // any thread count, with and without truncation.
+        let d = toy();
+        for max_itemsets in [usize::MAX, 7, 3, 1] {
+            let serial = MinerConfig {
+                n_threads: Some(1),
+                max_itemsets,
+                ..MinerConfig::with_minsup(1)
+            };
+            let base = mine_frequent(&d, &serial);
+            for threads in [2, 4, 16] {
+                let cfg = MinerConfig {
+                    n_threads: Some(threads),
+                    ..serial.clone()
+                };
+                let par = mine_frequent(&d, &cfg);
+                assert_eq!(
+                    par.itemsets, base.itemsets,
+                    "threads={threads} cap={max_itemsets}"
+                );
+                assert_eq!(
+                    par.truncated, base.truncated,
+                    "threads={threads} cap={max_itemsets}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_max_len() {
+        let d = toy();
+        for ml in [0, 1, 2] {
+            let serial = MinerConfig {
+                n_threads: Some(1),
+                ..MinerConfig::with_minsup(1).max_len(ml)
+            };
+            let par = MinerConfig {
+                n_threads: Some(4),
+                ..serial.clone()
+            };
+            assert_eq!(
+                mine_frequent(&d, &par).itemsets,
+                mine_frequent(&d, &serial).itemsets,
+                "max_len={ml}"
+            );
+        }
     }
 
     #[test]

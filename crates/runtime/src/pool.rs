@@ -1,0 +1,536 @@
+//! The worker pool: parked OS workers, a shared task deque, scoped task
+//! submission, and the deterministic chunked parallel map.
+//!
+//! ## Concurrency protocol
+//!
+//! All scheduling state lives behind one mutex (`Shared::queue`) and one
+//! condvar (`Shared::available`). Tasks are pushed to the back of the
+//! deque and popped from the front by whichever participant gets there
+//! first — workers and installing callers alike — so load balance emerges
+//! from stealing chunk-granularity tasks rather than from static
+//! assignment. The condvar is notified on two events only: a push (new
+//! work) and a scope's pending count reaching zero (an installer may be
+//! waiting). Both notifications happen while the queue mutex is held,
+//! pairing with the waiters' check-then-wait under the same lock, so no
+//! wakeup can be lost.
+//!
+//! ## Soundness of scoped tasks
+//!
+//! [`Scope::spawn`] erases the closure's `'scope` lifetime (a `Box<dyn
+//! FnOnce + 'scope>` is transmuted to `'static` so it can sit in the
+//! process-wide deque). This is sound for the same reason
+//! `std::thread::scope` is: [`Runtime::install`] does not return — not
+//! even by unwinding — until the scope's pending count has dropped to
+//! zero, and the count is only decremented *after* a task has finished
+//! running (or has been consumed by a panic). Every borrow a task holds is
+//! therefore live for as long as the task can possibly execute. Task
+//! panics are caught, stashed on the scope, and re-raised from `install`
+//! on the installing thread after the remaining tasks drained.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased task. Constructed only by [`Scope::spawn`], which
+/// guarantees (via [`Runtime::install`]) that the closure's real borrows
+/// outlive its execution.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued task plus the scope it belongs to.
+struct QueuedTask {
+    run: Task,
+    state: Arc<ScopeState>,
+}
+
+/// Completion state of one `install` call.
+#[derive(Default)]
+struct ScopeState {
+    /// Tasks spawned but not yet finished.
+    pending: AtomicUsize,
+    /// First panic payload raised by a task of this scope.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// The work deque. Chunk-granularity tasks; push back, steal front.
+    queue: Mutex<VecDeque<QueuedTask>>,
+    /// Signalled on push and on scope completion (see module docs).
+    available: Condvar,
+    /// Set by `Drop`; workers exit at the next wakeup.
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Runs one task: execute, stash a panic if any, then decrement the
+    /// owning scope's pending count — notifying under the queue lock when
+    /// the scope completed so a waiting installer wakes up.
+    fn run_task(&self, task: QueuedTask) {
+        let QueuedTask { run, state } = task;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
+            let mut slot = state.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.queue.lock().unwrap();
+            self.available.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                match queue.pop_front() {
+                    Some(t) => break t,
+                    None => queue = shared.available.wait(queue).unwrap(),
+                }
+            }
+        };
+        shared.run_task(task);
+    }
+}
+
+/// A persistent worker pool. See the [crate docs](crate) for the design.
+///
+/// `Runtime::new(t)` spawns `t − 1` parked OS workers; the thread calling
+/// [`Runtime::install`] or [`Runtime::map_chunks`] is the remaining
+/// participant, so concurrency is exactly `t` and the machine is never
+/// oversubscribed. Dropping the pool joins the workers (pending scopes
+/// must have completed first, which `install`'s blocking API guarantees
+/// for well-formed use).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A pool with `threads` total participants (`threads − 1` OS workers;
+    /// the installing caller is the last one). `threads == 1` is valid and
+    /// makes every API run inline on the caller.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("twoview-runtime-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Runtime { shared, workers }
+    }
+
+    /// Total participants: parked workers plus the installing caller.
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowed tasks can be spawned,
+    /// participates in draining the deque, and returns once every task of
+    /// the scope has completed. Panics from tasks (or from `f` itself) are
+    /// re-raised here after the scope fully drained, mirroring
+    /// `std::thread::scope` semantics.
+    pub fn install<'env, F, T>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let scope = Scope {
+            runtime: self,
+            state: Arc::new(ScopeState::default()),
+            scope: PhantomData,
+            env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Tasks may borrow from `f`'s environment: drain-and-wait BEFORE
+        // propagating any panic, or the borrows would dangle mid-unwind.
+        self.participate_until_done(&scope.state);
+        let task_panic = scope.state.panic.lock().unwrap().take();
+        match (result, task_panic) {
+            (Err(payload), _) => resume_unwind(payload),
+            (_, Some(payload)) => resume_unwind(payload),
+            (Ok(value), None) => value,
+        }
+    }
+
+    /// Caller-participation loop: steal queued tasks (any scope's — running
+    /// a foreign task is always sound because *its* installer is blocked
+    /// just like we are) until this scope's pending count reaches zero.
+    fn participate_until_done(&self, state: &ScopeState) {
+        loop {
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let task = self.shared.queue.lock().unwrap().pop_front();
+            match task {
+                Some(t) => self.shared.run_task(t),
+                None => {
+                    let queue = self.shared.queue.lock().unwrap();
+                    if state.pending.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    if queue.is_empty() {
+                        // All of this scope's tasks are claimed and running;
+                        // completion (or a nested spawn) will notify.
+                        drop(self.shared.available.wait(queue).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic parallel map over consecutive `chunk_size`-element
+    /// chunks of `items`: `f(chunk_index, chunk)` runs on up to `threads`
+    /// participants, chunks are claimed dynamically in index order, and
+    /// the results come back **in chunk order regardless of scheduling** —
+    /// the ordered-reduction guarantee every bit-identical-across-threads
+    /// consumer builds on.
+    ///
+    /// `threads` beyond the pool size spawn extra participant tasks that
+    /// queue behind the real workers (the full parallel machinery runs,
+    /// actual concurrency is bounded by the pool) — deliberately not
+    /// clamped, so differential tests exercise the parallel path on any
+    /// machine. With `threads == 1` (or a single chunk) the map runs
+    /// inline with no pool traffic at all, so a `Some(1)` thread config
+    /// costs nothing.
+    pub fn map_chunks<T, R, F>(
+        &self,
+        threads: usize,
+        items: &[T],
+        chunk_size: usize,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let n_chunks = items.len().div_ceil(chunk_size);
+        let threads = threads.max(1);
+        if threads == 1 || n_chunks <= 1 {
+            return items
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(i, c)| f(i, c))
+                .collect();
+        }
+
+        let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n_chunks);
+        out.resize_with(n_chunks, MaybeUninit::uninit);
+        let slots = SlotWriter {
+            base: out.as_mut_ptr(),
+        };
+        // Per-slot initialisation flags, so a panicking chunk does not
+        // leak the results the other chunks already produced: the store
+        // directly follows the write with nothing panicking in between,
+        // making "flagged" and "initialised" equivalent.
+        let written: Vec<AtomicBool> = (0..n_chunks).map(|_| AtomicBool::new(false)).collect();
+        let next = AtomicUsize::new(0);
+        let participant = &|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_chunks {
+                break;
+            }
+            let lo = i * chunk_size;
+            let hi = (lo + chunk_size).min(items.len());
+            let value = f(i, &items[lo..hi]);
+            // Disjoint slots: chunk `i` is claimed exactly once, and
+            // `install` returns only after every participant finished.
+            unsafe { slots.write(i, value) };
+            written[i].store(true, Ordering::Release);
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            self.install(|scope| {
+                for _ in 1..threads {
+                    scope.spawn(participant);
+                }
+                participant();
+            });
+        }));
+        if let Err(payload) = run {
+            // `install` has drained the scope, so no participant can still
+            // touch the slots; reclaim the completed chunks' results.
+            for (i, flag) in written.iter().enumerate() {
+                if flag.load(Ordering::Acquire) {
+                    unsafe { (*slots.base.add(i)).assume_init_drop() };
+                }
+            }
+            resume_unwind(payload);
+        }
+
+        // Every chunk index was claimed (the counter only stops handing
+        // out indices past `n_chunks`) and written before its participant
+        // exited, so all `n_chunks` slots are initialised.
+        let mut out = ManuallyDrop::new(out);
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n_chunks, out.capacity()) }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        {
+            let _guard = self.shared.queue.lock().unwrap();
+            self.shared.available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// Base pointer to the output slots of one `map_chunks` call. Participants
+/// write disjoint indices, so sharing the raw pointer across threads is
+/// sound; `R: Send` is required because values produced on one thread are
+/// collected (and dropped) on the installer's.
+struct SlotWriter<R> {
+    base: *mut MaybeUninit<R>,
+}
+
+impl<R> SlotWriter<R> {
+    /// Writes slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and claimed by exactly one participant, and
+    /// the slots must stay alive until all participants finished.
+    unsafe fn write(&self, i: usize, value: R) {
+        unsafe { (*self.base.add(i)).write(value) };
+    }
+}
+
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+
+/// A scope handed to [`Runtime::install`]'s closure. Tasks spawned on it
+/// may borrow anything that outlives the `install` call (`'env`), exactly
+/// like `std::thread::scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    runtime: &'scope Runtime,
+    state: Arc<ScopeState>,
+    /// Invariance over `'scope` (same device as `std::thread::Scope`): a
+    /// scope must not be coercible to one with a shorter task lifetime.
+    scope: PhantomData<&'scope mut &'scope ()>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task on the pool. The task may borrow from the environment
+    /// of the `install` call; it is guaranteed to have finished by the
+    /// time `install` returns. Tasks may themselves spawn further tasks on
+    /// the same scope.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: lifetime erasure only; `install` keeps every `'scope`
+        // borrow alive until the task has run (see module docs).
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.state.pending.fetch_add(1, Ordering::Release);
+        let mut queue = self.runtime.shared.queue.lock().unwrap();
+        queue.push_back(QueuedTask {
+            run: task,
+            state: Arc::clone(&self.state),
+        });
+        self.runtime.shared.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn install_runs_all_tasks_with_borrows() {
+        let rt = Runtime::new(4);
+        let counter = AtomicUsize::new(0);
+        let data: Vec<usize> = (0..100).collect();
+        rt.install(|scope| {
+            for chunk in data.chunks(7) {
+                scope.spawn(|| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn map_chunks_is_ordered_and_complete() {
+        let rt = Runtime::new(3);
+        let items: Vec<u64> = (0..1000).collect();
+        for (threads, chunk) in [(1, 16), (2, 1), (3, 17), (8, 999), (3, 1000)] {
+            let got = rt.map_chunks(threads, &items, chunk, |ci, vals| {
+                (ci, vals.iter().sum::<u64>())
+            });
+            let want: Vec<(usize, u64)> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, vals)| (ci, vals.iter().sum::<u64>()))
+                .collect();
+            assert_eq!(got, want, "threads={threads} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_results_identical_across_thread_counts() {
+        let rt = Runtime::new(4);
+        let items: Vec<u64> = (0..5000).map(|i| i * 17 % 251).collect();
+        let fold = |c: &[u64]| c.iter().fold(1u64, |a, &b| a.wrapping_mul(b | 1));
+        let base = rt.map_chunks(1, &items, 64, |_, c| fold(c));
+        for threads in [2, 3, 4, 16] {
+            let other = rt.map_chunks(threads, &items, 64, |_, c| fold(c));
+            assert_eq!(base, other, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let rt = Runtime::new(1);
+        assert_eq!(rt.threads(), 1);
+        let got = rt.map_chunks(1, &[1, 2, 3], 2, |_, c| c.len());
+        assert_eq!(got, vec![2, 1]);
+        let mut hits = 0;
+        rt.install(|scope| {
+            scope.spawn(|| {}); // drained by the caller itself
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let rt = Runtime::new(2);
+        let counter = AtomicUsize::new(0);
+        rt.install(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    scope.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let rt = Runtime::new(3);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            rt.install(|scope| {
+                let finished = Arc::clone(&finished);
+                scope.spawn(move || {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+                scope.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The sibling task must have run (or been drained) regardless.
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
+        // The pool survives a panicked scope.
+        let ok = rt.map_chunks(3, &[1u64, 2, 3, 4], 1, |_, c| c[0] * 2);
+        assert_eq!(ok, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn map_chunks_panic_propagates() {
+        let rt = Runtime::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            rt.map_chunks(2, &[0usize, 1, 2, 3], 1, |_, c| {
+                if c[0] == 2 {
+                    panic!("chunk panic");
+                }
+                c[0]
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_chunks_panic_drops_completed_results() {
+        struct Guard(Arc<AtomicUsize>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let rt = Runtime::new(2);
+        let created = Arc::new(AtomicUsize::new(0));
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            rt.map_chunks(2, &items, 1, |_, c| {
+                if c[0] == 40 {
+                    panic!("chunk panic");
+                }
+                created.fetch_add(1, Ordering::Relaxed);
+                Guard(Arc::clone(&dropped))
+            })
+        }));
+        assert!(result.is_err());
+        // Every completed chunk's result must have been reclaimed by the
+        // unwind path — no leaks.
+        assert_eq!(
+            created.load(Ordering::Relaxed),
+            dropped.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn concurrent_scopes_from_multiple_threads() {
+        let rt = Arc::new(Runtime::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rt = Arc::clone(&rt);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    let vals: Vec<u64> = (0..200).collect();
+                    let sums = rt.map_chunks(4, &vals, 13, |_, c| c.iter().sum::<u64>());
+                    total.fetch_add(sums.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * (0..200).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_map() {
+        let rt = Runtime::new(2);
+        let got: Vec<usize> = rt.map_chunks(2, &[] as &[u8], 4, |_, c| c.len());
+        assert!(got.is_empty());
+    }
+}

@@ -18,7 +18,12 @@
 //! * [`baselines`] ([`twoview_baselines`]) — association rules,
 //!   significant-rule discovery, redescription mining, KRIMP;
 //! * [`eval`] ([`twoview_eval`]) — metrics and the runners regenerating
-//!   every table and figure of the paper.
+//!   every table and figure of the paper;
+//! * [`runtime`] ([`twoview_runtime`]) — the persistent worker pool behind
+//!   every parallel hot path (SELECT refresh, EXACT root fan-out, miner
+//!   first-level expansion), with deterministic ordered reduction so
+//!   results are bit-identical for any thread count
+//!   (`TWOVIEW_RUNTIME_THREADS` overrides the process-wide default).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +60,7 @@ pub use twoview_core as core;
 pub use twoview_data as data;
 pub use twoview_eval as eval;
 pub use twoview_mining as mining;
+pub use twoview_runtime as runtime;
 
 /// One-stop imports for applications.
 pub mod prelude {

@@ -370,3 +370,90 @@ fn canon(v: &[twoview::mining::FrequentItemset]) -> Vec<(Vec<ItemId>, usize)> {
     out.sort();
     out
 }
+
+// ------------------------------------------- runtime thread determinism
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SELECT, GREEDY, EXACT, and the eclat/closed miners all produce
+    /// bit-identical output across thread counts {1, 2, max} through the
+    /// persistent pool, and SELECT additionally across the pool vs the
+    /// legacy `std::thread::scope` refresh path.
+    #[test]
+    fn algorithms_identical_across_thread_counts(
+        data in dataset_strategy(),
+        k in 1usize..3,
+    ) {
+        use twoview::core::exact::translator_exact_with;
+        use twoview::core::greedy::{translator_greedy, GreedyConfig};
+        use twoview::core::select::translator_select;
+        let max_t = twoview::runtime::configured_threads().max(4);
+        let thread_counts = [1usize, 2, max_t];
+
+        // Miners: itemset lists must match exactly, order included.
+        let mcfg = |t: usize| MinerConfig {
+            n_threads: Some(t),
+            ..MinerConfig::with_minsup(1)
+        };
+        let base_freq = twoview::mining::mine_frequent(&data, &mcfg(1));
+        let base_closed = twoview::mining::mine_closed(&data, &mcfg(1));
+        for &t in &thread_counts[1..] {
+            let freq = twoview::mining::mine_frequent(&data, &mcfg(t));
+            prop_assert_eq!(&freq.itemsets, &base_freq.itemsets, "eclat, {} threads", t);
+            let closed = twoview::mining::mine_closed(&data, &mcfg(t));
+            prop_assert_eq!(&closed.itemsets, &base_closed.itemsets, "closed, {} threads", t);
+        }
+
+        // SELECT: serial vs pool vs legacy scoped refresh.
+        let select_base = translator_select(
+            &data,
+            &SelectConfig { n_threads: Some(1), ..SelectConfig::new(k, 1) },
+        );
+        for &t in &thread_counts[1..] {
+            for legacy_scope in [false, true] {
+                let model = translator_select(
+                    &data,
+                    &SelectConfig {
+                        n_threads: Some(t),
+                        legacy_scope,
+                        ..SelectConfig::new(k, 1)
+                    },
+                );
+                prop_assert_eq!(
+                    &model.table, &select_base.table,
+                    "SELECT, {} threads, legacy_scope={}", t, legacy_scope
+                );
+                prop_assert!((model.score.l_total - select_base.score.l_total).abs() < 1e-9);
+            }
+        }
+
+        // GREEDY: threaded candidate mining feeds the sequential filter.
+        let greedy_base = translator_greedy(
+            &data,
+            &GreedyConfig { n_threads: Some(1), ..GreedyConfig::new(1) },
+        );
+        for &t in &thread_counts[1..] {
+            let model = translator_greedy(
+                &data,
+                &GreedyConfig { n_threads: Some(t), ..GreedyConfig::new(1) },
+            );
+            prop_assert_eq!(&model.table, &greedy_base.table, "GREEDY, {} threads", t);
+        }
+
+        // EXACT: uncapped parallel root fan-out (shared-bound pruning)
+        // must return the same rules, tie-breaking included.
+        let exact_base = translator_exact_with(
+            &data,
+            &ExactConfig { n_threads: Some(1), ..ExactConfig::default() },
+        );
+        for &t in &thread_counts[1..] {
+            let model = translator_exact_with(
+                &data,
+                &ExactConfig { n_threads: Some(t), ..ExactConfig::default() },
+            );
+            prop_assert_eq!(&model.table, &exact_base.table, "EXACT, {} threads", t);
+            prop_assert!((model.score.l_total - exact_base.score.l_total).abs() < 1e-9);
+        }
+    }
+}
