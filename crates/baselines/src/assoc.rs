@@ -66,7 +66,7 @@ pub struct AssocResult {
 /// For every frequent two-view itemset `Z = X ∪ Y` the two candidate rules
 /// `X → Y` and `Y → X` are checked against `minconf`.
 pub fn mine_association_rules(data: &TwoViewDataset, cfg: &AssocConfig) -> AssocResult {
-    let mut miner_cfg = MinerConfig::with_minsup(cfg.minsup);
+    let mut miner_cfg = MinerConfig::builder().minsup(cfg.minsup).build();
     miner_cfg.max_itemsets = cfg.max_itemsets;
     let mined = mine_frequent_twoview(data, &miner_cfg);
 

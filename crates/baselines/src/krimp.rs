@@ -393,7 +393,7 @@ impl<'d> Krimp<'d> {
 
 /// Fits KRIMP on the joint two-view database.
 pub fn krimp(data: &TwoViewDataset, cfg: &KrimpConfig) -> KrimpModel {
-    let mut miner_cfg = MinerConfig::with_minsup(cfg.minsup);
+    let mut miner_cfg = MinerConfig::builder().minsup(cfg.minsup).build();
     miner_cfg.max_itemsets = cfg.max_candidates;
     let mined = if cfg.closed_candidates {
         mine_closed(data, &miner_cfg)

@@ -340,7 +340,10 @@ fn mine_side_itemsets(
     side: Side,
     cfg: &MagnumConfig,
 ) -> Vec<(ItemSet, usize)> {
-    let mut miner_cfg = MinerConfig::with_minsup(cfg.min_coverage).max_len(cfg.max_antecedent);
+    let mut miner_cfg = MinerConfig::builder()
+        .minsup(cfg.min_coverage)
+        .max_len(cfg.max_antecedent)
+        .build();
     miner_cfg.max_itemsets = cfg.max_antecedents;
     // Mine over the joint data but keep only single-view itemsets; the
     // miner's DFS order makes this equivalent to mining the projection.

@@ -47,12 +47,17 @@ fn ablate_select_candidates(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/select-candidates");
     g.sample_size(10);
     g.bench_function("closed", |b| {
-        b.iter(|| black_box(translator_select(&data, &SelectConfig::new(1, 2))));
+        b.iter(|| {
+            black_box(translator_select(
+                &data,
+                &SelectConfig::builder().k(1).minsup(2).build(),
+            ))
+        });
     });
     g.bench_function("all-frequent", |b| {
         let cfg = SelectConfig {
             closed_candidates: false,
-            ..SelectConfig::new(1, 2)
+            ..SelectConfig::builder().k(1).minsup(2).build()
         };
         b.iter(|| black_box(translator_select(&data, &cfg)));
     });
@@ -65,7 +70,12 @@ fn ablate_select_k(c: &mut Criterion) {
     g.sample_size(10);
     for k in [1usize, 5, 25, 100] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| black_box(translator_select(&data, &SelectConfig::new(k, 5))));
+            b.iter(|| {
+                black_box(translator_select(
+                    &data,
+                    &SelectConfig::builder().k(k).minsup(5).build(),
+                ))
+            });
         });
     }
     g.finish();
@@ -76,12 +86,17 @@ fn ablate_gain_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/gain-cache");
     g.sample_size(10);
     g.bench_function("cached", |b| {
-        b.iter(|| black_box(translator_select(&data, &SelectConfig::new(1, 5))));
+        b.iter(|| {
+            black_box(translator_select(
+                &data,
+                &SelectConfig::builder().k(1).minsup(5).build(),
+            ))
+        });
     });
     g.bench_function("uncached", |b| {
         let cfg = SelectConfig {
             gain_cache: false,
-            ..SelectConfig::new(1, 5)
+            ..SelectConfig::builder().k(1).minsup(5).build()
         };
         b.iter(|| black_box(translator_select(&data, &cfg)));
     });
@@ -98,7 +113,7 @@ fn ablate_greedy_order(c: &mut Criterion) {
     ] {
         let cfg = GreedyConfig {
             order,
-            ..GreedyConfig::new(2)
+            ..GreedyConfig::builder().minsup(2).build()
         };
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| black_box(translator_greedy(&data, cfg)));

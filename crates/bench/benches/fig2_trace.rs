@@ -15,7 +15,7 @@ fn bench_fig2(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("house-select1-trace", |b| {
         b.iter(|| {
-            let model = translator_select(&data, &SelectConfig::new(1, 4));
+            let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(4).build());
             black_box(model.trace.len())
         });
     });

@@ -12,16 +12,31 @@ fn bench_miners(c: &mut Criterion) {
     g.sample_size(10);
     for minsup in [2usize, 5, 20] {
         g.bench_with_input(BenchmarkId::new("frequent", minsup), &minsup, |b, &m| {
-            b.iter(|| black_box(mine_frequent(&data, &MinerConfig::with_minsup(m))));
+            b.iter(|| {
+                black_box(mine_frequent(
+                    &data,
+                    &MinerConfig::builder().minsup(m).build(),
+                ))
+            });
         });
         g.bench_with_input(BenchmarkId::new("closed", minsup), &minsup, |b, &m| {
-            b.iter(|| black_box(mine_closed(&data, &MinerConfig::with_minsup(m))));
+            b.iter(|| {
+                black_box(mine_closed(
+                    &data,
+                    &MinerConfig::builder().minsup(m).build(),
+                ))
+            });
         });
         g.bench_with_input(
             BenchmarkId::new("closed-twoview", minsup),
             &minsup,
             |b, &m| {
-                b.iter(|| black_box(mine_closed_twoview(&data, &MinerConfig::with_minsup(m))));
+                b.iter(|| {
+                    black_box(mine_closed_twoview(
+                        &data,
+                        &MinerConfig::builder().minsup(m).build(),
+                    ))
+                });
             },
         );
     }

@@ -25,13 +25,28 @@ fn bench_methods(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("table2/{}", ds.name()));
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::new("select", 1), &data, |b, d| {
-            b.iter(|| black_box(translator_select(d, &SelectConfig::new(1, minsup))));
+            b.iter(|| {
+                black_box(translator_select(
+                    d,
+                    &SelectConfig::builder().k(1).minsup(minsup).build(),
+                ))
+            });
         });
         g.bench_with_input(BenchmarkId::new("select", 25), &data, |b, d| {
-            b.iter(|| black_box(translator_select(d, &SelectConfig::new(25, minsup))));
+            b.iter(|| {
+                black_box(translator_select(
+                    d,
+                    &SelectConfig::builder().k(25).minsup(minsup).build(),
+                ))
+            });
         });
         g.bench_with_input(BenchmarkId::new("greedy", 1), &data, |b, d| {
-            b.iter(|| black_box(translator_greedy(d, &GreedyConfig::new(minsup))));
+            b.iter(|| {
+                black_box(translator_greedy(
+                    d,
+                    &GreedyConfig::builder().minsup(minsup).build(),
+                ))
+            });
         });
         g.bench_with_input(BenchmarkId::new("exact-capped", 0), &data, |b, d| {
             let cfg = ExactConfig {

@@ -18,7 +18,12 @@ fn bench_baselines(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3/wine");
     g.sample_size(10);
     g.bench_function("translator-select1", |b| {
-        b.iter(|| black_box(translator_select(&data, &SelectConfig::new(1, 2))));
+        b.iter(|| {
+            black_box(translator_select(
+                &data,
+                &SelectConfig::builder().k(1).minsup(2).build(),
+            ))
+        });
     });
     g.bench_function("magnum-opus-style", |b| {
         b.iter(|| black_box(magnum_opus_rules(&data, &MagnumConfig::default())));

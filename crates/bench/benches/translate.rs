@@ -9,7 +9,7 @@ use twoview_data::Side;
 
 fn bench_translate(c: &mut Criterion) {
     let data = bench_dataset(PaperDataset::House, 435);
-    let model = translator_select(&data, &SelectConfig::new(1, 8));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(8).build());
     let table = model.table;
 
     let mut g = c.benchmark_group("translate/house");

@@ -32,12 +32,14 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use twoview_core::engine::Algorithm;
 use twoview_core::greedy::translator_greedy_candidates;
 use twoview_core::select::{translator_select_candidates, SelectConfig};
 use twoview_core::{
-    translator_exact_with, CoverState, ExactConfig, GreedyConfig, RowCoverState, TranslatorModel,
+    translator_exact_with, CoverState, Engine, ExactConfig, GreedyConfig, RowCoverState,
+    TranslatorModel,
 };
 use twoview_data::prelude::*;
 use twoview_data::synthetic::{self, StructureSpec, SyntheticSpec};
@@ -167,8 +169,17 @@ impl Identities {
     }
 }
 
-fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> bool {
-    let reps = if smoke { 2 } else { 3 };
+/// Per-corpus numbers main() needs beyond the JSON blob.
+struct CorpusOutcome {
+    identities_ok: bool,
+    select_pool_ms: f64,
+}
+
+fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcome {
+    // Smoke corpora are tiny (sub-3ms SELECT runs), where scheduler noise
+    // easily exceeds the 25% gate margin; more best-of reps stabilise the
+    // recorded minimum at negligible cost.
+    let reps = if smoke { 5 } else { 3 };
     let max_threads = twoview_runtime::configured_threads().max(2);
     let data = generate(spec, smoke);
     let n = data.n_transactions();
@@ -179,7 +190,7 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> bool {
     );
 
     // --- candidate mining: serial vs pool -------------------------------
-    let mut mcfg_serial = MinerConfig::with_minsup(minsup);
+    let mut mcfg_serial = MinerConfig::builder().minsup(minsup).build();
     mcfg_serial.max_itemsets = 2_000_000;
     mcfg_serial.n_threads = Some(1);
     let mut mcfg_par = mcfg_serial.clone();
@@ -201,7 +212,7 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> bool {
         &data,
         &SelectConfig {
             max_iterations: Some(3),
-            ..SelectConfig::new(1, minsup)
+            ..SelectConfig::builder().k(1).minsup(minsup).build()
         },
         &cands,
     );
@@ -236,7 +247,7 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> bool {
     let select_cfg = |n_threads, legacy_scope| SelectConfig {
         n_threads: Some(n_threads),
         legacy_scope,
-        ..SelectConfig::new(1, minsup)
+        ..SelectConfig::builder().k(1).minsup(minsup).build()
     };
     let (select_serial_ms, model_serial) = time_best(reps, || {
         translator_select_candidates(&data, &select_cfg(1, false), &cands)
@@ -276,7 +287,11 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> bool {
 
     // --- GREEDY ---------------------------------------------------------
     let (greedy_ms, greedy_model) = time_best(reps, || {
-        translator_greedy_candidates(&data, &GreedyConfig::new(minsup), &cands)
+        translator_greedy_candidates(
+            &data,
+            &GreedyConfig::builder().minsup(minsup).build(),
+            &cands,
+        )
     });
 
     // --- EXACT: capped, 1 / 2 / max threads -----------------------------
@@ -384,12 +399,141 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> bool {
     )
     .expect("write json");
 
-    identities.all()
+    CorpusOutcome {
+        identities_ok: identities.all(),
+        select_pool_ms,
+    }
+}
+
+/// Engine serving benchmark on the mid-dense corpus: build (mines once),
+/// then two SELECT(1) fits through the job queue. The acceptance invariant
+/// is `fit_mine_ms == 0` — the second fit's candidate-mining time is
+/// exactly zero because both fits reuse the build-time cache — plus
+/// bit-identity of the served model with the serial `*_candidates` run.
+struct EngineOutcome {
+    json: String,
+    identity: bool,
+    fit_mine_ms: f64,
+}
+
+fn run_engine_bench(smoke: bool) -> EngineOutcome {
+    let spec = &CORPORA[1]; // mid-dense
+    let data = generate(spec, smoke);
+    let minsup = (data.n_transactions() / spec.minsup_div).max(1);
+
+    let t0 = Instant::now();
+    let engine = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .build()
+        .expect("engine build");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let cfg = SelectConfig::builder().k(1).minsup(minsup).build();
+    let t0 = Instant::now();
+    let fit1 = engine
+        .fit(Algorithm::Select(cfg.clone()))
+        .join()
+        .expect("fit 1");
+    let fit1_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let fit2 = engine
+        .fit(Algorithm::Select(cfg.clone()))
+        .join()
+        .expect("fit 2");
+    let fit2_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let stats = engine.stats();
+    let serial = translator_select_candidates(&data, &cfg, engine.candidates());
+    let identity =
+        models_match(&fit1, &serial) && models_match(&fit2, &serial) && stats.fit_mine_ms == 0.0;
+    eprintln!(
+        "  engine[mid-dense]: build {build_ms:.1} ms ({} candidates), \
+         fit1 {fit1_ms:.1} ms / fit2 {fit2_ms:.1} ms, \
+         re-mining inside fits {:.3} ms (identity: {identity})",
+        stats.n_candidates, stats.fit_mine_ms
+    );
+    let json = format!(
+        r#"  "engine": {{
+    "corpus": "mid-dense",
+    "n_candidates": {n_candidates},
+    "build_ms": {build_ms:.3},
+    "fit1_ms": {fit1_ms:.3},
+    "fit2_ms": {fit2_ms:.3},
+    "fit_mine_ms": {fit_mine_ms:.3},
+    "fit_reuses_cache_identical": {identity}
+  }}"#,
+        n_candidates = stats.n_candidates,
+        fit_mine_ms = stats.fit_mine_ms,
+    );
+    EngineOutcome {
+        json,
+        identity,
+        fit_mine_ms: stats.fit_mine_ms,
+    }
+}
+
+/// Appended to `BENCH_history.jsonl` after every run: one flat JSON object
+/// per line so the regression gate (and humans with `grep`) can read it
+/// without a JSON parser.
+const HISTORY_PATH: &str = "BENCH_history.jsonl";
+
+/// Reads `key` from a flat single-line JSON object written by this binary.
+fn history_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().trim_matches('"').parse().ok()
+}
+
+/// Fails the run if the mid-dense SELECT(1) pool time regressed more than
+/// 25% against the previous history entry *of the same mode and thread
+/// count* (full-vs-full or smoke-vs-smoke; cross-mode timings are not
+/// comparable, and a different `threads` value means different hardware —
+/// wall-clock comparisons across machines would gate on the runner, not
+/// the code; recalibrate by committing a fresh entry from the new
+/// environment).
+fn gate_against_history(
+    history: &str,
+    mode: &str,
+    new_mid_dense_pool_ms: f64,
+) -> Result<(), String> {
+    let threads = twoview_runtime::configured_threads();
+    let previous = history.lines().rev().find(|l| {
+        l.contains(&format!("\"mode\":\"{mode}\""))
+            && history_field(l, "threads") == Some(threads as f64)
+    });
+    let Some(prev_line) = previous else {
+        eprintln!(
+            "  gate: no previous {mode} entry at {threads} thread(s) in {HISTORY_PATH}; \
+             nothing to compare"
+        );
+        return Ok(());
+    };
+    let Some(prev_ms) = history_field(prev_line, "select1_pool_ms_mid_dense") else {
+        return Err(format!(
+            "gate: previous {mode} entry has no select1_pool_ms_mid_dense field"
+        ));
+    };
+    let ratio = new_mid_dense_pool_ms / prev_ms.max(1e-9);
+    eprintln!(
+        "  gate: mid-dense SELECT(1) pool {new_mid_dense_pool_ms:.2} ms vs previous \
+         {prev_ms:.2} ms ({ratio:.2}x)"
+    );
+    if ratio > 1.25 {
+        return Err(format!(
+            "gate: mid-dense SELECT(1) pool time regressed {ratio:.2}x (> 1.25x) \
+             vs the previous {mode} entry ({new_mid_dense_pool_ms:.2} ms vs {prev_ms:.2} ms)"
+        ));
+    }
+    Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
     // Smoke runs default to their own file so a CI-sized local run never
     // clobbers the committed full-corpus BENCH_select.json record.
     let out_path = args
@@ -406,22 +550,76 @@ fn main() {
 
     let mut corpora_json: Vec<String> = Vec::new();
     let mut all_identities = true;
+    let mut pool_times: Vec<(&str, f64)> = Vec::new();
     for spec in CORPORA {
         let mut json = String::new();
-        all_identities &= run_corpus(spec, smoke, &mut json);
+        let outcome = run_corpus(spec, smoke, &mut json);
+        all_identities &= outcome.identities_ok;
+        pool_times.push((spec.name, outcome.select_pool_ms));
         corpora_json.push(json);
     }
+    let engine = run_engine_bench(smoke);
+    all_identities &= engine.identity;
 
+    let mode = if smoke { "smoke" } else { "full" };
     let json = format!(
         "{{\n  \"suite\": \"select\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \
-         \"corpora\": [\n{corpora}\n  ],\n  \"all_identities\": {all_identities}\n}}\n",
-        mode = if smoke { "smoke" } else { "full" },
+         \"corpora\": [\n{corpora}\n  ],\n{engine_json},\n  \
+         \"all_identities\": {all_identities}\n}}\n",
         threads = twoview_runtime::configured_threads(),
         corpora = corpora_json.join(",\n"),
+        engine_json = engine.json,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("  wrote {out_path}");
 
+    // Gate against the existing history, and append ONLY when both the
+    // gate and the identity checks pass: a regressed run must not become
+    // the baseline the retry compares against (the >25% ratchet would
+    // accept any regression on its second occurrence), and a broken run's
+    // timings (often anomalously fast — skipped work is cheap work) must
+    // not poison the baseline either.
+    let history = std::fs::read_to_string(HISTORY_PATH).unwrap_or_default();
+    let mid_dense_pool = pool_times
+        .iter()
+        .find(|(name, _)| *name == "mid-dense")
+        .map(|(_, ms)| *ms)
+        .expect("mid-dense corpus present");
+    let gate_result = if gate {
+        gate_against_history(&history, mode, mid_dense_pool)
+    } else {
+        Ok(())
+    };
+
+    if gate_result.is_ok() && all_identities {
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut line = format!(
+            "{{\"ts\":{ts},\"mode\":\"{mode}\",\"threads\":{}",
+            twoview_runtime::configured_threads()
+        );
+        for (name, ms) in &pool_times {
+            let _ = write!(
+                line,
+                ",\"select1_pool_ms_{}\":{ms:.3}",
+                name.replace('-', "_")
+            );
+        }
+        let _ = write!(line, ",\"engine_fit_mine_ms\":{:.3}", engine.fit_mine_ms);
+        let _ = write!(line, ",\"all_identities\":{all_identities}}}");
+        let mut history = history;
+        history.push_str(&line);
+        history.push('\n');
+        std::fs::write(HISTORY_PATH, &history).expect("append bench history");
+        eprintln!("  appended run to {HISTORY_PATH}");
+    }
+
+    if let Err(msg) = gate_result {
+        eprintln!("perfsuite: {msg} (run NOT appended to {HISTORY_PATH})");
+        std::process::exit(1);
+    }
     if !all_identities {
         eprintln!("perfsuite: IDENTITY CHECK FAILED");
         std::process::exit(1);

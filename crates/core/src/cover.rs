@@ -535,15 +535,17 @@ mod tests {
         let table = s.table().clone();
         // C_R from the cover state must equal the XOR correction of the
         // standalone TRANSLATE scheme (and likewise for C_L).
+        let right_corrections = translate::correction_rows(&d, &table, Side::Left);
+        let left_corrections = translate::correction_rows(&d, &table, Side::Right);
         for t in 0..d.n_transactions() {
             assert_eq!(
                 s.correction_row(Side::Right, t),
-                translate::correction_row(&d, &table, Side::Left, t),
+                right_corrections[t],
                 "right corrections differ at t={t}"
             );
             assert_eq!(
                 s.correction_row(Side::Left, t),
-                translate::correction_row(&d, &table, Side::Right, t),
+                left_corrections[t],
                 "left corrections differ at t={t}"
             );
         }

@@ -1,0 +1,747 @@
+//! `Engine` — the session-oriented serving API.
+//!
+//! The paper's workflow is *mine once, then induce/query many ways*: one
+//! closed-candidate set feeds TRANSLATOR-{EXACT, SELECT, GREEDY}, and the
+//! resulting tables are queried in both directions. The free-function API
+//! re-mines per call and cannot serve concurrent queries; an [`Engine`]
+//! instead **owns** the dataset, mines and caches the two-view candidate
+//! substrate (plus seed tidsets) once at construction, and then serves
+//! [`Engine::fit`], [`Engine::translate`], [`Engine::predict`] and
+//! [`Engine::evaluate`] as **jobs**:
+//!
+//! * submittable concurrently from any number of threads,
+//! * scheduled on a priority-aware queue ([`Priority::Interactive`] before
+//!   [`Priority::Batch`], FIFO within class),
+//! * cooperatively cancellable ([`JobHandle::cancel`]) with progress and
+//!   timing observability on every [`JobHandle`].
+//!
+//! Completed jobs are **bit-identical to serial runs**: fits reuse the
+//! cached candidates through the same `*_candidates` entry points the
+//! serial API uses (a cancellation never yields a partial model), and the
+//! data-parallel inner loops still run on the shared [`twoview_runtime`]
+//! pool.
+//!
+//! A fit whose config cannot be served from the cache (minsup *below* the
+//! mined base, a different candidate class, a tighter mining valve)
+//! transparently re-mines — and that time is surfaced in
+//! [`EngineStats::fit_mine_ms`], which stays exactly `0` while every fit
+//! reuses the cache (the invariant `perfsuite` gates on).
+//!
+//! ```
+//! use twoview_core::engine::{Algorithm, Engine};
+//! use twoview_core::select::SelectConfig;
+//! use twoview_data::prelude::*;
+//!
+//! let vocab = Vocabulary::new(["rainy", "windy"], ["umbrella", "kite"]);
+//! let data = TwoViewDataset::from_transactions(
+//!     vocab,
+//!     &[vec![0, 2], vec![0, 2], vec![0, 2], vec![1, 3], vec![1, 3], vec![0, 1, 2, 3]],
+//! );
+//! let engine = Engine::builder().dataset(data).minsup(1).build()?;
+//! let model = engine
+//!     .fit(Algorithm::Select(SelectConfig::builder().k(1).build()))
+//!     .join()?;
+//! assert!(model.compression_pct() < 100.0);
+//! # Ok::<(), twoview_core::Error>(())
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use twoview_data::prelude::*;
+use twoview_mining::{CandidateCache, MinerConfig, TwoViewCandidate};
+use twoview_runtime::{JobCtx, JobError, JobHandle, JobQueue, Priority};
+
+use crate::error::Error;
+use crate::exact::{run_exact, ExactConfig};
+use crate::greedy::{run_greedy, GreedyConfig};
+use crate::model::{evaluate_table, ModelScore, TranslatorModel};
+use crate::predict::predict_row;
+use crate::select::{run_select, SelectConfig};
+use crate::table::TranslationTable;
+use crate::translate;
+
+/// The TRANSLATOR algorithm to run, with its configuration.
+#[derive(Clone, Debug)]
+pub enum Algorithm {
+    /// TRANSLATOR-EXACT (paper Algorithm 2).
+    Exact(ExactConfig),
+    /// TRANSLATOR-SELECT(k) (paper Algorithm 3).
+    Select(SelectConfig),
+    /// TRANSLATOR-GREEDY (paper §5.4).
+    Greedy(GreedyConfig),
+}
+
+impl Algorithm {
+    /// The paper's recommended trade-off: SELECT(1) — near-exact
+    /// compression at a fraction of the runtime (paper §6.1 discussion).
+    pub fn recommended(minsup: usize) -> Algorithm {
+        Algorithm::Select(SelectConfig::builder().k(1).minsup(minsup).build())
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::Exact(_) => "T-EXACT".to_string(),
+            Algorithm::Select(c) => format!("T-SELECT({})", c.k),
+            Algorithm::Greedy(_) => "T-GREEDY".to_string(),
+        }
+    }
+}
+
+/// Fits a translation table with the chosen algorithm (one-shot; mines per
+/// call). Serving paths should construct an [`Engine`] instead.
+pub fn fit(data: &TwoViewDataset, algorithm: &Algorithm) -> TranslatorModel {
+    match algorithm {
+        Algorithm::Exact(cfg) => crate::exact::translator_exact_with(data, cfg),
+        Algorithm::Select(cfg) => crate::select::translator_select(data, cfg),
+        Algorithm::Greedy(cfg) => crate::greedy::translator_greedy(data, cfg),
+    }
+}
+
+/// Builder for [`Engine`]; see [`Engine::builder`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    dataset: Option<TwoViewDataset>,
+    minsup: usize,
+    closed_candidates: bool,
+    max_candidates: usize,
+    n_threads: Option<usize>,
+    job_executors: usize,
+}
+
+impl Default for EngineBuilder {
+    /// Same defaults as [`Engine::builder`] (2M-candidate valve, closed
+    /// class, minsup 1, two executors) — `EngineBuilder::default()` and
+    /// `Engine::builder()` are interchangeable.
+    fn default() -> Self {
+        EngineBuilder::new()
+    }
+}
+
+impl EngineBuilder {
+    fn new() -> Self {
+        EngineBuilder {
+            dataset: None,
+            minsup: 1,
+            closed_candidates: true,
+            max_candidates: 2_000_000,
+            n_threads: None,
+            job_executors: 2,
+        }
+    }
+
+    /// The dataset the engine will own and serve (required).
+    pub fn dataset(mut self, data: TwoViewDataset) -> Self {
+        self.dataset = Some(data);
+        self
+    }
+
+    /// Base minsup of the cached candidate set (clamped to at least 1).
+    /// Fits at `minsup ≥` this reuse the cache; below it they re-mine.
+    pub fn minsup(mut self, minsup: usize) -> Self {
+        self.minsup = minsup.max(1);
+        self
+    }
+
+    /// Cache closed candidates (the paper's class, the default) or all
+    /// frequent two-view itemsets.
+    pub fn closed_candidates(mut self, closed: bool) -> Self {
+        self.closed_candidates = closed;
+        self
+    }
+
+    /// Candidate-count mining valve.
+    pub fn max_candidates(mut self, n: usize) -> Self {
+        self.max_candidates = n;
+        self
+    }
+
+    /// Worker threads for mining and the fits' data-parallel loops
+    /// (`Some(t)` semantics; default inherits the process default).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.n_threads = Some(t);
+        self
+    }
+
+    /// Dedicated job-executor threads (default 2; clamped to at least 1).
+    /// Executors only coordinate — the heavy lifting runs on the shared
+    /// pool — so a handful suffices even under many concurrent jobs.
+    pub fn job_executors(mut self, n: usize) -> Self {
+        self.job_executors = n.max(1);
+        self
+    }
+
+    /// Mines and caches the candidate substrate, warms the seed tidsets,
+    /// and starts the job executors.
+    pub fn build(self) -> Result<Engine, Error> {
+        let data = self
+            .dataset
+            .ok_or_else(|| Error::config("Engine::builder() needs a dataset"))?;
+        let data = Arc::new(data);
+        let miner_cfg = miner_config(self.minsup, self.max_candidates, self.n_threads);
+        let mine_start = Instant::now();
+        let cache = CandidateCache::mine(&data, &miner_cfg, self.closed_candidates);
+        // Warm the shared seed tidsets while we are still single-threaded
+        // (lazy init would otherwise race the first fits into computing
+        // them inside a job).
+        let _ = cache.tidsets(&data);
+        let build_mine_ms = mine_start.elapsed().as_secs_f64() * 1e3;
+        Ok(Engine {
+            inner: Arc::new(EngineInner {
+                data,
+                cache,
+                mine_valve: self.max_candidates,
+                n_threads: self.n_threads,
+                build_mine_ms,
+                fit_mine_ns: AtomicU64::new(0),
+                fits_completed: AtomicU64::new(0),
+                jobs_submitted: AtomicU64::new(0),
+            }),
+            queue: JobQueue::new(self.job_executors),
+        })
+    }
+}
+
+fn miner_config(minsup: usize, max_candidates: usize, n_threads: Option<usize>) -> MinerConfig {
+    let mut cfg = MinerConfig::builder()
+        .minsup(minsup)
+        .max_itemsets(max_candidates)
+        .build();
+    cfg.n_threads = n_threads;
+    cfg
+}
+
+/// Aggregate observability of one engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineStats {
+    /// Cached candidates.
+    pub n_candidates: usize,
+    /// The base minsup the cache was mined at.
+    pub base_minsup: usize,
+    /// Whether the cache holds closed candidates.
+    pub closed_candidates: bool,
+    /// Whether cache mining hit the candidate valve.
+    pub truncated: bool,
+    /// Milliseconds spent mining at construction.
+    pub build_mine_ms: f64,
+    /// Milliseconds spent *re*-mining inside fit jobs (configs the cache
+    /// could not serve). Exactly `0.0` while every fit reuses the cache.
+    pub fit_mine_ms: f64,
+    /// Fit jobs completed successfully.
+    pub fits_completed: u64,
+    /// Jobs submitted (all kinds).
+    pub jobs_submitted: u64,
+}
+
+/// Cancellation/progress cadence of row-wise query jobs (translate,
+/// predict).
+const QUERY_CHECKPOINT_EVERY: usize = 1024;
+
+/// What [`EngineInner::candidates_for`] hands a fit: the candidate list,
+/// the shared tidsets when alignment allows, and the truncation flag.
+type FitCandidates<'a> = (
+    std::borrow::Cow<'a, [TwoViewCandidate]>,
+    Option<&'a [(Bitmap, Bitmap)]>,
+    bool,
+);
+
+struct EngineInner {
+    data: Arc<TwoViewDataset>,
+    cache: CandidateCache,
+    /// The mining valve the cache was mined with.
+    mine_valve: usize,
+    n_threads: Option<usize>,
+    build_mine_ms: f64,
+    /// Nanoseconds of re-mining inside fit jobs (ns so that even a
+    /// sub-microsecond re-mine on a toy dataset registers as nonzero).
+    fit_mine_ns: AtomicU64,
+    fits_completed: AtomicU64,
+    jobs_submitted: AtomicU64,
+}
+
+impl EngineInner {
+    /// Candidates for a fit config: borrowed from the cache when the
+    /// config is servable (same class, `minsup ≥` base, valve no tighter),
+    /// otherwise freshly mined with the time charged to `fit_mine_us`.
+    /// Also returns the shared tidsets (base-minsup reuse only — a
+    /// filtered list no longer aligns with the cached tidset slice) and
+    /// the truncation flag of whichever mining produced the list.
+    fn candidates_for(
+        &self,
+        minsup: usize,
+        closed: bool,
+        max_candidates: usize,
+    ) -> FitCandidates<'_> {
+        // Valve equivalence is judged against the valve the cache was
+        // mined under (`mine_valve` counts *enumerated* itemsets, like a
+        // direct mine's `max_itemsets` — not the post-split candidate
+        // count). Untruncated cache: the enumeration stayed below
+        // `mine_valve`, so any fit valve ≥ it cannot truncate either and
+        // the runs are identical. Truncated cache: only the exact mining
+        // run the cache *is* can be reproduced — same valve AND same
+        // minsup (a support-filtered truncated list is not what a direct
+        // truncated mine at the higher minsup would enumerate; see the
+        // `CandidateCache` docs) — anything else re-mines (counted),
+        // keeping engine fits equivalent to direct mining for every
+        // config.
+        let servable = if self.cache.truncated() {
+            max_candidates == self.mine_valve && minsup.max(1) == self.cache.minsup()
+        } else {
+            max_candidates >= self.mine_valve
+        };
+        if closed == self.cache.closed() && servable {
+            if let Some(cands) = self.cache.at_minsup(minsup) {
+                let shared_tids = if minsup.max(1) == self.cache.minsup() {
+                    self.cache.tidsets(&self.data)
+                } else {
+                    None
+                };
+                return (cands, shared_tids, self.cache.truncated());
+            }
+        }
+        let mcfg = miner_config(minsup, max_candidates, self.n_threads);
+        let start = Instant::now();
+        let fresh = CandidateCache::mine(&self.data, &mcfg, closed);
+        self.fit_mine_ns
+            .fetch_add(start.elapsed().as_nanos().max(1) as u64, Ordering::Relaxed);
+        let truncated = fresh.truncated();
+        (
+            std::borrow::Cow::Owned(fresh.candidates().to_vec()),
+            None,
+            truncated,
+        )
+    }
+
+    fn run_fit(&self, algorithm: &Algorithm, ctx: &JobCtx) -> Result<TranslatorModel, JobError> {
+        let data = &*self.data;
+        // A config that did not pick a thread count inherits the engine's
+        // (EngineBuilder::threads); the model is identical for any value.
+        let inherit = |cfg_threads: Option<usize>| cfg_threads.or(self.n_threads);
+        let model = match algorithm {
+            Algorithm::Select(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.n_threads = inherit(cfg.n_threads);
+                let (cands, tids, truncated) =
+                    self.candidates_for(cfg.minsup, cfg.closed_candidates, cfg.max_candidates);
+                let mut model = run_select(data, &cfg, &cands, tids, Some(ctx))?;
+                model.truncated |= truncated;
+                model
+            }
+            Algorithm::Greedy(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.n_threads = inherit(cfg.n_threads);
+                let (cands, _, truncated) =
+                    self.candidates_for(cfg.minsup, cfg.closed_candidates, cfg.max_candidates);
+                let mut model = run_greedy(data, &cfg, &cands, Some(ctx))?;
+                model.truncated |= truncated;
+                model
+            }
+            Algorithm::Exact(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.n_threads = inherit(cfg.n_threads);
+                // Seeds never change an uncapped EXACT result (the optimum
+                // dominates any seed), so a requested seed minsup *below*
+                // the engine base is clamped up to the base instead of
+                // re-mining — the cache keeps serving. Uncapped searches
+                // return the same optimum either way; a node-capped run may
+                // explore a different frontier than a free-function run
+                // seeded below the base (capped frontiers already vary with
+                // seeding). A non-closed cache cannot serve the closed
+                // seeding contract, so that combination still re-mines.
+                let seeds = match cfg.candidate_seed_minsup {
+                    Some(m) => {
+                        let m = if self.cache.closed() {
+                            m.max(self.cache.minsup())
+                        } else {
+                            m
+                        };
+                        self.candidates_for(m, true, crate::exact::SEED_MINE_VALVE)
+                            .0
+                    }
+                    None => std::borrow::Cow::Owned(Vec::new()),
+                };
+                run_exact(data, &cfg, &seeds, Some(ctx))?
+            }
+        };
+        self.fits_completed.fetch_add(1, Ordering::Relaxed);
+        Ok(model)
+    }
+}
+
+/// A long-lived serving session over one dataset. See the
+/// [module docs](self) for the design; construct with [`Engine::builder`].
+pub struct Engine {
+    inner: Arc<EngineInner>,
+    queue: JobQueue,
+}
+
+impl Engine {
+    /// Starts a builder; [`EngineBuilder::dataset`] is required.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The owned dataset.
+    pub fn dataset(&self) -> &TwoViewDataset {
+        &self.inner.data
+    }
+
+    /// A shareable handle to the owned dataset.
+    pub fn dataset_arc(&self) -> Arc<TwoViewDataset> {
+        Arc::clone(&self.inner.data)
+    }
+
+    /// The cached candidate set (miner enumeration order).
+    pub fn candidates(&self) -> &[TwoViewCandidate] {
+        self.inner.cache.candidates()
+    }
+
+    /// Aggregate statistics (candidate cache + job counters).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            n_candidates: self.inner.cache.len(),
+            base_minsup: self.inner.cache.minsup(),
+            closed_candidates: self.inner.cache.closed(),
+            truncated: self.inner.cache.truncated(),
+            build_mine_ms: self.inner.build_mine_ms,
+            fit_mine_ms: self.inner.fit_mine_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            fits_completed: self.inner.fits_completed.load(Ordering::Relaxed),
+            jobs_submitted: self.inner.jobs_submitted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of dedicated job executors.
+    pub fn job_executors(&self) -> usize {
+        self.queue.executors()
+    }
+
+    /// Submits a fit job at [`Priority::Batch`].
+    pub fn fit(&self, algorithm: Algorithm) -> JobHandle<TranslatorModel> {
+        self.fit_with(algorithm, Priority::Batch)
+    }
+
+    /// Submits a fit job at the given priority. The completed model is
+    /// bit-identical to the corresponding serial `*_candidates` run over
+    /// [`Engine::candidates`]; progress ticks advance per iteration
+    /// (SELECT/EXACT) or candidate block (GREEDY).
+    pub fn fit_with(&self, algorithm: Algorithm, priority: Priority) -> JobHandle<TranslatorModel> {
+        let inner = Arc::clone(&self.inner);
+        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue
+            .submit(priority, move |ctx| inner.run_fit(&algorithm, ctx))
+    }
+
+    /// Submits a translation job at [`Priority::Interactive`]: the full
+    /// `from`-view translated through `table`, one target-side row bitmap
+    /// per transaction.
+    pub fn translate(&self, table: TranslationTable, from: Side) -> JobHandle<Vec<Bitmap>> {
+        self.translate_with(table, from, Priority::Interactive)
+    }
+
+    /// [`Engine::translate`] at an explicit priority.
+    pub fn translate_with(
+        &self,
+        table: TranslationTable,
+        from: Side,
+        priority: Priority,
+    ) -> JobHandle<Vec<Bitmap>> {
+        let inner = Arc::clone(&self.inner);
+        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue.submit(priority, move |ctx| {
+            let n = inner.data.n_transactions();
+            let mut out = Vec::with_capacity(n);
+            for t in 0..n {
+                if t % QUERY_CHECKPOINT_EVERY == 0 {
+                    ctx.checkpoint()?;
+                    ctx.tick(1);
+                }
+                out.push(translate::translate_transaction(
+                    &inner.data,
+                    &table,
+                    from,
+                    t,
+                ));
+            }
+            Ok(out)
+        })
+    }
+
+    /// Submits a prediction job at [`Priority::Interactive`]: the opposite
+    /// view predicted for each out-of-sample `from`-side row.
+    pub fn predict(
+        &self,
+        table: TranslationTable,
+        from: Side,
+        rows: Vec<Bitmap>,
+    ) -> JobHandle<Vec<Bitmap>> {
+        self.predict_with(table, from, rows, Priority::Interactive)
+    }
+
+    /// [`Engine::predict`] at an explicit priority.
+    pub fn predict_with(
+        &self,
+        table: TranslationTable,
+        from: Side,
+        rows: Vec<Bitmap>,
+        priority: Priority,
+    ) -> JobHandle<Vec<Bitmap>> {
+        let inner = Arc::clone(&self.inner);
+        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue.submit(priority, move |ctx| {
+            let mut out = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                if i % QUERY_CHECKPOINT_EVERY == 0 {
+                    ctx.checkpoint()?;
+                    ctx.tick(1);
+                }
+                out.push(predict_row(&inner.data, &table, from, row));
+            }
+            Ok(out)
+        })
+    }
+
+    /// Submits an evaluation job at [`Priority::Interactive`]: the MDL
+    /// score of an arbitrary table on the owned dataset. (Scoring is one
+    /// monolithic cover-state build, so cancellation is only observed
+    /// before it starts.)
+    pub fn evaluate(&self, table: TranslationTable) -> JobHandle<ModelScore> {
+        self.evaluate_with(table, Priority::Interactive)
+    }
+
+    /// [`Engine::evaluate`] at an explicit priority.
+    pub fn evaluate_with(
+        &self,
+        table: TranslationTable,
+        priority: Priority,
+    ) -> JobHandle<ModelScore> {
+        let inner = Arc::clone(&self.inner);
+        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue.submit(priority, move |ctx| {
+            ctx.checkpoint()?;
+            Ok(evaluate_table(&inner.data, &table))
+        })
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n_transactions", &self.inner.data.n_transactions())
+            .field("n_candidates", &self.inner.cache.len())
+            .field("base_minsup", &self.inner.cache.minsup())
+            .field("job_executors", &self.queue.executors())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::translator_greedy_candidates;
+    use crate::select::translator_select_candidates;
+
+    fn toy() -> TwoViewDataset {
+        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
+        TwoViewDataset::from_transactions(
+            vocab,
+            &[
+                vec![0, 2],
+                vec![0, 2],
+                vec![0, 2],
+                vec![1, 3],
+                vec![1, 3],
+                vec![0, 1, 2, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn dispatcher_matches_direct_calls() {
+        let d = toy();
+        let select_cfg = SelectConfig::builder().build();
+        let via_enum = fit(&d, &Algorithm::Select(select_cfg.clone()));
+        let direct = crate::select::translator_select(&d, &select_cfg);
+        assert_eq!(via_enum.table, direct.table);
+
+        let greedy_cfg = GreedyConfig::builder().build();
+        let via_enum = fit(&d, &Algorithm::Greedy(greedy_cfg.clone()));
+        let direct = crate::greedy::translator_greedy(&d, &greedy_cfg);
+        assert_eq!(via_enum.table, direct.table);
+
+        let cfg = ExactConfig::default();
+        let via_enum = fit(&d, &Algorithm::Exact(cfg.clone()));
+        let direct = crate::exact::translator_exact_with(&d, &cfg);
+        assert_eq!(via_enum.table, direct.table);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Algorithm::recommended(5).label(), "T-SELECT(1)");
+        assert_eq!(
+            Algorithm::Select(SelectConfig::builder().k(25).build()).label(),
+            "T-SELECT(25)"
+        );
+        assert_eq!(
+            Algorithm::Greedy(GreedyConfig::builder().build()).label(),
+            "T-GREEDY"
+        );
+        assert_eq!(Algorithm::Exact(ExactConfig::default()).label(), "T-EXACT");
+    }
+
+    #[test]
+    fn all_variants_compress_toy_data() {
+        let d = toy();
+        for alg in [
+            Algorithm::Exact(ExactConfig::default()),
+            Algorithm::recommended(1),
+            Algorithm::Greedy(GreedyConfig::builder().build()),
+        ] {
+            let model = fit(&d, &alg);
+            assert!(
+                model.compression_pct() < 100.0,
+                "{} failed to compress",
+                alg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn builder_requires_dataset() {
+        assert!(Engine::builder().build().is_err());
+    }
+
+    #[test]
+    fn engine_fit_matches_serial_and_reuses_cache() {
+        let d = toy();
+        let engine = Engine::builder()
+            .dataset(d.clone())
+            .minsup(1)
+            .build()
+            .unwrap();
+        let cands = engine.candidates().to_vec();
+        assert!(!cands.is_empty());
+
+        // SELECT at the base minsup: shared-tidset reuse path.
+        let cfg = SelectConfig::builder().k(1).minsup(1).build();
+        let model = engine.fit(Algorithm::Select(cfg.clone())).join().unwrap();
+        let serial = translator_select_candidates(&d, &cfg, &cands);
+        assert_eq!(model.table, serial.table);
+        assert!((model.score.l_total - serial.score.l_total).abs() < 1e-9);
+
+        // SELECT at a higher minsup: filtered-cache path.
+        let cfg = SelectConfig::builder().k(2).minsup(3).build();
+        let model = engine.fit(Algorithm::Select(cfg.clone())).join().unwrap();
+        let serial = crate::select::translator_select(&d, &cfg);
+        assert_eq!(model.table, serial.table);
+
+        // GREEDY reuse.
+        let gcfg = GreedyConfig::builder().minsup(1).build();
+        let model = engine.fit(Algorithm::Greedy(gcfg.clone())).join().unwrap();
+        let serial = translator_greedy_candidates(&d, &gcfg, &cands);
+        assert_eq!(model.table, serial.table);
+
+        // EXACT with cached seeds.
+        let ecfg = ExactConfig::default();
+        let model = engine.fit(Algorithm::Exact(ecfg.clone())).join().unwrap();
+        let serial = crate::exact::translator_exact_with(&d, &ecfg);
+        assert_eq!(model.table, serial.table);
+
+        // None of the above re-mined.
+        let stats = engine.stats();
+        assert_eq!(stats.fit_mine_ms, 0.0);
+        assert_eq!(stats.fits_completed, 4);
+        assert!(stats.build_mine_ms >= 0.0);
+
+        // A fit *below* the base minsup must still serve — by re-mining,
+        // charged to fit_mine_ms.
+        let engine2 = Engine::builder()
+            .dataset(d.clone())
+            .minsup(3)
+            .build()
+            .unwrap();
+        // But EXACT's default seeding (minsup 1) is clamped up to the base
+        // instead of re-mining: the cache keeps serving, and the uncapped
+        // optimum is seed-independent.
+        let model = engine2
+            .fit(Algorithm::Exact(ExactConfig::default()))
+            .join()
+            .unwrap();
+        let serial = crate::exact::translator_exact_with(&d, &ExactConfig::default());
+        assert_eq!(model.table, serial.table);
+        assert_eq!(engine2.stats().fit_mine_ms, 0.0);
+        let cfg = SelectConfig::builder().k(1).minsup(1).build();
+        let model = engine2.fit(Algorithm::Select(cfg.clone())).join().unwrap();
+        let serial = crate::select::translator_select(&d, &cfg);
+        assert_eq!(model.table, serial.table);
+        assert!(engine2.stats().fit_mine_ms > 0.0);
+    }
+
+    #[test]
+    fn engine_threads_inherited_by_fit_configs() {
+        // threads(1) on the builder must confine fits whose configs leave
+        // n_threads unset — and the model is identical either way.
+        let d = toy();
+        let engine = Engine::builder()
+            .dataset(d.clone())
+            .threads(1)
+            .build()
+            .unwrap();
+        let cfg = SelectConfig::builder().k(2).build();
+        let model = engine.fit(Algorithm::Select(cfg.clone())).join().unwrap();
+        let serial = crate::select::translator_select(&d, &cfg);
+        assert_eq!(model.table, serial.table);
+    }
+
+    #[test]
+    fn engine_queries_match_free_functions() {
+        let d = toy();
+        let engine = Engine::builder().dataset(d.clone()).build().unwrap();
+        let model = engine
+            .fit(Algorithm::Select(SelectConfig::builder().build()))
+            .join()
+            .unwrap();
+        let table = model.table;
+
+        let translated = engine.translate(table.clone(), Side::Left).join().unwrap();
+        let direct = translate::translate_view(&d, &table, Side::Left);
+        assert_eq!(translated, direct);
+
+        let rows: Vec<Bitmap> = (0..d.n_transactions())
+            .map(|t| d.row(Side::Left, t).clone())
+            .collect();
+        let predicted = engine
+            .predict(table.clone(), Side::Left, rows.clone())
+            .join()
+            .unwrap();
+        for (p, row) in predicted.iter().zip(&rows) {
+            assert_eq!(p, &predict_row(&d, &table, Side::Left, row));
+        }
+
+        let score = engine.evaluate(table.clone()).join().unwrap();
+        let direct = evaluate_table(&d, &table);
+        assert!((score.l_total - direct.l_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancelled_fit_returns_cancelled() {
+        let d = toy();
+        let engine = Engine::builder()
+            .dataset(d)
+            .job_executors(1)
+            .build()
+            .unwrap();
+        // Occupy the single executor, then cancel a queued fit: it must
+        // resolve to Cancelled without ever running.
+        let blocker = engine.fit(Algorithm::Select(SelectConfig::builder().build()));
+        let victim = engine.fit(Algorithm::Select(SelectConfig::builder().build()));
+        victim.cancel();
+        blocker.join().unwrap();
+        match victim.join() {
+            Err(JobError::Cancelled) => {}
+            Ok(_) => {} // raced to completion before the cancel landed
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -103,6 +103,73 @@ impl Default for ExactConfig {
     }
 }
 
+impl ExactConfig {
+    /// Fluent builder starting from the defaults (uncapped exact search,
+    /// both bounds on, seeding at minsup 1).
+    pub fn builder() -> ExactConfigBuilder {
+        ExactConfigBuilder {
+            cfg: ExactConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ExactConfig`]; see [`ExactConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ExactConfigBuilder {
+    cfg: ExactConfig,
+}
+
+impl ExactConfigBuilder {
+    /// Per-iteration DFS node cap (the search is no longer exact when it
+    /// fires; [`TranslatorModel::truncated`] reports it).
+    pub fn max_nodes(mut self, cap: u64) -> Self {
+        self.cfg.max_nodes = Some(cap);
+        self
+    }
+
+    /// Rule-bound subtree pruning (`rub`); disabling is ablation-only.
+    pub fn rub(mut self, on: bool) -> Self {
+        self.cfg.use_rub = on;
+        self
+    }
+
+    /// Quick per-node bound (`qub`).
+    pub fn qub(mut self, on: bool) -> Self {
+        self.cfg.use_qub = on;
+        self
+    }
+
+    /// Stop after this many rules.
+    pub fn max_rules(mut self, n: usize) -> Self {
+        self.cfg.max_rules = Some(n);
+        self
+    }
+
+    /// Seed each iteration's incumbent from closed two-view candidates at
+    /// this minsup (`None` disables seeding).
+    pub fn seed_minsup(mut self, minsup: Option<usize>) -> Self {
+        self.cfg.candidate_seed_minsup = minsup;
+        self
+    }
+
+    /// Worker threads for the root fan-out (`Some(t)` semantics; see
+    /// [`ExactConfig::n_threads`]).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.cfg.n_threads = Some(t);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ExactConfig {
+        self.cfg
+    }
+}
+
+/// Mining valve for the candidate-seed mine — one definition shared with
+/// the engine's cache-serving check, so engine EXACT fits stay equivalent
+/// to free-function runs if it is ever tuned.
+pub(crate) const SEED_MINE_VALVE: usize = 2_000_000;
+
 /// Runs TRANSLATOR-EXACT with default configuration.
 pub fn translator_exact(data: &TwoViewDataset) -> TranslatorModel {
     translator_exact_with(data, &ExactConfig::default())
@@ -114,30 +181,63 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
     // state are maintained with the same disjointness-based cache SELECT
     // uses: a candidate's gains only change when an applied rule touches
     // one of its items.
-    let mut seeds: Vec<twoview_mining::TwoViewCandidate> = match cfg.candidate_seed_minsup {
+    let seeds: Vec<twoview_mining::TwoViewCandidate> = match cfg.candidate_seed_minsup {
         Some(minsup) => {
-            let mut mcfg = twoview_mining::MinerConfig::with_minsup(minsup);
-            mcfg.max_itemsets = 2_000_000;
+            let mut mcfg = twoview_mining::MinerConfig::builder()
+                .minsup(minsup)
+                .build();
+            mcfg.max_itemsets = SEED_MINE_VALVE;
             mcfg.n_threads = cfg.n_threads;
             twoview_mining::mine_closed_twoview(data, &mcfg).candidates
         }
         None => Vec::new(),
     };
+    translator_exact_seeded(data, cfg, &seeds)
+}
+
+/// Runs TRANSLATOR-EXACT over **pre-mined** seed candidates (the engine's
+/// cached candidate set): identical to [`translator_exact_with`] when the
+/// seeds are the closed two-view candidates at
+/// [`ExactConfig::candidate_seed_minsup`], minus the mining cost.
+pub fn translator_exact_seeded(
+    data: &TwoViewDataset,
+    cfg: &ExactConfig,
+    seeds: &[twoview_mining::TwoViewCandidate],
+) -> TranslatorModel {
+    match run_exact(data, cfg, seeds, None) {
+        Ok(model) => model,
+        Err(_) => unreachable!("uncancellable run cannot be cancelled"),
+    }
+}
+
+/// The EXACT loop with an optional job context: cancellation is observed
+/// between rule iterations (one progress tick per added rule); a cancelled
+/// run returns no model, so every completed run is bit-identical to serial.
+pub(crate) fn run_exact(
+    data: &TwoViewDataset,
+    cfg: &ExactConfig,
+    seeds: &[twoview_mining::TwoViewCandidate],
+    ctl: Option<&twoview_runtime::JobCtx>,
+) -> Result<TranslatorModel, twoview_runtime::JobError> {
     let mut state = CoverState::new(data);
     // State-independent prefilter (see `bounds`): qub ≤ 0 can never help.
-    {
+    // Borrow the survivors instead of cloning the caller's slice — the
+    // engine serves the same cached seed list to every EXACT fit.
+    let seeds: Vec<&twoview_mining::TwoViewCandidate> = {
         let codes = state.codes();
-        seeds.retain(|c| bounds::qub(codes, data, &c.left, &c.right) > 0.0);
-    }
+        seeds
+            .iter()
+            .filter(|c| bounds::qub(codes, data, &c.left, &c.right) > 0.0)
+            .collect()
+    };
     let n_seeds = seeds.len();
     // Cache the seed antecedent tidsets once (same memory budget as
     // SELECT's candidate cache): supports never change, and recomputing
     // them on every refresh dominated incumbent maintenance on large
     // corpora.
-    const TIDSET_CACHE_BUDGET_BYTES: usize = 400 << 20;
     let per_seed = 2 * data.n_transactions().div_ceil(8);
     let seed_tids: Vec<Option<(Bitmap, Bitmap)>> =
-        if per_seed.saturating_mul(n_seeds) <= TIDSET_CACHE_BUDGET_BYTES {
+        if per_seed.saturating_mul(n_seeds) <= twoview_mining::TIDSET_CACHE_BUDGET_BYTES {
             seeds
                 .iter()
                 .map(|c| Some((data.support_set(&c.left), data.support_set(&c.right))))
@@ -152,6 +252,12 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
     let mut trace = Vec::new();
     let mut truncated = false;
     loop {
+        // Cooperative cancellation at rule boundaries only: a run either
+        // completes or yields no model.
+        if let Some(ctx) = ctl {
+            ctx.checkpoint()?;
+            ctx.tick(1);
+        }
         if let Some(max) = cfg.max_rules {
             if state.table().len() >= max {
                 break;
@@ -170,11 +276,16 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
                     }
                 };
                 let gains = state.pair_gains(&cand.left, &cand.right, lt, rt);
-                let (best_gain, best_dir) = gains
-                    .into_iter()
-                    .zip(Direction::ALL)
-                    .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-                    .expect("three directions");
+                // Last-max over Direction::ALL order, matching the
+                // historical `max_by(partial_cmp)` tie-break without the
+                // NaN unwrap (gains are never NaN).
+                let mut best = (gains[0], Direction::ALL[0]);
+                for (g, d) in gains.into_iter().zip(Direction::ALL).skip(1) {
+                    if g >= best.0 {
+                        best = (g, d);
+                    }
+                }
+                let (best_gain, best_dir) = best;
                 seed_gains[idx] = best_gain;
                 seed_dirs[idx] = best_dir;
                 dirty[idx] = false;
@@ -205,13 +316,13 @@ pub fn translator_exact_with(data: &TwoViewDataset, cfg: &ExactConfig) -> Transl
         }
     }
     let score = score_of(&state);
-    TranslatorModel {
+    Ok(TranslatorModel {
         table: state.into_table(),
         score,
         trace,
         n_candidates: n_seeds,
         truncated,
-    }
+    })
 }
 
 /// Result of one best-rule search.
@@ -260,7 +371,7 @@ pub fn best_rule_with_incumbent(
             (i, bound)
         })
         .collect();
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let items: Vec<ItemId> = order.into_iter().map(|(i, _)| i).collect();
 
     let total_tub: [f64; 2] = [

@@ -1,110 +1,7 @@
-//! Unified fitting front-end: pick a TRANSLATOR variant with one enum.
+//! Compatibility shim: the one-enum fitting front-end grew into the
+//! session-oriented [`crate::engine`] module (candidate caching, job
+//! scheduling, priorities). [`Algorithm`] and [`fit`] live there now; this
+//! module re-exports them so existing `twoview_core::fit::` paths keep
+//! compiling for one release.
 
-use twoview_data::prelude::*;
-
-use crate::exact::{translator_exact_with, ExactConfig};
-use crate::greedy::{translator_greedy, GreedyConfig};
-use crate::model::TranslatorModel;
-use crate::select::{translator_select, SelectConfig};
-
-/// The TRANSLATOR algorithm to run, with its configuration.
-#[derive(Clone, Debug)]
-pub enum Algorithm {
-    /// TRANSLATOR-EXACT (paper Algorithm 2).
-    Exact(ExactConfig),
-    /// TRANSLATOR-SELECT(k) (paper Algorithm 3).
-    Select(SelectConfig),
-    /// TRANSLATOR-GREEDY (paper §5.4).
-    Greedy(GreedyConfig),
-}
-
-impl Algorithm {
-    /// The paper's recommended trade-off: SELECT(1) — near-exact
-    /// compression at a fraction of the runtime (paper §6.1 discussion).
-    pub fn recommended(minsup: usize) -> Algorithm {
-        Algorithm::Select(SelectConfig::new(1, minsup))
-    }
-
-    /// Short label for reports.
-    pub fn label(&self) -> String {
-        match self {
-            Algorithm::Exact(_) => "T-EXACT".to_string(),
-            Algorithm::Select(c) => format!("T-SELECT({})", c.k),
-            Algorithm::Greedy(_) => "T-GREEDY".to_string(),
-        }
-    }
-}
-
-/// Fits a translation table with the chosen algorithm.
-pub fn fit(data: &TwoViewDataset, algorithm: &Algorithm) -> TranslatorModel {
-    match algorithm {
-        Algorithm::Exact(cfg) => translator_exact_with(data, cfg),
-        Algorithm::Select(cfg) => translator_select(data, cfg),
-        Algorithm::Greedy(cfg) => translator_greedy(data, cfg),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn toy() -> TwoViewDataset {
-        let vocab = Vocabulary::new(["a", "b"], ["x", "y"]);
-        TwoViewDataset::from_transactions(
-            vocab,
-            &[
-                vec![0, 2],
-                vec![0, 2],
-                vec![0, 2],
-                vec![1, 3],
-                vec![1, 3],
-                vec![0, 1, 2, 3],
-            ],
-        )
-    }
-
-    #[test]
-    fn dispatcher_matches_direct_calls() {
-        let d = toy();
-        let via_enum = fit(&d, &Algorithm::Select(SelectConfig::new(1, 1)));
-        let direct = translator_select(&d, &SelectConfig::new(1, 1));
-        assert_eq!(via_enum.table, direct.table);
-
-        let via_enum = fit(&d, &Algorithm::Greedy(GreedyConfig::new(1)));
-        let direct = translator_greedy(&d, &GreedyConfig::new(1));
-        assert_eq!(via_enum.table, direct.table);
-
-        let cfg = ExactConfig::default();
-        let via_enum = fit(&d, &Algorithm::Exact(cfg.clone()));
-        let direct = translator_exact_with(&d, &cfg);
-        assert_eq!(via_enum.table, direct.table);
-    }
-
-    #[test]
-    fn labels() {
-        assert_eq!(Algorithm::recommended(5).label(), "T-SELECT(1)");
-        assert_eq!(
-            Algorithm::Select(SelectConfig::new(25, 1)).label(),
-            "T-SELECT(25)"
-        );
-        assert_eq!(Algorithm::Greedy(GreedyConfig::new(1)).label(), "T-GREEDY");
-        assert_eq!(Algorithm::Exact(ExactConfig::default()).label(), "T-EXACT");
-    }
-
-    #[test]
-    fn all_variants_compress_toy_data() {
-        let d = toy();
-        for alg in [
-            Algorithm::Exact(ExactConfig::default()),
-            Algorithm::recommended(1),
-            Algorithm::Greedy(GreedyConfig::new(1)),
-        ] {
-            let model = fit(&d, &alg);
-            assert!(
-                model.compression_pct() < 100.0,
-                "{} failed to compress",
-                alg.label()
-            );
-        }
-    }
-}
+pub use crate::engine::{fit, Algorithm};

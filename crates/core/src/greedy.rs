@@ -7,6 +7,7 @@
 
 use twoview_data::prelude::*;
 use twoview_mining::{mine_closed_twoview, mine_frequent_twoview, MinerConfig, TwoViewCandidate};
+use twoview_runtime::{JobCtx, JobError};
 
 use crate::bounds;
 use crate::cover::CoverState;
@@ -40,21 +41,76 @@ pub struct GreedyConfig {
 }
 
 impl GreedyConfig {
-    /// Paper-default configuration with the given minsup.
-    pub fn new(minsup: usize) -> Self {
-        GreedyConfig {
-            minsup: minsup.max(1),
-            closed_candidates: true,
-            max_candidates: 2_000_000,
-            order: CandidateOrder::LengthThenSupport,
-            n_threads: None,
+    /// Fluent builder with paper-default settings (`minsup = 1`, closed
+    /// candidates, length-then-support order).
+    pub fn builder() -> GreedyConfigBuilder {
+        GreedyConfigBuilder {
+            cfg: GreedyConfig {
+                minsup: 1,
+                closed_candidates: true,
+                max_candidates: 2_000_000,
+                order: CandidateOrder::LengthThenSupport,
+                n_threads: None,
+            },
         }
+    }
+
+    /// Paper-default configuration with the given minsup.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `GreedyConfig::builder().minsup(m).build()`"
+    )]
+    pub fn new(minsup: usize) -> Self {
+        GreedyConfig::builder().minsup(minsup).build()
+    }
+}
+
+/// Fluent builder for [`GreedyConfig`]; see [`GreedyConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct GreedyConfigBuilder {
+    cfg: GreedyConfig,
+}
+
+impl GreedyConfigBuilder {
+    /// Minimum support for candidate mining (clamped to at least 1).
+    pub fn minsup(mut self, minsup: usize) -> Self {
+        self.cfg.minsup = minsup.max(1);
+        self
+    }
+
+    /// Closed candidates (paper default) vs all frequent itemsets.
+    pub fn closed_candidates(mut self, closed: bool) -> Self {
+        self.cfg.closed_candidates = closed;
+        self
+    }
+
+    /// Candidate-count safety valve.
+    pub fn max_candidates(mut self, n: usize) -> Self {
+        self.cfg.max_candidates = n;
+        self
+    }
+
+    /// Single-pass candidate ordering.
+    pub fn order(mut self, order: CandidateOrder) -> Self {
+        self.cfg.order = order;
+        self
+    }
+
+    /// Worker threads for candidate mining (`Some(t)` semantics).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.cfg.n_threads = Some(t);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> GreedyConfig {
+        self.cfg
     }
 }
 
 /// Runs TRANSLATOR-GREEDY: mines candidates, then filters in one pass.
 pub fn translator_greedy(data: &TwoViewDataset, cfg: &GreedyConfig) -> TranslatorModel {
-    let mut miner_cfg = MinerConfig::with_minsup(cfg.minsup);
+    let mut miner_cfg = MinerConfig::builder().minsup(cfg.minsup).build();
     miner_cfg.max_itemsets = cfg.max_candidates;
     miner_cfg.n_threads = cfg.n_threads;
     let mined = if cfg.closed_candidates {
@@ -73,6 +129,21 @@ pub fn translator_greedy_candidates(
     cfg: &GreedyConfig,
     candidates: &[TwoViewCandidate],
 ) -> TranslatorModel {
+    match run_greedy(data, cfg, candidates, None) {
+        Ok(model) => model,
+        Err(_) => unreachable!("uncancellable run cannot be cancelled"),
+    }
+}
+
+/// The single-pass filter with an optional job context: cancellation is
+/// observed every [`GREEDY_CHECKPOINT_EVERY`] candidates (and ticks
+/// progress at the same cadence); a cancelled run returns no model.
+pub(crate) fn run_greedy(
+    data: &TwoViewDataset,
+    cfg: &GreedyConfig,
+    candidates: &[TwoViewCandidate],
+    ctl: Option<&JobCtx>,
+) -> Result<TranslatorModel, JobError> {
     let mut ordered: Vec<&TwoViewCandidate> = candidates.iter().collect();
     match cfg.order {
         CandidateOrder::LengthThenSupport => ordered.sort_by(|a, b| {
@@ -91,7 +162,13 @@ pub fn translator_greedy_candidates(
 
     let mut state = CoverState::new(data);
     let mut trace = Vec::new();
-    for cand in ordered {
+    for (pos, cand) in ordered.into_iter().enumerate() {
+        if pos % GREEDY_CHECKPOINT_EVERY == 0 {
+            if let Some(ctx) = ctl {
+                ctx.checkpoint()?;
+                ctx.tick(1);
+            }
+        }
         // State-independent quick bound: a candidate whose `qub` is not
         // positive can never yield a positive gain; skip the evaluation.
         if bounds::qub(state.codes(), data, &cand.left, &cand.right) <= 0.0 {
@@ -100,11 +177,15 @@ pub fn translator_greedy_candidates(
         let lt = data.support_set(&cand.left);
         let rt = data.support_set(&cand.right);
         let gains = state.pair_gains(&cand.left, &cand.right, &lt, &rt);
-        let (best_gain, best_dir) = gains
-            .into_iter()
-            .zip(Direction::ALL)
-            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-            .expect("three directions");
+        // Keep the *last* maximum over Direction::ALL order, matching the
+        // historical `max_by(partial_cmp)` tie-break (gains are never NaN).
+        let mut best = (gains[0], Direction::ALL[0]);
+        for (g, d) in gains.into_iter().zip(Direction::ALL).skip(1) {
+            if g >= best.0 {
+                best = (g, d);
+            }
+        }
+        let (best_gain, best_dir) = best;
         if best_gain > 0.0 {
             let rule = TranslationRule::new(cand.left.clone(), cand.right.clone(), best_dir);
             state.apply_rule(rule.clone());
@@ -113,14 +194,17 @@ pub fn translator_greedy_candidates(
     }
 
     let score = score_of(&state);
-    TranslatorModel {
+    Ok(TranslatorModel {
         table: state.into_table(),
         score,
         trace,
         n_candidates: candidates.len(),
         truncated: false,
-    }
+    })
 }
+
+/// Cancellation/progress cadence of the greedy single pass.
+const GREEDY_CHECKPOINT_EVERY: usize = 1024;
 
 #[cfg(test)]
 mod tests {
@@ -147,7 +231,7 @@ mod tests {
     #[test]
     fn greedy_compresses_structured_data() {
         let d = structured();
-        let model = translator_greedy(&d, &GreedyConfig::new(1));
+        let model = translator_greedy(&d, &GreedyConfig::builder().minsup(1).build());
         assert!(!model.table.is_empty());
         assert!(model.compression_pct() < 100.0);
         let mut prev = f64::INFINITY;
@@ -163,8 +247,8 @@ mod tests {
         // GREEDY is the weakest strategy; on toy data it must be within a
         // reasonable band of SELECT(1) but never meaningfully better.
         let d = structured();
-        let greedy = translator_greedy(&d, &GreedyConfig::new(1));
-        let select = translator_select(&d, &SelectConfig::new(1, 1));
+        let greedy = translator_greedy(&d, &GreedyConfig::builder().minsup(1).build());
+        let select = translator_select(&d, &SelectConfig::builder().k(1).minsup(1).build());
         assert!(greedy.compression_pct() + 1e-9 >= select.compression_pct() - 5.0);
     }
 
@@ -175,10 +259,10 @@ mod tests {
             &d,
             &GreedyConfig {
                 order: CandidateOrder::SupportThenLength,
-                ..GreedyConfig::new(1)
+                ..GreedyConfig::builder().minsup(1).build()
             },
         );
-        let b = translator_greedy(&d, &GreedyConfig::new(1));
+        let b = translator_greedy(&d, &GreedyConfig::builder().minsup(1).build());
         assert!(a.compression_pct() <= 100.0);
         assert!(b.compression_pct() <= 100.0);
     }
@@ -186,16 +270,16 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let d = structured();
-        let a = translator_greedy(&d, &GreedyConfig::new(1));
-        let b = translator_greedy(&d, &GreedyConfig::new(1));
+        let a = translator_greedy(&d, &GreedyConfig::builder().minsup(1).build());
+        let b = translator_greedy(&d, &GreedyConfig::builder().minsup(1).build());
         assert_eq!(a.table, b.table);
     }
 
     #[test]
     fn minsup_prunes_candidates() {
         let d = structured();
-        let low = translator_greedy(&d, &GreedyConfig::new(1));
-        let high = translator_greedy(&d, &GreedyConfig::new(4));
+        let low = translator_greedy(&d, &GreedyConfig::builder().minsup(1).build());
+        let high = translator_greedy(&d, &GreedyConfig::builder().minsup(4).build());
         assert!(high.n_candidates <= low.n_candidates);
     }
 }

@@ -34,7 +34,7 @@
 //!     vocab,
 //!     &[vec![0, 2], vec![0, 2], vec![0, 2], vec![1, 3], vec![1, 3], vec![0, 1, 2, 3]],
 //! );
-//! let model = translator_select(&data, &SelectConfig::new(1, 1));
+//! let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
 //! assert!(model.compression_pct() <= 100.0);
 //! ```
 
@@ -45,6 +45,8 @@ pub mod bounds;
 pub mod cover;
 pub mod cover_rows;
 pub mod encoding;
+pub mod engine;
+pub mod error;
 pub mod exact;
 pub mod fit;
 pub mod greedy;
@@ -61,11 +63,16 @@ pub use analysis::{rule_set_redundancy, rule_stats, summarize, RuleStats, TableS
 pub use cover::CoverState;
 pub use cover_rows::RowCoverState;
 pub use encoding::{correction_encoding_gap, CodeLengths};
-pub use exact::{translator_exact, translator_exact_with, ExactConfig};
+pub use engine::{Engine, EngineBuilder, EngineStats};
+pub use error::Error;
+pub use exact::{
+    translator_exact, translator_exact_seeded, translator_exact_with, ExactConfig,
+    ExactConfigBuilder,
+};
 pub use fit::{fit, Algorithm};
-pub use greedy::{translator_greedy, CandidateOrder, GreedyConfig};
+pub use greedy::{translator_greedy, CandidateOrder, GreedyConfig, GreedyConfigBuilder};
 pub use model::{evaluate_table, ModelScore, TraceStep, TranslatorModel};
 pub use predict::{predict_row, prediction_quality, PredictionQuality};
 pub use rule::{Direction, TranslationRule};
-pub use select::{translator_select, SelectConfig};
+pub use select::{translator_select, SelectConfig, SelectConfigBuilder};
 pub use table::TranslationTable;

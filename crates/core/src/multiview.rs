@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn fits_all_pairs() {
         let mv = coupled_views();
-        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        let model = fit_multiview(&mv, &SelectConfig::builder().k(1).minsup(2).build());
         assert_eq!(model.pair_models.len(), 3);
         assert!(model.pair(0, 1).is_some());
         assert!(model.pair(1, 0).is_some(), "order-insensitive lookup");
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn coupled_pair_scores_higher_than_noise_pairs() {
         let mv = coupled_views();
-        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        let model = fit_multiview(&mv, &SelectConfig::builder().k(1).minsup(2).build());
         let s01 = model.association_strength(0, 1).unwrap();
         let s02 = model.association_strength(0, 2).unwrap();
         let s12 = model.association_strength(1, 2).unwrap();
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn association_matrix_is_symmetric_with_zero_diagonal() {
         let mv = coupled_views();
-        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        let model = fit_multiview(&mv, &SelectConfig::builder().k(1).minsup(2).build());
         let m = model.association_matrix(3);
         for (i, row) in m.iter().enumerate() {
             assert_eq!(row[i], 0.0);
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn rule_count_aggregates() {
         let mv = coupled_views();
-        let model = fit_multiview(&mv, &SelectConfig::new(1, 2));
+        let model = fit_multiview(&mv, &SelectConfig::builder().k(1).minsup(2).build());
         let sum: usize = model
             .pair_models
             .iter()

@@ -9,8 +9,6 @@
 
 use twoview_data::prelude::*;
 
-use crate::cover::CoverState;
-use crate::rule::{Direction, TranslationRule};
 use crate::table::TranslationTable;
 
 /// Micro-averaged prediction quality of a table in one direction.
@@ -35,12 +33,12 @@ pub struct PredictionQuality {
 /// Evaluates how well `table` translates `data` from `from` to the
 /// opposite view, micro-averaged over all transactions.
 ///
-/// Computed through the columnar [`CoverState`] rather than by
+/// Computed through the columnar [`CoverState`](crate::cover::CoverState) rather than by
 /// re-translating every transaction: applying only the `from`-firing half
 /// of each rule makes `covered` exactly the true positives, `U` the false
 /// negatives, and `E` the false positives, and the exact-match count is
 /// the number of empty rows in the batched column→row transposition
-/// ([`CoverState::correction_rows_batch`]) — a handful of column kernels
+/// ([`CoverState::correction_rows_batch`](crate::cover::CoverState::correction_rows_batch)) — a handful of column kernels
 /// instead of `O(|D| · |T|)` per-transaction rule firings.
 pub fn prediction_quality(
     data: &TwoViewDataset,
@@ -50,20 +48,7 @@ pub fn prediction_quality(
     let target = from.opposite();
     // Direction-restricted state: only the `from → target` half of each
     // rule fires, matching what TRANSLATE predicts from `from`.
-    let mut state = CoverState::new(data);
-    let one_way = match from {
-        Side::Left => Direction::Forward,
-        Side::Right => Direction::Backward,
-    };
-    for rule in table.iter() {
-        if rule.direction.fires_from(from) {
-            state.apply_rule(TranslationRule::new(
-                rule.left.clone(),
-                rule.right.clone(),
-                one_way,
-            ));
-        }
-    }
+    let state = crate::translate::directional_state(data, table, from);
     // predicted = (actual \ U) ∪ E, so the micro counts fall out of the
     // cover tallies directly.
     let fneg = state.n_uncovered(target);
@@ -128,6 +113,7 @@ pub fn predict_row(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rule::{Direction, TranslationRule};
     use crate::translate::translate_transaction;
 
     fn toy() -> (TwoViewDataset, TranslationTable) {

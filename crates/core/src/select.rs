@@ -32,6 +32,7 @@
 
 use twoview_data::prelude::*;
 use twoview_mining::{mine_closed_twoview, mine_frequent_twoview, MinerConfig, TwoViewCandidate};
+use twoview_runtime::{JobCtx, JobError};
 
 use crate::bounds;
 use crate::cover::CoverState;
@@ -82,26 +83,118 @@ pub struct SelectConfig {
 }
 
 impl SelectConfig {
-    /// SELECT(k) with the given minsup and paper-default settings.
-    pub fn new(k: usize, minsup: usize) -> Self {
-        SelectConfig {
-            k: k.max(1),
-            minsup: minsup.max(1),
-            closed_candidates: true,
-            max_candidates: 2_000_000,
-            gain_cache: true,
-            use_rub: true,
-            rub_cost_gate: true,
-            n_threads: None,
-            legacy_scope: false,
-            max_iterations: None,
+    /// Fluent builder with paper-default settings: `SELECT(1)` at
+    /// `minsup = 1`, closed candidates, gain cache and `rub` pruning on.
+    pub fn builder() -> SelectConfigBuilder {
+        SelectConfigBuilder {
+            cfg: SelectConfig {
+                k: 1,
+                minsup: 1,
+                closed_candidates: true,
+                max_candidates: 2_000_000,
+                gain_cache: true,
+                use_rub: true,
+                rub_cost_gate: true,
+                n_threads: None,
+                legacy_scope: false,
+                max_iterations: None,
+            },
         }
+    }
+
+    /// SELECT(k) with the given minsup and paper-default settings.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SelectConfig::builder().k(k).minsup(m).build()`"
+    )]
+    pub fn new(k: usize, minsup: usize) -> Self {
+        SelectConfig::builder().k(k).minsup(minsup).build()
+    }
+}
+
+/// Fluent builder for [`SelectConfig`]; see [`SelectConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct SelectConfigBuilder {
+    cfg: SelectConfig,
+}
+
+impl SelectConfigBuilder {
+    /// Rules selected per iteration (clamped to at least 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k.max(1);
+        self
+    }
+
+    /// Minimum support for candidate mining (clamped to at least 1).
+    pub fn minsup(mut self, minsup: usize) -> Self {
+        self.cfg.minsup = minsup.max(1);
+        self
+    }
+
+    /// Closed candidates (the paper's choice) vs all frequent itemsets.
+    pub fn closed_candidates(mut self, closed: bool) -> Self {
+        self.cfg.closed_candidates = closed;
+        self
+    }
+
+    /// Candidate-count safety valve.
+    pub fn max_candidates(mut self, n: usize) -> Self {
+        self.cfg.max_candidates = n;
+        self
+    }
+
+    /// Disjointness-based gain cache (result-identical ablation switch).
+    pub fn gain_cache(mut self, on: bool) -> Self {
+        self.cfg.gain_cache = on;
+        self
+    }
+
+    /// `rub`-bound pruning of dirty-candidate refreshes (result-identical).
+    pub fn rub(mut self, on: bool) -> Self {
+        self.cfg.use_rub = on;
+        self
+    }
+
+    /// Cost-gate the `rub` bound per candidate (see
+    /// [`SelectConfig::rub_cost_gate`]).
+    pub fn rub_cost_gate(mut self, on: bool) -> Self {
+        self.cfg.rub_cost_gate = on;
+        self
+    }
+
+    /// Worker threads for refresh and mining (`Some(t)` semantics).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.cfg.n_threads = Some(t);
+        self
+    }
+
+    /// Inherit the process-default thread count (the default).
+    pub fn default_threads(mut self) -> Self {
+        self.cfg.n_threads = None;
+        self
+    }
+
+    /// Refresh through per-round scoped spawns instead of the pool.
+    pub fn legacy_scope(mut self, on: bool) -> Self {
+        self.cfg.legacy_scope = on;
+        self
+    }
+
+    /// Iteration safety valve.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.cfg.max_iterations = Some(n);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SelectConfig {
+        self.cfg
     }
 }
 
 /// Runs TRANSLATOR-SELECT(k): mines candidates, then fits.
 pub fn translator_select(data: &TwoViewDataset, cfg: &SelectConfig) -> TranslatorModel {
-    let mut miner_cfg = MinerConfig::with_minsup(cfg.minsup);
+    let mut miner_cfg = MinerConfig::builder().minsup(cfg.minsup).build();
     miner_cfg.max_itemsets = cfg.max_candidates;
     miner_cfg.n_threads = cfg.n_threads;
     let mined = if cfg.closed_candidates {
@@ -119,7 +212,7 @@ pub fn translator_select(data: &TwoViewDataset, cfg: &SelectConfig) -> Translato
 fn refresh_candidate(
     state: &CoverState<'_>,
     cand: &TwoViewCandidate,
-    tids: &Option<(Bitmap, Bitmap)>,
+    tids: Option<&(Bitmap, Bitmap)>,
     threshold: f64,
     use_rub: bool,
     gains: &mut [f64; 3],
@@ -153,6 +246,49 @@ pub fn translator_select_candidates(
     cfg: &SelectConfig,
     candidates: &[TwoViewCandidate],
 ) -> TranslatorModel {
+    match run_select(data, cfg, candidates, None, None) {
+        Ok(model) => model,
+        // Without a job context there is no cancellation source.
+        Err(_) => unreachable!("uncancellable run cannot be cancelled"),
+    }
+}
+
+/// Where a refresh finds a candidate's tidsets.
+enum TidSource<'a> {
+    /// Pre-computed slice aligned with the *original* candidate indices
+    /// (the engine's shared seed-tidset cache).
+    Shared(&'a [(Bitmap, Bitmap)]),
+    /// Per-run cache aligned with the *live* (qub-surviving) positions;
+    /// `None` entries mean over-budget, recompute on use.
+    Owned(Vec<Option<(Bitmap, Bitmap)>>),
+}
+
+impl TidSource<'_> {
+    #[inline]
+    fn get(&self, live_pos: usize, orig_idx: usize) -> Option<&(Bitmap, Bitmap)> {
+        match self {
+            TidSource::Shared(all) => Some(&all[orig_idx]),
+            TidSource::Owned(cache) => cache[live_pos].as_ref(),
+        }
+    }
+}
+
+/// The full SELECT(k) loop over a pre-mined candidate set, with optional
+/// shared tidsets (`shared_tids`, aligned with `candidates`) and an
+/// optional job context for cooperative cancellation and progress ticks
+/// (one tick per iteration). Cancellation returns `Err(JobError::
+/// Cancelled)` — never a partial model — so every `Ok` result is
+/// bit-identical to an uncancelled serial run.
+pub(crate) fn run_select(
+    data: &TwoViewDataset,
+    cfg: &SelectConfig,
+    candidates: &[TwoViewCandidate],
+    shared_tids: Option<&[(Bitmap, Bitmap)]>,
+    ctl: Option<&JobCtx>,
+) -> Result<TranslatorModel, JobError> {
+    if let Some(tids) = shared_tids {
+        debug_assert_eq!(tids.len(), candidates.len());
+    }
     let mut state = CoverState::new(data);
     let mut trace = Vec::new();
 
@@ -160,25 +296,35 @@ pub fn translator_select_candidates(
     // never on the cover state, and dominates all three directional gains.
     // Candidates with `qub ≤ 0` can never be added in any iteration and are
     // dropped up front.
-    let live: Vec<&TwoViewCandidate> = {
+    let live_idx: Vec<usize> = {
         let codes = state.codes();
         candidates
             .iter()
-            .filter(|c| bounds::qub(codes, data, &c.left, &c.right) > 0.0)
+            .enumerate()
+            .filter(|(_, c)| bounds::qub(codes, data, &c.left, &c.right) > 0.0)
+            .map(|(i, _)| i)
             .collect()
     };
+    let live: Vec<&TwoViewCandidate> = live_idx.iter().map(|&i| &candidates[i]).collect();
 
-    // Cache antecedent tidsets when the memory budget allows (two bitmaps
-    // per candidate); otherwise recompute them on every refresh.
-    const TIDSET_CACHE_BUDGET_BYTES: usize = 400 << 20;
-    let per_cand = 2 * data.n_transactions().div_ceil(8);
-    let cache_tids = per_cand.saturating_mul(live.len()) <= TIDSET_CACHE_BUDGET_BYTES;
-    let tid_cache: Vec<Option<(Bitmap, Bitmap)>> = if cache_tids {
-        live.iter()
-            .map(|c| Some((data.support_set(&c.left), data.support_set(&c.right))))
-            .collect()
-    } else {
-        vec![None; live.len()]
+    // Tidsets: the caller's shared cache when provided, otherwise a
+    // per-run cache when the memory budget allows (two bitmaps per
+    // candidate; over budget = recompute on every refresh). The budget is
+    // the workspace-wide `twoview_mining::TIDSET_CACHE_BUDGET_BYTES`.
+    let tids = match shared_tids {
+        Some(all) => TidSource::Shared(all),
+        None => {
+            let per_cand = 2 * data.n_transactions().div_ceil(8);
+            let cache_tids =
+                per_cand.saturating_mul(live.len()) <= twoview_mining::TIDSET_CACHE_BUDGET_BYTES;
+            TidSource::Owned(if cache_tids {
+                live.iter()
+                    .map(|c| Some((data.support_set(&c.left), data.support_set(&c.right))))
+                    .collect()
+            } else {
+                vec![None; live.len()]
+            })
+        }
     };
 
     // Per-candidate `rub` eligibility under the cost gate. Supports and
@@ -193,12 +339,12 @@ pub fn translator_select_candidates(
     let rub_eligible: Vec<bool> = if cfg.use_rub {
         let n_words = data.n_transactions().div_ceil(64);
         live.iter()
-            .zip(&tid_cache)
-            .map(|(c, tids)| {
+            .enumerate()
+            .map(|(pos, c)| {
                 if !cfg.rub_cost_gate {
                     return true;
                 }
-                let bound_bits = match tids {
+                let bound_bits = match tids.get(pos, live_idx[pos]) {
                     Some((lt, rt)) => lt.len() + rt.len(),
                     None => data.support_count(&c.left) + data.support_count(&c.right),
                 };
@@ -226,6 +372,13 @@ pub fn translator_select_candidates(
     let n_items = data.vocab().n_items();
     let mut iterations = 0usize;
     loop {
+        // Cooperative cancellation: observed at iteration boundaries only,
+        // so a run either completes (bit-identical to serial) or yields no
+        // model at all.
+        if let Some(ctx) = ctl {
+            ctx.checkpoint()?;
+            ctx.tick(1);
+        }
         if let Some(cap) = cfg.max_iterations {
             if iterations >= cap {
                 break;
@@ -249,7 +402,7 @@ pub fn translator_select_candidates(
             if clean_gains.len() >= cfg.k.max(1) {
                 let kth = cfg.k.max(1) - 1;
                 let (_, &mut kth_gain, _) =
-                    clean_gains.select_nth_unstable_by(kth, |a, b| b.partial_cmp(a).unwrap());
+                    clean_gains.select_nth_unstable_by(kth, |a, b| b.total_cmp(a));
                 kth_gain
             } else {
                 0.0
@@ -267,7 +420,8 @@ pub fn translator_select_candidates(
         skipped.fill(false);
         let work: Vec<usize> = (0..live.len()).filter(|&i| dirty[i] || force).collect();
         if n_workers > 1 && work.len() > refresh_floor {
-            let (state, live, tid_cache, rub_eligible) = (&state, &live, &tid_cache, &rub_eligible);
+            let (state, live, live_idx, tids, rub_eligible) =
+                (&state, &live, &live_idx, &tids, &rub_eligible);
             let refresh_chunk = |idxs: &[usize]| {
                 idxs.iter()
                     .map(|&i| {
@@ -275,7 +429,7 @@ pub fn translator_select_candidates(
                         let ok = refresh_candidate(
                             state,
                             live[i],
-                            &tid_cache[i],
+                            tids.get(i, live_idx[i]),
                             threshold,
                             rub_eligible[i],
                             &mut g,
@@ -295,7 +449,12 @@ pub fn translator_select_candidates(
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("refresh worker panicked"))
+                        .map(|h| {
+                            // Re-raise a worker panic with its own payload
+                            // (no flattening into a second panic message).
+                            h.join()
+                                .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                        })
                         .collect()
                 })
             } else {
@@ -321,7 +480,7 @@ pub fn translator_select_candidates(
                 if refresh_candidate(
                     &state,
                     live[i],
-                    &tid_cache[i],
+                    tids.get(i, live_idx[i]),
                     threshold,
                     rub_eligible[i],
                     &mut gains[i],
@@ -354,10 +513,7 @@ pub fn translator_select_candidates(
         // sort only those — the entry list is up to 3·|candidates| long and
         // rebuilt every iteration, so a full sort is wasted work.
         let cmp = |a: &(f64, usize, Direction), b: &(f64, usize, Direction)| {
-            b.0.partial_cmp(&a.0)
-                .unwrap()
-                .then(a.1.cmp(&b.1))
-                .then(a.2.cmp(&b.2))
+            b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
         };
         if cfg.k > 0 && entries.len() > cfg.k {
             entries.select_nth_unstable_by(cfg.k - 1, cmp);
@@ -406,13 +562,13 @@ pub fn translator_select_candidates(
     }
 
     let score = score_of(&state);
-    TranslatorModel {
+    Ok(TranslatorModel {
         table: state.into_table(),
         score,
         trace,
         n_candidates: candidates.len(),
         truncated: false,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -439,7 +595,7 @@ mod tests {
     #[test]
     fn select1_compresses_and_traces() {
         let d = structured();
-        let model = translator_select(&d, &SelectConfig::new(1, 1));
+        let model = translator_select(&d, &SelectConfig::builder().k(1).minsup(1).build());
         assert!(!model.table.is_empty());
         assert!(model.compression_pct() < 100.0);
         assert_eq!(model.trace.len(), model.table.len());
@@ -454,12 +610,12 @@ mod tests {
     #[test]
     fn gain_cache_is_result_identical() {
         let d = structured();
-        let with = translator_select(&d, &SelectConfig::new(1, 1));
+        let with = translator_select(&d, &SelectConfig::builder().k(1).minsup(1).build());
         let without = translator_select(
             &d,
             &SelectConfig {
                 gain_cache: false,
-                ..SelectConfig::new(1, 1)
+                ..SelectConfig::builder().k(1).minsup(1).build()
             },
         );
         assert_eq!(with.table, without.table);
@@ -478,15 +634,15 @@ mod tests {
                 &d,
                 &SelectConfig {
                     rub_cost_gate: false,
-                    ..SelectConfig::new(k, 1)
+                    ..SelectConfig::builder().k(k).minsup(1).build()
                 },
             );
-            let gated = translator_select(&d, &SelectConfig::new(k, 1));
+            let gated = translator_select(&d, &SelectConfig::builder().k(k).minsup(1).build());
             let without = translator_select(
                 &d,
                 &SelectConfig {
                     use_rub: false,
-                    ..SelectConfig::new(k, 1)
+                    ..SelectConfig::builder().k(k).minsup(1).build()
                 },
             );
             assert_eq!(forced.table, without.table, "k={k}");
@@ -502,14 +658,14 @@ mod tests {
             &d,
             &SelectConfig {
                 n_threads: Some(1),
-                ..SelectConfig::new(2, 1)
+                ..SelectConfig::builder().k(2).minsup(1).build()
             },
         );
         let four = translator_select(
             &d,
             &SelectConfig {
                 n_threads: Some(4),
-                ..SelectConfig::new(2, 1)
+                ..SelectConfig::builder().k(2).minsup(1).build()
             },
         );
         assert_eq!(one.table, four.table);
@@ -536,7 +692,7 @@ mod tests {
             &d,
             &SelectConfig {
                 n_threads: Some(1),
-                ..SelectConfig::new(2, 2)
+                ..SelectConfig::builder().k(2).minsup(2).build()
             },
         );
         for threads in [2, 4] {
@@ -544,7 +700,7 @@ mod tests {
                 &d,
                 &SelectConfig {
                     n_threads: Some(threads),
-                    ..SelectConfig::new(2, 2)
+                    ..SelectConfig::builder().k(2).minsup(2).build()
                 },
             );
             let scoped = translator_select(
@@ -552,7 +708,7 @@ mod tests {
                 &SelectConfig {
                     n_threads: Some(threads),
                     legacy_scope: true,
-                    ..SelectConfig::new(2, 2)
+                    ..SelectConfig::builder().k(2).minsup(2).build()
                 },
             );
             assert_eq!(serial.table, pool.table, "pool, {threads} threads");
@@ -565,8 +721,8 @@ mod tests {
     #[test]
     fn k25_reaches_similar_compression() {
         let d = structured();
-        let k1 = translator_select(&d, &SelectConfig::new(1, 1));
-        let k25 = translator_select(&d, &SelectConfig::new(25, 1));
+        let k1 = translator_select(&d, &SelectConfig::builder().k(1).minsup(1).build());
+        let k25 = translator_select(&d, &SelectConfig::builder().k(25).minsup(1).build());
         // Larger k trades optimality for speed; on this toy data the
         // compression must stay in the same ballpark.
         assert!(k25.compression_pct() <= k1.compression_pct() + 10.0);
@@ -575,7 +731,7 @@ mod tests {
     #[test]
     fn rules_added_within_round_are_item_disjoint() {
         let d = structured();
-        let model = translator_select(&d, &SelectConfig::new(25, 1));
+        let model = translator_select(&d, &SelectConfig::builder().k(25).minsup(1).build());
         // Reconstruct rounds from the trace: within a round (same
         // iteration), itemsets must be disjoint. We can't see iteration
         // boundaries directly, so check the stronger per-model invariant
@@ -591,7 +747,7 @@ mod tests {
         // On data with one dominant association, SELECT(1) finds the same
         // first rule as EXACT.
         let d = structured();
-        let select = translator_select(&d, &SelectConfig::new(1, 1));
+        let select = translator_select(&d, &SelectConfig::builder().k(1).minsup(1).build());
         let exact = crate::exact::translator_exact(&d);
         assert_eq!(select.table.rules()[0].left, exact.table.rules()[0].left);
         assert_eq!(select.table.rules()[0].right, exact.table.rules()[0].right);
@@ -604,7 +760,7 @@ mod tests {
             &d,
             &SelectConfig {
                 max_iterations: Some(1),
-                ..SelectConfig::new(1, 1)
+                ..SelectConfig::builder().k(1).minsup(1).build()
             },
         );
         assert!(model.table.len() <= 1);
@@ -613,7 +769,8 @@ mod tests {
     #[test]
     fn empty_candidate_set_yields_empty_model() {
         let d = structured();
-        let model = translator_select_candidates(&d, &SelectConfig::new(1, 1), &[]);
+        let model =
+            translator_select_candidates(&d, &SelectConfig::builder().k(1).minsup(1).build(), &[]);
         assert!(model.table.is_empty());
         assert!((model.compression_pct() - 100.0).abs() < 1e-9);
     }

@@ -17,6 +17,8 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use twoview_data::error::DataError;
 use twoview_data::prelude::*;
 
+use crate::error::Error;
+
 use crate::rule::{Direction, TranslationRule};
 use crate::table::TranslationTable;
 
@@ -27,7 +29,7 @@ pub fn write_table<W: Write>(
     table: &TranslationTable,
     vocab: &Vocabulary,
     writer: W,
-) -> Result<(), DataError> {
+) -> Result<(), Error> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "{MAGIC}")?;
     for rule in table.iter() {
@@ -50,7 +52,7 @@ pub fn write_table<W: Write>(
 }
 
 /// Reads a table, resolving item names through `vocab`.
-pub fn read_table<R: Read>(vocab: &Vocabulary, reader: R) -> Result<TranslationTable, DataError> {
+pub fn read_table<R: Read>(vocab: &Vocabulary, reader: R) -> Result<TranslationTable, Error> {
     let mut lines = BufReader::new(reader).lines();
     let first = lines
         .next()
@@ -59,7 +61,8 @@ pub fn read_table<R: Read>(vocab: &Vocabulary, reader: R) -> Result<TranslationT
         return Err(DataError::Format(format!(
             "bad magic: expected {MAGIC:?}, got {:?}",
             first.trim()
-        )));
+        ))
+        .into());
     }
     let mut table = TranslationTable::new();
     for (lineno, line) in lines.enumerate() {
@@ -77,14 +80,14 @@ pub fn read_table<R: Read>(vocab: &Vocabulary, reader: R) -> Result<TranslationT
         } else if line.contains("<-") {
             ("<-", Direction::Backward)
         } else {
-            return Err(DataError::Format(format!("line {lineno}: no arrow")));
+            return Err(DataError::Format(format!("line {lineno}: no arrow")).into());
         };
         let mut parts = line.splitn(2, arrow);
         let left_txt = parts.next().unwrap_or("");
         let right_txt = parts
             .next()
             .ok_or_else(|| DataError::Format(format!("line {lineno}: malformed rule")))?;
-        let parse_side = |txt: &str, expected: Side| -> Result<ItemSet, DataError> {
+        let parse_side = |txt: &str, expected: Side| -> Result<ItemSet, Error> {
             let mut items = Vec::new();
             for name in txt.split(',').map(str::trim).filter(|s| !s.is_empty()) {
                 let id = vocab.id_of(name).ok_or_else(|| {
@@ -93,12 +96,13 @@ pub fn read_table<R: Read>(vocab: &Vocabulary, reader: R) -> Result<TranslationT
                 if vocab.side_of(id) != expected {
                     return Err(DataError::Format(format!(
                         "line {lineno}: item {name:?} on the wrong side"
-                    )));
+                    ))
+                    .into());
                 }
                 items.push(id);
             }
             if items.is_empty() {
-                return Err(DataError::Format(format!("line {lineno}: empty rule side")));
+                return Err(DataError::Format(format!("line {lineno}: empty rule side")).into());
             }
             Ok(ItemSet::from_items(items))
         };

@@ -7,6 +7,8 @@
 
 use twoview_data::prelude::*;
 
+use crate::cover::CoverState;
+use crate::rule::{Direction, TranslationRule};
 use crate::table::TranslationTable;
 
 /// Translates transaction `t` of `data` *from* `from` to the opposite view.
@@ -45,16 +47,45 @@ pub fn translate_view(data: &TwoViewDataset, table: &TranslationTable, from: Sid
         .collect()
 }
 
-/// The correction row `c_t = t_target ⊕ TRANSLATE(t_source, T)`.
-pub fn correction_row(
-    data: &TwoViewDataset,
+/// A cover state restricted to the `from → target` halves of `table`'s
+/// rules — exactly what TRANSLATE predicts from `from`, so `U`/`E` are the
+/// per-direction misses/false-positives (shared with
+/// [`crate::predict::prediction_quality`]).
+pub(crate) fn directional_state<'d>(
+    data: &'d TwoViewDataset,
     table: &TranslationTable,
     from: Side,
-    t: usize,
-) -> Bitmap {
-    let mut c = translate_transaction(data, table, from, t);
-    c.xor_with(data.row(from.opposite(), t));
-    c
+) -> CoverState<'d> {
+    let one_way = match from {
+        Side::Left => Direction::Forward,
+        Side::Right => Direction::Backward,
+    };
+    let mut state = CoverState::new(data);
+    for rule in table.iter() {
+        if rule.direction.fires_from(from) {
+            state.apply_rule(TranslationRule::new(
+                rule.left.clone(),
+                rule.right.clone(),
+                one_way,
+            ));
+        }
+    }
+    state
+}
+
+/// All correction rows `c_t = t_target ⊕ TRANSLATE(t_source, T)` of one
+/// direction at once, indexed by transaction.
+///
+/// Computed through the columnar batch transposition
+/// ([`CoverState::correction_rows_batch`]) over a direction-restricted
+/// cover state — `C_t = U_t ∪ E_t` equals the XOR correction exactly,
+/// because `predicted = (actual \ U_t) ∪ E_t` with the union disjoint —
+/// instead of firing every rule per transaction. This replaced the old
+/// per-row `correction_row` helper: every consumer needs whole-view
+/// corrections, and one pass over the item columns beats `|D|` per-row
+/// reconstructions.
+pub fn correction_rows(data: &TwoViewDataset, table: &TranslationTable, from: Side) -> Vec<Bitmap> {
+    directional_state(data, table, from).correction_rows_batch(from.opposite())
 }
 
 /// Applies a correction row to a translated row (XOR), reconstructing the
@@ -69,10 +100,10 @@ pub fn apply_correction(translated: &Bitmap, correction: &Bitmap) -> Bitmap {
 /// central model invariant, exercised heavily in tests).
 pub fn check_lossless(data: &TwoViewDataset, table: &TranslationTable) -> Option<(Side, usize)> {
     for from in Side::BOTH {
-        for t in 0..data.n_transactions() {
+        let corrections = correction_rows(data, table, from);
+        for (t, correction) in corrections.iter().enumerate() {
             let translated = translate_transaction(data, table, from, t);
-            let correction = correction_row(data, table, from, t);
-            if &apply_correction(&translated, &correction) != data.row(from.opposite(), t) {
+            if &apply_correction(&translated, correction) != data.row(from.opposite(), t) {
                 return Some((from, t));
             }
         }
@@ -144,17 +175,31 @@ mod tests {
     #[test]
     fn corrections_fix_both_error_kinds() {
         let (data, table) = toy();
+        let corrections = correction_rows(&data, &table, Side::Left);
         // t4: {A,B} fires -> predicts {L,U}, but t4 has only U.
         // Correction must remove the erroneous L.
-        let c4 = correction_row(&data, &table, Side::Left, 4);
-        assert_eq!(c4.to_vec(), vec![0]); // L
+        assert_eq!(corrections[4].to_vec(), vec![0]); // L
 
         // t2: {C} fires -> predicts {S}; t2R = {S}: perfect, no correction.
-        let c2 = correction_row(&data, &table, Side::Left, 2);
-        assert!(c2.is_empty());
+        assert!(corrections[2].is_empty());
         // t1: prediction {S}, actual {S,P,Q}: correction adds P,Q.
-        let c1 = correction_row(&data, &table, Side::Left, 1);
-        assert_eq!(c1.to_vec(), vec![3, 4]);
+        assert_eq!(corrections[1].to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn batched_corrections_equal_literal_xor() {
+        // The batched columnar path must equal t_target ⊕ TRANSLATE(t_src)
+        // for every transaction and both directions.
+        let (data, table) = toy();
+        for from in Side::BOTH {
+            let corrections = correction_rows(&data, &table, from);
+            assert_eq!(corrections.len(), data.n_transactions());
+            for (t, c) in corrections.iter().enumerate() {
+                let mut literal = translate_transaction(&data, &table, from, t);
+                literal.xor_with(data.row(from.opposite(), t));
+                assert_eq!(c, &literal, "from {from}, t{t}");
+            }
+        }
     }
 
     #[test]

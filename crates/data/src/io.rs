@@ -114,25 +114,19 @@ pub fn read_dataset<R: Read>(reader: R) -> Result<TwoViewDataset, DataError> {
     let mut transactions: Vec<Vec<ItemId>> = Vec::with_capacity(raw_transactions.len());
     for (t, (l, r)) in raw_transactions.iter().enumerate() {
         let mut items = Vec::with_capacity(l.len() + r.len());
-        for n in l.iter().chain(r.iter()) {
-            let id = vocab
-                .id_of(n)
-                .ok_or_else(|| DataError::Format(format!("transaction {t}: unknown item {n:?}")))?;
-            items.push(id);
-        }
-        // Enforce sides: left names must resolve to left items and vice versa.
-        for n in l {
-            if vocab.side_of(vocab.id_of(n).unwrap()) != Side::Left {
-                return Err(DataError::Format(format!(
-                    "transaction {t}: item {n:?} is not a left-view item"
-                )));
-            }
-        }
-        for n in r {
-            if vocab.side_of(vocab.id_of(n).unwrap()) != Side::Right {
-                return Err(DataError::Format(format!(
-                    "transaction {t}: item {n:?} is not a right-view item"
-                )));
+        // Resolve each name once, enforcing its side as it resolves: left
+        // names must be left-view items and vice versa.
+        for (names, expected, word) in [(l, Side::Left, "left"), (r, Side::Right, "right")] {
+            for n in names {
+                let id = vocab.id_of(n).ok_or_else(|| {
+                    DataError::Format(format!("transaction {t}: unknown item {n:?}"))
+                })?;
+                if vocab.side_of(id) != expected {
+                    return Err(DataError::Format(format!(
+                        "transaction {t}: item {n:?} is not a {word}-view item"
+                    )));
+                }
+                items.push(id);
             }
         }
         transactions.push(items);

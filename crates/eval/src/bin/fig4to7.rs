@@ -55,7 +55,7 @@ fn elections_figure(scale: &RunScale) {
         .generate_scaled(scale.max_transactions)
         .dataset;
     let minsup = PaperDataset::Elections.minsup_for(data.n_transactions());
-    let model = translator_select(&data, &SelectConfig::new(1, minsup));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(minsup).build());
     print_rules("TRANSLATOR", &top_rules(&data, &model.table, 4));
     println!();
 }

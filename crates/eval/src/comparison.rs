@@ -53,7 +53,7 @@ pub fn table3_block(dataset: PaperDataset, scale: &RunScale) -> Table3Block {
 
     // TRANSLATOR-SELECT(1): the representative configuration of the paper.
     let start = Instant::now();
-    let model = translator_select(&data, &SelectConfig::new(1, minsup));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(minsup).build());
     let translator_runtime = start.elapsed();
     let translator_table = model.table.clone();
     rows.push(MethodMetrics::for_model(

@@ -44,7 +44,7 @@ pub struct Fig2Point {
 pub fn fig2(dataset: PaperDataset, scale: &RunScale) -> (Vec<Fig2Point>, TranslatorModel) {
     let data = dataset.generate_scaled(scale.max_transactions).dataset;
     let minsup = dataset.minsup_for(data.n_transactions());
-    let model = translator_select(&data, &SelectConfig::new(1, minsup));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(minsup).build());
 
     let codes = twoview_core::CodeLengths::new(&data);
     let l_empty = codes.empty_model(&data);

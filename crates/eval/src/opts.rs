@@ -1,5 +1,6 @@
 //! Minimal CLI option parsing shared by the experiment binaries.
 
+use twoview_core::error::Error;
 use twoview_data::corpus::PaperDataset;
 
 use crate::tables::RunScale;
@@ -17,9 +18,10 @@ pub struct Opts {
 
 /// Parses `--full`, `--quick`, `--smoke`, `--datasets=a,b,c` and free args.
 ///
-/// Unknown `--flags` abort with a usage message; the binaries have no other
-/// options by design.
-pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+/// Unknown `--flags` surface as [`Error::Config`] — the binaries print the
+/// message and exit without panicking; they have no other options by
+/// design.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, Error> {
     let mut opts = Opts {
         scale: RunScale::quick(),
         datasets: None,
@@ -37,14 +39,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
             for name in list.split(',').filter(|s| !s.is_empty()) {
                 match PaperDataset::by_name(name) {
                     Some(d) => ds.push(d),
-                    None => return Err(format!("unknown dataset: {name}")),
+                    None => return Err(Error::config(format!("unknown dataset: {name}"))),
                 }
             }
             opts.datasets = Some(ds);
         } else if arg.starts_with("--") {
-            return Err(format!(
+            return Err(Error::config(format!(
                 "unknown option {arg}; known: --full --quick --smoke --datasets=a,b,c"
-            ));
+            )));
         } else {
             opts.free.push(arg);
         }

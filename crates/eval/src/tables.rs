@@ -212,17 +212,17 @@ pub fn run_method(
             (m, tr)
         }
         Table2Method::Select1 => {
-            let m = translator_select(data, &SelectConfig::new(1, minsup));
+            let m = translator_select(data, &SelectConfig::builder().k(1).minsup(minsup).build());
             let tr = m.truncated;
             (m, tr)
         }
         Table2Method::Select25 => {
-            let m = translator_select(data, &SelectConfig::new(25, minsup));
+            let m = translator_select(data, &SelectConfig::builder().k(25).minsup(minsup).build());
             let tr = m.truncated;
             (m, tr)
         }
         Table2Method::Greedy => {
-            let m = translator_greedy(data, &GreedyConfig::new(minsup));
+            let m = translator_greedy(data, &GreedyConfig::builder().minsup(minsup).build());
             let tr = m.truncated;
             (m, tr)
         }
@@ -304,7 +304,7 @@ pub fn render_table2(rows: &[Table2Row]) -> TextTable {
 /// Convenience: candidate-count for a dataset at its scaled minsup (used by
 /// reports to mirror the paper's "10K-200K candidates" remark).
 pub fn candidate_count(data: &TwoViewDataset, minsup: usize) -> usize {
-    mine_closed_twoview(data, &MinerConfig::with_minsup(minsup))
+    mine_closed_twoview(data, &MinerConfig::builder().minsup(minsup).build())
         .candidates
         .len()
 }

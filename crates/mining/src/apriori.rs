@@ -123,7 +123,7 @@ mod tests {
     fn apriori_matches_brute_force() {
         let d = toy();
         for minsup in 1..=4 {
-            let cfg = MinerConfig::with_minsup(minsup);
+            let cfg = MinerConfig::builder().minsup(minsup).build();
             let apriori = mine_apriori(&d, &cfg);
             let slow = brute_force_frequent(&d, &cfg);
             assert_eq!(canon(&apriori.itemsets), canon(&slow), "minsup={minsup}");
@@ -140,7 +140,7 @@ mod tests {
                 .collect();
             let d = TwoViewDataset::from_transactions(vocab, &txs);
             for minsup in [1usize, 2, 4] {
-                let cfg = MinerConfig::with_minsup(minsup);
+                let cfg = MinerConfig::builder().minsup(minsup).build();
                 let a = mine_apriori(&d, &cfg);
                 let e = mine_frequent(&d, &cfg);
                 assert_eq!(
@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn max_len_stops_level_expansion() {
         let d = toy();
-        let cfg = MinerConfig::with_minsup(1).max_len(2);
+        let cfg = MinerConfig::builder().minsup(1).max_len(2).build();
         let res = mine_apriori(&d, &cfg);
         assert!(res.itemsets.iter().all(|f| f.items.len() <= 2));
         assert!(res.itemsets.iter().any(|f| f.items.len() == 2));
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn truncation_valve() {
         let d = toy();
-        let mut cfg = MinerConfig::with_minsup(1);
+        let mut cfg = MinerConfig::builder().minsup(1).build();
         cfg.max_itemsets = 4;
         let res = mine_apriori(&d, &cfg);
         assert!(res.truncated);
@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn empty_on_impossible_minsup() {
         let d = toy();
-        let res = mine_apriori(&d, &MinerConfig::with_minsup(1000));
+        let res = mine_apriori(&d, &MinerConfig::builder().minsup(1000).build());
         assert!(res.itemsets.is_empty());
     }
 }

@@ -261,7 +261,7 @@ mod tests {
     fn matches_brute_force_on_toy() {
         let d = toy();
         for minsup in 1..=4 {
-            let cfg = MinerConfig::with_minsup(minsup);
+            let cfg = MinerConfig::builder().minsup(minsup).build();
             let fast = mine_closed(&d, &cfg);
             let slow = brute_force_closed(&d, &cfg);
             assert_eq!(sorted(&fast.itemsets), sorted(&slow), "minsup={minsup}");
@@ -278,7 +278,7 @@ mod tests {
                 .collect();
             let d = TwoViewDataset::from_transactions(vocab, &txs);
             for minsup in [1, 2, 3] {
-                let cfg = MinerConfig::with_minsup(minsup);
+                let cfg = MinerConfig::builder().minsup(minsup).build();
                 let fast = mine_closed(&d, &cfg);
                 let slow = brute_force_closed(&d, &cfg);
                 assert_eq!(
@@ -293,7 +293,7 @@ mod tests {
     #[test]
     fn every_reported_set_is_closed_and_support_correct() {
         let d = toy();
-        let res = mine_closed(&d, &MinerConfig::with_minsup(1));
+        let res = mine_closed(&d, &MinerConfig::builder().minsup(1).build());
         for f in &res.itemsets {
             assert_eq!(f.support, d.support_count(&f.items));
             let tid = d.support_set(&f.items);
@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn no_duplicates() {
         let d = toy();
-        let res = mine_closed(&d, &MinerConfig::with_minsup(1));
+        let res = mine_closed(&d, &MinerConfig::builder().minsup(1).build());
         let mut seen = std::collections::HashSet::new();
         for f in &res.itemsets {
             assert!(seen.insert(f.items.clone()), "duplicate {:?}", f.items);
@@ -324,7 +324,7 @@ mod tests {
         // Item "z" occurs everywhere: every closed set must contain it.
         let vocab = Vocabulary::new(["a", "z"], ["x"]);
         let d = TwoViewDataset::from_transactions(vocab, &[vec![0, 1, 2], vec![1, 2], vec![0, 1]]);
-        let res = mine_closed(&d, &MinerConfig::with_minsup(1));
+        let res = mine_closed(&d, &MinerConfig::builder().minsup(1).build());
         for f in &res.itemsets {
             assert!(
                 f.items.contains(1),
@@ -347,7 +347,7 @@ mod tests {
                 let serial = MinerConfig {
                     n_threads: Some(1),
                     max_itemsets,
-                    ..MinerConfig::with_minsup(1)
+                    ..MinerConfig::builder().minsup(1).build()
                 };
                 let base = mine_closed(&d, &serial);
                 for threads in [2, 8] {
@@ -369,7 +369,7 @@ mod tests {
     #[test]
     fn truncation_respected() {
         let d = toy();
-        let mut cfg = MinerConfig::with_minsup(1);
+        let mut cfg = MinerConfig::builder().minsup(1).build();
         cfg.max_itemsets = 2;
         let res = mine_closed(&d, &cfg);
         assert!(res.truncated);

@@ -41,20 +41,76 @@ pub struct MinerConfig {
 }
 
 impl MinerConfig {
-    /// A config with the given minimum support and no other limits.
-    pub fn with_minsup(minsup: usize) -> Self {
-        MinerConfig {
-            minsup: minsup.max(1),
-            max_len: None,
-            max_itemsets: 5_000_000,
-            n_threads: None,
+    /// Fluent builder with paper-default settings (`minsup = 1`, no length
+    /// cap, 5M-itemset valve, process-default threads).
+    pub fn builder() -> MinerConfigBuilder {
+        MinerConfigBuilder {
+            cfg: MinerConfig {
+                minsup: 1,
+                max_len: None,
+                max_itemsets: 5_000_000,
+                n_threads: None,
+            },
         }
+    }
+
+    /// A config with the given minimum support and no other limits.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MinerConfig::builder().minsup(m).build()`"
+    )]
+    pub fn with_minsup(minsup: usize) -> Self {
+        MinerConfig::builder().minsup(minsup).build()
     }
 
     /// Sets the maximum itemset length.
     pub fn max_len(mut self, len: usize) -> Self {
         self.max_len = Some(len);
         self
+    }
+}
+
+/// Fluent builder for [`MinerConfig`]; see [`MinerConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct MinerConfigBuilder {
+    cfg: MinerConfig,
+}
+
+impl MinerConfigBuilder {
+    /// Minimum absolute support (clamped to at least 1).
+    pub fn minsup(mut self, minsup: usize) -> Self {
+        self.cfg.minsup = minsup.max(1);
+        self
+    }
+
+    /// Maximum itemset length.
+    pub fn max_len(mut self, len: usize) -> Self {
+        self.cfg.max_len = Some(len);
+        self
+    }
+
+    /// Enumeration safety valve.
+    pub fn max_itemsets(mut self, n: usize) -> Self {
+        self.cfg.max_itemsets = n;
+        self
+    }
+
+    /// Worker threads for first-level expansion (`Some(t)`); see
+    /// [`MinerConfig::n_threads`].
+    pub fn threads(mut self, t: usize) -> Self {
+        self.cfg.n_threads = Some(t);
+        self
+    }
+
+    /// Inherit the process-default thread count (the default).
+    pub fn default_threads(mut self) -> Self {
+        self.cfg.n_threads = None;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> MinerConfig {
+        self.cfg
     }
 }
 
@@ -296,7 +352,7 @@ mod tests {
     fn matches_brute_force() {
         let d = toy();
         for minsup in 1..=4 {
-            let cfg = MinerConfig::with_minsup(minsup);
+            let cfg = MinerConfig::builder().minsup(minsup).build();
             let fast = mine_frequent(&d, &cfg);
             assert!(!fast.truncated);
             let slow = brute_force_frequent(&d, &cfg);
@@ -307,7 +363,7 @@ mod tests {
     #[test]
     fn max_len_respected() {
         let d = toy();
-        let cfg = MinerConfig::with_minsup(1).max_len(2);
+        let cfg = MinerConfig::builder().minsup(1).max_len(2).build();
         let res = mine_frequent(&d, &cfg);
         assert!(res.itemsets.iter().all(|f| f.items.len() <= 2));
         let slow = brute_force_frequent(&d, &cfg);
@@ -317,7 +373,7 @@ mod tests {
     #[test]
     fn supports_are_correct() {
         let d = toy();
-        let res = mine_frequent(&d, &MinerConfig::with_minsup(2));
+        let res = mine_frequent(&d, &MinerConfig::builder().minsup(2).build());
         for f in &res.itemsets {
             assert_eq!(f.support, d.support_count(&f.items), "{:?}", f.items);
         }
@@ -326,7 +382,7 @@ mod tests {
     #[test]
     fn truncation_flag() {
         let d = toy();
-        let mut cfg = MinerConfig::with_minsup(1);
+        let mut cfg = MinerConfig::builder().minsup(1).build();
         cfg.max_itemsets = 3;
         let res = mine_frequent(&d, &cfg);
         assert!(res.truncated);
@@ -343,7 +399,7 @@ mod tests {
             let serial = MinerConfig {
                 n_threads: Some(1),
                 max_itemsets,
-                ..MinerConfig::with_minsup(1)
+                ..MinerConfig::builder().minsup(1).build()
             };
             let base = mine_frequent(&d, &serial);
             for threads in [2, 4, 16] {
@@ -370,7 +426,7 @@ mod tests {
         for ml in [0, 1, 2] {
             let serial = MinerConfig {
                 n_threads: Some(1),
-                ..MinerConfig::with_minsup(1).max_len(ml)
+                ..MinerConfig::builder().minsup(1).max_len(ml).build()
             };
             let par = MinerConfig {
                 n_threads: Some(4),
@@ -387,7 +443,7 @@ mod tests {
     #[test]
     fn high_minsup_yields_nothing() {
         let d = toy();
-        let res = mine_frequent(&d, &MinerConfig::with_minsup(100));
+        let res = mine_frequent(&d, &MinerConfig::builder().minsup(100).build());
         assert!(res.itemsets.is_empty());
         assert!(!res.truncated);
     }

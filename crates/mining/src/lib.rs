@@ -21,5 +21,8 @@ pub mod twoview;
 
 pub use apriori::mine_apriori;
 pub use closed::mine_closed;
-pub use eclat::{mine_frequent, FrequentItemset, MinerConfig, MiningResult};
-pub use twoview::{mine_closed_twoview, mine_frequent_twoview, CandidateSet, TwoViewCandidate};
+pub use eclat::{mine_frequent, FrequentItemset, MinerConfig, MinerConfigBuilder, MiningResult};
+pub use twoview::{
+    mine_closed_twoview, mine_frequent_twoview, CandidateCache, CandidateSet, TwoViewCandidate,
+    TIDSET_CACHE_BUDGET_BYTES,
+};

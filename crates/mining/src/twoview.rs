@@ -5,6 +5,9 @@
 //! is stored pre-split into its two view projections, since every consumer
 //! (rule construction, gain computation) needs them separately.
 
+use std::borrow::Cow;
+use std::sync::OnceLock;
+
 use twoview_data::prelude::*;
 
 use crate::closed::mine_closed;
@@ -66,6 +69,136 @@ pub fn mine_frequent_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> Candid
     }
 }
 
+/// A mined candidate set cached for reuse across many fits.
+///
+/// This is the offline half of the serving split: mine once (the expensive
+/// part), then serve any number of TRANSLATOR fits from the cache. Two
+/// reuse devices:
+///
+/// * **minsup narrowing** ([`CandidateCache::at_minsup`]) — closedness is a
+///   property of supports alone, independent of the mining threshold, so
+///   the closed candidates at any `minsup ≥` the mined base are *exactly*
+///   the cached candidates with `support ≥ minsup`, in the same
+///   enumeration order (the DFS visits surviving subtrees in an order
+///   that does not depend on the threshold). The same argument holds for
+///   all-frequent candidate sets. A fit at a narrower minsup therefore
+///   reuses the cache with a filter instead of re-mining; only `minsup <`
+///   base requires fresh mining.
+/// * **seed tidsets** ([`CandidateCache::tidsets`]) — the per-candidate
+///   antecedent/consequent support bitmaps, computed lazily once under the
+///   same 400 MB budget SELECT uses internally, shared by every fit at the
+///   base minsup.
+///
+/// The one caveat is truncation: if mining hit the `max_itemsets` valve,
+/// the filtered subset may differ from a direct (less truncated) mine at
+/// the higher threshold; [`CandidateCache::truncated`] surfaces the flag.
+#[derive(Debug)]
+pub struct CandidateCache {
+    minsup: usize,
+    closed: bool,
+    set: CandidateSet,
+    /// `None` inside the lock = over the tidset budget.
+    tidsets: OnceLock<Option<Vec<(Bitmap, Bitmap)>>>,
+}
+
+/// Memory budget for cached candidate/seed tidsets — the single source of
+/// truth shared by [`CandidateCache::tidsets`], SELECT's per-run tidset
+/// cache, and EXACT's seed-tidset cache, so engine shared-tidset
+/// eligibility can never desynchronize from the per-run caches.
+pub const TIDSET_CACHE_BUDGET_BYTES: usize = 400 << 20;
+
+impl CandidateCache {
+    /// Mines and caches the candidate set (closed when `closed`, all
+    /// frequent otherwise).
+    pub fn mine(data: &TwoViewDataset, cfg: &MinerConfig, closed: bool) -> CandidateCache {
+        let set = if closed {
+            mine_closed_twoview(data, cfg)
+        } else {
+            mine_frequent_twoview(data, cfg)
+        };
+        CandidateCache {
+            minsup: cfg.minsup.max(1),
+            closed,
+            set,
+            tidsets: OnceLock::new(),
+        }
+    }
+
+    /// The minsup the cache was mined at (the reuse floor).
+    pub fn minsup(&self) -> usize {
+        self.minsup
+    }
+
+    /// Whether the cache holds closed candidates (vs all frequent).
+    pub fn closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Whether mining hit the `max_itemsets` valve.
+    pub fn truncated(&self) -> bool {
+        self.set.truncated
+    }
+
+    /// The cached candidates, in miner enumeration order.
+    pub fn candidates(&self) -> &[TwoViewCandidate] {
+        &self.set.candidates
+    }
+
+    /// Number of cached candidates.
+    pub fn len(&self) -> usize {
+        self.set.candidates.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.candidates.is_empty()
+    }
+
+    /// The candidates visible at `minsup`, without re-mining: borrowed for
+    /// the base minsup, support-filtered for a higher one (result-identical
+    /// to mining at that minsup; see the type docs). `None` when `minsup`
+    /// is *below* the mined base — the caller must mine fresh.
+    pub fn at_minsup(&self, minsup: usize) -> Option<Cow<'_, [TwoViewCandidate]>> {
+        let minsup = minsup.max(1);
+        if minsup < self.minsup {
+            return None;
+        }
+        if minsup == self.minsup {
+            return Some(Cow::Borrowed(&self.set.candidates));
+        }
+        Some(Cow::Owned(
+            self.set
+                .candidates
+                .iter()
+                .filter(|c| c.support >= minsup)
+                .cloned()
+                .collect(),
+        ))
+    }
+
+    /// Per-candidate `(supp(left), supp(right))` tidsets, aligned with
+    /// [`CandidateCache::candidates`]. Computed lazily on first use and
+    /// shared thereafter; `None` when the set is too large for the budget
+    /// (callers then recompute per run, exactly as before).
+    pub fn tidsets(&self, data: &TwoViewDataset) -> Option<&[(Bitmap, Bitmap)]> {
+        self.tidsets
+            .get_or_init(|| {
+                let per_cand = 2 * data.n_transactions().div_ceil(8);
+                if per_cand.saturating_mul(self.set.candidates.len()) > TIDSET_CACHE_BUDGET_BYTES {
+                    return None;
+                }
+                Some(
+                    self.set
+                        .candidates
+                        .iter()
+                        .map(|c| (data.support_set(&c.left), data.support_set(&c.right)))
+                        .collect(),
+                )
+            })
+            .as_deref()
+    }
+}
+
 fn split_spanning(
     data: &TwoViewDataset,
     itemsets: impl Iterator<Item = crate::eclat::FrequentItemset>,
@@ -105,7 +238,7 @@ mod tests {
     #[test]
     fn all_candidates_span_views() {
         let d = toy();
-        let cs = mine_closed_twoview(&d, &MinerConfig::with_minsup(1));
+        let cs = mine_closed_twoview(&d, &MinerConfig::builder().minsup(1).build());
         assert!(!cs.candidates.is_empty());
         for c in &cs.candidates {
             assert!(!c.left.is_empty());
@@ -119,7 +252,7 @@ mod tests {
     #[test]
     fn closed_candidates_subset_of_frequent_candidates() {
         let d = toy();
-        let cfg = MinerConfig::with_minsup(1);
+        let cfg = MinerConfig::builder().minsup(1).build();
         let closed = mine_closed_twoview(&d, &cfg);
         let frequent = mine_frequent_twoview(&d, &cfg);
         assert!(closed.candidates.len() <= frequent.candidates.len());
@@ -134,7 +267,7 @@ mod tests {
     #[test]
     fn joint_reassembles() {
         let d = toy();
-        let cs = mine_closed_twoview(&d, &MinerConfig::with_minsup(1));
+        let cs = mine_closed_twoview(&d, &MinerConfig::builder().minsup(1).build());
         for c in &cs.candidates {
             let joint = c.joint();
             assert_eq!(joint.len(), c.len());
@@ -143,10 +276,59 @@ mod tests {
     }
 
     #[test]
+    fn cache_at_minsup_matches_direct_mining() {
+        let d = toy();
+        for closed in [true, false] {
+            let base = MinerConfig::builder().minsup(1).build();
+            let cache = CandidateCache::mine(&d, &base, closed);
+            assert_eq!(cache.minsup(), 1);
+            assert_eq!(cache.closed(), closed);
+            assert!(!cache.truncated());
+            for minsup in 1..=5usize {
+                let via_cache = cache.at_minsup(minsup).expect("minsup >= base");
+                let cfg = MinerConfig::builder().minsup(minsup).build();
+                let direct = if closed {
+                    mine_closed_twoview(&d, &cfg)
+                } else {
+                    mine_frequent_twoview(&d, &cfg)
+                };
+                assert_eq!(
+                    via_cache.as_ref(),
+                    direct.candidates.as_slice(),
+                    "closed={closed} minsup={minsup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_rejects_minsup_below_base() {
+        let d = toy();
+        let cache = CandidateCache::mine(&d, &MinerConfig::builder().minsup(3).build(), true);
+        assert!(cache.at_minsup(2).is_none());
+        assert!(cache.at_minsup(3).is_some());
+    }
+
+    #[test]
+    fn cache_tidsets_align_with_candidates() {
+        let d = toy();
+        let cache = CandidateCache::mine(&d, &MinerConfig::builder().minsup(1).build(), true);
+        let tids = cache.tidsets(&d).expect("toy data fits the budget");
+        assert_eq!(tids.len(), cache.len());
+        for (c, (lt, rt)) in cache.candidates().iter().zip(tids) {
+            assert_eq!(lt, &d.support_set(&c.left));
+            assert_eq!(rt, &d.support_set(&c.right));
+        }
+        // Second call returns the same cached slice.
+        let again = cache.tidsets(&d).unwrap();
+        assert_eq!(again.as_ptr(), tids.as_ptr());
+    }
+
+    #[test]
     fn minsup_filters() {
         let d = toy();
-        let low = mine_closed_twoview(&d, &MinerConfig::with_minsup(1));
-        let high = mine_closed_twoview(&d, &MinerConfig::with_minsup(3));
+        let low = mine_closed_twoview(&d, &MinerConfig::builder().minsup(1).build());
+        let high = mine_closed_twoview(&d, &MinerConfig::builder().minsup(3).build());
         assert!(high.candidates.len() < low.candidates.len());
         assert!(high.candidates.iter().all(|c| c.support >= 3));
     }

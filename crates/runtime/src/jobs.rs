@@ -1,0 +1,675 @@
+//! Priority-aware job queue: the serving layer above the worker pool.
+//!
+//! The [`pool`](crate::pool) underneath parallelises *one* computation;
+//! this module schedules *many* computations — translator fits, table
+//! evaluations, translation queries — submitted concurrently from any
+//! number of threads. Design:
+//!
+//! * **two priority classes** ([`Priority::Interactive`] and
+//!   [`Priority::Batch`]): an executor always serves the interactive lane
+//!   first, and each lane is strictly FIFO, so a latency-sensitive query
+//!   never queues behind a backlog of batch fits while batch work keeps
+//!   its submission order;
+//! * **cooperative cancellation** ([`CancellationToken`]): jobs receive a
+//!   [`JobCtx`] and are expected to call [`JobCtx::checkpoint`] at their
+//!   natural safe points (an iteration boundary, a candidate block). A
+//!   cancelled job returns [`JobError::Cancelled`] — never a partial
+//!   result — so every *completed* job is bit-identical to a serial run;
+//! * **observable handles** ([`JobHandle`]): status, a monotone progress
+//!   counter, queue-wait/run timings, and the global start-order stamp the
+//!   scheduling tests assert on.
+//!
+//! Executor threads are dedicated OS threads (jobs *block* on them; the
+//! data-parallel inner loops of a job still run on the shared
+//! [`crate::global`] pool), so a handful of executors is enough: they
+//! coordinate, the pool computes.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduling class of a job. Lower latency first: executors always pop
+/// the interactive lane before the batch lane; within a lane jobs run in
+/// submission (FIFO) order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive work (queries, small fits): served first.
+    Interactive,
+    /// Throughput work (bulk fits, sweeps): served when no interactive
+    /// job is waiting.
+    Batch,
+}
+
+/// A cloneable cooperative-cancellation flag. Cancelling is a request:
+/// the job observes it at its next [`JobCtx::checkpoint`] and winds down
+/// by returning [`JobError::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a job produced no value.
+#[derive(Debug)]
+pub enum JobError {
+    /// The job was cancelled (or its queue shut down) before completion.
+    Cancelled,
+    /// The job panicked; the payload's message, if it had one.
+    Panicked(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Execution context handed to every job body.
+#[derive(Clone, Debug)]
+pub struct JobCtx {
+    cancel: CancellationToken,
+    progress: Arc<AtomicU64>,
+}
+
+impl JobCtx {
+    /// The job's cancellation token (cloneable, shareable).
+    pub fn token(&self) -> &CancellationToken {
+        &self.cancel
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Cooperative safe point: returns `Err(JobError::Cancelled)` when the
+    /// job should wind down. Call at iteration boundaries.
+    pub fn checkpoint(&self) -> Result<(), JobError> {
+        if self.is_cancelled() {
+            Err(JobError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Advances the monotone progress counter visible through
+    /// [`JobHandle::progress`] (units are job-defined: iterations, rules,
+    /// candidate blocks).
+    pub fn tick(&self, steps: u64) {
+        self.progress.fetch_add(steps, Ordering::Relaxed);
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in its priority lane.
+    Queued,
+    /// Executing on an executor thread.
+    Running,
+    /// Finished (successfully, cancelled, or panicked).
+    Done,
+}
+
+const STATE_QUEUED: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_DONE: u8 = 2;
+
+/// Wall-clock observability of one job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobTimings {
+    /// Time spent waiting in the queue (`None` until the job starts; for
+    /// jobs aborted while queued, the wait until the abort).
+    pub queue_wait: Option<Duration>,
+    /// Time spent executing (`None` until the job finishes).
+    pub run: Option<Duration>,
+}
+
+/// Type-shared completion state between a [`JobHandle`] and the executor.
+struct JobShared<T> {
+    result: Mutex<Option<Result<T, JobError>>>,
+    done: Condvar,
+    state: AtomicU8,
+    progress: Arc<AtomicU64>,
+    cancel: CancellationToken,
+    submitted: Instant,
+    /// Global start-order stamp (`u64::MAX` = never started).
+    start_seq: AtomicU64,
+    timings: Mutex<JobTimings>,
+}
+
+impl<T> JobShared<T> {
+    fn complete(&self, result: Result<T, JobError>) {
+        let mut slot = self.result.lock().unwrap();
+        *slot = Some(result);
+        self.state.store(STATE_DONE, Ordering::Release);
+        self.done.notify_all();
+    }
+}
+
+/// An owned handle to a submitted job: observe, cancel, and [`join`]
+/// (consume) it for the result.
+///
+/// [`join`]: JobHandle::join
+pub struct JobHandle<T> {
+    shared: Arc<JobShared<T>>,
+    priority: Priority,
+}
+
+impl<T> JobHandle<T> {
+    /// The priority class the job was submitted with.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Requests cooperative cancellation. A job not yet started will never
+    /// run its body — it completes with [`JobError::Cancelled`] when an
+    /// executor next dequeues it (its turn in the lane; cancellation does
+    /// not jump the queue). A running job winds down at its next
+    /// checkpoint.
+    pub fn cancel(&self) {
+        self.shared.cancel.cancel();
+    }
+
+    /// A clone of the job's cancellation token.
+    pub fn token(&self) -> CancellationToken {
+        self.shared.cancel.clone()
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        match self.shared.state.load(Ordering::Acquire) {
+            STATE_QUEUED => JobStatus::Queued,
+            STATE_RUNNING => JobStatus::Running,
+            _ => JobStatus::Done,
+        }
+    }
+
+    /// Monotone progress counter (units are job-defined; see
+    /// [`JobCtx::tick`]).
+    pub fn progress(&self) -> u64 {
+        self.shared.progress.load(Ordering::Relaxed)
+    }
+
+    /// The global start-order stamp: job `a` with `start_index() <
+    /// b.start_index()` began executing before `b`. `None` until the job
+    /// starts (cancelled-while-queued jobs never start).
+    pub fn start_index(&self) -> Option<u64> {
+        match self.shared.start_seq.load(Ordering::Acquire) {
+            u64::MAX => None,
+            seq => Some(seq),
+        }
+    }
+
+    /// Queue-wait and run durations observed so far.
+    pub fn timings(&self) -> JobTimings {
+        *self.shared.timings.lock().unwrap()
+    }
+
+    /// Blocks until the job starts executing or finishes (a job cancelled
+    /// while queued finishes without ever starting).
+    pub fn wait_started(&self) {
+        let mut guard = self.shared.result.lock().unwrap();
+        while self.shared.state.load(Ordering::Acquire) == STATE_QUEUED {
+            guard = self.shared.done.wait(guard).unwrap();
+        }
+    }
+
+    /// Blocks until the job finishes, without consuming the handle (use
+    /// [`JobHandle::join`] for the result; this is for reading timings or
+    /// progress of a known-complete job first).
+    pub fn wait(&self) {
+        let mut guard = self.shared.result.lock().unwrap();
+        while self.shared.state.load(Ordering::Acquire) != STATE_DONE {
+            guard = self.shared.done.wait(guard).unwrap();
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn join(self) -> Result<T, JobError> {
+        let mut guard = self.shared.result.lock().unwrap();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.shared.done.wait(guard).unwrap();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("priority", &self.priority)
+            .field("status", &self.status())
+            .field("progress", &self.progress())
+            .finish()
+    }
+}
+
+/// How an executor disposes of a queued job.
+enum Disposal {
+    /// Run the body (unless already cancelled).
+    Execute,
+    /// Complete with [`JobError::Cancelled`] without running (shutdown).
+    Abort,
+}
+
+/// A type-erased queued job: all typed state lives in the closure.
+struct QueuedJob {
+    run: Box<dyn FnOnce(Disposal) + Send>,
+}
+
+/// The two FIFO lanes.
+#[derive(Default)]
+struct Lanes {
+    interactive: VecDeque<QueuedJob>,
+    batch: VecDeque<QueuedJob>,
+}
+
+impl Lanes {
+    fn pop(&mut self) -> Option<QueuedJob> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.batch.pop_front())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.batch.is_empty()
+    }
+}
+
+struct QueueShared {
+    lanes: Mutex<Lanes>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    start_seq: AtomicU64,
+}
+
+/// A priority job queue with dedicated executor threads. See the
+/// [module docs](self) for the scheduling contract.
+pub struct JobQueue {
+    shared: Arc<QueueShared>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl JobQueue {
+    /// A queue served by `executors` dedicated threads (at least 1).
+    pub fn new(executors: usize) -> Self {
+        let shared = Arc::new(QueueShared {
+            lanes: Mutex::new(Lanes::default()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            start_seq: AtomicU64::new(0),
+        });
+        let executors = (0..executors.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("twoview-jobs-{i}"))
+                    .spawn(move || executor_loop(shared))
+                    .expect("spawn job executor")
+            })
+            .collect();
+        JobQueue { shared, executors }
+    }
+
+    /// Number of executor threads.
+    pub fn executors(&self) -> usize {
+        self.executors.len()
+    }
+
+    /// Submits a job. Thread-safe; callable from any number of threads
+    /// concurrently. The body receives a [`JobCtx`] for cancellation
+    /// checkpoints and progress ticks.
+    pub fn submit<T, F>(&self, priority: Priority, body: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> Result<T, JobError> + Send + 'static,
+    {
+        let shared = Arc::new(JobShared {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            state: AtomicU8::new(STATE_QUEUED),
+            progress: Arc::new(AtomicU64::new(0)),
+            cancel: CancellationToken::new(),
+            submitted: Instant::now(),
+            start_seq: AtomicU64::new(u64::MAX),
+            timings: Mutex::new(JobTimings::default()),
+        });
+        let handle = JobHandle {
+            shared: Arc::clone(&shared),
+            priority,
+        };
+        let queue_shared = Arc::clone(&self.shared);
+        let run = Box::new(move |disposal: Disposal| {
+            let queued_for = shared.submitted.elapsed();
+            shared.timings.lock().unwrap().queue_wait = Some(queued_for);
+            let abort = matches!(disposal, Disposal::Abort) || shared.cancel.is_cancelled();
+            if abort {
+                shared.complete(Err(JobError::Cancelled));
+                return;
+            }
+            let seq = queue_shared.start_seq.fetch_add(1, Ordering::Relaxed);
+            shared.start_seq.store(seq, Ordering::Release);
+            {
+                // Status flips under the result lock so `wait_started`'s
+                // check-then-wait cannot miss the transition.
+                let _guard = shared.result.lock().unwrap();
+                shared.state.store(STATE_RUNNING, Ordering::Release);
+                shared.done.notify_all();
+            }
+            let ctx = JobCtx {
+                cancel: shared.cancel.clone(),
+                progress: Arc::clone(&shared.progress),
+            };
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            shared.timings.lock().unwrap().run = Some(started.elapsed());
+            let result = match outcome {
+                Ok(r) => r,
+                Err(payload) => Err(JobError::Panicked(panic_message(payload.as_ref()))),
+            };
+            shared.complete(result);
+        });
+        let job = QueuedJob { run };
+        {
+            let mut lanes = self.shared.lanes.lock().unwrap();
+            match priority {
+                Priority::Interactive => lanes.interactive.push_back(job),
+                Priority::Batch => lanes.batch.push_back(job),
+            }
+            self.shared.available.notify_one();
+        }
+        handle
+    }
+}
+
+impl Drop for JobQueue {
+    /// Shutdown: executors finish their current job, then every job still
+    /// queued completes with [`JobError::Cancelled`] (handles never hang).
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.lanes.lock().unwrap();
+            self.shared.available.notify_all();
+        }
+        for executor in self.executors.drain(..) {
+            let _ = executor.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("executors", &self.executors.len())
+            .finish()
+    }
+}
+
+fn executor_loop(shared: Arc<QueueShared>) {
+    loop {
+        let (job, disposal) = {
+            let mut lanes = shared.lanes.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // Drain-and-abort whatever is still queued, then exit.
+                    match lanes.pop() {
+                        Some(job) => break (job, Disposal::Abort),
+                        None => return,
+                    }
+                }
+                match lanes.pop() {
+                    Some(job) => break (job, Disposal::Execute),
+                    None => lanes = shared.available.wait(lanes).unwrap(),
+                }
+            }
+        };
+        (job.run)(disposal);
+        // A drained-on-shutdown executor keeps draining until empty.
+        if shared.shutdown.load(Ordering::Acquire) {
+            let mut lanes = shared.lanes.lock().unwrap();
+            if lanes.is_empty() {
+                return;
+            }
+            while let Some(job) = lanes.pop() {
+                (job.run)(Disposal::Abort);
+            }
+            return;
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn submit_and_join() {
+        let q = JobQueue::new(2);
+        let h = q.submit(Priority::Interactive, |_ctx| Ok(6 * 7));
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn progress_and_timings_observable() {
+        let q = JobQueue::new(1);
+        let h = q.submit(Priority::Batch, |ctx| {
+            ctx.tick(3);
+            ctx.tick(4);
+            Ok(())
+        });
+        h.join().unwrap();
+        // `join` consumed the handle; submit another to read observables
+        // before completion instead.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let h = q.submit(Priority::Batch, move |ctx| -> Result<(), JobError> {
+            ctx.tick(7);
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        h.wait_started();
+        while h.progress() < 7 {
+            std::thread::yield_now();
+        }
+        assert_eq!(h.status(), JobStatus::Running);
+        assert!(h.start_index().is_some());
+        gate_tx.send(()).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn cancel_while_queued_never_runs() {
+        let q = JobQueue::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        blocker.wait_started();
+        let victim = q.submit(Priority::Batch, |_ctx| Ok("ran"));
+        victim.cancel();
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        match victim.join() {
+            Err(JobError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_mid_run_observed_at_checkpoint() {
+        let q = JobQueue::new(1);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let h = q.submit(Priority::Batch, move |ctx| -> Result<(), JobError> {
+            started_tx.send(()).ok();
+            loop {
+                ctx.checkpoint()?;
+                std::thread::yield_now();
+            }
+        });
+        started_rx.recv().unwrap();
+        h.cancel();
+        match h.join() {
+            Err(JobError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interactive_starts_before_queued_batch() {
+        let q = JobQueue::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        blocker.wait_started();
+        let batch: Vec<_> = (0..4)
+            .map(|i| q.submit(Priority::Batch, move |_ctx| Ok(i)))
+            .collect();
+        let interactive = q.submit(Priority::Interactive, |_ctx| Ok(99));
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        let i_seq = {
+            interactive.wait_started();
+            interactive.start_index().unwrap()
+        };
+        assert_eq!(interactive.join().unwrap(), 99);
+        for (k, h) in batch.into_iter().enumerate() {
+            h.wait_started();
+            let b_seq = h.start_index().unwrap();
+            assert!(
+                i_seq < b_seq,
+                "interactive started at {i_seq}, batch {k} at {b_seq}"
+            );
+            assert_eq!(h.join().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn batch_is_fifo_within_class() {
+        let q = JobQueue::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        blocker.wait_started();
+        let jobs: Vec<_> = (0..6)
+            .map(|i| q.submit(Priority::Batch, move |_ctx| Ok(i)))
+            .collect();
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        let mut seqs = Vec::new();
+        for h in jobs {
+            h.wait_started();
+            seqs.push(h.start_index().unwrap());
+            h.join().unwrap();
+        }
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "batch jobs must start in submission order");
+    }
+
+    #[test]
+    fn panic_is_contained() {
+        let q = JobQueue::new(1);
+        let h = q.submit(Priority::Batch, |_ctx| -> Result<(), JobError> {
+            panic!("kaboom");
+        });
+        match h.join() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("kaboom")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The executor survives.
+        let h = q.submit(Priority::Interactive, |_ctx| Ok(1));
+        assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn shutdown_aborts_queued_jobs() {
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let q = JobQueue::new(1);
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        blocker.wait_started();
+        let queued = q.submit(Priority::Batch, |_ctx| Ok(()));
+        gate_tx.send(()).unwrap();
+        drop(q); // joins the executor; queued job must be aborted, not lost
+        blocker.join().unwrap();
+        match queued.join() {
+            Ok(()) | Err(JobError::Cancelled) => {}
+            other => panic!("expected completion or Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters() {
+        let q = Arc::new(JobQueue::new(3));
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        for i in 0..25u64 {
+                            let p = if i % 2 == 0 {
+                                Priority::Interactive
+                            } else {
+                                Priority::Batch
+                            };
+                            let h = q.submit(p, move |_ctx| Ok(t * 1000 + i));
+                            sum += h.join().unwrap();
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let want: u64 = (0..4u64)
+            .flat_map(|t| (0..25u64).map(move |i| t * 1000 + i))
+            .sum();
+        assert_eq!(total, want);
+    }
+}

@@ -36,8 +36,12 @@
 
 #![warn(missing_docs)]
 
+pub mod jobs;
 mod pool;
 
+pub use jobs::{
+    CancellationToken, JobCtx, JobError, JobHandle, JobQueue, JobStatus, JobTimings, Priority,
+};
 pub use pool::{Runtime, Scope};
 
 use std::sync::OnceLock;

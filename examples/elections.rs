@@ -9,7 +9,7 @@ use twoview::data::corpus::PaperDataset;
 use twoview::eval::figures::top_rules;
 use twoview::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // Scaled instance for interactive use; the eval binaries run full-size.
     let generated = PaperDataset::Elections.generate_scaled(800);
     let data = &generated.dataset;
@@ -21,7 +21,15 @@ fn main() {
     );
 
     let minsup = PaperDataset::Elections.minsup_for(data.n_transactions());
-    let model = translator_select(data, &SelectConfig::new(1, minsup));
+    let engine = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .build()?;
+    let model = engine
+        .fit(Algorithm::Select(
+            SelectConfig::builder().k(1).minsup(minsup).build(),
+        ))
+        .join()?;
     println!(
         "\nTRANSLATOR-SELECT(1): {} rules, L% = {:.2}",
         model.table.len(),
@@ -51,4 +59,5 @@ fn main() {
             c.confidence
         );
     }
+    Ok(())
 }

@@ -8,7 +8,7 @@ use twoview::core::translate;
 use twoview::data::corpus::PaperDataset;
 use twoview::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let data = PaperDataset::House.generate().dataset;
     println!(
         "House analogue: {} congressmen, {} + {} vote/party items",
@@ -18,7 +18,15 @@ fn main() {
     );
 
     let minsup = PaperDataset::House.minsup_for(data.n_transactions());
-    let model = translator_select(&data, &SelectConfig::new(1, minsup));
+    let engine = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .build()?;
+    let model = engine
+        .fit(Algorithm::Select(
+            SelectConfig::builder().k(1).minsup(minsup).build(),
+        ))
+        .join()?;
 
     // Construction trace: the first rules capture the most structure.
     println!("\nconstruction trace (first 8 rules):");
@@ -65,4 +73,5 @@ fn main() {
         "left-to-right translation predicts {predicted} of {actual} right-view ones ({:.1}%)",
         100.0 * predicted as f64 / actual as f64
     );
+    Ok(())
 }

@@ -83,7 +83,7 @@ fn main() {
             .join(", ")
     );
 
-    let model = fit_multiview(&mv, &SelectConfig::new(1, 5));
+    let model = fit_multiview(&mv, &SelectConfig::builder().k(1).minsup(5).build());
 
     println!("\npairwise association strengths (100 - L%):");
     let k = mv.n_views();

@@ -13,7 +13,7 @@ use twoview::data::corpus::PaperDataset;
 use twoview::eval::figures::{rules_containing, top_rules};
 use twoview::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let generated = PaperDataset::Cal500.generate();
     let data = &generated.dataset;
     println!(
@@ -24,7 +24,15 @@ fn main() {
     );
 
     let minsup = PaperDataset::Cal500.minsup_for(data.n_transactions());
-    let model = translator_select(data, &SelectConfig::new(1, minsup));
+    let engine = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .build()?;
+    let model = engine
+        .fit(Algorithm::Select(
+            SelectConfig::builder().k(1).minsup(minsup).build(),
+        ))
+        .join()?;
     println!(
         "\nTRANSLATOR-SELECT(1): {} rules, compression L% = {:.2}\n",
         model.table.len(),
@@ -59,4 +67,5 @@ fn main() {
     for (name, count) in ranked.into_iter().take(5) {
         println!("  {name}: {count} rule(s)");
     }
+    Ok(())
 }

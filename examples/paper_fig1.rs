@@ -52,31 +52,31 @@ fn main() {
         "\n{:<14}{:<14}{:<16}{:<14}reconstructed",
         "D_L", "D_R", "D'_R = T(D_L)", "C_R"
     );
-    for t in 0..data.n_transactions() {
+    let corrections = translate::correction_rows(&data, &table, Side::Left);
+    for (t, correction) in corrections.iter().enumerate() {
         let translated = translate::translate_transaction(&data, &table, Side::Left, t);
-        let correction = translate::correction_row(&data, &table, Side::Left, t);
-        let reconstructed = translate::apply_correction(&translated, &correction);
+        let reconstructed = translate::apply_correction(&translated, correction);
         assert_eq!(&reconstructed, data.row(Side::Right, t));
         println!(
             "{:<14}{:<14}{:<16}{:<14}{}",
             render_row(&data, Side::Left, data.row(Side::Left, t)),
             render_row(&data, Side::Right, data.row(Side::Right, t)),
             render_row(&data, Side::Right, &translated),
-            render_row(&data, Side::Right, &correction),
+            render_row(&data, Side::Right, correction),
             render_row(&data, Side::Right, &reconstructed),
         );
     }
 
     println!("\nright-to-left direction (only the bidirectional rule fires):");
     println!("{:<14}{:<16}C_L", "D_R", "D'_L = T(D_R)");
-    for t in 0..data.n_transactions() {
+    let corrections = translate::correction_rows(&data, &table, Side::Right);
+    for (t, correction) in corrections.iter().enumerate() {
         let translated = translate::translate_transaction(&data, &table, Side::Right, t);
-        let correction = translate::correction_row(&data, &table, Side::Right, t);
         println!(
             "{:<14}{:<16}{}",
             render_row(&data, Side::Right, data.row(Side::Right, t)),
             render_row(&data, Side::Left, &translated),
-            render_row(&data, Side::Left, &correction),
+            render_row(&data, Side::Left, correction),
         );
     }
 

@@ -1,12 +1,13 @@
-//! Quickstart: build a tiny two-view dataset inline, induce a translation
-//! table, inspect the rules, and demonstrate lossless translation.
+//! Quickstart: build a tiny two-view dataset inline, start an [`Engine`]
+//! session, induce a translation table as a job, inspect the rules, and
+//! demonstrate lossless translation.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use twoview::core::translate;
 use twoview::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // Objects: days. Left view: weather. Right view: what people carried.
     let vocab = Vocabulary::new(
         ["rainy", "sunny", "windy", "cold"],
@@ -36,8 +37,20 @@ fn main() {
         data.vocab().n_right()
     );
 
-    // Fit a translation table with TRANSLATOR-SELECT(1).
-    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    // One engine session: candidates are mined once here and reused by
+    // every fit and query below.
+    let engine = Engine::builder().dataset(data).minsup(1).build()?;
+    println!(
+        "engine: {} cached candidates ({:.2} ms mining)",
+        engine.stats().n_candidates,
+        engine.stats().build_mine_ms
+    );
+
+    // Fit a translation table with TRANSLATOR-SELECT(1), as a job.
+    let model = engine
+        .fit(Algorithm::Select(SelectConfig::builder().k(1).build()))
+        .join()?;
+    let data = engine.dataset();
     println!(
         "\ntranslation table ({} rules, L% = {:.1}):",
         model.table.len(),
@@ -47,11 +60,12 @@ fn main() {
         println!("  {}. {}", i + 1, rule.display(data.vocab()));
     }
 
-    // Translate the left view of a transaction and reconstruct losslessly.
+    // Translate the left view (an interactive-priority job) and
+    // reconstruct losslessly with the batched correction rows.
     let t = 1; // rainy+cold day
-    let predicted = translate::translate_transaction(&data, &model.table, Side::Left, t);
-    let correction = translate::correction_row(&data, &model.table, Side::Left, t);
-    let reconstructed = translate::apply_correction(&predicted, &correction);
+    let predicted = &engine.translate(model.table.clone(), Side::Left).join()?[t];
+    let correction = &translate::correction_rows(data, &model.table, Side::Left)[t];
+    let reconstructed = translate::apply_correction(predicted, correction);
     println!("\ntransaction {t}:");
     println!(
         "  left view : {}",
@@ -74,16 +88,23 @@ fn main() {
     );
     println!("  reconstruction: exact (lossless by construction)");
 
-    // The MDL score lets you compare arbitrary hand-written tables too.
+    // The MDL score lets you compare arbitrary hand-written tables too —
+    // also served as a job.
     let handmade = TranslationTable::from_rules([TranslationRule::new(
         ItemSet::from_items([rainy]),
         ItemSet::from_items([umbrella]),
         Direction::Both,
     )]);
-    let score = evaluate_table(&data, &handmade);
+    let score = engine.evaluate(handmade).join()?;
     println!(
         "\nhand-written 1-rule table: L% = {:.1} (model found: {:.1})",
         score.compression_pct(),
         model.compression_pct()
     );
+    println!(
+        "engine served {} jobs; re-mining inside fits: {:.1} ms (0 = cache reuse)",
+        engine.stats().jobs_submitted,
+        engine.stats().fit_mine_ms
+    );
+    Ok(())
 }

@@ -20,8 +20,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            eprintln!("error: {e}");
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -50,7 +50,7 @@ struct Flags {
     limit: usize,
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, Error> {
     let mut f = Flags {
         positional: Vec::new(),
         rows: None,
@@ -63,40 +63,66 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut value = |name: &str| -> Result<String, String> {
+        let mut value = |name: &str| -> Result<String, Error> {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
+                .ok_or_else(|| Error::config(format!("{name} needs a value")))
         };
         match a.as_str() {
-            "--rows" => f.rows = Some(value("--rows")?.parse().map_err(|e| format!("{e}"))?),
+            "--rows" => {
+                f.rows = Some(
+                    value("--rows")?
+                        .parse()
+                        .map_err(|e| Error::config(format!("--rows: {e}")))?,
+                )
+            }
             "--out" => f.out = Some(value("--out")?),
             "--method" => f.method = value("--method")?,
-            "--k" => f.k = value("--k")?.parse().map_err(|e| format!("{e}"))?,
-            "--minsup" => f.minsup = Some(value("--minsup")?.parse().map_err(|e| format!("{e}"))?),
+            "--k" => {
+                f.k = value("--k")?
+                    .parse()
+                    .map_err(|e| Error::config(format!("--k: {e}")))?
+            }
+            "--minsup" => {
+                f.minsup = Some(
+                    value("--minsup")?
+                        .parse()
+                        .map_err(|e| Error::config(format!("--minsup: {e}")))?,
+                )
+            }
             "--from" => {
                 f.from = match value("--from")?.as_str() {
                     "left" => Side::Left,
                     "right" => Side::Right,
-                    other => return Err(format!("--from must be left|right, got {other}")),
+                    other => {
+                        return Err(Error::config(format!(
+                            "--from must be left|right, got {other}"
+                        )))
+                    }
                 }
             }
-            "--limit" => f.limit = value("--limit")?.parse().map_err(|e| format!("{e}"))?,
-            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            "--limit" => {
+                f.limit = value("--limit")?
+                    .parse()
+                    .map_err(|e| Error::config(format!("--limit: {e}")))?
+            }
+            other if other.starts_with("--") => {
+                return Err(Error::config(format!("unknown flag {other}")))
+            }
             other => f.positional.push(other.to_string()),
         }
     }
     Ok(f)
 }
 
-fn load(path: &str) -> Result<TwoViewDataset, String> {
-    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    twoview::data::io::read_dataset(file).map_err(|e| format!("parse {path}: {e}"))
+fn load(path: &str) -> Result<TwoViewDataset, Error> {
+    let file = File::open(path).map_err(|e| Error::config(format!("open {path}: {e}")))?;
+    twoview::data::io::read_dataset(file).map_err(Error::from)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), Error> {
     let Some(cmd) = args.first() else {
-        return Err("missing command".into());
+        return Err(Error::config("missing command"));
     };
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
@@ -104,14 +130,16 @@ fn run(args: &[String]) -> Result<(), String> {
             let name = flags
                 .positional
                 .first()
-                .ok_or("generate needs a dataset name")?;
-            let ds = PaperDataset::by_name(name).ok_or(format!("unknown dataset {name:?}"))?;
+                .ok_or_else(|| Error::config("generate needs a dataset name"))?;
+            let ds = PaperDataset::by_name(name)
+                .ok_or_else(|| Error::config(format!("unknown dataset {name:?}")))?;
             let data = ds.generate_scaled(flags.rows.unwrap_or(usize::MAX)).dataset;
             let path = flags
                 .out
                 .unwrap_or_else(|| format!("{}.2v", name.to_ascii_lowercase()));
-            let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
-            twoview::data::io::write_dataset(&data, file).map_err(|e| e.to_string())?;
+            let file =
+                File::create(&path).map_err(|e| Error::config(format!("create {path}: {e}")))?;
+            twoview::data::io::write_dataset(&data, file)?;
             println!(
                 "wrote {path}: {} transactions, {}+{} items",
                 data.n_transactions(),
@@ -121,7 +149,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let path = flags.positional.first().ok_or("stats needs a .2v file")?;
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| Error::config("stats needs a .2v file"))?;
             let data = load(path)?;
             let codes = CodeLengths::new(&data);
             println!("name       : {}", data.name());
@@ -140,12 +171,20 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "fit" => {
-            let path = flags.positional.first().ok_or("fit needs a .2v file")?;
+            let path = flags
+                .positional
+                .first()
+                .ok_or_else(|| Error::config("fit needs a .2v file"))?;
             let data = load(path)?;
             let minsup = flags.minsup.unwrap_or(1);
             let model = match flags.method.as_str() {
-                "select" => translator_select(&data, &SelectConfig::new(flags.k, minsup)),
-                "greedy" => translator_greedy(&data, &GreedyConfig::new(minsup)),
+                "select" => translator_select(
+                    &data,
+                    &SelectConfig::builder().k(flags.k).minsup(minsup).build(),
+                ),
+                "greedy" => {
+                    translator_greedy(&data, &GreedyConfig::builder().minsup(minsup).build())
+                }
                 "exact" => translator_exact_with(
                     &data,
                     &ExactConfig {
@@ -153,7 +192,11 @@ fn run(args: &[String]) -> Result<(), String> {
                         ..ExactConfig::default()
                     },
                 ),
-                other => return Err(format!("unknown method {other} (select|greedy|exact)")),
+                other => {
+                    return Err(Error::config(format!(
+                        "unknown method {other} (select|greedy|exact)"
+                    )))
+                }
             };
             println!(
                 "fitted {} rules, L% = {:.2} (|C|% = {:.2})",
@@ -163,9 +206,9 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             match &flags.out {
                 Some(out) => {
-                    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-                    table_io::write_table(&model.table, data.vocab(), file)
-                        .map_err(|e| e.to_string())?;
+                    let file = File::create(out)
+                        .map_err(|e| Error::config(format!("create {out}: {e}")))?;
+                    table_io::write_table(&model.table, data.vocab(), file)?;
                     println!("rules written to {out}");
                 }
                 None => print!("{}", model.table.display(data.vocab())),
@@ -174,11 +217,12 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "score" => {
             let [data_path, rules_path] = flags.positional.as_slice() else {
-                return Err("score needs <data.2v> <rules.txt>".into());
+                return Err(Error::config("score needs <data.2v> <rules.txt>"));
             };
             let data = load(data_path)?;
-            let file = File::open(rules_path).map_err(|e| format!("open {rules_path}: {e}"))?;
-            let table = table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
+            let file = File::open(rules_path)
+                .map_err(|e| Error::config(format!("open {rules_path}: {e}")))?;
+            let table = table_io::read_table(data.vocab(), file)?;
             let score = evaluate_table(&data, &table);
             println!("|T|   : {}", table.len());
             println!("L%    : {:.2}", score.compression_pct());
@@ -190,19 +234,24 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "translate" => {
             let [data_path, rules_path] = flags.positional.as_slice() else {
-                return Err("translate needs <data.2v> <rules.txt>".into());
+                return Err(Error::config("translate needs <data.2v> <rules.txt>"));
             };
             let data = load(data_path)?;
-            let file = File::open(rules_path).map_err(|e| format!("open {rules_path}: {e}"))?;
-            let table = table_io::read_table(data.vocab(), file).map_err(|e| e.to_string())?;
+            let file = File::open(rules_path)
+                .map_err(|e| Error::config(format!("open {rules_path}: {e}")))?;
+            let table = table_io::read_table(data.vocab(), file)?;
             let target = flags.from.opposite();
+            // Preview rows: the correction is predicted ⊕ actual, derived
+            // from the prediction we already hold — no whole-dataset pass
+            // for a --limit-row preview (the quality summary below does
+            // its own batched full pass).
             for t in 0..data.n_transactions().min(flags.limit) {
                 let predicted = translate::translate_transaction(&data, &table, flags.from, t);
                 let names: Vec<&str> = predicted
                     .iter()
                     .map(|l| data.vocab().name(data.vocab().global_id(target, l)))
                     .collect();
-                let correction = translate::correction_row(&data, &table, flags.from, t);
+                let correction = translate::apply_correction(&predicted, data.row(target, t));
                 println!(
                     "t{t}: predicted {{{}}} ({} corrections)",
                     names.join(", "),
@@ -216,6 +265,6 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
-        other => Err(format!("unknown command {other}")),
+        other => Err(Error::config(format!("unknown command {other}"))),
     }
 }

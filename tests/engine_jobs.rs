@@ -1,0 +1,176 @@
+//! Engine job-queue behaviour: N concurrent fits with mixed priorities
+//! (one cancelled mid-run) must produce models **bit-identical** to serial
+//! runs, and an Interactive job enqueued behind a wall of Batch jobs must
+//! start before them. (The runtime crate's unit tests prove the raw
+//! scheduling contract with a controlled gate; these tests prove it holds
+//! end-to-end through `Engine::fit`.)
+
+use twoview::data::synthetic::{self, StructureSpec, SyntheticSpec};
+use twoview::prelude::*;
+
+fn corpus(n: usize, seed: u64) -> TwoViewDataset {
+    let spec = SyntheticSpec {
+        name: format!("engine-jobs-{seed}"),
+        n_transactions: n,
+        n_left: 12,
+        n_right: 10,
+        density_left: 0.3,
+        density_right: 0.3,
+        structure: StructureSpec::strong(3),
+        seed,
+    };
+    synthetic::generate(&spec).expect("valid spec").dataset
+}
+
+/// The mixed-priority concurrency property: submit a batch of fits (SELECT
+/// at several k, GREEDY, EXACT) from multiple threads at alternating
+/// priorities, cancel one mid-run, and require every completed job to be
+/// bit-identical to the corresponding serial `*_candidates` run over the
+/// engine's cached candidate set — and the engine to have re-mined nothing.
+#[test]
+fn concurrent_mixed_priority_fits_are_bit_identical_to_serial() {
+    let d = corpus(400, 11);
+    let engine = Engine::builder()
+        .dataset(d.clone())
+        .minsup(2)
+        .job_executors(3)
+        .build()
+        .unwrap();
+    let cands = engine.candidates().to_vec();
+    assert!(!cands.is_empty());
+
+    let select_ks = [1usize, 2, 3, 25];
+    let algorithms: Vec<Algorithm> = select_ks
+        .iter()
+        .map(|&k| Algorithm::Select(SelectConfig::builder().k(k).minsup(2).build()))
+        .chain([
+            Algorithm::Greedy(GreedyConfig::builder().minsup(2).build()),
+            Algorithm::Exact(
+                ExactConfig::builder()
+                    .max_nodes(20_000)
+                    .max_rules(2)
+                    .seed_minsup(Some(2))
+                    .threads(2)
+                    .build(),
+            ),
+        ])
+        .collect();
+
+    // Submit everything concurrently from one thread per job, priorities
+    // alternating, plus one victim fit cancelled as soon as it starts.
+    let (handles, victim) = std::thread::scope(|s| {
+        let engine = &engine;
+        let submitters: Vec<_> = algorithms
+            .iter()
+            .enumerate()
+            .map(|(i, alg)| {
+                let alg = alg.clone();
+                s.spawn(move || {
+                    let priority = if i % 2 == 0 {
+                        Priority::Interactive
+                    } else {
+                        Priority::Batch
+                    };
+                    engine.fit_with(alg, priority)
+                })
+            })
+            .collect();
+        let victim = engine.fit(Algorithm::Select(SelectConfig::builder().minsup(2).build()));
+        victim.wait_started();
+        victim.cancel();
+        let handles: Vec<_> = submitters.into_iter().map(|t| t.join().unwrap()).collect();
+        (handles, victim)
+    });
+
+    // The cancelled job either wound down cooperatively (no partial model
+    // exists anywhere) or raced to completion — in which case it too must
+    // be bit-identical to serial.
+    match victim.join() {
+        Err(JobError::Cancelled) => {}
+        Ok(model) => {
+            let serial = twoview::core::select::translator_select_candidates(
+                &d,
+                &SelectConfig::builder().minsup(2).build(),
+                &cands,
+            );
+            assert_eq!(model.table, serial.table, "raced-to-completion victim");
+        }
+        Err(other) => panic!("victim neither cancelled nor completed: {other:?}"),
+    }
+
+    for (alg, handle) in algorithms.iter().zip(handles) {
+        let model = handle.join().unwrap_or_else(|e| {
+            panic!("{} failed: {e}", alg.label());
+        });
+        let serial = match alg {
+            Algorithm::Select(cfg) => {
+                twoview::core::select::translator_select_candidates(&d, cfg, &cands)
+            }
+            Algorithm::Greedy(cfg) => {
+                twoview::core::greedy::translator_greedy_candidates(&d, cfg, &cands)
+            }
+            Algorithm::Exact(cfg) => translator_exact_seeded(&d, cfg, &cands),
+        };
+        assert_eq!(model.table, serial.table, "{} differs", alg.label());
+        assert!(
+            (model.score.l_total - serial.score.l_total).abs() < 1e-9,
+            "{} score differs",
+            alg.label()
+        );
+    }
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.fit_mine_ms, 0.0,
+        "every fit must reuse the cached candidates (no re-mining)"
+    );
+    assert!(stats.fits_completed >= algorithms.len() as u64);
+}
+
+/// The scheduling property end-to-end: with a single executor occupied by
+/// a long-running batch fit, an Interactive fit submitted *after* K Batch
+/// fits must start before every one of them.
+#[test]
+fn interactive_fit_starts_before_earlier_batch_fits() {
+    // A corpus large enough that the occupying fit is still running while
+    // the rest of the submissions (microseconds) land in the queue.
+    let d = corpus(600, 5);
+    let engine = Engine::builder()
+        .dataset(d)
+        .minsup(2)
+        .job_executors(1)
+        .build()
+        .unwrap();
+
+    let occupier = engine.fit(Algorithm::Select(
+        SelectConfig::builder().k(1).minsup(2).build(),
+    ));
+    let batch: Vec<_> = (0..4)
+        .map(|_| {
+            engine.fit_with(
+                Algorithm::Select(SelectConfig::builder().k(2).minsup(2).build()),
+                Priority::Batch,
+            )
+        })
+        .collect();
+    let interactive = engine.fit_with(
+        Algorithm::Select(SelectConfig::builder().k(3).minsup(2).build()),
+        Priority::Interactive,
+    );
+
+    occupier.join().unwrap();
+    interactive.wait();
+    let i_start = interactive
+        .start_index()
+        .expect("interactive fit must have started");
+    interactive.join().unwrap();
+    for (k, handle) in batch.into_iter().enumerate() {
+        handle.wait();
+        let b_start = handle.start_index().expect("batch fit must have started");
+        assert!(
+            i_start < b_start,
+            "interactive started at {i_start}, batch job {k} at {b_start}"
+        );
+        handle.join().unwrap();
+    }
+}

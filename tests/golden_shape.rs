@@ -27,8 +27,9 @@ fn structured_data_compresses_structure_free_data_does_not() {
         .dataset;
     let noise = generate(&spec(StructureSpec::none(), 11)).unwrap().dataset;
 
-    let m_structured = translator_select(&structured, &SelectConfig::new(1, 2));
-    let m_noise = translator_select(&noise, &SelectConfig::new(1, 2));
+    let m_structured =
+        translator_select(&structured, &SelectConfig::builder().k(1).minsup(2).build());
+    let m_noise = translator_select(&noise, &SelectConfig::builder().k(1).minsup(2).build());
 
     assert!(
         m_structured.compression_pct() < 85.0,
@@ -46,7 +47,10 @@ fn structured_data_compresses_structure_free_data_does_not() {
 #[test]
 fn translator_recovers_planted_concepts() {
     let out = generate(&spec(StructureSpec::strong(3), 21)).unwrap();
-    let model = translator_select(&out.dataset, &SelectConfig::new(1, 2));
+    let model = translator_select(
+        &out.dataset,
+        &SelectConfig::builder().k(1).minsup(2).build(),
+    );
     // For each planted concept, some fitted rule must overlap it on both
     // sides (the greedy model may split or merge concepts, but it cannot
     // miss them entirely).
@@ -71,8 +75,8 @@ fn method_quality_ordering_holds() {
             ..ExactConfig::default()
         },
     );
-    let select = translator_select(&data, &SelectConfig::new(1, 1));
-    let greedy = translator_greedy(&data, &GreedyConfig::new(1));
+    let select = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
+    let greedy = translator_greedy(&data, &GreedyConfig::builder().minsup(1).build());
     assert!(exact.compression_pct() <= select.compression_pct() + 1e-6);
     assert!(select.compression_pct() <= greedy.compression_pct() + 2.0);
 }
@@ -84,7 +88,7 @@ fn number_of_rules_is_far_below_transaction_count() {
     for ds in [PaperDataset::House, PaperDataset::Wine, PaperDataset::Yeast] {
         let data = ds.generate_scaled(400).dataset;
         let minsup = ds.minsup_for(data.n_transactions());
-        let model = translator_select(&data, &SelectConfig::new(1, minsup));
+        let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(minsup).build());
         assert!(
             model.table.len() * 2 < data.n_transactions(),
             "{}: {} rules for {} transactions",
@@ -103,11 +107,15 @@ fn compressibility_ranking_follows_planted_strength() {
     let nursery = PaperDataset::Nursery.generate_scaled(300).dataset;
     let mh = translator_select(
         &house,
-        &SelectConfig::new(1, PaperDataset::House.minsup_for(300)),
+        &SelectConfig::builder()
+            .minsup(PaperDataset::House.minsup_for(300))
+            .build(),
     );
     let mn = translator_select(
         &nursery,
-        &SelectConfig::new(1, PaperDataset::Nursery.minsup_for(300)),
+        &SelectConfig::builder()
+            .minsup(PaperDataset::Nursery.minsup_for(300))
+            .build(),
     );
     assert!(
         mh.compression_pct() + 10.0 < mn.compression_pct(),
@@ -124,7 +132,7 @@ fn bidirectional_rules_appear_for_symmetric_concepts() {
     let mut st = StructureSpec::strong(4);
     st.bidir_fraction = 1.0;
     let data = generate(&spec(st, 31)).unwrap().dataset;
-    let model = translator_select(&data, &SelectConfig::new(1, 2));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build());
     assert!(
         model.table.n_bidirectional() > 0,
         "no bidirectional rules in {:?}",
@@ -137,7 +145,7 @@ fn unidirectional_rules_appear_for_asymmetric_concepts() {
     let mut st = StructureSpec::strong(4);
     st.bidir_fraction = 0.0;
     let data = generate(&spec(st, 41)).unwrap().dataset;
-    let model = translator_select(&data, &SelectConfig::new(1, 2));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build());
     let uni = model.table.len() - model.table.n_bidirectional();
     assert!(uni > 0, "no unidirectional rules");
 }

@@ -16,7 +16,7 @@ fn wine() -> TwoViewDataset {
 #[test]
 fn association_rules_explode_relative_to_translator() {
     let data = wine();
-    let model = translator_select(&data, &SelectConfig::new(1, 2));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build());
     let assoc = mine_association_rules(&data, &AssocConfig::new(2, 0.5));
     assert!(
         assoc.total_rules > 10 * model.table.len(),
@@ -36,7 +36,7 @@ fn magnum_rules_are_individually_strong_but_less_compressive() {
     // average c+").
     assert!(avg_max_confidence(&data, &table) > 0.5);
     // But compression is worse than TRANSLATOR's.
-    let translator = translator_select(&data, &SelectConfig::new(1, 2));
+    let translator = translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build());
     let magnum_score = evaluate_table(&data, &table);
     assert!(magnum_score.compression_pct() > translator.compression_pct());
 }
@@ -66,7 +66,7 @@ fn krimp_compresses_its_own_objective_but_not_translation() {
     assert!(km.l_total < km.l_baseline);
     // ...but as a translation table it is far from TRANSLATOR (the paper's
     // central comparison).
-    let translator = translator_select(&data, &SelectConfig::new(1, 2));
+    let translator = translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build());
     let km_table = km.to_translation_table(data.vocab());
     let km_score = evaluate_table(&data, &km_table);
     assert!(

@@ -51,7 +51,7 @@ fn house_three_views() -> MultiViewDataset {
 #[test]
 fn multiview_fit_produces_scoreable_pairs() {
     let mv = house_three_views();
-    let model = fit_multiview(&mv, &SelectConfig::new(1, 5));
+    let model = fit_multiview(&mv, &SelectConfig::builder().k(1).minsup(5).build());
     assert_eq!(model.pair_models.len(), 3);
     for (a, b, m) in &model.pair_models {
         assert!(
@@ -74,7 +74,7 @@ fn multiview_fit_produces_scoreable_pairs() {
 fn multiview_pair_projection_round_trips_rules() {
     let mv = house_three_views();
     let pair = mv.pair(0, 2);
-    let model = translator_select(&pair, &SelectConfig::new(1, 5));
+    let model = translator_select(&pair, &SelectConfig::builder().k(1).minsup(5).build());
     // Rules fitted on the projection use the prefixed vocabulary.
     for rule in model.table.iter() {
         for i in rule.left.iter() {
@@ -118,7 +118,7 @@ fn holdout_split_supports_translator_generalization_check() {
     // structure is real (the paper's "rules generalize well").
     let data = PaperDataset::House.generate_scaled(400).dataset;
     let (train, test) = holdout_split(&data, 0.5, 23);
-    let model = translator_select(&train, &SelectConfig::new(1, 4));
+    let model = translator_select(&train, &SelectConfig::builder().k(1).minsup(4).build());
     let train_pct = model.compression_pct();
     let test_score = evaluate_table(&test, &model.table);
     assert!(train_pct < 85.0, "train did not compress: {train_pct}");

@@ -12,7 +12,7 @@ fn wine() -> TwoViewDataset {
 #[test]
 fn select_fits_wine_and_is_lossless() {
     let data = wine();
-    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
     assert!(model.table.len() > 5, "Wine has plenty of structure");
     assert!(model.compression_pct() < 90.0);
     assert_eq!(translate::check_lossless(&data, &model.table), None);
@@ -25,8 +25,8 @@ fn select_fits_wine_and_is_lossless() {
 fn greedy_and_select_agree_on_score_accounting() {
     let data = wine();
     for model in [
-        translator_select(&data, &SelectConfig::new(1, 2)),
-        translator_greedy(&data, &GreedyConfig::new(2)),
+        translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build()),
+        translator_greedy(&data, &GreedyConfig::builder().minsup(2).build()),
     ] {
         // Re-evaluating the fitted table from scratch gives the same score.
         let fresh = evaluate_table(&data, &model.table);
@@ -43,11 +43,11 @@ fn greedy_and_select_agree_on_score_accounting() {
 #[test]
 fn fitting_is_deterministic_across_runs() {
     let data = wine();
-    let a = translator_select(&data, &SelectConfig::new(25, 2));
-    let b = translator_select(&data, &SelectConfig::new(25, 2));
+    let a = translator_select(&data, &SelectConfig::builder().k(25).minsup(2).build());
+    let b = translator_select(&data, &SelectConfig::builder().k(25).minsup(2).build());
     assert_eq!(a.table, b.table);
-    let a = translator_greedy(&data, &GreedyConfig::new(2));
-    let b = translator_greedy(&data, &GreedyConfig::new(2));
+    let a = translator_greedy(&data, &GreedyConfig::builder().minsup(2).build());
+    let b = translator_greedy(&data, &GreedyConfig::builder().minsup(2).build());
     assert_eq!(a.table, b.table);
 }
 
@@ -56,7 +56,7 @@ fn every_fitted_rule_occurs_in_the_data() {
     // The paper's search space only contains rules whose joint itemset
     // occurs at least once.
     let data = wine();
-    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
     for rule in model.table.iter() {
         let joint = rule.left.union(&rule.right);
         assert!(
@@ -70,7 +70,7 @@ fn every_fitted_rule_occurs_in_the_data() {
 #[test]
 fn trace_reconstructs_final_score() {
     let data = wine();
-    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
     let last = model.trace.last().expect("non-empty trace");
     assert!((last.l_total - model.score.l_total).abs() < 1e-6);
     assert_eq!(model.trace.len(), model.table.len());
@@ -96,7 +96,7 @@ fn exact_capped_never_loses_to_select1() {
             ..ExactConfig::default()
         },
     );
-    let select = translator_select(&data, &SelectConfig::new(1, 1));
+    let select = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
     assert!(
         exact.compression_pct() <= select.compression_pct() + 1e-6,
         "exact {} vs select {}",
@@ -111,8 +111,8 @@ fn io_roundtrip_preserves_fitting_results() {
     let mut buf = Vec::new();
     twoview::data::io::write_dataset(&data, &mut buf).unwrap();
     let reloaded = twoview::data::io::read_dataset(&buf[..]).unwrap();
-    let a = translator_select(&data, &SelectConfig::new(1, 2));
-    let b = translator_select(&reloaded, &SelectConfig::new(1, 2));
+    let a = translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build());
+    let b = translator_select(&reloaded, &SelectConfig::builder().k(1).minsup(2).build());
     assert_eq!(a.table, b.table);
     assert!((a.score.l_total - b.score.l_total).abs() < 1e-9);
 }
@@ -122,8 +122,8 @@ fn larger_k_is_never_dramatically_worse() {
     // SELECT(k) trades optimality for speed; the paper reports nearly
     // identical compression for k=1 vs k=25.
     let data = wine();
-    let k1 = translator_select(&data, &SelectConfig::new(1, 2));
-    let k25 = translator_select(&data, &SelectConfig::new(25, 2));
+    let k1 = translator_select(&data, &SelectConfig::builder().k(1).minsup(2).build());
+    let k25 = translator_select(&data, &SelectConfig::builder().k(25).minsup(2).build());
     assert!(
         (k25.compression_pct() - k1.compression_pct()).abs() < 5.0,
         "k=1: {}, k=25: {}",
@@ -138,7 +138,7 @@ fn all_corpus_datasets_generate_and_fit_scaled() {
         let data = ds.generate_scaled(200).dataset;
         assert_eq!(data.name(), ds.name());
         let minsup = ds.minsup_for(data.n_transactions()).max(2);
-        let model = translator_greedy(&data, &GreedyConfig::new(minsup));
+        let model = translator_greedy(&data, &GreedyConfig::builder().minsup(minsup).build());
         assert!(
             model.compression_pct() <= 100.0 + 1e-9,
             "{}: GREEDY inflated to {}",

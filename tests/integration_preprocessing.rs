@@ -49,7 +49,7 @@ fn pipeline_produces_fittable_two_view_data() {
     assert!((dl - dr).abs() < 0.08, "balanced split: {dl:.3} vs {dr:.3}");
 
     // The planted length<->weight<->rings correlation must be discoverable.
-    let model = translator_select(&data, &SelectConfig::new(1, 5));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(5).build());
     assert!(
         model.compression_pct() < 90.0,
         "correlated bins must compress: {}",
@@ -100,7 +100,7 @@ fn uncorrelated_attributes_do_not_compress() {
     }
     let bin = t.binarize(PAPER_BINS).unwrap();
     let data = split_into_views(&bin.item_names, &bin.rows).unwrap();
-    let model = translator_select(&data, &SelectConfig::new(1, 5));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(5).build());
     assert!(
         model.compression_pct() > 95.0,
         "random data compressed to {}",

@@ -219,16 +219,19 @@ proptest! {
         }
         // Internal consistency.
         prop_assert_eq!(state.verify(1e-6), None);
-        // Corrections equal the XOR corrections of standalone TRANSLATE.
+        // Corrections equal the XOR corrections of standalone TRANSLATE
+        // (batched: one direction-restricted pass per side).
         let table = state.table().clone();
+        let right_corrections = translate::correction_rows(&data, &table, Side::Left);
+        let left_corrections = translate::correction_rows(&data, &table, Side::Right);
         for t in 0..data.n_transactions() {
             prop_assert_eq!(
                 state.correction_row(Side::Right, t),
-                translate::correction_row(&data, &table, Side::Left, t)
+                right_corrections[t].clone()
             );
             prop_assert_eq!(
                 state.correction_row(Side::Left, t),
-                translate::correction_row(&data, &table, Side::Right, t)
+                left_corrections[t].clone()
             );
         }
     }
@@ -295,20 +298,20 @@ proptest! {
     fn select_identical_across_threads_and_rub(data in dataset_strategy(), k in 1usize..4) {
         let mined = twoview::mining::mine_closed_twoview(
             &data,
-            &MinerConfig::with_minsup(1),
+            &MinerConfig::builder().minsup(1).build(),
         );
         let base = translator_select_candidates(
             &data,
-            &SelectConfig { n_threads: Some(1), ..SelectConfig::new(k, 1) },
+            &SelectConfig { n_threads: Some(1), ..SelectConfig::builder().k(k).minsup(1).build() },
             &mined.candidates,
         );
         for cfg in [
-            SelectConfig { n_threads: Some(4), ..SelectConfig::new(k, 1) },
-            SelectConfig { use_rub: false, n_threads: Some(1), ..SelectConfig::new(k, 1) },
+            SelectConfig { n_threads: Some(4), ..SelectConfig::builder().k(k).minsup(1).build() },
+            SelectConfig { use_rub: false, n_threads: Some(1), ..SelectConfig::builder().k(k).minsup(1).build() },
             // Gate off => the rub-prune branch really runs on this tiny data.
-            SelectConfig { rub_cost_gate: false, n_threads: Some(1), ..SelectConfig::new(k, 1) },
-            SelectConfig { rub_cost_gate: false, n_threads: Some(4), ..SelectConfig::new(k, 1) },
-            SelectConfig { use_rub: false, gain_cache: false, ..SelectConfig::new(k, 1) },
+            SelectConfig { rub_cost_gate: false, n_threads: Some(1), ..SelectConfig::builder().k(k).minsup(1).build() },
+            SelectConfig { rub_cost_gate: false, n_threads: Some(4), ..SelectConfig::builder().k(k).minsup(1).build() },
+            SelectConfig { use_rub: false, gain_cache: false, ..SelectConfig::builder().k(k).minsup(1).build() },
         ] {
             let other = translator_select_candidates(&data, &cfg, &mined.candidates);
             prop_assert_eq!(&base.table, &other.table);
@@ -318,7 +321,7 @@ proptest! {
 
     #[test]
     fn miners_match_brute_force(data in dataset_strategy(), minsup in 1usize..4) {
-        let cfg = MinerConfig::with_minsup(minsup);
+        let cfg = MinerConfig::builder().minsup(minsup).build();
         let fast = twoview::mining::mine_frequent(&data, &cfg);
         let slow = brute_force_frequent(&data, &cfg);
         prop_assert_eq!(canon(&fast.itemsets), canon(&slow));
@@ -394,7 +397,7 @@ proptest! {
         // Miners: itemset lists must match exactly, order included.
         let mcfg = |t: usize| MinerConfig {
             n_threads: Some(t),
-            ..MinerConfig::with_minsup(1)
+            ..MinerConfig::builder().minsup(1).build()
         };
         let base_freq = twoview::mining::mine_frequent(&data, &mcfg(1));
         let base_closed = twoview::mining::mine_closed(&data, &mcfg(1));
@@ -408,7 +411,7 @@ proptest! {
         // SELECT: serial vs pool vs legacy scoped refresh.
         let select_base = translator_select(
             &data,
-            &SelectConfig { n_threads: Some(1), ..SelectConfig::new(k, 1) },
+            &SelectConfig { n_threads: Some(1), ..SelectConfig::builder().k(k).minsup(1).build() },
         );
         for &t in &thread_counts[1..] {
             for legacy_scope in [false, true] {
@@ -417,7 +420,7 @@ proptest! {
                     &SelectConfig {
                         n_threads: Some(t),
                         legacy_scope,
-                        ..SelectConfig::new(k, 1)
+                        ..SelectConfig::builder().k(k).minsup(1).build()
                     },
                 );
                 prop_assert_eq!(
@@ -431,12 +434,12 @@ proptest! {
         // GREEDY: threaded candidate mining feeds the sequential filter.
         let greedy_base = translator_greedy(
             &data,
-            &GreedyConfig { n_threads: Some(1), ..GreedyConfig::new(1) },
+            &GreedyConfig { n_threads: Some(1), ..GreedyConfig::builder().minsup(1).build() },
         );
         for &t in &thread_counts[1..] {
             let model = translator_greedy(
                 &data,
-                &GreedyConfig { n_threads: Some(t), ..GreedyConfig::new(1) },
+                &GreedyConfig { n_threads: Some(t), ..GreedyConfig::builder().minsup(1).build() },
             );
             prop_assert_eq!(&model.table, &greedy_base.table, "GREEDY, {} threads", t);
         }

@@ -26,7 +26,7 @@ fn weather_activities() -> TwoViewDataset {
 #[test]
 fn quickstart_select_compresses_below_100pct() {
     let data = weather_activities();
-    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
     assert!(
         model.compression_pct() < 100.0,
         "expected compression, got L% = {}",
@@ -43,9 +43,35 @@ fn quickstart_select_compresses_below_100pct() {
 }
 
 #[test]
+fn quickstart_engine_session_matches_free_function() {
+    // The lib.rs / README quickstart, pinned: an Engine session serves the
+    // same model as the one-shot free function, plus translation queries.
+    let data = weather_activities();
+    let engine = Engine::builder()
+        .dataset(data.clone())
+        .minsup(1)
+        .build()
+        .expect("engine build");
+    let model = engine
+        .fit(Algorithm::Select(SelectConfig::builder().k(1).build()))
+        .join()
+        .expect("fit job");
+    let direct = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
+    assert_eq!(model.table, direct.table);
+    assert!(model.compression_pct() < 100.0);
+
+    let translated = engine
+        .translate(model.table.clone(), Side::Left)
+        .join()
+        .expect("translate job");
+    assert_eq!(translated.len(), engine.dataset().n_transactions());
+    assert_eq!(engine.stats().fit_mine_ms, 0.0, "fit must reuse the cache");
+}
+
+#[test]
 fn quickstart_rules_display_with_item_names() {
     let data = weather_activities();
-    let model = translator_select(&data, &SelectConfig::new(1, 1));
+    let model = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
     for rule in model.table.iter() {
         let rendered = format!("{}", rule.display(data.vocab()));
         assert!(
@@ -58,12 +84,12 @@ fn quickstart_rules_display_with_item_names() {
 #[test]
 fn quickstart_greedy_and_exact_also_compress() {
     let data = weather_activities();
-    let greedy = translator_greedy(&data, &GreedyConfig::new(1));
+    let greedy = translator_greedy(&data, &GreedyConfig::builder().minsup(1).build());
     assert!(greedy.compression_pct() <= 100.0);
     let exact = translator_exact(&data);
     assert!(exact.compression_pct() <= 100.0);
     // EXACT is per-iteration optimal: it can never end up worse than the
     // candidate-restricted SELECT on the same data.
-    let select = translator_select(&data, &SelectConfig::new(1, 1));
+    let select = translator_select(&data, &SelectConfig::builder().k(1).minsup(1).build());
     assert!(exact.compression_pct() <= select.compression_pct() + 1e-9);
 }
