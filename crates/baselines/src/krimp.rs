@@ -289,7 +289,7 @@ impl<'d> Krimp<'d> {
     }
 
     /// Re-covers the transactions in `tids`, updating `covers` and usages.
-    fn recover_transactions(&mut self, tids: &Bitmap) {
+    fn recover_transactions(&mut self, tids: &Tidset) {
         for t in tids.iter() {
             let new_cover = self.cover_transaction(t);
             for &e in &self.covers[t] {
@@ -355,12 +355,15 @@ impl<'d> Krimp<'d> {
                     continue;
                 }
                 // Transactions currently using e.
-                let mut tids = Bitmap::new(self.rows.len());
-                for (t, cover) in self.covers.iter().enumerate() {
-                    if cover.contains(&e) {
-                        tids.insert(t);
-                    }
-                }
+                let tids = Tidset::from_sorted(
+                    self.rows.len(),
+                    self.covers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, cover)| cover.contains(&e))
+                        .map(|(t, _)| t as u32)
+                        .collect(),
+                );
                 let saved: Vec<(usize, Vec<usize>)> =
                     tids.iter().map(|t| (t, self.covers[t].clone())).collect();
                 self.remove_entry_from_order(e);

@@ -81,8 +81,8 @@ impl ReremiResult {
 struct Candidate {
     left: ItemSet,
     right: ItemSet,
-    tid_left: Bitmap,
-    tid_right: Bitmap,
+    tid_left: Tidset,
+    tid_right: Tidset,
     jaccard: f64,
 }
 

@@ -1,7 +1,8 @@
 //! `perfsuite` — the repo's machine-readable performance trajectory.
 //!
 //! Times the TRANSLATOR hot paths over a small **matrix of synthetic
-//! corpora** (varying `n`, vocabulary size, and density) and writes a
+//! corpora** (varying `n`, vocabulary size, and density — including the
+//! wide-sparse and tall-sparse cells where support ≪ n) and writes a
 //! `BENCH_select.json` snapshot (at the repo root by default) so speedups
 //! and regressions are comparable across PRs. Per corpus it records:
 //!
@@ -19,8 +20,14 @@
 //!   reference), 2 threads, and all cores through the parallel root
 //!   fan-out; on the smallest corpus also an *uncapped* serial-vs-parallel
 //!   run, whose result must be bit-identical;
+//! * **adaptive tidsets** — the same mining / gain-refresh / SELECT(1)
+//!   runs under [`TidsetMode::ForceDense`] (the pre-adaptive layout) and
+//!   `ForceSparse`, recording the adaptive-vs-dense speedups and the run's
+//!   **representation mix** (sparse vs dense tidset counts, actual bytes,
+//!   bytes saved vs the all-dense layout);
 //! * **identity checks** — thread counts, pool vs scope, parallel vs
-//!   serial mining, rub on/off/forced, and layout checksums must all
+//!   serial mining, rub on/off/forced, layout checksums, and
+//!   forced-sparse / forced-dense / adaptive model identity must all
 //!   agree; the process exits non-zero (and CI fails) if any is false.
 //!
 //! Usage (from the repo root):
@@ -43,6 +50,7 @@ use twoview_core::{
 };
 use twoview_data::prelude::*;
 use twoview_data::synthetic::{self, StructureSpec, SyntheticSpec};
+use twoview_data::tidset;
 use twoview_mining::{mine_closed_twoview, MinerConfig, TwoViewCandidate};
 
 /// One cell of the corpus matrix.
@@ -54,7 +62,11 @@ struct CorpusSpec {
     n_right: usize,
     density: f64,
     concepts: usize,
-    /// `minsup = n / minsup_div`.
+    /// Per-transaction concept activation probability (the paper-style
+    /// generator's `occurrence`); the sparse cells lower it so planted
+    /// supports stay ≪ n.
+    occurrence: f64,
+    /// `minsup = n / minsup_div` (clamped to ≥ 1).
     minsup_div: usize,
     /// Run the uncapped EXACT serial-vs-parallel identity check here
     /// (affordable only where the search space is small).
@@ -62,7 +74,10 @@ struct CorpusSpec {
 }
 
 /// The matrix: small/sparse, mid/dense (the pre-matrix `perfsuite` corpus,
-/// kept comparable across PRs), large/sparse.
+/// kept comparable across PRs), large/sparse, plus the two paper-style
+/// **sparse** cells (wide-sparse: many items, few per row; tall-sparse:
+/// many rows, low density) where supports sit far below the sparse/dense
+/// threshold — a step toward the ROADMAP's 14-dataset matrix.
 const CORPORA: &[CorpusSpec] = &[
     CorpusSpec {
         name: "small-sparse",
@@ -72,6 +87,7 @@ const CORPORA: &[CorpusSpec] = &[
         n_right: 12,
         density: 0.15,
         concepts: 4,
+        occurrence: 0.25,
         minsup_div: 12,
         exact_uncapped_check: true,
     },
@@ -83,6 +99,7 @@ const CORPORA: &[CorpusSpec] = &[
         n_right: 30,
         density: 0.30,
         concepts: 6,
+        occurrence: 0.25,
         minsup_div: 10,
         exact_uncapped_check: false,
     },
@@ -94,13 +111,40 @@ const CORPORA: &[CorpusSpec] = &[
         n_right: 36,
         density: 0.12,
         concepts: 8,
+        occurrence: 0.25,
         minsup_div: 15,
+        exact_uncapped_check: false,
+    },
+    CorpusSpec {
+        name: "wide-sparse",
+        n_full: 20000,
+        n_smoke: 1500,
+        n_left: 150,
+        n_right: 120,
+        density: 0.01,
+        concepts: 10,
+        occurrence: 0.02,
+        minsup_div: 10000, // minsup 2: deep DFS over tiny tidsets
+        exact_uncapped_check: false,
+    },
+    CorpusSpec {
+        name: "tall-sparse",
+        n_full: 20000,
+        n_smoke: 1200,
+        n_left: 48,
+        n_right: 36,
+        density: 0.008,
+        concepts: 8,
+        occurrence: 0.02,
+        minsup_div: 10000, // minsup 2
         exact_uncapped_check: false,
     },
 ];
 
 fn generate(spec: &CorpusSpec, smoke: bool) -> TwoViewDataset {
     let n = if smoke { spec.n_smoke } else { spec.n_full };
+    let mut structure = StructureSpec::strong(spec.concepts);
+    structure.occurrence = spec.occurrence;
     let spec = SyntheticSpec {
         name: spec.name.into(),
         n_transactions: n,
@@ -108,7 +152,7 @@ fn generate(spec: &CorpusSpec, smoke: bool) -> TwoViewDataset {
         n_right: spec.n_right,
         density_left: spec.density,
         density_right: spec.density,
-        structure: StructureSpec::strong(spec.concepts),
+        structure,
         seed: 7,
     };
     synthetic::generate(&spec).expect("valid spec").dataset
@@ -131,8 +175,8 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 /// Returns the gain sum as a checksum (also keeps the loop live).
 fn refresh_pass(
     cands: &[TwoViewCandidate],
-    tids: &[(Bitmap, Bitmap)],
-    pair_gains: impl Fn(&ItemSet, &ItemSet, &Bitmap, &Bitmap) -> [f64; 3],
+    tids: &[(Tidset, Tidset)],
+    pair_gains: impl Fn(&ItemSet, &ItemSet, &Tidset, &Tidset) -> [f64; 3],
 ) -> f64 {
     let mut sum = 0.0;
     for (c, (lt, rt)) in cands.iter().zip(tids) {
@@ -140,6 +184,13 @@ fn refresh_pass(
         sum += g[0] + g[1] + g[2];
     }
     sum
+}
+
+fn seed_tids(data: &TwoViewDataset, cands: &[TwoViewCandidate]) -> Vec<(Tidset, Tidset)> {
+    cands
+        .iter()
+        .map(|c| (data.support_set(&c.left), data.support_set(&c.right)))
+        .collect()
 }
 
 fn models_match(a: &TranslatorModel, b: &TranslatorModel) -> bool {
@@ -155,6 +206,10 @@ struct Identities {
     rub_identical: bool,
     exact_threads_identical: bool,
     exact_uncapped_identical: bool,
+    /// Mined candidates and SELECT(1) models are bit-identical across
+    /// forced-sparse, forced-dense and adaptive tidset modes, and the
+    /// adaptive seed-tidset fingerprints match the forced-dense ones.
+    tidset_modes_identical: bool,
 }
 
 impl Identities {
@@ -166,6 +221,33 @@ impl Identities {
             && self.rub_identical
             && self.exact_threads_identical
             && self.exact_uncapped_identical
+            && self.tidset_modes_identical
+    }
+}
+
+/// Representation mix of one adaptive run: the dataset's item columns plus
+/// the candidate seed tidsets.
+#[derive(Default)]
+struct TidsetMix {
+    sparse: usize,
+    dense: usize,
+    bytes: usize,
+    dense_bytes: usize,
+}
+
+impl TidsetMix {
+    fn add(&mut self, t: &Tidset) {
+        if t.is_sparse() {
+            self.sparse += 1;
+        } else {
+            self.dense += 1;
+        }
+        self.bytes += t.heap_bytes();
+        self.dense_bytes += tidset::dense_bytes(t.universe());
+    }
+
+    fn bytes_saved(&self) -> usize {
+        self.dense_bytes.saturating_sub(self.bytes)
     }
 }
 
@@ -173,6 +255,10 @@ impl Identities {
 struct CorpusOutcome {
     identities_ok: bool,
     select_pool_ms: f64,
+    mine_serial_ms: f64,
+    mix_sparse: usize,
+    mix_dense: usize,
+    mix_bytes_saved: usize,
 }
 
 fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcome {
@@ -181,11 +267,12 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
     // recorded minimum at negligible cost.
     let reps = if smoke { 5 } else { 3 };
     let max_threads = twoview_runtime::configured_threads().max(2);
+    tidset::set_tidset_mode(TidsetMode::Adaptive);
     let data = generate(spec, smoke);
     let n = data.n_transactions();
     let minsup = (n / spec.minsup_div).max(1);
     eprintln!(
-        "perfsuite[{}]: n={n}, {}x{} items, density {:.2}, minsup {minsup}",
+        "perfsuite[{}]: n={n}, {}x{} items, density {:.3}, minsup {minsup}",
         spec.name, spec.n_left, spec.n_right, spec.density
     );
 
@@ -222,10 +309,7 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         col_state.apply_rule(rule.clone());
         row_state.apply_rule(rule.clone());
     }
-    let tids: Vec<(Bitmap, Bitmap)> = cands
-        .iter()
-        .map(|c| (data.support_set(&c.left), data.support_set(&c.right)))
-        .collect();
+    let tids = seed_tids(&data, &cands);
     let (refresh_columnar_ms, sum_col) = time_best(reps, || {
         refresh_pass(&cands, &tids, |l, r, lt, rt| {
             col_state.pair_gains(l, r, lt, rt)
@@ -241,6 +325,24 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
     eprintln!(
         "  gain refresh: rows {refresh_rows_ms:.2} ms, columnar {refresh_columnar_ms:.2} ms \
          ({refresh_speedup:.1}x, checksums agree: {layout_checksums_agree})"
+    );
+
+    // --- representation mix of the adaptive run -------------------------
+    let mut mix = TidsetMix::default();
+    for item in 0..data.vocab().n_items() as ItemId {
+        mix.add(data.tidset(item));
+    }
+    for (lt, rt) in &tids {
+        mix.add(lt);
+        mix.add(rt);
+    }
+    eprintln!(
+        "  tidsets: {} sparse / {} dense, {} KiB actual vs {} KiB all-dense ({} KiB saved)",
+        mix.sparse,
+        mix.dense,
+        mix.bytes / 1024,
+        mix.dense_bytes / 1024,
+        mix.bytes_saved() / 1024
     );
 
     // --- SELECT(1): serial vs legacy scope vs pool ----------------------
@@ -283,6 +385,59 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         "  SELECT(1): serial {select_serial_ms:.1} ms / scope {select_scope_ms:.1} ms / \
          pool {select_pool_ms:.1} ms ({} rules; pool ≥ scope: {select_pool_not_slower})",
         model_serial.table.len()
+    );
+
+    // --- forced-dense / forced-sparse baselines -------------------------
+    // The dataset is regenerated under each mode so its columns, the seed
+    // tidsets, and every intermediate take that representation; mined
+    // candidates and models must be bit-identical to the adaptive run
+    // (representation is an invisible performance detail), while the
+    // timing deltas are the adaptive representation's value.
+    tidset::set_tidset_mode(TidsetMode::ForceDense);
+    let data_dense = generate(spec, smoke);
+    let (mine_dense_ms, mined_dense) =
+        time_best(reps, || mine_closed_twoview(&data_dense, &mcfg_serial));
+    let mut col_dense = CoverState::new(&data_dense);
+    for rule in warm.table.iter() {
+        col_dense.apply_rule(rule.clone());
+    }
+    let tids_dense = seed_tids(&data_dense, &cands);
+    let (refresh_dense_ms, sum_dense) = time_best(reps, || {
+        refresh_pass(&cands, &tids_dense, |l, r, lt, rt| {
+            col_dense.pair_gains(l, r, lt, rt)
+        })
+    });
+    let (select_dense_ms, model_dense) = time_best(reps, || {
+        translator_select_candidates(&data_dense, &select_cfg(1, false), &cands)
+    });
+    let dense_fingerprints_match = tids.iter().zip(&tids_dense).all(|((a, b), (c, d))| {
+        a.fingerprint() == c.fingerprint() && b.fingerprint() == d.fingerprint()
+    });
+
+    tidset::set_tidset_mode(TidsetMode::ForceSparse);
+    let data_sparse = generate(spec, smoke);
+    let (mine_sparse_ms, mined_sparse) =
+        time_best(reps, || mine_closed_twoview(&data_sparse, &mcfg_serial));
+    let (select_sparse_ms, model_sparse) = time_best(reps, || {
+        translator_select_candidates(&data_sparse, &select_cfg(1, false), &cands)
+    });
+    tidset::set_tidset_mode(TidsetMode::Adaptive);
+
+    let tidset_modes_identical = mined_dense.candidates == cands
+        && mined_sparse.candidates == cands
+        && models_match(&model_serial, &model_dense)
+        && models_match(&model_serial, &model_sparse)
+        && (sum_dense - sum_col).abs() < 1e-6 * (1.0 + sum_col.abs())
+        && dense_fingerprints_match;
+    let mine_speedup_vs_dense = mine_dense_ms / mine_serial_ms.max(1e-9);
+    let refresh_speedup_vs_dense = refresh_dense_ms / refresh_columnar_ms.max(1e-9);
+    let select_speedup_vs_dense = select_dense_ms / select_serial_ms.max(1e-9);
+    eprintln!(
+        "  tidset modes: mine dense {mine_dense_ms:.1} ms / sparse {mine_sparse_ms:.1} ms \
+         (adaptive {mine_speedup_vs_dense:.2}x vs dense); refresh dense {refresh_dense_ms:.2} ms \
+         ({refresh_speedup_vs_dense:.2}x); SELECT dense {select_dense_ms:.1} ms / sparse \
+         {select_sparse_ms:.1} ms ({select_speedup_vs_dense:.2}x; identical: \
+         {tidset_modes_identical})"
     );
 
     // --- GREEDY ---------------------------------------------------------
@@ -347,6 +502,7 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         rub_identical,
         exact_threads_identical,
         exact_uncapped_identical,
+        tidset_modes_identical,
     };
 
     write!(
@@ -362,13 +518,18 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
       "timings_ms": {{
         "mine_closed_serial": {mine_serial_ms:.3},
         "mine_closed_pool": {mine_par_ms:.3},
+        "mine_closed_dense": {mine_dense_ms:.3},
+        "mine_closed_sparse": {mine_sparse_ms:.3},
         "gain_refresh_rows": {refresh_rows_ms:.3},
         "gain_refresh_columnar": {refresh_columnar_ms:.3},
+        "gain_refresh_dense": {refresh_dense_ms:.3},
         "select1_serial": {select_serial_ms:.3},
         "select1_scope": {select_scope_ms:.3},
         "select1_pool": {select_pool_ms:.3},
         "select1_no_rub": {select_norub_ms:.3},
         "select1_rub_forced": {select_rub_forced_ms:.3},
+        "select1_dense": {select_dense_ms:.3},
+        "select1_sparse": {select_sparse_ms:.3},
         "greedy": {greedy_ms:.3},
         "exact_capped_1t": {exact_1t_ms:.3},
         "exact_capped_2t": {exact_2t_ms:.3},
@@ -379,6 +540,16 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
       "select_pool_not_slower": {select_pool_not_slower},
       "select1_rules": {nrules},
       "select1_l_total": {ltotal:.6},
+      "tidset": {{
+        "sparse_count": {mix_sparse},
+        "dense_count": {mix_dense},
+        "bytes": {mix_bytes},
+        "dense_bytes": {mix_dense_bytes},
+        "bytes_saved": {mix_saved},
+        "mine_speedup_vs_dense": {mine_speedup_vs_dense:.3},
+        "refresh_speedup_vs_dense": {refresh_speedup_vs_dense:.3},
+        "select_speedup_vs_dense": {select_speedup_vs_dense:.3}
+      }},
       "identity": {{
         "layout_checksums_agree": {layout_checksums_agree},
         "mining_threads_identical": {mining_threads_identical},
@@ -386,7 +557,8 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         "select_pool_vs_scope_identical": {select_pool_vs_scope_identical},
         "rub_identical": {rub_identical},
         "exact_threads_identical": {exact_threads_identical},
-        "exact_uncapped_identical": {exact_uncapped_identical}
+        "exact_uncapped_identical": {exact_uncapped_identical},
+        "tidset_modes_identical": {tidset_modes_identical}
       }}
     }}"#,
         name = spec.name,
@@ -396,12 +568,21 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         ncand = cands.len(),
         nrules = model_serial.table.len(),
         ltotal = model_serial.score.l_total,
+        mix_sparse = mix.sparse,
+        mix_dense = mix.dense,
+        mix_bytes = mix.bytes,
+        mix_dense_bytes = mix.dense_bytes,
+        mix_saved = mix.bytes_saved(),
     )
     .expect("write json");
 
     CorpusOutcome {
         identities_ok: identities.all(),
         select_pool_ms,
+        mine_serial_ms,
+        mix_sparse: mix.sparse,
+        mix_dense: mix.dense,
+        mix_bytes_saved: mix.bytes_saved(),
     }
 }
 
@@ -487,18 +668,25 @@ fn history_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].trim().trim_matches('"').parse().ok()
 }
 
-/// Fails the run if the mid-dense SELECT(1) pool time regressed more than
-/// 25% against the previous history entry *of the same mode and thread
-/// count* (full-vs-full or smoke-vs-smoke; cross-mode timings are not
-/// comparable, and a different `threads` value means different hardware —
-/// wall-clock comparisons across machines would gate on the runner, not
-/// the code; recalibrate by committing a fresh entry from the new
-/// environment).
-fn gate_against_history(
-    history: &str,
-    mode: &str,
-    new_mid_dense_pool_ms: f64,
-) -> Result<(), String> {
+/// One gated metric: the history field name and this run's value.
+struct GateCheck {
+    field: &'static str,
+    label: &'static str,
+    new_ms: f64,
+    /// Older history entries may predate the field (it was added with the
+    /// adaptive-tidset work); required metrics error when missing instead.
+    required: bool,
+}
+
+/// Fails the run if any gated timing regressed more than 25% against the
+/// previous history entry *of the same mode and thread count* (full-vs-full
+/// or smoke-vs-smoke; cross-mode timings are not comparable, and a
+/// different `threads` value means different hardware — wall-clock
+/// comparisons across machines would gate on the runner, not the code;
+/// recalibrate by committing a fresh entry from the new environment).
+/// Gated metrics: mid-dense SELECT(1) pool time and the wide-sparse
+/// adaptive mining time.
+fn gate_against_history(history: &str, mode: &str, checks: &[GateCheck]) -> Result<(), String> {
     let threads = twoview_runtime::configured_threads();
     let previous = history.lines().rev().find(|l| {
         l.contains(&format!("\"mode\":\"{mode}\""))
@@ -511,21 +699,32 @@ fn gate_against_history(
         );
         return Ok(());
     };
-    let Some(prev_ms) = history_field(prev_line, "select1_pool_ms_mid_dense") else {
-        return Err(format!(
-            "gate: previous {mode} entry has no select1_pool_ms_mid_dense field"
-        ));
-    };
-    let ratio = new_mid_dense_pool_ms / prev_ms.max(1e-9);
-    eprintln!(
-        "  gate: mid-dense SELECT(1) pool {new_mid_dense_pool_ms:.2} ms vs previous \
-         {prev_ms:.2} ms ({ratio:.2}x)"
-    );
-    if ratio > 1.25 {
-        return Err(format!(
-            "gate: mid-dense SELECT(1) pool time regressed {ratio:.2}x (> 1.25x) \
-             vs the previous {mode} entry ({new_mid_dense_pool_ms:.2} ms vs {prev_ms:.2} ms)"
-        ));
+    for check in checks {
+        let Some(prev_ms) = history_field(prev_line, check.field) else {
+            if check.required {
+                return Err(format!(
+                    "gate: previous {mode} entry has no {} field",
+                    check.field
+                ));
+            }
+            eprintln!(
+                "  gate: previous {mode} entry predates {}; nothing to compare",
+                check.field
+            );
+            continue;
+        };
+        let ratio = check.new_ms / prev_ms.max(1e-9);
+        eprintln!(
+            "  gate: {} {:.2} ms vs previous {prev_ms:.2} ms ({ratio:.2}x)",
+            check.label, check.new_ms
+        );
+        if ratio > 1.25 {
+            return Err(format!(
+                "gate: {} regressed {ratio:.2}x (> 1.25x) vs the previous {mode} entry \
+                 ({:.2} ms vs {prev_ms:.2} ms)",
+                check.label, check.new_ms
+            ));
+        }
     }
     Ok(())
 }
@@ -550,12 +749,12 @@ fn main() {
 
     let mut corpora_json: Vec<String> = Vec::new();
     let mut all_identities = true;
-    let mut pool_times: Vec<(&str, f64)> = Vec::new();
+    let mut outcomes: Vec<(&str, CorpusOutcome)> = Vec::new();
     for spec in CORPORA {
         let mut json = String::new();
         let outcome = run_corpus(spec, smoke, &mut json);
         all_identities &= outcome.identities_ok;
-        pool_times.push((spec.name, outcome.select_pool_ms));
+        outcomes.push((spec.name, outcome));
         corpora_json.push(json);
     }
     let engine = run_engine_bench(smoke);
@@ -580,13 +779,32 @@ fn main() {
     // timings (often anomalously fast — skipped work is cheap work) must
     // not poison the baseline either.
     let history = std::fs::read_to_string(HISTORY_PATH).unwrap_or_default();
-    let mid_dense_pool = pool_times
-        .iter()
-        .find(|(name, _)| *name == "mid-dense")
-        .map(|(_, ms)| *ms)
-        .expect("mid-dense corpus present");
+    let by_name = |name: &str| {
+        &outcomes
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("corpus present")
+            .1
+    };
     let gate_result = if gate {
-        gate_against_history(&history, mode, mid_dense_pool)
+        gate_against_history(
+            &history,
+            mode,
+            &[
+                GateCheck {
+                    field: "select1_pool_ms_mid_dense",
+                    label: "mid-dense SELECT(1) pool",
+                    new_ms: by_name("mid-dense").select_pool_ms,
+                    required: true,
+                },
+                GateCheck {
+                    field: "mine_ms_wide_sparse",
+                    label: "wide-sparse adaptive mining",
+                    new_ms: by_name("wide-sparse").mine_serial_ms,
+                    required: false,
+                },
+            ],
+        )
     } else {
         Ok(())
     };
@@ -600,13 +818,33 @@ fn main() {
             "{{\"ts\":{ts},\"mode\":\"{mode}\",\"threads\":{}",
             twoview_runtime::configured_threads()
         );
-        for (name, ms) in &pool_times {
+        let mut mix_sparse = 0usize;
+        let mut mix_dense = 0usize;
+        let mut mix_saved = 0usize;
+        for (name, outcome) in &outcomes {
+            let key = name.replace('-', "_");
             let _ = write!(
                 line,
-                ",\"select1_pool_ms_{}\":{ms:.3}",
-                name.replace('-', "_")
+                ",\"select1_pool_ms_{key}\":{:.3}",
+                outcome.select_pool_ms
+            );
+            mix_sparse += outcome.mix_sparse;
+            mix_dense += outcome.mix_dense;
+            mix_saved += outcome.mix_bytes_saved;
+        }
+        for name in ["wide-sparse", "tall-sparse"] {
+            let _ = write!(
+                line,
+                ",\"mine_ms_{}\":{:.3}",
+                name.replace('-', "_"),
+                by_name(name).mine_serial_ms
             );
         }
+        let _ = write!(
+            line,
+            ",\"tidsets_sparse\":{mix_sparse},\"tidsets_dense\":{mix_dense},\
+             \"tidset_bytes_saved\":{mix_saved}"
+        );
         let _ = write!(line, ",\"engine_fit_mine_ms\":{:.3}", engine.fit_mine_ms);
         let _ = write!(line, ",\"all_identities\":{all_identities}}}");
         let mut history = history;

@@ -64,8 +64,8 @@ pub fn rub(
     state: &CoverState<'_>,
     left: &ItemSet,
     right: &ItemSet,
-    left_tids: &Bitmap,
-    right_tids: &Bitmap,
+    left_tids: &Tidset,
+    right_tids: &Tidset,
 ) -> f64 {
     let sum_fwd = left_tids.weighted_len(state.uncovered_weights(Side::Right));
     let sum_bwd = right_tids.weighted_len(state.uncovered_weights(Side::Left));

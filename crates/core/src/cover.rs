@@ -8,11 +8,13 @@
 //! ## Columnar layout
 //!
 //! The tables are stored **transposed**: one *tidset column* per target-side
-//! item (`covered[item]`, `errors[item]`, each over `0..|D|` transaction
-//! bits) instead of one row bitmap per transaction. Gain evaluation for a
-//! candidate rule (`Δ_{D,T}(X ◇ Y)`, Eq. 1–2) then collapses from
-//! `O(|supp| · |Y|)` per-transaction probes into `|Y|` fused word-parallel
-//! popcount kernels:
+//! item (`covered[item]`, `errors[item]`, each an adaptive sparse/dense
+//! [`Tidset`] over `0..|D|`) instead of one row bitmap per transaction.
+//! Gain evaluation for a candidate rule (`Δ_{D,T}(X ◇ Y)`, Eq. 1–2) then
+//! collapses from `O(|supp| · |Y|)` per-transaction probes into `|Y|` fused
+//! kernels — word-parallel popcounts when the operands are dense,
+//! cardinality-proportional probe loops when they are sparse (columns start
+//! sparse-empty and promote only once rules cover enough tids):
 //!
 //! ```text
 //! Δ = Σ_{y ∈ Y} w_y · ( |tids ∧ supp(y) ∧ ¬covered[y]|
@@ -20,7 +22,7 @@
 //! ```
 //!
 //! with `tids = supp(X)` and `w_y` the item's Shannon code length — see
-//! [`Bitmap::and_and_not_len`] and [`Bitmap::and_not_not_len`]. Rule
+//! [`Tidset::and_and_not_len`] and [`Tidset::and_not_not_len`]. Rule
 //! application updates the same columns incrementally. Row views
 //! ([`CoverState::correction_row`]) are reconstructed on demand; the
 //! per-transaction `tub` column ([`CoverState::uncovered_weight`]) is
@@ -49,9 +51,9 @@ pub struct CoverState<'d> {
     data: &'d TwoViewDataset,
     codes: CodeLengths,
     /// Per side, per local item: tids where the item is predicted correctly.
-    covered: [Vec<Bitmap>; 2],
+    covered: [Vec<Tidset>; 2],
     /// Per side, per local item: tids where the item is predicted erroneously.
-    errors: [Vec<Bitmap>; 2],
+    errors: [Vec<Tidset>; 2],
     /// Per side, per transaction: `L(U_t | D_side)` — the paper's `tub(t)`.
     uncovered_weight: [Vec<f64>; 2],
     /// Per side: `L(C_side | T)`.
@@ -81,12 +83,12 @@ impl<'d> CoverState<'d> {
         let vocab = data.vocab();
         let mut state = CoverState {
             covered: [
-                vec![Bitmap::new(n); vocab.n_left()],
-                vec![Bitmap::new(n); vocab.n_right()],
+                vec![Tidset::new(n); vocab.n_left()],
+                vec![Tidset::new(n); vocab.n_right()],
             ],
             errors: [
-                vec![Bitmap::new(n); vocab.n_left()],
-                vec![Bitmap::new(n); vocab.n_right()],
+                vec![Tidset::new(n); vocab.n_left()],
+                vec![Tidset::new(n); vocab.n_right()],
             ],
             uncovered_weight: [Vec::with_capacity(n), Vec::with_capacity(n)],
             l_corrections: [0.0, 0.0],
@@ -189,13 +191,13 @@ impl<'d> CoverState<'d> {
 
     /// The covered-tids column of the `local`-th item of `side`.
     #[inline]
-    pub fn covered_tids(&self, side: Side, local: usize) -> &Bitmap {
+    pub fn covered_tids(&self, side: Side, local: usize) -> &Tidset {
         &self.covered[ix(side)][local]
     }
 
     /// The error-tids column of the `local`-th item of `side`.
     #[inline]
-    pub fn error_tids(&self, side: Side, local: usize) -> &Bitmap {
+    pub fn error_tids(&self, side: Side, local: usize) -> &Tidset {
         &self.errors[ix(side)][local]
     }
 
@@ -229,10 +231,9 @@ impl<'d> CoverState<'d> {
     /// Instead of probing every item column per row (`O(|D| · |I_side|)`
     /// word-indexed probes for the full table), this makes **one pass over
     /// the columns**, scattering each column's uncovered tids
-    /// (`supp(l) \ covered[l]`, streamed through the lazy
-    /// [`Bitmap::iter_and_not`] kernel) and error tids into the row
-    /// bitmaps. Row `t` of the result equals
-    /// [`CoverState::correction_row`]`(side, t)` exactly.
+    /// (`supp(l) \ covered[l]`, streamed without materialising the
+    /// difference) and error tids into the row bitmaps. Row `t` of the
+    /// result equals [`CoverState::correction_row`]`(side, t)` exactly.
     pub fn correction_rows_batch(&self, side: Side) -> Vec<Bitmap> {
         let i = ix(side);
         let n = self.data.n_transactions();
@@ -241,7 +242,7 @@ impl<'d> CoverState<'d> {
         for l in 0..width {
             // U column: present but not covered.
             let supp = self.data.column(side, l);
-            for t in supp.iter_and_not(&self.covered[i][l]) {
+            for t in supp.iter_difference(&self.covered[i][l]) {
                 rows[t].insert(l);
             }
             // E column: predicted although absent.
@@ -262,7 +263,7 @@ impl<'d> CoverState<'d> {
     pub fn directional_gain(
         &self,
         from: Side,
-        antecedent_tids: &Bitmap,
+        antecedent_tids: &Tidset,
         consequent: &ItemSet,
     ) -> f64 {
         let target = from.opposite();
@@ -290,8 +291,8 @@ impl<'d> CoverState<'d> {
         &self,
         left: &ItemSet,
         right: &ItemSet,
-        left_tids: &Bitmap,
-        right_tids: &Bitmap,
+        left_tids: &Tidset,
+        right_tids: &Tidset,
     ) -> [f64; 3] {
         let g_fwd = self.directional_gain(Side::Left, left_tids, right);
         let g_bwd = self.directional_gain(Side::Right, right_tids, left);
@@ -329,32 +330,34 @@ impl<'d> CoverState<'d> {
         self.table.push(rule);
     }
 
-    fn apply_directional(&mut self, from: Side, antecedent_tids: &Bitmap, consequent: &ItemSet) {
+    fn apply_directional(&mut self, from: Side, antecedent_tids: &Tidset, consequent: &ItemSet) {
         let target = from.opposite();
         let ti = ix(target);
         let vocab = self.data.vocab();
-        let mut scratch = Bitmap::new(self.data.n_transactions());
         for item in consequent.iter() {
             let l = vocab.local_index(item);
             let w = self.codes.item(item);
             let supp = self.data.column(target, l);
             // Hits become covered; account only for the newly covered tids
-            // (each also shrinks its transaction's tub).
-            antecedent_tids.and_into(supp, &mut scratch);
-            for t in scratch.iter_and_not(&self.covered[ti][l]) {
+            // (each also shrinks its transaction's tub). Unioning just the
+            // fresh tids equals unioning all hits: the rest are covered
+            // already.
+            let hits = antecedent_tids.and(supp);
+            let fresh_cov = hits.difference(&self.covered[ti][l]);
+            for t in fresh_cov.iter() {
                 self.l_corrections[ti] -= w;
                 self.uncovered_weight[ti][t] -= w;
                 self.n_uncovered[ti] -= 1;
             }
-            self.covered[ti][l].union_with(&scratch);
+            self.covered[ti][l].union_with(&fresh_cov);
             // Misses become errors; only fresh ones cost anything, and they
             // never touch the tub column (errors are not uncovered mass).
-            scratch.copy_from(antecedent_tids);
-            scratch.subtract(supp);
-            let fresh = scratch.difference_len(&self.errors[ti][l]);
+            let misses = antecedent_tids.difference(supp);
+            let fresh_err = misses.difference(&self.errors[ti][l]);
+            let fresh = fresh_err.len();
             self.l_corrections[ti] += w * fresh as f64;
             self.n_errors[ti] += fresh;
-            self.errors[ti][l].union_with(&scratch);
+            self.errors[ti][l].union_with(&fresh_err);
         }
     }
 

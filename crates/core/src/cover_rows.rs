@@ -176,7 +176,7 @@ impl<'d> RowCoverState<'d> {
     pub fn directional_gain(
         &self,
         from: Side,
-        antecedent_tids: &Bitmap,
+        antecedent_tids: &Tidset,
         consequent: &ItemSet,
     ) -> f64 {
         let target = from.opposite();
@@ -206,8 +206,8 @@ impl<'d> RowCoverState<'d> {
         &self,
         left: &ItemSet,
         right: &ItemSet,
-        left_tids: &Bitmap,
-        right_tids: &Bitmap,
+        left_tids: &Tidset,
+        right_tids: &Tidset,
     ) -> [f64; 3] {
         let g_fwd = self.directional_gain(Side::Left, left_tids, right);
         let g_bwd = self.directional_gain(Side::Right, right_tids, left);
@@ -245,7 +245,7 @@ impl<'d> RowCoverState<'d> {
         self.table.push(rule);
     }
 
-    fn apply_directional(&mut self, from: Side, antecedent_tids: &Bitmap, consequent: &ItemSet) {
+    fn apply_directional(&mut self, from: Side, antecedent_tids: &Tidset, consequent: &ItemSet) {
         let target = from.opposite();
         let ti = ix(target);
         let cons = self.consequent_bitmap(target, consequent);

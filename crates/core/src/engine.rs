@@ -243,7 +243,7 @@ const QUERY_CHECKPOINT_EVERY: usize = 1024;
 /// the shared tidsets when alignment allows, and the truncation flag.
 type FitCandidates<'a> = (
     std::borrow::Cow<'a, [TwoViewCandidate]>,
-    Option<&'a [(Bitmap, Bitmap)]>,
+    Option<&'a [(Tidset, Tidset)]>,
     bool,
 );
 

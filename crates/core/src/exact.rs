@@ -234,17 +234,9 @@ pub(crate) fn run_exact(
     // Cache the seed antecedent tidsets once (same memory budget as
     // SELECT's candidate cache): supports never change, and recomputing
     // them on every refresh dominated incumbent maintenance on large
-    // corpora.
-    let per_seed = 2 * data.n_transactions().div_ceil(8);
-    let seed_tids: Vec<Option<(Bitmap, Bitmap)>> =
-        if per_seed.saturating_mul(n_seeds) <= twoview_mining::TIDSET_CACHE_BUDGET_BYTES {
-            seeds
-                .iter()
-                .map(|c| Some((data.support_set(&c.left), data.support_set(&c.right))))
-                .collect()
-        } else {
-            vec![None; n_seeds]
-        };
+    // corpora. The budget meters the actual bytes of each tidset's chosen
+    // representation, so sparse corpora cache far larger seed sets.
+    let seed_tids: Vec<Option<(Tidset, Tidset)>> = crate::select::build_owned_tids(data, &seeds);
     let mut seed_gains: Vec<f64> = vec![f64::NEG_INFINITY; n_seeds];
     let mut seed_dirs: Vec<Direction> = vec![Direction::Both; n_seeds];
     let mut dirty: Vec<bool> = vec![true; n_seeds];
@@ -564,9 +556,9 @@ struct Node {
     len_left: f64,
     len_right: f64,
     /// `supp_L(X)`; `None` while `X = ∅` (supported by every transaction).
-    tid_left: Option<Bitmap>,
+    tid_left: Option<Tidset>,
     /// `supp_R(Y)`; `None` while `Y = ∅`.
-    tid_right: Option<Bitmap>,
+    tid_right: Option<Tidset>,
     /// `Σ_{t ∈ supp(X)} tub_R(t)`.
     sum_left: f64,
     /// `Σ_{t ∈ supp(Y)} tub_L(t)`.

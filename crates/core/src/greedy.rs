@@ -54,15 +54,6 @@ impl GreedyConfig {
             },
         }
     }
-
-    /// Paper-default configuration with the given minsup.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `GreedyConfig::builder().minsup(m).build()`"
-    )]
-    pub fn new(minsup: usize) -> Self {
-        GreedyConfig::builder().minsup(minsup).build()
-    }
 }
 
 /// Fluent builder for [`GreedyConfig`]; see [`GreedyConfig::builder`].

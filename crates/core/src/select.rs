@@ -101,15 +101,6 @@ impl SelectConfig {
             },
         }
     }
-
-    /// SELECT(k) with the given minsup and paper-default settings.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SelectConfig::builder().k(k).minsup(m).build()`"
-    )]
-    pub fn new(k: usize, minsup: usize) -> Self {
-        SelectConfig::builder().k(k).minsup(minsup).build()
-    }
 }
 
 /// Fluent builder for [`SelectConfig`]; see [`SelectConfig::builder`].
@@ -212,7 +203,7 @@ pub fn translator_select(data: &TwoViewDataset, cfg: &SelectConfig) -> Translato
 fn refresh_candidate(
     state: &CoverState<'_>,
     cand: &TwoViewCandidate,
-    tids: Option<&(Bitmap, Bitmap)>,
+    tids: Option<&(Tidset, Tidset)>,
     threshold: f64,
     use_rub: bool,
     gains: &mut [f64; 3],
@@ -257,19 +248,34 @@ pub fn translator_select_candidates(
 enum TidSource<'a> {
     /// Pre-computed slice aligned with the *original* candidate indices
     /// (the engine's shared seed-tidset cache).
-    Shared(&'a [(Bitmap, Bitmap)]),
+    Shared(&'a [(Tidset, Tidset)]),
     /// Per-run cache aligned with the *live* (qub-surviving) positions;
     /// `None` entries mean over-budget, recompute on use.
-    Owned(Vec<Option<(Bitmap, Bitmap)>>),
+    Owned(Vec<Option<(Tidset, Tidset)>>),
 }
 
 impl TidSource<'_> {
     #[inline]
-    fn get(&self, live_pos: usize, orig_idx: usize) -> Option<&(Bitmap, Bitmap)> {
+    fn get(&self, live_pos: usize, orig_idx: usize) -> Option<&(Tidset, Tidset)> {
         match self {
             TidSource::Shared(all) => Some(&all[orig_idx]),
             TidSource::Owned(cache) => cache[live_pos].as_ref(),
         }
+    }
+}
+
+/// Builds a per-run seed-tidset cache under the shared byte budget —
+/// [`twoview_mining::build_seed_tidsets`]'s metering, reshaped to the
+/// per-slot `Option`s the refresh paths consume (`None` everywhere =
+/// over budget, recompute per refresh). Shared with EXACT's seed cache
+/// so the two budgets cannot drift apart.
+pub(crate) fn build_owned_tids(
+    data: &TwoViewDataset,
+    live: &[&TwoViewCandidate],
+) -> Vec<Option<(Tidset, Tidset)>> {
+    match twoview_mining::build_seed_tidsets(data, live.iter().copied()) {
+        Some(tids) => tids.into_iter().map(Some).collect(),
+        None => vec![None; live.len()],
     }
 }
 
@@ -283,7 +289,7 @@ pub(crate) fn run_select(
     data: &TwoViewDataset,
     cfg: &SelectConfig,
     candidates: &[TwoViewCandidate],
-    shared_tids: Option<&[(Bitmap, Bitmap)]>,
+    shared_tids: Option<&[(Tidset, Tidset)]>,
     ctl: Option<&JobCtx>,
 ) -> Result<TranslatorModel, JobError> {
     if let Some(tids) = shared_tids {
@@ -308,23 +314,13 @@ pub(crate) fn run_select(
     let live: Vec<&TwoViewCandidate> = live_idx.iter().map(|&i| &candidates[i]).collect();
 
     // Tidsets: the caller's shared cache when provided, otherwise a
-    // per-run cache when the memory budget allows (two bitmaps per
-    // candidate; over budget = recompute on every refresh). The budget is
-    // the workspace-wide `twoview_mining::TIDSET_CACHE_BUDGET_BYTES`.
+    // per-run cache when the memory budget allows (actual representation
+    // bytes metered as the cache is built; over budget = recompute on
+    // every refresh). The budget is the workspace-wide
+    // `twoview_mining::TIDSET_CACHE_BUDGET_BYTES`.
     let tids = match shared_tids {
         Some(all) => TidSource::Shared(all),
-        None => {
-            let per_cand = 2 * data.n_transactions().div_ceil(8);
-            let cache_tids =
-                per_cand.saturating_mul(live.len()) <= twoview_mining::TIDSET_CACHE_BUDGET_BYTES;
-            TidSource::Owned(if cache_tids {
-                live.iter()
-                    .map(|c| Some((data.support_set(&c.left), data.support_set(&c.right))))
-                    .collect()
-            } else {
-                vec![None; live.len()]
-            })
-        }
+        None => TidSource::Owned(build_owned_tids(data, &live)),
     };
 
     // Per-candidate `rub` eligibility under the cost gate. Supports and

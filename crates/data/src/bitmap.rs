@@ -1,10 +1,11 @@
 //! Dense, fixed-capacity bitmaps.
 //!
-//! [`Bitmap`] is the workhorse of the whole workspace: transactions store
-//! their items in bitmaps, miners store per-item *tidsets* (sets of
-//! transaction ids) in bitmaps, and the TRANSLATOR cover state keeps one
-//! bitmap per transaction and side. All hot set operations (intersection,
-//! union, difference, xor, popcount) are word-parallel over `u64` limbs.
+//! [`Bitmap`] is the dense set kernel of the workspace: transactions store
+//! their items in bitmaps, and every *tidset* (set of transaction ids —
+//! mining intersections, cover-state columns, seed caches) uses a bitmap
+//! as the dense half of the adaptive [`crate::tidset::Tidset`]
+//! representation. All hot set operations (intersection, union,
+//! difference, xor, popcount) are word-parallel over `u64` limbs.
 
 use std::fmt;
 

@@ -2,6 +2,7 @@
 
 use crate::bitmap::Bitmap;
 use crate::items::{ItemId, ItemSet, Side, Vocabulary};
+use crate::tidset::Tidset;
 
 /// A Boolean two-view dataset `D = (D_L, D_R)`.
 ///
@@ -9,8 +10,11 @@ use crate::items::{ItemId, ItemSet, Side, Vocabulary};
 /// * **row store** — one bitmap per transaction and side, indexed by the
 ///   item's *local* (per-side) index; used by translation, cover state and
 ///   gain computation;
-/// * **column store** — one *tidset* bitmap per global item over
-///   `0..|D|`; used by all miners and by support queries.
+/// * **column store** — one adaptive sparse/dense [`Tidset`] per global
+///   item over `0..|D|`; used by all miners and by support queries. The
+///   representation per column follows the item's support (see
+///   [`crate::tidset`]), which is what makes large-sparse corpora pay
+///   word-proportional instead of corpus-proportional set-op costs.
 ///
 /// Both are built once at construction; the dataset is immutable afterwards.
 #[derive(Clone, Debug)]
@@ -18,7 +22,7 @@ pub struct TwoViewDataset {
     vocab: Vocabulary,
     rows_left: Vec<Bitmap>,
     rows_right: Vec<Bitmap>,
-    tidsets: Vec<Bitmap>,
+    tidsets: Vec<Tidset>,
     supports: Vec<usize>,
     name: String,
 }
@@ -33,7 +37,10 @@ impl TwoViewDataset {
         let (nl, nr) = (vocab.n_left(), vocab.n_right());
         let mut rows_left = vec![Bitmap::new(nl); n];
         let mut rows_right = vec![Bitmap::new(nr); n];
-        let mut tidsets = vec![Bitmap::new(n); vocab.n_items()];
+        // Tids arrive in ascending transaction order, so each column is
+        // collected as a sorted list and handed to the adaptive Tidset
+        // constructor, which picks sparse or dense per column.
+        let mut columns: Vec<Vec<u32>> = vec![Vec::new(); vocab.n_items()];
         for (t, items) in transactions.iter().enumerate() {
             for &item in items {
                 assert!(
@@ -44,10 +51,17 @@ impl TwoViewDataset {
                     Side::Left => rows_left[t].insert(vocab.local_index(item)),
                     Side::Right => rows_right[t].insert(vocab.local_index(item)),
                 };
-                tidsets[item as usize].insert(t);
+                let col = &mut columns[item as usize];
+                if col.last() != Some(&(t as u32)) {
+                    col.push(t as u32);
+                }
             }
         }
-        let supports = tidsets.iter().map(Bitmap::len).collect();
+        let tidsets: Vec<Tidset> = columns
+            .into_iter()
+            .map(|col| Tidset::from_sorted(n, col))
+            .collect();
+        let supports = tidsets.iter().map(Tidset::len).collect();
         TwoViewDataset {
             vocab,
             rows_left,
@@ -108,7 +122,7 @@ impl TwoViewDataset {
 
     /// The tidset of a (global) item: transactions in which it occurs.
     #[inline]
-    pub fn tidset(&self, item: ItemId) -> &Bitmap {
+    pub fn tidset(&self, item: ItemId) -> &Tidset {
         &self.tidsets[item as usize]
     }
 
@@ -118,7 +132,7 @@ impl TwoViewDataset {
     /// Equivalent to `self.tidset(vocab.global_id(side, local))` without the
     /// caller having to translate indices.
     #[inline]
-    pub fn column(&self, side: Side, local: usize) -> &Bitmap {
+    pub fn column(&self, side: Side, local: usize) -> &Tidset {
         &self.tidsets[self.vocab.global_id(side, local) as usize]
     }
 
@@ -130,11 +144,13 @@ impl TwoViewDataset {
 
     /// The support tidset of an itemset (intersection of item tidsets).
     ///
-    /// The empty itemset is supported by every transaction.
-    pub fn support_set(&self, items: &ItemSet) -> Bitmap {
+    /// The empty itemset is supported by every transaction. Intersections
+    /// run in whichever representation is cheaper and the accumulator
+    /// demotes to sparse as it shrinks.
+    pub fn support_set(&self, items: &ItemSet) -> Tidset {
         let mut iter = items.iter();
         match iter.next() {
-            None => Bitmap::full(self.n_transactions()),
+            None => Tidset::full(self.n_transactions()),
             Some(first) => {
                 let mut acc = self.tidsets[first as usize].clone();
                 for item in iter {

@@ -6,8 +6,10 @@
 //! A two-view dataset is a bag of transactions `t = (t_L, t_R)` over two
 //! disjoint item vocabularies `I_L` and `I_R`. This crate provides:
 //!
-//! * [`bitmap::Bitmap`] — dense bitsets used for transaction rows, tidsets
-//!   and cover state throughout the workspace;
+//! * [`bitmap::Bitmap`] — dense bitsets used for transaction rows and as
+//!   the dense half of every tidset;
+//! * [`tidset::Tidset`] — adaptive sparse/dense transaction-id sets, the
+//!   representation behind mining, the cover state and all seed caches;
 //! * [`items`] — items, views ([`items::Side`]), vocabularies and itemsets;
 //! * [`dataset::TwoViewDataset`] — the immutable dataset with both a row
 //!   store (for translation) and per-item tidsets (for mining);
@@ -45,6 +47,7 @@ pub mod sample;
 pub mod split;
 pub mod stats;
 pub mod synthetic;
+pub mod tidset;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use crate::synthetic::{
         generate, generate_with_vocab, StructureSpec, SyntheticDataset, SyntheticSpec,
     };
+    pub use crate::tidset::{set_tidset_mode, tidset_mode, Tidset, TidsetMode};
 }
 
 pub use prelude::*;

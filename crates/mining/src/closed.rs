@@ -135,7 +135,7 @@ fn dfs(
     data: &TwoViewDataset,
     minsup: usize,
     max_itemsets: usize,
-    tid: &Bitmap,
+    tid: &Tidset,
     post: &[ItemId],
     pre: &[ItemId],
     closure: &mut Vec<ItemId>,
@@ -147,22 +147,24 @@ fn dfs(
     let mut pre_local: Vec<ItemId> = pre.to_vec();
     for (pos, &i) in post.iter().enumerate() {
         let ts = data.tidset(i);
-        // Support check and duplicate check both run on the un-materialised
-        // intersection `tid ∩ tid(i)` through the Bitmap kernel; the child
-        // tidset is only allocated once the extension is known to be novel.
+        // Count through the kernel first; extensions that fail the support
+        // check never allocate anything.
         let support = tid.intersection_len(ts);
         if support < minsup {
             continue; // infrequent items can never cover a frequent tidset
         }
+        // Materialise the child tidset *before* the duplicate checks: on
+        // sparse corpora the intersection is tiny (and stored sparse), so
+        // every check below collapses to O(card) probes instead of a
+        // word-proportional fused kernel per `pre` item. One materialise
+        // costs about one fused check, so even an immediate duplicate hit
+        // only breaks even with the old check-then-materialise order.
+        let ti = tid.and_with_card(ts, support);
         // Duplicate check: some earlier item's branch owns this closure.
-        if pre_local
-            .iter()
-            .any(|&j| tid.and_is_subset(ts, data.tidset(j)))
-        {
+        if pre_local.iter().any(|&j| ti.is_subset(data.tidset(j))) {
             pre_local.push(i);
             continue;
         }
-        let ti = tid.and(ts);
         // Absorb later items that are part of the closure.
         let mut child_post: Vec<ItemId> = Vec::with_capacity(post.len() - pos - 1);
         let mut absorbed: Vec<ItemId> = Vec::new();

@@ -54,15 +54,6 @@ impl MinerConfig {
         }
     }
 
-    /// A config with the given minimum support and no other limits.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `MinerConfig::builder().minsup(m).build()`"
-    )]
-    pub fn with_minsup(minsup: usize) -> Self {
-        MinerConfig::builder().minsup(minsup).build()
-    }
-
     /// Sets the maximum itemset length.
     pub fn max_len(mut self, len: usize) -> Self {
         self.max_len = Some(len);
@@ -257,7 +248,7 @@ fn dfs(
     data: &TwoViewDataset,
     cfg: &MinerConfig,
     ext: &[ItemId],
-    tid: &Bitmap,
+    tid: &Tidset,
     prefix: &mut Vec<ItemId>,
     out: &mut MiningResult,
 ) {
@@ -271,13 +262,14 @@ fn dfs(
     }
     for (pos, &i) in ext.iter().enumerate() {
         let ts = data.tidset(i);
-        // Count through the kernel first; only materialise the child tidset
-        // for extensions that survive the support check.
+        // Count through the kernel first (sparse operands gallop instead of
+        // scanning words); only materialise the child tidset — in whichever
+        // representation is cheaper — for extensions that survive.
         let support = tid.intersection_len(ts);
         if support < cfg.minsup {
             continue;
         }
-        let ti = tid.and(ts);
+        let ti = tid.and_with_card(ts, support);
         prefix.push(i);
         if out.itemsets.len() >= cfg.max_itemsets {
             out.truncated = true;

@@ -23,6 +23,6 @@ pub use apriori::mine_apriori;
 pub use closed::mine_closed;
 pub use eclat::{mine_frequent, FrequentItemset, MinerConfig, MinerConfigBuilder, MiningResult};
 pub use twoview::{
-    mine_closed_twoview, mine_frequent_twoview, CandidateCache, CandidateSet, TwoViewCandidate,
-    TIDSET_CACHE_BUDGET_BYTES,
+    build_seed_tidsets, mine_closed_twoview, mine_frequent_twoview, CandidateCache, CandidateSet,
+    TwoViewCandidate, TIDSET_CACHE_BUDGET_BYTES,
 };

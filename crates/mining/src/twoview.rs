@@ -85,9 +85,11 @@ pub fn mine_frequent_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> Candid
 ///   reuses the cache with a filter instead of re-mining; only `minsup <`
 ///   base requires fresh mining.
 /// * **seed tidsets** ([`CandidateCache::tidsets`]) — the per-candidate
-///   antecedent/consequent support bitmaps, computed lazily once under the
-///   same 400 MB budget SELECT uses internally, shared by every fit at the
-///   base minsup.
+///   antecedent/consequent support [`Tidset`]s, computed lazily once under
+///   the same 400 MB budget SELECT uses internally, shared by every fit at
+///   the base minsup. The budget counts **actual representation bytes**
+///   (`4·card` for sparse sets instead of a flat `⌈n/8⌉·2`), so sparse
+///   corpora fit far larger candidate sets into the same budget.
 ///
 /// The one caveat is truncation: if mining hit the `max_itemsets` valve,
 /// the filtered subset may differ from a direct (less truncated) mine at
@@ -98,7 +100,7 @@ pub struct CandidateCache {
     closed: bool,
     set: CandidateSet,
     /// `None` inside the lock = over the tidset budget.
-    tidsets: OnceLock<Option<Vec<(Bitmap, Bitmap)>>>,
+    tidsets: OnceLock<Option<Vec<(Tidset, Tidset)>>>,
 }
 
 /// Memory budget for cached candidate/seed tidsets — the single source of
@@ -106,6 +108,47 @@ pub struct CandidateCache {
 /// cache, and EXACT's seed-tidset cache, so engine shared-tidset
 /// eligibility can never desynchronize from the per-run caches.
 pub const TIDSET_CACHE_BUDGET_BYTES: usize = 400 << 20;
+
+/// Builds per-candidate `(supp(left), supp(right))` seed tidsets under
+/// [`TIDSET_CACHE_BUDGET_BYTES`], metering the **actual bytes** of each
+/// tidset's chosen representation ([`Tidset::heap_bytes`]) as the cache is
+/// built. All-or-nothing: `None` once the running total exceeds the
+/// budget (callers then recompute per use). The one metered loop shared
+/// by the engine's [`CandidateCache::tidsets`], SELECT's per-run cache,
+/// and EXACT's seed cache, so the three budgets cannot drift apart.
+///
+/// Hopeless inputs are rejected in O(candidates) integer work before any
+/// support set is computed: each side's tidset holds at least
+/// `c.support` tids, so it occupies at least
+/// `min(4·support, dense_bytes)` however it is stored — if even that
+/// lower bound overshoots the budget, the expensive build is skipped
+/// entirely (the old flat dense estimate's O(1) skip, kept alongside the
+/// exact metering).
+pub fn build_seed_tidsets<'a>(
+    data: &TwoViewDataset,
+    candidates: impl ExactSizeIterator<Item = &'a TwoViewCandidate> + Clone,
+) -> Option<Vec<(Tidset, Tidset)>> {
+    let per_dense = twoview_data::tidset::dense_bytes(data.n_transactions());
+    let floor: usize = candidates
+        .clone()
+        .map(|c| 2 * (4 * c.support).min(per_dense))
+        .sum();
+    if floor > TIDSET_CACHE_BUDGET_BYTES {
+        return None;
+    }
+    let mut bytes = 0usize;
+    let mut out = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let lt = data.support_set(&c.left);
+        let rt = data.support_set(&c.right);
+        bytes = bytes.saturating_add(lt.heap_bytes() + rt.heap_bytes());
+        if bytes > TIDSET_CACHE_BUDGET_BYTES {
+            return None;
+        }
+        out.push((lt, rt));
+    }
+    Some(out)
+}
 
 impl CandidateCache {
     /// Mines and caches the candidate set (closed when `closed`, all
@@ -180,21 +223,14 @@ impl CandidateCache {
     /// [`CandidateCache::candidates`]. Computed lazily on first use and
     /// shared thereafter; `None` when the set is too large for the budget
     /// (callers then recompute per run, exactly as before).
-    pub fn tidsets(&self, data: &TwoViewDataset) -> Option<&[(Bitmap, Bitmap)]> {
+    ///
+    /// The budget meters the **actual bytes** of each tidset's chosen
+    /// representation as they are built (see [`build_seed_tidsets`]) —
+    /// under adaptive mode a sparse corpus caches many times more
+    /// candidates than the old flat dense estimate admitted.
+    pub fn tidsets(&self, data: &TwoViewDataset) -> Option<&[(Tidset, Tidset)]> {
         self.tidsets
-            .get_or_init(|| {
-                let per_cand = 2 * data.n_transactions().div_ceil(8);
-                if per_cand.saturating_mul(self.set.candidates.len()) > TIDSET_CACHE_BUDGET_BYTES {
-                    return None;
-                }
-                Some(
-                    self.set
-                        .candidates
-                        .iter()
-                        .map(|c| (data.support_set(&c.left), data.support_set(&c.right)))
-                        .collect(),
-                )
-            })
+            .get_or_init(|| build_seed_tidsets(data, self.set.candidates.iter()))
             .as_deref()
     }
 }

@@ -74,12 +74,12 @@
 //! The free functions ([`translator_select`](prelude::translator_select)
 //! & co.) remain for one-shot scripts; they mine per call. Configs are
 //! built fluently (`SelectConfig::builder().k(1).minsup(5).rub(true)
-//! .build()`); the old positional constructors are deprecated shims for
-//! one release.
+//! .build()`); the old positional constructors are gone — every config
+//! goes through its builder.
 //!
 //! ## Migration (pre-`Engine` API → 0.2)
 //!
-//! | old | new |
+//! | old (removed) | new |
 //! |---|---|
 //! | `SelectConfig::new(k, m)` | `SelectConfig::builder().k(k).minsup(m).build()` |
 //! | `GreedyConfig::new(m)` | `GreedyConfig::builder().minsup(m).build()` |
