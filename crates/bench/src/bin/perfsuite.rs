@@ -21,13 +21,21 @@
 //!   fan-out; on the smallest corpus also an *uncapped* serial-vs-parallel
 //!   run, whose result must be bit-identical;
 //! * **adaptive tidsets** — the same mining / gain-refresh / SELECT(1)
-//!   runs under [`TidsetMode::ForceDense`] (the pre-adaptive layout) and
-//!   `ForceSparse`, recording the adaptive-vs-dense speedups and the run's
-//!   **representation mix** (sparse vs dense tidset counts, actual bytes,
-//!   bytes saved vs the all-dense layout);
+//!   runs under [`TidsetMode::ForceDense`] (the pre-adaptive layout),
+//!   `ForceSparse` and `ForceRuns`, recording the adaptive-vs-dense
+//!   speedups and the run's **representation mix** (sparse vs dense vs
+//!   run-compressed tidset counts, actual bytes, bytes saved vs the
+//!   all-dense layout);
+//! * **kernel paths** — mining and SELECT(1) rerun with every merge
+//!   forced onto the scalar gallop reference path
+//!   ([`KernelPath::Scalar`]) instead of the SIMD block kernels;
+//! * **incremental rub bounds** — SELECT(1)'s default incremental `Σ tub`
+//!   maintenance vs the cost-gated recomputation baseline, with prune /
+//!   refresh counts and the serial bound-maintenance time;
 //! * **identity checks** — thread counts, pool vs scope, parallel vs
-//!   serial mining, rub on/off/forced, layout checksums, and
-//!   forced-sparse / forced-dense / adaptive model identity must all
+//!   serial mining, rub on/off/forced, incremental-vs-recomputed bounds,
+//!   layout checksums, SIMD-vs-scalar kernels, and forced-sparse /
+//!   forced-dense / forced-runs / adaptive model identity must all
 //!   agree; the process exits non-zero (and CI fails) if any is false.
 //!
 //! Usage (from the repo root):
@@ -43,7 +51,10 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use twoview_core::engine::Algorithm;
 use twoview_core::greedy::translator_greedy_candidates;
-use twoview_core::select::{translator_select_candidates, SelectConfig};
+use twoview_core::select::{
+    translator_select_candidates, translator_select_candidates_with_stats, SelectConfig,
+    SelectStats,
+};
 use twoview_core::{
     translator_exact_with, CoverState, Engine, ExactConfig, GreedyConfig, RowCoverState,
     TranslatorModel,
@@ -68,6 +79,10 @@ struct CorpusSpec {
     occurrence: f64,
     /// `minsup = n / minsup_div` (clamped to ≥ 1).
     minsup_div: usize,
+    /// Concept-activation burst length (`1` = the classic per-transaction
+    /// generator; `> 1` plants consecutive activation blocks so item
+    /// tidsets form long runs — the run-container's target shape).
+    burst_len: usize,
     /// Run the uncapped EXACT serial-vs-parallel identity check here
     /// (affordable only where the search space is small).
     exact_uncapped_check: bool,
@@ -89,6 +104,7 @@ const CORPORA: &[CorpusSpec] = &[
         concepts: 4,
         occurrence: 0.25,
         minsup_div: 12,
+        burst_len: 1,
         exact_uncapped_check: true,
     },
     CorpusSpec {
@@ -101,6 +117,7 @@ const CORPORA: &[CorpusSpec] = &[
         concepts: 6,
         occurrence: 0.25,
         minsup_div: 10,
+        burst_len: 1,
         exact_uncapped_check: false,
     },
     CorpusSpec {
@@ -113,6 +130,7 @@ const CORPORA: &[CorpusSpec] = &[
         concepts: 8,
         occurrence: 0.25,
         minsup_div: 15,
+        burst_len: 1,
         exact_uncapped_check: false,
     },
     CorpusSpec {
@@ -125,6 +143,7 @@ const CORPORA: &[CorpusSpec] = &[
         concepts: 10,
         occurrence: 0.02,
         minsup_div: 10000, // minsup 2: deep DFS over tiny tidsets
+        burst_len: 1,
         exact_uncapped_check: false,
     },
     CorpusSpec {
@@ -137,13 +156,35 @@ const CORPORA: &[CorpusSpec] = &[
         concepts: 8,
         occurrence: 0.02,
         minsup_div: 10000, // minsup 2
+        burst_len: 1,
+        exact_uncapped_check: false,
+    },
+    // Concept activations arrive in blocks of consecutive transactions, so
+    // item tidsets collapse into long `(start, len)` runs — the cell where
+    // the RLE run container and the fused run kernels carry the mining and
+    // refresh loops.
+    CorpusSpec {
+        name: "clustered-runs",
+        n_full: 8000,
+        n_smoke: 600,
+        n_left: 32,
+        n_right: 24,
+        density: 0.02,
+        concepts: 6,
+        occurrence: 0.35,
+        minsup_div: 20,
+        burst_len: 48,
         exact_uncapped_check: false,
     },
 ];
 
 fn generate(spec: &CorpusSpec, smoke: bool) -> TwoViewDataset {
     let n = if smoke { spec.n_smoke } else { spec.n_full };
-    let mut structure = StructureSpec::strong(spec.concepts);
+    let mut structure = if spec.burst_len > 1 {
+        StructureSpec::bursty(spec.concepts, spec.burst_len)
+    } else {
+        StructureSpec::strong(spec.concepts)
+    };
     structure.occurrence = spec.occurrence;
     let spec = SyntheticSpec {
         name: spec.name.into(),
@@ -207,9 +248,21 @@ struct Identities {
     exact_threads_identical: bool,
     exact_uncapped_identical: bool,
     /// Mined candidates and SELECT(1) models are bit-identical across
-    /// forced-sparse, forced-dense and adaptive tidset modes, and the
-    /// adaptive seed-tidset fingerprints match the forced-dense ones.
+    /// forced-sparse, forced-dense, forced-runs and adaptive tidset modes,
+    /// and the adaptive seed-tidset fingerprints match the forced-dense
+    /// and forced-runs ones.
     tidset_modes_identical: bool,
+    /// Mined candidates, SELECT(1) model and seed-tidset fingerprints are
+    /// bit-identical when every merge kernel takes the scalar gallop path
+    /// instead of the SIMD block path.
+    kernel_paths_identical: bool,
+    /// The probe-armed incremental `Σ tub` bound maintenance produces the
+    /// same model as the cost-gated recomputation and prunes at least as
+    /// many refreshes. Whether the probe actually armed the index on this
+    /// corpus is reported separately (`select_rub.incremental_active`) —
+    /// declining to arm on a corpus where the bound never bites is the
+    /// designed outcome, not a failure.
+    incremental_rub_identical: bool,
 }
 
 impl Identities {
@@ -222,6 +275,8 @@ impl Identities {
             && self.exact_threads_identical
             && self.exact_uncapped_identical
             && self.tidset_modes_identical
+            && self.kernel_paths_identical
+            && self.incremental_rub_identical
     }
 }
 
@@ -231,13 +286,16 @@ impl Identities {
 struct TidsetMix {
     sparse: usize,
     dense: usize,
+    runs: usize,
     bytes: usize,
     dense_bytes: usize,
 }
 
 impl TidsetMix {
     fn add(&mut self, t: &Tidset) {
-        if t.is_sparse() {
+        if t.is_runs() {
+            self.runs += 1;
+        } else if t.is_sparse() {
             self.sparse += 1;
         } else {
             self.dense += 1;
@@ -258,6 +316,7 @@ struct CorpusOutcome {
     mine_serial_ms: f64,
     mix_sparse: usize,
     mix_dense: usize,
+    mix_runs: usize,
     mix_bytes_saved: usize,
 }
 
@@ -337,9 +396,11 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         mix.add(rt);
     }
     eprintln!(
-        "  tidsets: {} sparse / {} dense, {} KiB actual vs {} KiB all-dense ({} KiB saved)",
+        "  tidsets: {} sparse / {} dense / {} runs, {} KiB actual vs {} KiB all-dense \
+         ({} KiB saved)",
         mix.sparse,
         mix.dense,
+        mix.runs,
         mix.bytes / 1024,
         mix.dense_bytes / 1024,
         mix.bytes_saved() / 1024
@@ -351,8 +412,17 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         legacy_scope,
         ..SelectConfig::builder().k(1).minsup(minsup).build()
     };
+    // The serial run doubles as the incremental-rub leg (it is the
+    // default); its stats carry the prune counts and the serial
+    // bound-maintenance time.
+    let mut inc_stats = SelectStats::default();
     let (select_serial_ms, model_serial) = time_best(reps, || {
-        translator_select_candidates(&data, &select_cfg(1, false), &cands)
+        translator_select_candidates_with_stats(
+            &data,
+            &select_cfg(1, false),
+            &cands,
+            &mut inc_stats,
+        )
     });
     let (select_scope_ms, model_scope) = time_best(reps, || {
         translator_select_candidates(&data, &select_cfg(max_threads, true), &cands)
@@ -376,6 +446,35 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         };
         translator_select_candidates(&data, &cfg, &cands)
     });
+    // The pre-incremental baseline: per-candidate bound recomputation
+    // behind the cost gate. Same model; the incremental leg must prune at
+    // least as much (every candidate becomes bound-eligible).
+    let mut gate_stats = SelectStats::default();
+    let (select_costgate_ms, model_costgate) = time_best(reps, || {
+        let cfg = SelectConfig {
+            incremental_rub: false,
+            ..select_cfg(1, false)
+        };
+        translator_select_candidates_with_stats(&data, &cfg, &cands, &mut gate_stats)
+    });
+    // Round-2 prunes are the provable comparison: same cover state and
+    // threshold in both runs, eligibility the only difference (see
+    // `SelectStats::round2_prunes`). Cumulative counts are reported too
+    // but early pruning legitimately shifts later-round thresholds.
+    let incremental_rub_identical = models_match(&model_serial, &model_costgate)
+        && inc_stats.round2_prunes >= gate_stats.round2_prunes;
+    eprintln!(
+        "  rub bounds: incremental {select_serial_ms:.1} ms ({} prunes, round2 {} / {} refreshes, \
+         maintain {:.2} ms) vs cost-gated {select_costgate_ms:.1} ms ({} prunes, round2 {} / \
+         {} refreshes; identical: {incremental_rub_identical})",
+        inc_stats.rub_prunes,
+        inc_stats.round2_prunes,
+        inc_stats.refreshes,
+        inc_stats.bound_maintain_ms,
+        gate_stats.rub_prunes,
+        gate_stats.round2_prunes,
+        gate_stats.refreshes,
+    );
     let select_threads_identical = models_match(&model_serial, &model_pool);
     let select_pool_vs_scope_identical = models_match(&model_pool, &model_scope);
     let rub_identical =
@@ -421,23 +520,62 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
     let (select_sparse_ms, model_sparse) = time_best(reps, || {
         translator_select_candidates(&data_sparse, &select_cfg(1, false), &cands)
     });
+
+    tidset::set_tidset_mode(TidsetMode::ForceRuns);
+    let data_runs = generate(spec, smoke);
+    let (mine_runs_ms, mined_runs) =
+        time_best(reps, || mine_closed_twoview(&data_runs, &mcfg_serial));
+    let (select_runs_ms, model_runs) = time_best(reps, || {
+        translator_select_candidates(&data_runs, &select_cfg(1, false), &cands)
+    });
+    let tids_runs = seed_tids(&data_runs, &cands);
+    let runs_fingerprints_match = tids.iter().zip(&tids_runs).all(|((a, b), (c, d))| {
+        a.fingerprint() == c.fingerprint() && b.fingerprint() == d.fingerprint()
+    });
     tidset::set_tidset_mode(TidsetMode::Adaptive);
 
     let tidset_modes_identical = mined_dense.candidates == cands
         && mined_sparse.candidates == cands
+        && mined_runs.candidates == cands
         && models_match(&model_serial, &model_dense)
         && models_match(&model_serial, &model_sparse)
+        && models_match(&model_serial, &model_runs)
         && (sum_dense - sum_col).abs() < 1e-6 * (1.0 + sum_col.abs())
-        && dense_fingerprints_match;
+        && dense_fingerprints_match
+        && runs_fingerprints_match;
+
+    // --- scalar kernel path ---------------------------------------------
+    // Same adaptive representations, but every sparse/runs merge takes the
+    // scalar gallop reference path instead of the SIMD block kernels. The
+    // mined candidates, model and seed fingerprints must not move.
+    let prev_path = kernel_path();
+    set_kernel_path(KernelPath::Scalar);
+    let (mine_scalar_ms, mined_scalar) =
+        time_best(reps, || mine_closed_twoview(&data, &mcfg_serial));
+    let (select_scalar_ms, model_scalar) = time_best(reps, || {
+        translator_select_candidates(&data, &select_cfg(1, false), &cands)
+    });
+    let tids_scalar = seed_tids(&data, &cands);
+    set_kernel_path(prev_path);
+    let kernel_paths_identical = mined_scalar.candidates == cands
+        && models_match(&model_serial, &model_scalar)
+        && tids.iter().zip(&tids_scalar).all(|((a, b), (c, d))| {
+            a.fingerprint() == c.fingerprint() && b.fingerprint() == d.fingerprint()
+        });
+    let mine_speedup_vs_scalar = mine_scalar_ms / mine_serial_ms.max(1e-9);
+    eprintln!(
+        "  kernel paths: mine scalar {mine_scalar_ms:.1} ms (simd {mine_speedup_vs_scalar:.2}x), \
+         SELECT scalar {select_scalar_ms:.1} ms (identical: {kernel_paths_identical})"
+    );
     let mine_speedup_vs_dense = mine_dense_ms / mine_serial_ms.max(1e-9);
     let refresh_speedup_vs_dense = refresh_dense_ms / refresh_columnar_ms.max(1e-9);
     let select_speedup_vs_dense = select_dense_ms / select_serial_ms.max(1e-9);
     eprintln!(
-        "  tidset modes: mine dense {mine_dense_ms:.1} ms / sparse {mine_sparse_ms:.1} ms \
-         (adaptive {mine_speedup_vs_dense:.2}x vs dense); refresh dense {refresh_dense_ms:.2} ms \
-         ({refresh_speedup_vs_dense:.2}x); SELECT dense {select_dense_ms:.1} ms / sparse \
-         {select_sparse_ms:.1} ms ({select_speedup_vs_dense:.2}x; identical: \
-         {tidset_modes_identical})"
+        "  tidset modes: mine dense {mine_dense_ms:.1} ms / sparse {mine_sparse_ms:.1} ms / \
+         runs {mine_runs_ms:.1} ms (adaptive {mine_speedup_vs_dense:.2}x vs dense); refresh \
+         dense {refresh_dense_ms:.2} ms ({refresh_speedup_vs_dense:.2}x); SELECT dense \
+         {select_dense_ms:.1} ms / sparse {select_sparse_ms:.1} ms / runs {select_runs_ms:.1} ms \
+         ({select_speedup_vs_dense:.2}x; identical: {tidset_modes_identical})"
     );
 
     // --- GREEDY ---------------------------------------------------------
@@ -503,6 +641,8 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         exact_threads_identical,
         exact_uncapped_identical,
         tidset_modes_identical,
+        kernel_paths_identical,
+        incremental_rub_identical,
     };
 
     write!(
@@ -520,6 +660,8 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         "mine_closed_pool": {mine_par_ms:.3},
         "mine_closed_dense": {mine_dense_ms:.3},
         "mine_closed_sparse": {mine_sparse_ms:.3},
+        "mine_closed_runs": {mine_runs_ms:.3},
+        "mine_closed_scalar_kernel": {mine_scalar_ms:.3},
         "gain_refresh_rows": {refresh_rows_ms:.3},
         "gain_refresh_columnar": {refresh_columnar_ms:.3},
         "gain_refresh_dense": {refresh_dense_ms:.3},
@@ -528,8 +670,11 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         "select1_pool": {select_pool_ms:.3},
         "select1_no_rub": {select_norub_ms:.3},
         "select1_rub_forced": {select_rub_forced_ms:.3},
+        "select1_rub_costgate": {select_costgate_ms:.3},
         "select1_dense": {select_dense_ms:.3},
         "select1_sparse": {select_sparse_ms:.3},
+        "select1_runs": {select_runs_ms:.3},
+        "select1_scalar_kernel": {select_scalar_ms:.3},
         "greedy": {greedy_ms:.3},
         "exact_capped_1t": {exact_1t_ms:.3},
         "exact_capped_2t": {exact_2t_ms:.3},
@@ -543,12 +688,24 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
       "tidset": {{
         "sparse_count": {mix_sparse},
         "dense_count": {mix_dense},
+        "runs_count": {mix_runs},
         "bytes": {mix_bytes},
         "dense_bytes": {mix_dense_bytes},
         "bytes_saved": {mix_saved},
         "mine_speedup_vs_dense": {mine_speedup_vs_dense:.3},
         "refresh_speedup_vs_dense": {refresh_speedup_vs_dense:.3},
-        "select_speedup_vs_dense": {select_speedup_vs_dense:.3}
+        "select_speedup_vs_dense": {select_speedup_vs_dense:.3},
+        "mine_speedup_vs_scalar_kernel": {mine_speedup_vs_scalar:.3}
+      }},
+      "select_rub": {{
+        "prunes_incremental": {inc_prunes},
+        "round2_prunes_incremental": {inc_round2},
+        "refreshes_incremental": {inc_refreshes},
+        "bound_maintain_ms": {inc_maintain_ms:.3},
+        "incremental_active": {inc_active},
+        "prunes_costgate": {gate_prunes},
+        "round2_prunes_costgate": {gate_round2},
+        "refreshes_costgate": {gate_refreshes}
       }},
       "identity": {{
         "layout_checksums_agree": {layout_checksums_agree},
@@ -558,7 +715,9 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         "rub_identical": {rub_identical},
         "exact_threads_identical": {exact_threads_identical},
         "exact_uncapped_identical": {exact_uncapped_identical},
-        "tidset_modes_identical": {tidset_modes_identical}
+        "tidset_modes_identical": {tidset_modes_identical},
+        "kernel_paths_identical": {kernel_paths_identical},
+        "incremental_rub_identical": {incremental_rub_identical}
       }}
     }}"#,
         name = spec.name,
@@ -570,9 +729,18 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         ltotal = model_serial.score.l_total,
         mix_sparse = mix.sparse,
         mix_dense = mix.dense,
+        mix_runs = mix.runs,
         mix_bytes = mix.bytes,
         mix_dense_bytes = mix.dense_bytes,
         mix_saved = mix.bytes_saved(),
+        inc_prunes = inc_stats.rub_prunes,
+        inc_round2 = inc_stats.round2_prunes,
+        inc_refreshes = inc_stats.refreshes,
+        inc_maintain_ms = inc_stats.bound_maintain_ms,
+        inc_active = inc_stats.incremental_active,
+        gate_prunes = gate_stats.rub_prunes,
+        gate_round2 = gate_stats.round2_prunes,
+        gate_refreshes = gate_stats.refreshes,
     )
     .expect("write json");
 
@@ -582,6 +750,7 @@ fn run_corpus(spec: &CorpusSpec, smoke: bool, json: &mut String) -> CorpusOutcom
         mine_serial_ms,
         mix_sparse: mix.sparse,
         mix_dense: mix.dense,
+        mix_runs: mix.runs,
         mix_bytes_saved: mix.bytes_saved(),
     }
 }
@@ -803,6 +972,12 @@ fn main() {
                     new_ms: by_name("wide-sparse").mine_serial_ms,
                     required: false,
                 },
+                GateCheck {
+                    field: "mine_ms_clustered_runs",
+                    label: "clustered-runs adaptive mining",
+                    new_ms: by_name("clustered-runs").mine_serial_ms,
+                    required: false,
+                },
             ],
         )
     } else {
@@ -820,6 +995,7 @@ fn main() {
         );
         let mut mix_sparse = 0usize;
         let mut mix_dense = 0usize;
+        let mut mix_runs = 0usize;
         let mut mix_saved = 0usize;
         for (name, outcome) in &outcomes {
             let key = name.replace('-', "_");
@@ -830,9 +1006,10 @@ fn main() {
             );
             mix_sparse += outcome.mix_sparse;
             mix_dense += outcome.mix_dense;
+            mix_runs += outcome.mix_runs;
             mix_saved += outcome.mix_bytes_saved;
         }
-        for name in ["wide-sparse", "tall-sparse"] {
+        for name in ["wide-sparse", "tall-sparse", "clustered-runs"] {
             let _ = write!(
                 line,
                 ",\"mine_ms_{}\":{:.3}",
@@ -843,7 +1020,7 @@ fn main() {
         let _ = write!(
             line,
             ",\"tidsets_sparse\":{mix_sparse},\"tidsets_dense\":{mix_dense},\
-             \"tidset_bytes_saved\":{mix_saved}"
+             \"tidsets_runs\":{mix_runs},\"tidset_bytes_saved\":{mix_saved}"
         );
         let _ = write!(line, ",\"engine_fit_mine_ms\":{:.3}", engine.fit_mine_ms);
         let _ = write!(line, ",\"all_identities\":{all_identities}}}");

@@ -26,6 +26,23 @@
 //! bounds for all three directions. The `proptests_bounds` suite checks
 //! domination on random data; undershooting either bound would silently
 //! break the exactness of the search.
+//!
+//! ## Incremental maintenance
+//!
+//! `rub`'s two `Σ tub` sums admit cheap incremental upkeep because cover
+//! updates only ever *shrink* tub mass: applying a rule decrements
+//! `uncovered_weight` for the freshly covered `(side, transaction)` cells
+//! and never increases it. SELECT and EXACT therefore keep per-candidate
+//! sums current by streaming those decrements through a
+//! transaction→candidate inverted index
+//! ([`SelectConfig::incremental_rub`](crate::select::SelectConfig::incremental_rub),
+//! [`ExactConfig::incremental_rub`](crate::exact::ExactConfig::incremental_rub))
+//! instead of re-walking supports, turning the bound into an O(1)
+//! per-candidate check via [`rub_parts`]. The maintained sums carry float
+//! drift from repeated subtraction, so prune decisions add a relative
+//! slack (`1e-9 · (1 + |Σ_fwd| + |Σ_bwd|)`) that keeps the bound
+//! admissible — the true `rub` never exceeds the slackened maintained
+//! value, and both algorithms stay bit-identical to full recomputation.
 
 use twoview_data::prelude::*;
 

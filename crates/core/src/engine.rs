@@ -325,7 +325,7 @@ impl EngineInner {
                 cfg.n_threads = inherit(cfg.n_threads);
                 let (cands, tids, truncated) =
                     self.candidates_for(cfg.minsup, cfg.closed_candidates, cfg.max_candidates);
-                let mut model = run_select(data, &cfg, &cands, tids, Some(ctx))?;
+                let mut model = run_select(data, &cfg, &cands, tids, Some(ctx), None)?;
                 model.truncated |= truncated;
                 model
             }

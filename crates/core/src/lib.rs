@@ -74,5 +74,8 @@ pub use greedy::{translator_greedy, CandidateOrder, GreedyConfig, GreedyConfigBu
 pub use model::{evaluate_table, ModelScore, TraceStep, TranslatorModel};
 pub use predict::{predict_row, prediction_quality, PredictionQuality};
 pub use rule::{Direction, TranslationRule};
-pub use select::{translator_select, SelectConfig, SelectConfigBuilder};
+pub use select::{
+    translator_select, translator_select_candidates, translator_select_candidates_with_stats,
+    SelectConfig, SelectConfigBuilder, SelectStats,
+};
 pub use table::TranslationTable;

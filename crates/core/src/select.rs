@@ -68,7 +68,37 @@ pub struct SelectConfig {
     /// eligibility is precomputed once per run. Disabling the gate forces
     /// the bound for every dirty candidate — result-identical either way;
     /// tests use it to exercise the pruning branch on tiny data.
+    ///
+    /// Only consulted when the incremental sums (below) are inactive: the
+    /// gate exists to ration a recomputation the incremental path never
+    /// performs.
     pub rub_cost_gate: bool,
+    /// Maintain the per-candidate `Σ tub` sums behind `rub` incrementally
+    /// across rounds (default). Cover updates only ever *shrink* tub mass,
+    /// so each rule application streams `(tid, weight)` decrements through
+    /// a transaction→candidate inverted index instead of every dirty
+    /// candidate re-walking its supports. The bound then costs O(1) per
+    /// candidate per round and every candidate becomes bound-eligible (no
+    /// cost gate).
+    ///
+    /// Maintenance is not free — each decrement touches every candidate
+    /// whose support holds that transaction — so the machinery arms
+    /// itself from a **probe round**: round two (the first with a live
+    /// pruning threshold) consults the exact bound for a fixed-size
+    /// prefix sample of the dirty candidates, and the index is built
+    /// only when the observed prune
+    /// rate says the bound actually bites on this corpus. Dense corpora
+    /// with loose bounds keep the cheap cost-gated path; prune-heavy
+    /// corpora pay one index build and O(1) bounds thereafter — and the
+    /// index disarms itself again if the armed prune rate later collapses
+    /// below the arming bar (the probe round's rate is not always
+    /// representative at scale). Also falls
+    /// back when the candidate tidsets are not all cached or the index
+    /// would bust the tidset cache budget. Result-identical in every
+    /// case: maintained sums carry float drift, so any bound within the
+    /// drift slack of the prune threshold is re-derived exactly before
+    /// the decision.
+    pub incremental_rub: bool,
     /// Worker threads for the gain refresh and candidate mining. `None` =
     /// the process default ([`twoview_runtime::configured_threads`]:
     /// `TWOVIEW_RUNTIME_THREADS` or one per available core); `Some(1)` =
@@ -95,6 +125,7 @@ impl SelectConfig {
                 gain_cache: true,
                 use_rub: true,
                 rub_cost_gate: true,
+                incremental_rub: true,
                 n_threads: None,
                 legacy_scope: false,
                 max_iterations: None,
@@ -153,6 +184,13 @@ impl SelectConfigBuilder {
         self
     }
 
+    /// Incremental `Σ tub` bound maintenance (see
+    /// [`SelectConfig::incremental_rub`]).
+    pub fn incremental_rub(mut self, on: bool) -> Self {
+        self.cfg.incremental_rub = on;
+        self
+    }
+
     /// Worker threads for refresh and mining (`Some(t)` semantics).
     pub fn threads(mut self, t: usize) -> Self {
         self.cfg.n_threads = Some(t);
@@ -181,6 +219,34 @@ impl SelectConfigBuilder {
     pub fn build(self) -> SelectConfig {
         self.cfg
     }
+}
+
+/// Counters reported by one SELECT run (perfsuite / diagnostics).
+#[derive(Clone, Debug, Default)]
+pub struct SelectStats {
+    /// Dirty-candidate refreshes skipped by the `rub` bound.
+    pub rub_prunes: usize,
+    /// `rub` prunes in round two alone — the first round with a live
+    /// pruning threshold. Round one is identical in every configuration,
+    /// so round two is the one decision point where the incremental and
+    /// cost-gated paths see the same cover state and threshold and differ
+    /// only in bound eligibility; the incremental probe consults the
+    /// bound for *every* stale candidate (a superset of the cost gate's
+    /// eligible set), so this count provably dominates the cost-gated
+    /// run's. Cumulative counts carry no such guarantee: pruning more in
+    /// early rounds leaves fewer clean cached gains, which can lower
+    /// later thresholds and shift when candidates settle.
+    pub round2_prunes: usize,
+    /// Exact gain evaluations performed.
+    pub refreshes: usize,
+    /// Iterations of the outer selection loop.
+    pub iterations: usize,
+    /// Serial time spent initialising and maintaining the incremental
+    /// bound sums and taking prune decisions (milliseconds).
+    pub bound_maintain_ms: f64,
+    /// Whether the probe armed the incremental `Σ tub` index this run
+    /// (it may disarm itself later if the armed prune rate collapses).
+    pub incremental_active: bool,
 }
 
 /// Runs TRANSLATOR-SELECT(k): mines candidates, then fits.
@@ -237,15 +303,30 @@ pub fn translator_select_candidates(
     cfg: &SelectConfig,
     candidates: &[TwoViewCandidate],
 ) -> TranslatorModel {
-    match run_select(data, cfg, candidates, None, None) {
+    match run_select(data, cfg, candidates, None, None, None) {
         Ok(model) => model,
         // Without a job context there is no cancellation source.
         Err(_) => unreachable!("uncancellable run cannot be cancelled"),
     }
 }
 
-/// Where a refresh finds a candidate's tidsets.
-enum TidSource<'a> {
+/// [`translator_select_candidates`] with run counters reported through
+/// `stats` (prune counts, refresh counts, bound-maintenance time).
+pub fn translator_select_candidates_with_stats(
+    data: &TwoViewDataset,
+    cfg: &SelectConfig,
+    candidates: &[TwoViewCandidate],
+    stats: &mut SelectStats,
+) -> TranslatorModel {
+    match run_select(data, cfg, candidates, None, None, Some(stats)) {
+        Ok(model) => model,
+        Err(_) => unreachable!("uncancellable run cannot be cancelled"),
+    }
+}
+
+/// Where a refresh finds a candidate's tidsets (shared with EXACT's seed
+/// refresh, which reuses the same incremental-bound machinery).
+pub(crate) enum TidSource<'a> {
     /// Pre-computed slice aligned with the *original* candidate indices
     /// (the engine's shared seed-tidset cache).
     Shared(&'a [(Tidset, Tidset)]),
@@ -256,7 +337,7 @@ enum TidSource<'a> {
 
 impl TidSource<'_> {
     #[inline]
-    fn get(&self, live_pos: usize, orig_idx: usize) -> Option<&(Tidset, Tidset)> {
+    pub(crate) fn get(&self, live_pos: usize, orig_idx: usize) -> Option<&(Tidset, Tidset)> {
         match self {
             TidSource::Shared(all) => Some(&all[orig_idx]),
             TidSource::Owned(cache) => cache[live_pos].as_ref(),
@@ -279,18 +360,149 @@ pub(crate) fn build_owned_tids(
     }
 }
 
+/// Incremental per-candidate `Σ tub` sums plus the transaction→candidate
+/// inverted index (CSR layout) that keeps them current as rules drain tub
+/// mass. `sum_fwd[p] = Σ_{t ∈ lt(p)} tub_R(t)` consumes right-side tub
+/// decrements through `off_fwd`/`idx_fwd`; `sum_bwd` mirrors it for the
+/// right supports against the left tub column.
+pub(crate) struct IncRub {
+    pub(crate) sum_fwd: Vec<f64>,
+    pub(crate) sum_bwd: Vec<f64>,
+    off_fwd: Vec<usize>,
+    idx_fwd: Vec<u32>,
+    off_bwd: Vec<usize>,
+    idx_bwd: Vec<u32>,
+    /// Itemset code lengths per live candidate (state-independent).
+    pub(crate) len_x: Vec<f64>,
+    pub(crate) len_y: Vec<f64>,
+}
+
+impl IncRub {
+    /// Folds one rule application's tub decrements into the maintained
+    /// sums: each `(side, tid, weight)` triple touches exactly the
+    /// candidates whose support contains that tid, via the inverted index.
+    pub(crate) fn fold(&mut self, deltas: Vec<(u8, u32, f64)>) {
+        for (ti, t, w) in deltas {
+            let t = t as usize;
+            if ti == 1 {
+                // The right-side tub column shrank → forward sums
+                // (left supports weighted over the right tub).
+                for &p in &self.idx_fwd[self.off_fwd[t]..self.off_fwd[t + 1]] {
+                    self.sum_fwd[p as usize] -= w;
+                }
+            } else {
+                for &p in &self.idx_bwd[self.off_bwd[t]..self.off_bwd[t + 1]] {
+                    self.sum_bwd[p as usize] -= w;
+                }
+            }
+        }
+    }
+
+    /// The admissible bound for candidate `i`: the maintained `rub` plus a
+    /// float-drift slack such that the *true* bound never exceeds it.
+    #[inline]
+    pub(crate) fn bound_with_slack(&self, i: usize) -> f64 {
+        let (sf, sb) = (self.sum_fwd[i], self.sum_bwd[i]);
+        let rub = bounds::rub_parts(sf, sb, self.len_x[i], self.len_y[i]);
+        rub + 1e-9 * (1.0 + sf.abs() + sb.abs())
+    }
+}
+
+/// Builds the incremental bound state, or `None` when it cannot pay off:
+/// some candidate's tidsets are uncached (walking supports here would cost
+/// what the index is meant to save) or the index itself would bust the
+/// shared tidset cache budget.
+pub(crate) fn build_inc_rub(
+    state: &CoverState<'_>,
+    live: &[&TwoViewCandidate],
+    live_idx: &[usize],
+    tids: &TidSource<'_>,
+) -> Option<IncRub> {
+    let data = state.data();
+    let n = data.n_transactions();
+    let mut total = 0usize;
+    for (pos, &idx) in live_idx.iter().enumerate().take(live.len()) {
+        let (lt, rt) = tids.get(pos, idx)?;
+        total += lt.len() + rt.len();
+    }
+    if 4 * total + 16 * (n + 1) > twoview_mining::TIDSET_CACHE_BUDGET_BYTES {
+        return None;
+    }
+    let mut count_fwd = vec![0u32; n];
+    let mut count_bwd = vec![0u32; n];
+    for (pos, &idx) in live_idx.iter().enumerate().take(live.len()) {
+        let (lt, rt) = tids.get(pos, idx)?;
+        for t in lt.iter() {
+            count_fwd[t] += 1;
+        }
+        for t in rt.iter() {
+            count_bwd[t] += 1;
+        }
+    }
+    let prefix = |counts: &[u32]| {
+        let mut off = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        off.push(0);
+        for &c in counts {
+            acc += c as usize;
+            off.push(acc);
+        }
+        off
+    };
+    let off_fwd = prefix(&count_fwd);
+    let off_bwd = prefix(&count_bwd);
+    let mut idx_fwd = vec![0u32; off_fwd[n]];
+    let mut idx_bwd = vec![0u32; off_bwd[n]];
+    let mut cur_fwd = off_fwd[..n].to_vec();
+    let mut cur_bwd = off_bwd[..n].to_vec();
+    let mut sum_fwd = Vec::with_capacity(live.len());
+    let mut sum_bwd = Vec::with_capacity(live.len());
+    let mut len_x = Vec::with_capacity(live.len());
+    let mut len_y = Vec::with_capacity(live.len());
+    let tub_r = state.uncovered_weights(Side::Right);
+    let tub_l = state.uncovered_weights(Side::Left);
+    for (pos, cand) in live.iter().enumerate() {
+        let (lt, rt) = tids.get(pos, live_idx[pos])?;
+        for t in lt.iter() {
+            idx_fwd[cur_fwd[t]] = pos as u32;
+            cur_fwd[t] += 1;
+        }
+        for t in rt.iter() {
+            idx_bwd[cur_bwd[t]] = pos as u32;
+            cur_bwd[t] += 1;
+        }
+        // Seeded with the exact kernel the legacy bound uses, so round-1
+        // decisions start from bit-identical sums.
+        sum_fwd.push(lt.weighted_len(tub_r));
+        sum_bwd.push(rt.weighted_len(tub_l));
+        len_x.push(state.codes().itemset(&cand.left));
+        len_y.push(state.codes().itemset(&cand.right));
+    }
+    Some(IncRub {
+        sum_fwd,
+        sum_bwd,
+        off_fwd,
+        idx_fwd,
+        off_bwd,
+        idx_bwd,
+        len_x,
+        len_y,
+    })
+}
+
 /// The full SELECT(k) loop over a pre-mined candidate set, with optional
-/// shared tidsets (`shared_tids`, aligned with `candidates`) and an
+/// shared tidsets (`shared_tids`, aligned with `candidates`), an
 /// optional job context for cooperative cancellation and progress ticks
-/// (one tick per iteration). Cancellation returns `Err(JobError::
-/// Cancelled)` — never a partial model — so every `Ok` result is
-/// bit-identical to an uncancelled serial run.
+/// (one tick per iteration), and optional run counters. Cancellation
+/// returns `Err(JobError::Cancelled)` — never a partial model — so every
+/// `Ok` result is bit-identical to an uncancelled serial run.
 pub(crate) fn run_select(
     data: &TwoViewDataset,
     cfg: &SelectConfig,
     candidates: &[TwoViewCandidate],
     shared_tids: Option<&[(Tidset, Tidset)]>,
     ctl: Option<&JobCtx>,
+    stats_out: Option<&mut SelectStats>,
 ) -> Result<TranslatorModel, JobError> {
     if let Some(tids) = shared_tids {
         debug_assert_eq!(tids.len(), candidates.len());
@@ -350,7 +562,40 @@ pub(crate) fn run_select(
     } else {
         vec![false; live.len()]
     };
-    let any_rub = rub_eligible.iter().any(|&e| e);
+
+    // Incremental `Σ tub` sums: replace the per-candidate bound
+    // recomputation — and with it the cost gate — when the bound is
+    // worth maintaining on this corpus. The decision comes from a probe:
+    // round two (the first round with a live pruning threshold) consults
+    // the exact bound for a prefix sample of the dirty candidates, and
+    // the index is built only when the probe's prune rate shows the
+    // bound bites. Once built, rule applications log their tub
+    // decrements, which are folded into the sums at the end of each
+    // round.
+    //
+    // The sample cap bounds the probe's cost on corpora where the bound
+    // never pays: forcing the exact bound for *every* dirty candidate is
+    // precisely the dense-support recomputation the cost gate exists to
+    // avoid, and one uncapped probe round was measurable against the
+    // whole run on dense cells. The sample strides the work list rather
+    // than taking a prefix — mined candidates sharing items are
+    // adjacent, so a prefix would over-represent one dirty cluster.
+    const PROBE_SAMPLE: usize = 128;
+    let mut bound_maintain = std::time::Duration::ZERO;
+    let mut n_prunes = 0usize;
+    let mut round2_prunes = 0usize;
+    let mut n_refreshes = 0usize;
+    let inc_enabled = cfg.use_rub && cfg.incremental_rub;
+    let mut inc: Option<IncRub> = None;
+    let mut inc_decided = !inc_enabled;
+    let mut any_rub = inc_enabled || rub_eligible.iter().any(|&e| e);
+    // Prune decisions / hits since the index was armed: the probe's rate
+    // can collapse at scale (early rounds prune dirty waves that later
+    // rounds refresh anyway), and folds are pure loss once it does, so a
+    // looser ongoing bar disarms the index again when that happens.
+    let mut inc_decisions = 0usize;
+    let mut inc_hits = 0usize;
+    let mut inc_was_armed = false;
 
     // Cached per-candidate gains, one per direction (Direction::ALL order).
     // `dirty` marks stale caches; `skipped` marks candidates whose refresh
@@ -413,11 +658,74 @@ pub(crate) fn run_select(
         // with shared items are adjacent), so chunking the whole candidate
         // array would serialize the real work onto one or two workers.
         let force = !cfg.gain_cache;
+        let probing = !inc_decided && iterations >= 2;
+        let inc_on = inc.is_some();
         skipped.fill(false);
-        let work: Vec<usize> = (0..live.len()).filter(|&i| dirty[i] || force).collect();
+        let work: Vec<usize> = if let Some(inc) = inc.as_ref() {
+            // Serial prune pass, O(1) per dirty candidate. The maintained
+            // sums carry float drift, so the pass brackets the true bound
+            // with `rub ± eps`: outside the bracket the decision is
+            // certain, and a bound whose bracket straddles the prune
+            // boundary is re-derived exactly from the cached tidsets —
+            // the decision is then bit-identical to full recomputation.
+            let t0 = std::time::Instant::now();
+            let mut work = Vec::new();
+            let stale: Vec<usize> = (0..live.len()).filter(|&i| dirty[i] || force).collect();
+            for i in stale {
+                let (sf, sb) = (inc.sum_fwd[i], inc.sum_bwd[i]);
+                let rub = bounds::rub_parts(sf, sb, inc.len_x[i], inc.len_y[i]);
+                let eps = 1e-9 * (1.0 + sf.abs() + sb.abs());
+                let prune = if rub + eps <= 0.0 || rub + eps < threshold {
+                    true
+                } else if rub - eps > 0.0 && rub - eps >= threshold {
+                    false
+                } else {
+                    let (lt, rt) = tids
+                        .get(i, live_idx[i])
+                        .expect("incremental rub requires cached tidsets");
+                    let exact = bounds::rub(&state, &live[i].left, &live[i].right, lt, rt);
+                    exact <= 0.0 || exact < threshold
+                };
+                inc_decisions += 1;
+                if prune {
+                    dirty[i] = true;
+                    skipped[i] = true;
+                    inc_hits += 1;
+                    n_prunes += 1;
+                } else {
+                    work.push(i);
+                }
+            }
+            bound_maintain += t0.elapsed();
+            work
+        } else {
+            (0..live.len()).filter(|&i| dirty[i] || force).collect()
+        };
+        // The probe consults the exact bound for a deterministic prefix
+        // sample of the round's work list (not the whole list: on dense
+        // corpora where the bound never bites, an unbounded probe would
+        // pay exactly the full-recompute cost the cost gate exists to
+        // avoid). Unsampled candidates keep the normal cost-gated path.
+        let probe_force: Vec<bool> = if probing {
+            let mut v = vec![false; live.len()];
+            let step = work.len().div_ceil(PROBE_SAMPLE).max(1);
+            for &i in work.iter().step_by(step) {
+                v[i] = true;
+            }
+            v
+        } else {
+            Vec::new()
+        };
+        let probe_decisions = if work.is_empty() {
+            0
+        } else {
+            work.len().div_ceil(work.len().div_ceil(PROBE_SAMPLE).max(1))
+        };
+        let mut probe_prunes = 0usize;
+        let prunes_before = n_prunes;
         if n_workers > 1 && work.len() > refresh_floor {
-            let (state, live, live_idx, tids, rub_eligible) =
-                (&state, &live, &live_idx, &tids, &rub_eligible);
+            let (state, live, live_idx, tids, rub_eligible, probe_force) =
+                (&state, &live, &live_idx, &tids, &rub_eligible, &probe_force);
             let refresh_chunk = |idxs: &[usize]| {
                 idxs.iter()
                     .map(|&i| {
@@ -427,7 +735,7 @@ pub(crate) fn run_select(
                             live[i],
                             tids.get(i, live_idx[i]),
                             threshold,
-                            rub_eligible[i],
+                            (probing && probe_force[i]) || (!inc_on && rub_eligible[i]),
                             &mut g,
                         );
                         (i, g, ok)
@@ -466,9 +774,14 @@ pub(crate) fn run_select(
                 if refreshed {
                     gains[i] = g;
                     dirty[i] = false;
+                    n_refreshes += 1;
                 } else {
                     dirty[i] = true;
                     skipped[i] = true;
+                    n_prunes += 1;
+                    if probing && probe_force[i] {
+                        probe_prunes += 1;
+                    }
                 }
             }
         } else {
@@ -478,14 +791,51 @@ pub(crate) fn run_select(
                     live[i],
                     tids.get(i, live_idx[i]),
                     threshold,
-                    rub_eligible[i],
+                    (probing && probe_force[i]) || (!inc_on && rub_eligible[i]),
                     &mut gains[i],
                 ) {
                     dirty[i] = false;
+                    n_refreshes += 1;
                 } else {
                     dirty[i] = true;
                     skipped[i] = true;
+                    n_prunes += 1;
+                    if probing && probe_force[i] {
+                        probe_prunes += 1;
+                    }
                 }
+            }
+        }
+
+        if iterations == 2 {
+            // Round two is the provable comparison point between bound
+            // configurations (see `SelectStats::round2_prunes`); the inc
+            // prune pass cannot have run yet, so the delta is all refresh
+            // prunes.
+            round2_prunes = n_prunes - prunes_before;
+        }
+
+        // Probe verdict: the probe round consulted the exact bound for a
+        // prefix sample of the stale candidates; arm the incremental
+        // index only when it pruned a meaningful share of the sample (the
+        // fold cost scales with cover updates, so a bound that never
+        // bites is pure overhead). Decided once per run, on refresh
+        // outcomes only — deterministic for any thread count. The index
+        // is seeded from the current cover state, so arming mid-run is
+        // exact.
+        if probing {
+            inc_decided = true;
+            if probe_decisions > 0 && probe_prunes * 2 >= probe_decisions {
+                let t0 = std::time::Instant::now();
+                inc = build_inc_rub(&state, &live, &live_idx, &tids);
+                bound_maintain += t0.elapsed();
+                if inc.is_some() {
+                    inc_was_armed = true;
+                    state.set_tub_delta_log(true);
+                }
+            }
+            if inc.is_none() {
+                any_rub = rub_eligible.iter().any(|&e| e);
             }
         }
 
@@ -555,8 +905,33 @@ pub(crate) fn run_select(
                 dirty[idx] = true;
             }
         }
+
+        // Disarm permanently if the armed prune rate has collapsed below
+        // the arming bar — the probe round's rate is not always
+        // representative at scale, and once the bound stops biting every
+        // fold is pure loss. Same data-dependent determinism as arming.
+        if inc.is_some() && inc_decisions >= 1024 && inc_hits * 4 < inc_decisions {
+            inc = None;
+            state.set_tub_delta_log(false);
+            any_rub = rub_eligible.iter().any(|&e| e);
+        }
+
+        // Fold this round's tub decrements into the maintained sums.
+        if let Some(inc) = inc.as_mut() {
+            let t0 = std::time::Instant::now();
+            inc.fold(state.take_tub_deltas());
+            bound_maintain += t0.elapsed();
+        }
     }
 
+    if let Some(s) = stats_out {
+        s.rub_prunes = n_prunes;
+        s.round2_prunes = round2_prunes;
+        s.refreshes = n_refreshes;
+        s.iterations = iterations;
+        s.bound_maintain_ms = bound_maintain.as_secs_f64() * 1e3;
+        s.incremental_active = inc_was_armed;
+    }
     let score = score_of(&state);
     Ok(TranslatorModel {
         table: state.into_table(),
@@ -626,25 +1001,81 @@ mod tests {
         // model must still match the unpruned run exactly.
         let d = structured();
         for k in [1, 3, 25] {
-            let forced = translator_select(
-                &d,
-                &SelectConfig {
-                    rub_cost_gate: false,
+            for incremental in [true, false] {
+                let base = SelectConfig {
+                    incremental_rub: incremental,
                     ..SelectConfig::builder().k(k).minsup(1).build()
-                },
-            );
-            let gated = translator_select(&d, &SelectConfig::builder().k(k).minsup(1).build());
-            let without = translator_select(
-                &d,
-                &SelectConfig {
-                    use_rub: false,
-                    ..SelectConfig::builder().k(k).minsup(1).build()
-                },
-            );
-            assert_eq!(forced.table, without.table, "k={k}");
-            assert_eq!(gated.table, without.table, "k={k}");
-            assert!((forced.score.l_total - without.score.l_total).abs() < 1e-9);
+                };
+                let forced = translator_select(
+                    &d,
+                    &SelectConfig {
+                        rub_cost_gate: false,
+                        ..base.clone()
+                    },
+                );
+                let gated = translator_select(&d, &base);
+                let without = translator_select(
+                    &d,
+                    &SelectConfig {
+                        use_rub: false,
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(forced.table, without.table, "k={k} inc={incremental}");
+                assert_eq!(gated.table, without.table, "k={k} inc={incremental}");
+                assert!((forced.score.l_total - without.score.l_total).abs() < 1e-9);
+            }
         }
+    }
+
+    #[test]
+    fn incremental_rub_is_result_identical_and_prunes_more() {
+        use twoview_data::synthetic::{self, StructureSpec, SyntheticSpec};
+        let spec = SyntheticSpec {
+            name: "inc-rub".into(),
+            n_transactions: 300,
+            n_left: 14,
+            n_right: 12,
+            density_left: 0.04,
+            density_right: 0.04,
+            structure: StructureSpec::strong(4),
+            seed: 9,
+        };
+        let d = synthetic::generate(&spec).expect("valid spec").dataset;
+        let mined = mine_closed_twoview(&d, &MinerConfig::builder().minsup(2).build()).candidates;
+        let cfg = SelectConfig::builder().k(1).minsup(2).build();
+        let mut inc_stats = SelectStats::default();
+        let inc = translator_select_candidates_with_stats(&d, &cfg, &mined, &mut inc_stats);
+        let mut leg_stats = SelectStats::default();
+        let leg = translator_select_candidates_with_stats(
+            &d,
+            &SelectConfig {
+                incremental_rub: false,
+                ..cfg.clone()
+            },
+            &mined,
+            &mut leg_stats,
+        );
+        assert_eq!(inc.table, leg.table, "incremental rub changed the model");
+        assert!((inc.score.l_total - leg.score.l_total).abs() < 1e-9);
+        assert!(inc_stats.incremental_active, "index should build here");
+        assert!(!leg_stats.incremental_active);
+        assert_eq!(inc_stats.iterations, leg_stats.iterations);
+        // Every candidate is bound-eligible under the incremental sums, so
+        // prune counts can only grow (and refreshes only shrink) vs the
+        // cost-gated baseline.
+        assert!(
+            inc_stats.rub_prunes >= leg_stats.rub_prunes,
+            "{} < {}",
+            inc_stats.rub_prunes,
+            leg_stats.rub_prunes
+        );
+        assert!(
+            inc_stats.refreshes <= leg_stats.refreshes,
+            "{} > {}",
+            inc_stats.refreshes,
+            leg_stats.refreshes
+        );
     }
 
     #[test]

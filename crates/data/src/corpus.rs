@@ -300,6 +300,7 @@ impl PaperDataset {
             bidir_fraction: bidir,
             left_size: ls,
             right_size: rs,
+            burst_len: 1,
         };
         match self {
             PaperDataset::House => s(10, 0.26, 0.88, 0.5, (2, 4), (2, 3)),

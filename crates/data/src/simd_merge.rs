@@ -1,0 +1,514 @@
+//! Vectorised sparse-merge kernels for sorted `u32` tid lists.
+//!
+//! The sparse half of [`crate::tidset::Tidset`] stores sorted unique tids;
+//! its sparse×sparse intersection / difference / subset kernels bottom out
+//! here. Three merge strategies are layered:
+//!
+//! * **galloping** — when one operand is at least [`GALLOP_FACTOR`]× shorter,
+//!   each of its elements exponential-searches the longer list
+//!   ([`gallop_to`]); asymptotically unbeatable at high skew;
+//! * **SIMD block merge** (x86_64 only) — for comparable sizes, four-lane
+//!   SSE2 blocks are compared all-against-all via cyclic shuffles
+//!   (`_mm_shuffle_epi32` + `_mm_cmpeq_epi32`), with *block skipping*:
+//!   disjoint blocks (`a[i] > b[j+3]`) advance on a single scalar compare
+//!   without any lane work. SSE2 is part of the x86_64 baseline, so no
+//!   runtime feature detection is needed;
+//! * **scalar two-pointer merge** — the reference path, always compiled,
+//!   the only path on non-x86_64 targets.
+//!
+//! All paths produce identical results (sets of tids are exact, no
+//! floating point is involved); the differential property tests in
+//! `tests/proptests_tidset.rs` pin `simd == scalar` on random inputs.
+//!
+//! [`KernelPath`] selects the path process-wide (`TWOVIEW_TIDSET_KERNEL`
+//! env: `auto` | `simd` | `scalar`); CI runs the full suite under
+//! `scalar` to keep the reference path honest.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which sparse-merge kernel implementation non-skewed merges use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Scalar two-pointer merges — the reference path.
+    Scalar = 0,
+    /// SSE2 block merges where available (x86_64), scalar elsewhere.
+    Simd = 1,
+}
+
+fn path_cell() -> &'static AtomicU8 {
+    static CELL: OnceLock<AtomicU8> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let initial = match std::env::var("TWOVIEW_TIDSET_KERNEL").as_deref() {
+            Ok("scalar") => KernelPath::Scalar,
+            Ok("simd") | Ok("auto") | Err(_) => KernelPath::Simd,
+            Ok(other) => {
+                // A typo'd selector silently measuring the wrong kernel
+                // would invalidate a differential run; be loud about it.
+                eprintln!(
+                    "twoview-data: unrecognized TWOVIEW_TIDSET_KERNEL={other:?} \
+                     (expected auto|simd|scalar); using auto"
+                );
+                KernelPath::Simd
+            }
+        };
+        AtomicU8::new(initial as u8)
+    })
+}
+
+/// The process-wide merge-kernel path. `Simd` degrades to the scalar
+/// implementation on targets without SSE2 support.
+pub fn kernel_path() -> KernelPath {
+    match path_cell().load(Ordering::Relaxed) {
+        0 => KernelPath::Scalar,
+        _ => KernelPath::Simd,
+    }
+}
+
+/// Sets the process-wide merge-kernel path. Results are identical either
+/// way — this only exists for benchmarks and differential tests (the
+/// default, overridable via `TWOVIEW_TIDSET_KERNEL`, is right everywhere
+/// else).
+pub fn set_kernel_path(path: KernelPath) {
+    path_cell().store(path as u8, Ordering::Relaxed);
+}
+
+#[inline]
+fn simd_active() -> bool {
+    cfg!(target_arch = "x86_64") && kernel_path() == KernelPath::Simd
+}
+
+/// Number of elements of `a` strictly below `x`, found by exponential
+/// search + binary refinement — the "gallop" step of the skewed merges.
+#[inline]
+pub(crate) fn gallop_to(a: &[u32], x: u32) -> usize {
+    if a.first().is_none_or(|&f| f >= x) {
+        return 0;
+    }
+    let mut hi = 1usize;
+    while hi < a.len() && a[hi] < x {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    let end = hi.min(a.len());
+    lo + a[lo..end].partition_point(|&v| v < x)
+}
+
+/// When the smaller operand is at least this factor shorter, gallop per
+/// element instead of merging blocks.
+pub(crate) const GALLOP_FACTOR: usize = 8;
+
+// ---------------------------------------------------------------- scalar
+// reference kernels (always compiled; the only path off x86_64)
+
+/// Scalar `a ∩ b`, appended to `out`: gallop when skewed, two-pointer
+/// merge otherwise. This is the reference the SIMD path must match.
+pub fn scalar_intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    scalar_intersect_visit(a, b, |x| out.push(x));
+}
+
+/// Scalar `|a ∩ b|`.
+pub fn scalar_intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let mut count = 0usize;
+    scalar_intersect_visit(a, b, |_| count += 1);
+    count
+}
+
+/// Walks `a ∩ b` in ascending order, calling `emit` per common element —
+/// the single scalar implementation behind both the materialising and the
+/// counting intersection, so the gallop heuristics cannot drift apart.
+#[inline]
+fn scalar_intersect_visit(a: &[u32], b: &[u32], mut emit: impl FnMut(u32)) {
+    let (s, l) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if s.len().saturating_mul(GALLOP_FACTOR) < l.len() {
+        let mut off = 0usize;
+        for &x in s {
+            off += gallop_to(&l[off..], x);
+            if off >= l.len() {
+                break;
+            }
+            if l[off] == x {
+                emit(x);
+                off += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < s.len() && j < l.len() {
+            match s[i].cmp(&l[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    emit(s[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Scalar `a \ b`, appended to `out`: gallop probes when `a` is much
+/// shorter, two-pointer merge otherwise.
+pub fn scalar_difference_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    if a.len().saturating_mul(GALLOP_FACTOR) < b.len() {
+        let mut off = 0usize;
+        for &x in a {
+            off += gallop_to(&b[off..], x);
+            if off < b.len() && b[off] == x {
+                off += 1;
+            } else {
+                out.push(x);
+            }
+        }
+        return;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+}
+
+/// Scalar `a ⊆ b` with early exit: gallop probes when skewed, two-pointer
+/// merge otherwise.
+pub fn scalar_is_subset(a: &[u32], b: &[u32]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    if a.len().saturating_mul(GALLOP_FACTOR) < b.len() {
+        let mut off = 0usize;
+        for &x in a {
+            off += gallop_to(&b[off..], x);
+            if off >= b.len() || b[off] != x {
+                return false;
+            }
+            off += 1;
+        }
+        return true;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() {
+        if j >= b.len() {
+            return false;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    true
+}
+
+// ------------------------------------------------------------------ SIMD
+// (SSE2 block merges; x86_64 only — SSE2 is in the baseline feature set)
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use std::arch::x86_64::{
+        __m128i, _mm_castsi128_ps, _mm_cmpeq_epi32, _mm_loadu_si128, _mm_movemask_ps, _mm_or_si128,
+        _mm_shuffle_epi32,
+    };
+
+    /// 4-bit lane mask: bit `k` set iff `a[k]` occurs anywhere in the four
+    /// lanes of `b` — `_mm_cmpeq_epi32` against all four cyclic rotations
+    /// of `b`, OR-folded, then `movemask` over the lane sign bits.
+    ///
+    /// # Safety
+    /// `a` and `b` must each point at 4 readable `u32`s. Only SSE2
+    /// instructions are used, which every x86_64 CPU provides.
+    #[inline]
+    unsafe fn matches4(a: *const u32, b: *const u32) -> u32 {
+        let va = _mm_loadu_si128(a as *const __m128i);
+        let vb = _mm_loadu_si128(b as *const __m128i);
+        let eq0 = _mm_cmpeq_epi32(va, vb);
+        let eq1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b00_11_10_01));
+        let eq2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b01_00_11_10));
+        let eq3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b10_01_00_11));
+        let any = _mm_or_si128(_mm_or_si128(eq0, eq1), _mm_or_si128(eq2, eq3));
+        _mm_movemask_ps(_mm_castsi128_ps(any)) as u32
+    }
+
+    /// The shared SSE2 block-merge skeleton: walks 4-lane blocks of `a`
+    /// and `b`, accumulating per-`a`-block match masks (an `a` block may
+    /// match across several `b` blocks), and hands each *finished* `a`
+    /// block — its start index and 4-bit match mask — to `flush`. Blocks
+    /// whose ranges cannot overlap are skipped on one scalar compare.
+    /// Returns the scalar-tail start positions `(i, j)`.
+    ///
+    /// The final `a` block may exit the loop only partially compared; it
+    /// is flushed with `tail = Some(j)`: its *matched* lanes are final
+    /// (every `b` element small enough to match was compared), but its
+    /// unmatched lanes must still consult the remaining `b` suffix
+    /// `b[j..]`. All fully-compared blocks flush with `tail = None`.
+    #[inline]
+    fn block_merge(
+        a: &[u32],
+        b: &[u32],
+        mut flush: impl FnMut(usize, u32, Option<usize>) -> bool,
+    ) -> Option<(usize, usize)> {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0u32;
+        while i + 4 <= a.len() && j + 4 <= b.len() {
+            let amax = a[i + 3];
+            let bmax = b[j + 3];
+            if a[i] > bmax {
+                // Disjoint blocks: nothing in this b block can match.
+                j += 4;
+                continue;
+            }
+            if b[j] > amax {
+                // All remaining b elements exceed this a block: finish it.
+                if !flush(i, acc, None) {
+                    return None;
+                }
+                i += 4;
+                acc = 0;
+                continue;
+            }
+            // Safety: both blocks have 4 in-bounds elements (loop guard).
+            acc |= unsafe { matches4(a.as_ptr().add(i), b.as_ptr().add(j)) };
+            if amax <= bmax {
+                if !flush(i, acc, None) {
+                    return None;
+                }
+                i += 4;
+                acc = 0;
+            }
+            if bmax <= amax {
+                j += 4;
+            }
+        }
+        // Even when b is exhausted the partial block must flush — its acc
+        // may hold matches found before b ran out (an empty b[j..] suffix
+        // then resolves every unmatched lane correctly).
+        if i + 4 <= a.len() {
+            if !flush(i, acc, Some(j)) {
+                return None;
+            }
+            i += 4;
+        }
+        Some((i, j))
+    }
+
+    /// SSE2 `a ∩ b` appended to `out` (same result as the scalar merge).
+    pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+        let tails = block_merge(a, b, |i, acc, tail| {
+            for k in 0..4 {
+                if acc >> k & 1 == 1 {
+                    out.push(a[i + k]);
+                } else if let Some(j) = tail {
+                    if b[j..].binary_search(&a[i + k]).is_ok() {
+                        out.push(a[i + k]);
+                    }
+                }
+            }
+            true
+        });
+        let (i, j) = tails.expect("intersection flush never aborts");
+        super::scalar_intersect_into(&a[i..], &b[j..], out);
+    }
+
+    /// SSE2 `|a ∩ b|`.
+    pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+        let mut count = 0usize;
+        let tails = block_merge(a, b, |i, acc, tail| {
+            count += acc.count_ones() as usize;
+            if let Some(j) = tail {
+                for k in 0..4 {
+                    if acc >> k & 1 == 0 && b[j..].binary_search(&a[i + k]).is_ok() {
+                        count += 1;
+                    }
+                }
+            }
+            true
+        });
+        let (i, j) = tails.expect("count flush never aborts");
+        count + super::scalar_intersect_count(&a[i..], &b[j..])
+    }
+
+    /// SSE2 `a \ b` appended to `out`.
+    pub fn difference_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+        let tails = block_merge(a, b, |i, acc, tail| {
+            for k in 0..4 {
+                if acc >> k & 1 == 0 {
+                    match tail {
+                        None => out.push(a[i + k]),
+                        Some(j) => {
+                            if b[j..].binary_search(&a[i + k]).is_err() {
+                                out.push(a[i + k]);
+                            }
+                        }
+                    }
+                }
+            }
+            true
+        });
+        let (i, j) = tails.expect("difference flush never aborts");
+        super::scalar_difference_into(&a[i..], &b[j..], out);
+    }
+
+    /// SSE2 `a ⊆ b` with block-level early exit.
+    pub fn is_subset(a: &[u32], b: &[u32]) -> bool {
+        let tails = block_merge(a, b, |i, acc, tail| match tail {
+            None => acc == 0b1111,
+            Some(j) => (0..4).all(|k| acc >> k & 1 == 1 || b[j..].binary_search(&a[i + k]).is_ok()),
+        });
+        match tails {
+            None => false,
+            Some((i, j)) => super::scalar_is_subset(&a[i..], &b[j..]),
+        }
+    }
+}
+
+// ------------------------------------------------------------ dispatchers
+
+/// `a ∩ b` appended to `out`: gallop when skewed, SIMD or scalar block
+/// merge otherwise (per [`kernel_path`]).
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (s, l) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if s.len().saturating_mul(GALLOP_FACTOR) < l.len() || !simd_active() {
+        return scalar_intersect_into(a, b, out);
+    }
+    #[cfg(target_arch = "x86_64")]
+    sse2::intersect_into(a, b, out);
+}
+
+/// `|a ∩ b|` (same dispatch as [`intersect_into`]).
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (s, l) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if s.len().saturating_mul(GALLOP_FACTOR) < l.len() || !simd_active() {
+        return scalar_intersect_count(a, b);
+    }
+    #[cfg(target_arch = "x86_64")]
+    return sse2::intersect_count(a, b);
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("simd_active is false off x86_64")
+}
+
+/// `a \ b` appended to `out`: gallop probes when `a` is much shorter,
+/// SIMD or scalar merge otherwise.
+pub fn difference_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    if a.len().saturating_mul(GALLOP_FACTOR) < b.len() || !simd_active() {
+        return scalar_difference_into(a, b, out);
+    }
+    #[cfg(target_arch = "x86_64")]
+    sse2::difference_into(a, b, out);
+}
+
+/// `a ⊆ b` with early exit (same dispatch as [`difference_into`]).
+pub fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    if a.len().saturating_mul(GALLOP_FACTOR) < b.len() || !simd_active() {
+        return scalar_is_subset(a, b);
+    }
+    #[cfg(target_arch = "x86_64")]
+    return sse2::is_subset(a, b);
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("simd_active is false off x86_64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive-ish differential check of every kernel against naive
+    /// set algebra, on both paths. (The proptest suite adds randomized
+    /// coverage; this pins the block-boundary edge cases.)
+    fn check_pair(a: &[u32], b: &[u32]) {
+        let expect_i: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+        let expect_d: Vec<u32> = a.iter().copied().filter(|x| !b.contains(x)).collect();
+        let expect_s = a.iter().all(|x| b.contains(x));
+        for path in [KernelPath::Scalar, KernelPath::Simd] {
+            set_kernel_path(path);
+            let mut got_i = Vec::new();
+            intersect_into(a, b, &mut got_i);
+            assert_eq!(got_i, expect_i, "{path:?} intersect {a:?} {b:?}");
+            assert_eq!(
+                intersect_count(a, b),
+                expect_i.len(),
+                "{path:?} count {a:?} {b:?}"
+            );
+            let mut got_d = Vec::new();
+            difference_into(a, b, &mut got_d);
+            assert_eq!(got_d, expect_d, "{path:?} difference {a:?} {b:?}");
+            assert_eq!(is_subset(a, b), expect_s, "{path:?} subset {a:?} {b:?}");
+        }
+        set_kernel_path(KernelPath::Simd);
+    }
+
+    #[test]
+    fn kernels_match_reference_on_block_boundaries() {
+        let dense: Vec<u32> = (0..40).collect();
+        let evens: Vec<u32> = (0..40).step_by(2).collect();
+        let sevens: Vec<u32> = (0..200).step_by(7).collect();
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![]),
+            (vec![1], vec![]),
+            (vec![], vec![1]),
+            (vec![1, 2, 3], vec![2, 3, 4]),
+            (dense.clone(), evens.clone()),
+            (evens.clone(), dense.clone()),
+            (dense.clone(), sevens.clone()),
+            (sevens.clone(), dense.clone()),
+            // Matches spilling across b blocks for one a block.
+            (vec![1, 2, 3, 100], vec![1, 2, 3, 4, 5, 6, 7, 100]),
+            // Partial final blocks on both sides.
+            (vec![0, 8, 16, 24, 32], vec![8, 9, 10, 24, 33]),
+            // Fully disjoint interleaved blocks (exercises block skipping).
+            (
+                (0..32).collect::<Vec<u32>>(),
+                (100..132).collect::<Vec<u32>>(),
+            ),
+            ((100..132).collect(), (0..32).collect()),
+            // Subset relations.
+            (evens.clone(), evens.clone()),
+            (vec![2, 18, 38], evens.clone()),
+            (vec![2, 18, 39], evens),
+        ];
+        for (a, b) in &cases {
+            check_pair(a, b);
+            check_pair(b, a);
+        }
+    }
+
+    #[test]
+    fn kernels_match_reference_on_pseudorandom_lists() {
+        // Deterministic LCG inputs across a spread of densities and sizes.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (na, nb, modulus) in [
+            (5, 400, 512),
+            (60, 70, 256),
+            (128, 128, 200),
+            (33, 47, 4096),
+        ] {
+            let mut a: Vec<u32> = (0..na).map(|_| (next() % modulus) as u32).collect();
+            let mut b: Vec<u32> = (0..nb).map(|_| (next() % modulus) as u32).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            check_pair(&a, &b);
+            check_pair(&b, &a);
+        }
+    }
+}

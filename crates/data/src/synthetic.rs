@@ -52,6 +52,13 @@ pub struct StructureSpec {
     pub left_size: (usize, usize),
     /// Inclusive size range for the right itemsets.
     pub right_size: (usize, usize),
+    /// Concept activations are decided per *block* of this many
+    /// consecutive transactions instead of per transaction, so item
+    /// columns carry long tid runs (sorted / temporal corpora). `0` or
+    /// `1` keeps the classic per-transaction draw — and, importantly,
+    /// the exact historical RNG call sequence, so existing seeds
+    /// reproduce byte-identical datasets.
+    pub burst_len: usize,
 }
 
 impl StructureSpec {
@@ -65,6 +72,7 @@ impl StructureSpec {
             bidir_fraction: 0.0,
             left_size: (1, 1),
             right_size: (1, 1),
+            burst_len: 1,
         }
     }
 
@@ -78,6 +86,16 @@ impl StructureSpec {
             bidir_fraction: 0.5,
             left_size: (2, 4),
             right_size: (2, 3),
+            burst_len: 1,
+        }
+    }
+
+    /// `strong` structure whose concepts activate in blocks of
+    /// `burst_len` consecutive transactions — tid columns become runs.
+    pub fn bursty(n_concepts: usize, burst_len: usize) -> Self {
+        StructureSpec {
+            burst_len,
+            ..StructureSpec::strong(n_concepts)
         }
     }
 }
@@ -175,17 +193,33 @@ pub fn generate_with_vocab(
     let mut right_rows = vec![Bitmap::new(spec.n_right); n];
 
     // Phase 1: structure.
-    for t in 0..n {
-        for c in &concepts {
-            if rng.gen_bool(c.occurrence) {
-                fire(
-                    &mut left_rows[t],
-                    &c.left,
-                    &vocab,
-                    spec.structure.item_fire,
-                    &mut rng,
-                );
-                if rng.gen_bool(c.confidence) {
+    if spec.structure.burst_len <= 1 {
+        // Classic per-transaction draws. This branch is kept verbatim so
+        // the RNG call sequence — and therefore every historical seed —
+        // is byte-identical when bursts are off.
+        for t in 0..n {
+            for c in &concepts {
+                if rng.gen_bool(c.occurrence) {
+                    fire(
+                        &mut left_rows[t],
+                        &c.left,
+                        &vocab,
+                        spec.structure.item_fire,
+                        &mut rng,
+                    );
+                    if rng.gen_bool(c.confidence) {
+                        fire(
+                            &mut right_rows[t],
+                            &c.right,
+                            &vocab,
+                            spec.structure.item_fire,
+                            &mut rng,
+                        );
+                    }
+                } else if !c.bidirectional && rng.gen_bool(c.occurrence * 0.6) {
+                    // Asymmetric concepts fire their right side alone now and
+                    // then: the L→R direction stays strong, the R→L one
+                    // weakens.
                     fire(
                         &mut right_rows[t],
                         &c.right,
@@ -194,17 +228,44 @@ pub fn generate_with_vocab(
                         &mut rng,
                     );
                 }
-            } else if !c.bidirectional && rng.gen_bool(c.occurrence * 0.6) {
-                // Asymmetric concepts fire their right side alone now and
-                // then: the L→R direction stays strong, the R→L one weakens.
-                fire(
-                    &mut right_rows[t],
-                    &c.right,
-                    &vocab,
-                    spec.structure.item_fire,
-                    &mut rng,
-                );
             }
+        }
+    } else {
+        // Bursty draws: one activation decision per block of consecutive
+        // transactions, so each concept's tid column is a union of runs
+        // of length ≈ burst_len (modulo per-item fire noise).
+        let burst = spec.structure.burst_len;
+        let mut t0 = 0usize;
+        while t0 < n {
+            let t1 = (t0 + burst).min(n);
+            for c in &concepts {
+                if rng.gen_bool(c.occurrence) {
+                    let right_fires = rng.gen_bool(c.confidence);
+                    for t in t0..t1 {
+                        fire(
+                            &mut left_rows[t],
+                            &c.left,
+                            &vocab,
+                            spec.structure.item_fire,
+                            &mut rng,
+                        );
+                        if right_fires {
+                            fire(
+                                &mut right_rows[t],
+                                &c.right,
+                                &vocab,
+                                spec.structure.item_fire,
+                                &mut rng,
+                            );
+                        }
+                    }
+                } else if !c.bidirectional && rng.gen_bool(c.occurrence * 0.6) {
+                    for row in &mut right_rows[t0..t1] {
+                        fire(row, &c.right, &vocab, spec.structure.item_fire, &mut rng);
+                    }
+                }
+            }
+            t0 = t1;
         }
     }
 
@@ -420,6 +481,48 @@ mod tests {
             }
         }
         assert!(found_strong, "no planted concept is recoverable");
+    }
+
+    #[test]
+    fn bursty_structure_produces_tid_runs() {
+        let mut s = spec(StructureSpec::bursty(3, 25));
+        s.density_left = 0.0;
+        s.density_right = 0.0;
+        let out = generate(&s).unwrap();
+        let item = out.concepts[0].left.iter().next().unwrap();
+        let tids: Vec<usize> = (0..out.dataset.n_transactions())
+            .filter(|&t| out.dataset.transaction_items(t).contains(item))
+            .collect();
+        assert!(tids.len() >= 25, "planted item too rare: {}", tids.len());
+        let runs = tids.windows(2).filter(|w| w[1] != w[0] + 1).count() + 1;
+        let mean_run = tids.len() as f64 / runs as f64;
+        assert!(
+            mean_run >= 4.0,
+            "bursts should produce long runs, mean {mean_run} over {runs} runs"
+        );
+        // Per-transaction draws on the same seed give near-singleton runs.
+        let mut s1 = s.clone();
+        s1.structure.burst_len = 1;
+        let flat = generate(&s1).unwrap();
+        let flat_tids: Vec<usize> = (0..flat.dataset.n_transactions())
+            .filter(|&t| flat.dataset.transaction_items(t).contains(item))
+            .collect();
+        let flat_runs = flat_tids.windows(2).filter(|w| w[1] != w[0] + 1).count() + 1;
+        let flat_mean = flat_tids.len() as f64 / flat_runs as f64;
+        assert!(flat_mean < mean_run, "{flat_mean} vs {mean_run}");
+    }
+
+    #[test]
+    fn burst_len_zero_and_one_share_the_classic_path() {
+        let mut a = spec(StructureSpec::strong(4));
+        a.structure.burst_len = 0;
+        let mut b = spec(StructureSpec::strong(4));
+        b.structure.burst_len = 1;
+        let da = generate(&a).unwrap().dataset;
+        let db = generate(&b).unwrap().dataset;
+        for t in 0..da.n_transactions() {
+            assert_eq!(da.transaction_items(t), db.transaction_items(t));
+        }
     }
 
     #[test]

@@ -88,8 +88,10 @@ pub fn mine_frequent_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> Candid
 ///   antecedent/consequent support [`Tidset`]s, computed lazily once under
 ///   the same 400 MB budget SELECT uses internally, shared by every fit at
 ///   the base minsup. The budget counts **actual representation bytes**
-///   (`4·card` for sparse sets instead of a flat `⌈n/8⌉·2`), so sparse
-///   corpora fit far larger candidate sets into the same budget.
+///   via [`Tidset::heap_bytes`] — `4·card` for sparse sets, `8·n_runs`
+///   for run-compressed sets, `⌈n/64⌉·8` for dense bitmaps — so sparse
+///   and clustered corpora fit far larger candidate sets into the same
+///   budget.
 ///
 /// The one caveat is truncation: if mining hit the `max_itemsets` valve,
 /// the filtered subset may differ from a direct (less truncated) mine at
@@ -118,12 +120,13 @@ pub const TIDSET_CACHE_BUDGET_BYTES: usize = 400 << 20;
 /// and EXACT's seed cache, so the three budgets cannot drift apart.
 ///
 /// Hopeless inputs are rejected in O(candidates) integer work before any
-/// support set is computed: each side's tidset holds at least
-/// `c.support` tids, so it occupies at least
-/// `min(4·support, dense_bytes)` however it is stored — if even that
-/// lower bound overshoots the budget, the expensive build is skipped
-/// entirely (the old flat dense estimate's O(1) skip, kept alongside the
-/// exact metering).
+/// support set is computed: each side's tidset occupies at least
+/// `min(4·support, dense_bytes, 8)` however it is stored. The `8` term is
+/// the run container's floor — a clustered support of *any* cardinality
+/// can collapse to a single `(start, len)` run of 8 bytes, so the old
+/// `min(4·support, dense_bytes)` estimate is no longer a valid lower
+/// bound; the skip now only catches pathologically huge candidate sets,
+/// and the exact metering below does the real accounting.
 pub fn build_seed_tidsets<'a>(
     data: &TwoViewDataset,
     candidates: impl ExactSizeIterator<Item = &'a TwoViewCandidate> + Clone,
@@ -131,7 +134,7 @@ pub fn build_seed_tidsets<'a>(
     let per_dense = twoview_data::tidset::dense_bytes(data.n_transactions());
     let floor: usize = candidates
         .clone()
-        .map(|c| 2 * (4 * c.support).min(per_dense))
+        .map(|c| 2 * (4 * c.support).min(per_dense).min(8))
         .sum();
     if floor > TIDSET_CACHE_BUDGET_BYTES {
         return None;
