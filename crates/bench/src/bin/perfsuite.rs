@@ -47,7 +47,7 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use twoview_core::engine::Algorithm;
 use twoview_core::greedy::translator_greedy_candidates;
@@ -63,6 +63,8 @@ use twoview_data::prelude::*;
 use twoview_data::synthetic::{self, StructureSpec, SyntheticSpec};
 use twoview_data::tidset;
 use twoview_mining::{mine_closed_twoview, MinerConfig, TwoViewCandidate};
+use twoview_runtime::faults::{self, points, FaultPlan};
+use twoview_runtime::{AdmissionPolicy, Deadline, JobError, Priority, RetryPolicy};
 
 /// One cell of the corpus matrix.
 struct CorpusSpec {
@@ -823,6 +825,219 @@ fn run_engine_bench(smoke: bool) -> EngineOutcome {
     }
 }
 
+/// Robustness drill + faults-disabled overhead, on the mid-dense corpus.
+///
+/// A fully deterministic scenario exercises every serving-hardening
+/// counter: a fit that panics once at an injected checkpoint fault and
+/// recovers via retry (`jobs_retried`), a failed seed-cache warm that
+/// degrades fits to the uncached recompute path (`fits_degraded`), a
+/// queue-wait deadline expiring while queued (`jobs_timed_out`), and a
+/// full bounded lane turning a submission away (`jobs_rejected`). The
+/// recovered model must be bit-identical to the fault-free reference.
+///
+/// Separately, the mid-dense SELECT(1) pool time — the fault probes are
+/// compiled in always, gated behind one relaxed atomic load — is compared
+/// against the `BENCH_history.jsonl` baseline (the envelope of the most
+/// recent same-mode same-thread entries, which damps single-run scheduler
+/// noise): the disabled-faults overhead must stay under 2%.
+struct RobustnessOutcome {
+    json: String,
+    scenario_ok: bool,
+    overhead_ok: bool,
+}
+
+fn run_robustness_bench(smoke: bool, history: &str, mode: &str, pool_ms: f64) -> RobustnessOutcome {
+    let spec = &CORPORA[1]; // mid-dense
+    let data = generate(spec, smoke);
+    let minsup = (data.n_transactions() / spec.minsup_div).max(1);
+    let cfg = SelectConfig::builder().k(1).minsup(minsup).build();
+
+    // Fault-free reference model.
+    faults::clear();
+    let clean = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .build()
+        .expect("clean engine");
+    let reference = clean
+        .fit(Algorithm::Select(cfg.clone()))
+        .join()
+        .expect("clean fit");
+    drop(clean);
+
+    // --- retry after an injected panic + degraded cache warm ------------
+    // Count the checkpoint probes one served SELECT fit performs (hits
+    // are recorded even at probability 0), then pick the fault seed whose
+    // deterministic draw sequence is fire-once-then-pass for that many
+    // draws: attempt 1 panics at its first checkpoint, attempt 2 runs
+    // clean. No luck involved — the harness draws are pure functions of
+    // (seed, point, hit index).
+    faults::configure(
+        FaultPlan::new()
+            .point(points::SELECT_CHECKPOINT_PANIC, 0.0, 0)
+            .point(points::CACHE_WARM_FAIL, 1.0, 0),
+    );
+    let probe = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .build()
+        .expect("probe engine");
+    probe
+        .fit(Algorithm::Select(cfg.clone()))
+        .join()
+        .expect("probe fit");
+    drop(probe);
+    let checkpoints = faults::snapshot()
+        .iter()
+        .find(|(n, _, _)| n == points::SELECT_CHECKPOINT_PANIC)
+        .map(|&(_, hits, _)| hits)
+        .expect("select probe point registered");
+    assert!(checkpoints > 0, "a served SELECT fit must hit checkpoints");
+    let p = 1.0 / (checkpoints as f64 + 1.0);
+    let seed = (0..1_000_000u64)
+        .find(|&s| {
+            faults::configure(FaultPlan::new().point(points::SELECT_CHECKPOINT_PANIC, p, s));
+            faults::should_fire(points::SELECT_CHECKPOINT_PANIC)
+                && (0..checkpoints).all(|_| !faults::should_fire(points::SELECT_CHECKPOINT_PANIC))
+        })
+        .expect("a fire-once-then-pass seed exists");
+
+    faults::configure(
+        FaultPlan::new()
+            .point(points::SELECT_CHECKPOINT_PANIC, p, seed)
+            .point(points::CACHE_WARM_FAIL, 1.0, 0),
+    );
+    let engine = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .retry_policy(RetryPolicy::new(4, Duration::from_millis(1)))
+        .build()
+        .expect("faulted engine");
+    let recovered = engine
+        .fit(Algorithm::Select(cfg.clone()))
+        .join()
+        .expect("fit recovers via retry");
+    let faulted = engine.stats();
+    faults::clear();
+    let recovered_identical = models_match(&recovered, &reference);
+    drop(engine);
+
+    // --- bounded admission + queue-wait deadline -------------------------
+    // One executor held by a gated blocker, lane capacity 1: the first fit
+    // (with an already-expired queue-wait deadline) fills the lane, the
+    // second is turned away, and releasing the gate times the first out.
+    let engine = Engine::builder()
+        .dataset(data.clone())
+        .minsup(minsup)
+        .job_executors(1)
+        .lane_capacity(1)
+        .admission(AdmissionPolicy::Reject)
+        .build()
+        .expect("bounded engine");
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+    let blocker = engine.queue().submit(Priority::Batch, move |_ctx| {
+        gate_rx.recv().ok();
+        Ok(())
+    });
+    blocker.wait_started();
+    let doomed = engine.fit_opts(
+        Algorithm::Select(cfg.clone()),
+        Priority::Batch,
+        Deadline::queue_wait(Duration::ZERO),
+    );
+    let turned_away = engine
+        .fit_with(Algorithm::Select(cfg.clone()), Priority::Batch)
+        .join()
+        .expect_err("lane is full");
+    gate_tx.send(()).ok();
+    let timed_out = doomed.join().expect_err("queue deadline already expired");
+    blocker.join().expect("blocker completes");
+    let bounded = engine.stats();
+    drop(engine);
+
+    let scenario_ok = recovered_identical
+        && faulted.jobs_retried >= 1
+        && faulted.fits_degraded >= 1
+        && !faulted.seed_cache_warm
+        && matches!(turned_away, JobError::Rejected)
+        && matches!(timed_out, JobError::DeadlineExceeded)
+        && bounded.jobs_rejected == 1
+        && bounded.jobs_timed_out == 1;
+    eprintln!(
+        "  robustness[mid-dense]: retried {} (recovered identical: {recovered_identical}), \
+         degraded {}, rejected {}, timed out {} (scenario ok: {scenario_ok})",
+        faulted.jobs_retried, faulted.fits_degraded, bounded.jobs_rejected, bounded.jobs_timed_out
+    );
+
+    // --- faults-disabled overhead on mid-dense SELECT(1) -----------------
+    // `pool_ms` is run_corpus's mid-dense SELECT(1) pool measurement — the
+    // same site every history baseline was recorded from, so the
+    // comparison is apples-to-apples (re-timing here, at a different point
+    // in the suite's execution, reads systematically different numbers).
+    let threads = twoview_runtime::configured_threads();
+    // The comparison is PR-to-PR, so the baseline is the *recent* history
+    // (the last three same-mode same-thread entries; older ones predate
+    // intervening optimisations and machine recalibrations). Single-run
+    // wall clocks on a shared box carry single-digit scheduler noise, so
+    // the bar is the recent *envelope*: the slowest of those entries plus
+    // 2%. A systematic probe cost — the failure this guards against, e.g.
+    // a fault probe accidentally taking a lock on the SELECT hot path —
+    // shifts the whole distribution and clears that envelope by far.
+    let mut baselines: Vec<f64> = history
+        .lines()
+        .filter(|l| {
+            l.contains(&format!("\"mode\":\"{mode}\""))
+                && history_field(l, "threads") == Some(threads as f64)
+        })
+        .filter_map(|l| history_field(l, "select1_pool_ms_mid_dense"))
+        .collect();
+    if baselines.len() > 3 {
+        baselines.drain(..baselines.len() - 3);
+    }
+    let baseline = baselines.iter().copied().reduce(f64::max);
+    let overhead_pct = baseline.map(|b| (pool_ms / b.max(1e-9) - 1.0) * 100.0);
+    let overhead_ok = overhead_pct.is_none_or(|pct| pct < 2.0);
+    match (baseline, overhead_pct) {
+        (Some(b), Some(pct)) => eprintln!(
+            "  robustness: faults-disabled SELECT(1) pool {pool_ms:.2} ms vs recent baseline \
+             envelope {b:.2} ms ({pct:+.2}%, ok: {overhead_ok})"
+        ),
+        _ => eprintln!(
+            "  robustness: faults-disabled SELECT(1) pool {pool_ms:.2} ms; no {mode} baseline \
+             at {threads} thread(s) to compare"
+        ),
+    }
+
+    let json = format!(
+        r#"  "robustness": {{
+    "corpus": "mid-dense",
+    "jobs_retried": {retried},
+    "fits_degraded": {degraded},
+    "jobs_rejected": {rejected},
+    "jobs_timed_out": {timed_out_n},
+    "executors_respawned": {respawned},
+    "recovered_fit_identical": {recovered_identical},
+    "scenario_ok": {scenario_ok},
+    "select1_pool_ms": {pool_ms:.3},
+    "select1_pool_baseline_ms": {baseline_json},
+    "faults_disabled_overhead_pct": {pct_json},
+    "faults_disabled_overhead_ok": {overhead_ok}
+  }}"#,
+        retried = faulted.jobs_retried,
+        degraded = faulted.fits_degraded,
+        rejected = bounded.jobs_rejected,
+        timed_out_n = bounded.jobs_timed_out,
+        respawned = faulted.executors_respawned + bounded.executors_respawned,
+        baseline_json = baseline.map_or("null".into(), |b| format!("{b:.3}")),
+        pct_json = overhead_pct.map_or("null".into(), |p| format!("{p:.2}")),
+    );
+    RobustnessOutcome {
+        json,
+        scenario_ok,
+        overhead_ok,
+    }
+}
+
 /// Appended to `BENCH_history.jsonl` after every run: one flat JSON object
 /// per line so the regression gate (and humans with `grep`) can read it
 /// without a JSON parser.
@@ -930,13 +1145,24 @@ fn main() {
     all_identities &= engine.identity;
 
     let mode = if smoke { "smoke" } else { "full" };
+    let history = std::fs::read_to_string(HISTORY_PATH).unwrap_or_default();
+    let mid_dense_pool_ms = outcomes
+        .iter()
+        .find(|(n, _)| *n == "mid-dense")
+        .expect("corpus present")
+        .1
+        .select_pool_ms;
+    let robustness = run_robustness_bench(smoke, &history, mode, mid_dense_pool_ms);
+    all_identities &= robustness.scenario_ok;
+
     let json = format!(
         "{{\n  \"suite\": \"select\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \
-         \"corpora\": [\n{corpora}\n  ],\n{engine_json},\n  \
+         \"corpora\": [\n{corpora}\n  ],\n{engine_json},\n{robustness_json},\n  \
          \"all_identities\": {all_identities}\n}}\n",
         threads = twoview_runtime::configured_threads(),
         corpora = corpora_json.join(",\n"),
         engine_json = engine.json,
+        robustness_json = robustness.json,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("  wrote {out_path}");
@@ -947,7 +1173,6 @@ fn main() {
     // accept any regression on its second occurrence), and a broken run's
     // timings (often anomalously fast — skipped work is cheap work) must
     // not poison the baseline either.
-    let history = std::fs::read_to_string(HISTORY_PATH).unwrap_or_default();
     let by_name = |name: &str| {
         &outcomes
             .iter()
@@ -1023,6 +1248,11 @@ fn main() {
              \"tidsets_runs\":{mix_runs},\"tidset_bytes_saved\":{mix_saved}"
         );
         let _ = write!(line, ",\"engine_fit_mine_ms\":{:.3}", engine.fit_mine_ms);
+        let _ = write!(
+            line,
+            ",\"faults_disabled_overhead_ok\":{}",
+            robustness.overhead_ok
+        );
         let _ = write!(line, ",\"all_identities\":{all_identities}}}");
         let mut history = history;
         history.push_str(&line);
@@ -1038,5 +1268,11 @@ fn main() {
     if !all_identities {
         eprintln!("perfsuite: IDENTITY CHECK FAILED");
         std::process::exit(1);
+    }
+    // Reported (and CI grep-gated via the JSON snapshot) rather than a
+    // hard process failure: the <2% bar is enforced where the snapshot is
+    // consumed, keeping local full runs usable on noisy machines.
+    if !robustness.overhead_ok {
+        eprintln!("perfsuite: WARNING: faults-disabled overhead exceeded 2% vs history baseline");
     }
 }

@@ -27,6 +27,32 @@
 //! [`EngineStats::fit_mine_ms`], which stays exactly `0` while every fit
 //! reuses the cache (the invariant `perfsuite` gates on).
 //!
+//! # Robustness
+//!
+//! The engine is hardened for long-lived serving (every knob on
+//! [`EngineBuilder`], every counter in [`EngineStats`]):
+//!
+//! * **deadlines** — [`EngineBuilder::default_deadline`] bounds every
+//!   job's queue wait and total time; per-call overrides via
+//!   [`Engine::fit_opts`]. Expiry yields [`JobError::DeadlineExceeded`],
+//!   never a partial model.
+//! * **bounded admission** — [`EngineBuilder::lane_capacity`] plus an
+//!   [`AdmissionPolicy`] (block / reject / shed-oldest-batch) gives the
+//!   in-process backpressure contract a 429-returning front door maps
+//!   onto; turned-away jobs complete with [`JobError::Rejected`].
+//! * **deterministic retry** — a [`RetryPolicy`] re-runs a *panicked*
+//!   job body (transient faults) with exponential backoff inside the
+//!   same job; cancellation and deadline expiry are never retried. A
+//!   fit that succeeds on attempt *n* is bit-identical to a first-try
+//!   success.
+//! * **graceful degradation** — when the shared seed-tidset warm fails
+//!   (memory budget, injected fault), base-minsup SELECT fits fall back
+//!   to recomputing tidsets per run: correct and bit-identical, just
+//!   slower, counted in [`EngineStats::fits_degraded`].
+//!
+//! Failure modes are provoked on demand through the deterministic
+//! [`twoview_runtime::faults`] harness (see `tests/engine_chaos.rs`).
+//!
 //! ```
 //! use twoview_core::engine::{Algorithm, Engine};
 //! use twoview_core::select::SelectConfig;
@@ -45,13 +71,18 @@
 //! # Ok::<(), twoview_core::Error>(())
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use twoview_data::prelude::*;
 use twoview_mining::{CandidateCache, MinerConfig, TwoViewCandidate};
-use twoview_runtime::{JobCtx, JobError, JobHandle, JobQueue, Priority};
+use twoview_runtime::jobs::panic_message;
+use twoview_runtime::{
+    AdmissionPolicy, Deadline, JobCtx, JobError, JobHandle, JobOptions, JobQueue, Priority,
+    QueueConfig, RetryPolicy,
+};
 
 use crate::error::Error;
 use crate::exact::{run_exact, ExactConfig};
@@ -109,6 +140,10 @@ pub struct EngineBuilder {
     max_candidates: usize,
     n_threads: Option<usize>,
     job_executors: usize,
+    lane_capacity: Option<usize>,
+    admission: AdmissionPolicy,
+    retry: RetryPolicy,
+    default_deadline: Deadline,
 }
 
 impl Default for EngineBuilder {
@@ -129,6 +164,10 @@ impl EngineBuilder {
             max_candidates: 2_000_000,
             n_threads: None,
             job_executors: 2,
+            lane_capacity: None,
+            admission: AdmissionPolicy::default(),
+            retry: RetryPolicy::default(),
+            default_deadline: Deadline::NONE,
         }
     }
 
@@ -173,8 +212,48 @@ impl EngineBuilder {
         self
     }
 
+    /// Bound each priority lane to `capacity` queued jobs (default:
+    /// unbounded). Pair with [`EngineBuilder::admission`] to choose what
+    /// a full lane does to new submissions.
+    pub fn lane_capacity(mut self, capacity: usize) -> Self {
+        self.lane_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Full-lane behaviour (default [`AdmissionPolicy::Block`]):
+    /// backpressure on the submitter, immediate [`JobError::Rejected`],
+    /// or shedding the oldest queued batch job.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Retry schedule for transient (panicking) job bodies — including
+    /// injected faults — applied to every fit/translate/predict/evaluate
+    /// job. Default: no retries. Retries are deterministic: same
+    /// backoff schedule every run, and a fit that eventually succeeds is
+    /// bit-identical to a fault-free one.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Deadline applied to every job submitted through the convenience
+    /// methods (default: none). Override per fit with
+    /// [`Engine::fit_opts`].
+    pub fn default_deadline(mut self, deadline: Deadline) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
     /// Mines and caches the candidate substrate, warms the seed tidsets,
     /// and starts the job executors.
+    ///
+    /// Construction-time mining is covered by the retry policy (an
+    /// injected transient mining panic is retried like an in-job one);
+    /// a *warm* failure is not an error at all — the engine starts
+    /// degraded (see [`EngineStats::seed_cache_warm`]) and fits
+    /// recompute tidsets per run.
     pub fn build(self) -> Result<Engine, Error> {
         let data = self
             .dataset
@@ -182,12 +261,39 @@ impl EngineBuilder {
         let data = Arc::new(data);
         let miner_cfg = miner_config(self.minsup, self.max_candidates, self.n_threads);
         let mine_start = Instant::now();
-        let cache = CandidateCache::mine(&data, &miner_cfg, self.closed_candidates);
+        let closed = self.closed_candidates;
+        let cache = {
+            let mut attempt = 1u32;
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    CandidateCache::mine(&data, &miner_cfg, closed)
+                })) {
+                    Ok(cache) => break cache,
+                    Err(payload) => {
+                        if attempt >= self.retry.max_attempts {
+                            return Err(Error::Job(JobError::Panicked(panic_message(
+                                payload.as_ref(),
+                            ))));
+                        }
+                        std::thread::sleep(self.retry.backoff_after(attempt));
+                        attempt += 1;
+                    }
+                }
+            }
+        };
         // Warm the shared seed tidsets while we are still single-threaded
         // (lazy init would otherwise race the first fits into computing
-        // them inside a job).
-        let _ = cache.tidsets(&data);
+        // them inside a job). A failed warm (budget, injected fault) is
+        // the degraded-but-correct path, not an error.
+        let seed_cache_warm = cache.tidsets(&data).is_some();
         let build_mine_ms = mine_start.elapsed().as_secs_f64() * 1e3;
+        let queue_config = {
+            let mut cfg = QueueConfig::new(self.job_executors).admission(self.admission);
+            if let Some(capacity) = self.lane_capacity {
+                cfg = cfg.lane_capacity(capacity);
+            }
+            cfg
+        };
         Ok(Engine {
             inner: Arc::new(EngineInner {
                 data,
@@ -195,11 +301,16 @@ impl EngineBuilder {
                 mine_valve: self.max_candidates,
                 n_threads: self.n_threads,
                 build_mine_ms,
+                seed_cache_warm,
+                retry: self.retry,
+                default_deadline: self.default_deadline,
                 fit_mine_ns: AtomicU64::new(0),
                 fits_completed: AtomicU64::new(0),
+                fits_retried: AtomicU64::new(0),
+                fits_degraded: AtomicU64::new(0),
                 jobs_submitted: AtomicU64::new(0),
             }),
-            queue: JobQueue::new(self.job_executors),
+            queue: JobQueue::with_config(queue_config),
         })
     }
 }
@@ -233,19 +344,42 @@ pub struct EngineStats {
     pub fits_completed: u64,
     /// Jobs submitted (all kinds).
     pub jobs_submitted: u64,
+    /// Whether the construction-time seed-tidset warm succeeded. `false`
+    /// means the engine serves degraded (correct, slower) base-minsup
+    /// SELECT fits.
+    pub seed_cache_warm: bool,
+    /// Body attempts beyond the first across all jobs (retry activity).
+    pub jobs_retried: u64,
+    /// Fits served without the shared seed tidsets although the config
+    /// was otherwise eligible (failed warm or budget pressure): the
+    /// graceful-degradation counter.
+    pub fits_degraded: u64,
+    /// Jobs refused by admission control ([`JobError::Rejected`]).
+    pub jobs_rejected: u64,
+    /// Queued batch jobs shed by [`AdmissionPolicy::ShedOldestBatch`].
+    pub jobs_shed: u64,
+    /// Jobs whose [`Deadline`] expired.
+    pub jobs_timed_out: u64,
+    /// Executor threads restarted by supervision.
+    pub executors_respawned: u64,
 }
 
 /// Cancellation/progress cadence of row-wise query jobs (translate,
 /// predict).
 const QUERY_CHECKPOINT_EVERY: usize = 1024;
 
-/// What [`EngineInner::candidates_for`] hands a fit: the candidate list,
-/// the shared tidsets when alignment allows, and the truncation flag.
-type FitCandidates<'a> = (
-    std::borrow::Cow<'a, [TwoViewCandidate]>,
-    Option<&'a [(Tidset, Tidset)]>,
-    bool,
-);
+/// What [`EngineInner::candidates_for`] hands a fit.
+struct ServedCandidates<'a> {
+    /// The candidate list (borrowed from the cache when servable).
+    cands: std::borrow::Cow<'a, [TwoViewCandidate]>,
+    /// Shared seed tidsets, when alignment allows.
+    tids: Option<&'a [(Tidset, Tidset)]>,
+    /// Truncation flag of whichever mining produced the list.
+    truncated: bool,
+    /// The config was eligible for shared tidsets but they are
+    /// unavailable (failed warm / budget): the fit runs degraded.
+    degraded: bool,
+}
 
 struct EngineInner {
     data: Arc<TwoViewDataset>,
@@ -254,10 +388,16 @@ struct EngineInner {
     mine_valve: usize,
     n_threads: Option<usize>,
     build_mine_ms: f64,
+    /// Whether the construction-time seed-tidset warm succeeded.
+    seed_cache_warm: bool,
+    retry: RetryPolicy,
+    default_deadline: Deadline,
     /// Nanoseconds of re-mining inside fit jobs (ns so that even a
     /// sub-microsecond re-mine on a toy dataset registers as nonzero).
     fit_mine_ns: AtomicU64,
     fits_completed: AtomicU64,
+    fits_retried: AtomicU64,
+    fits_degraded: AtomicU64,
     jobs_submitted: AtomicU64,
 }
 
@@ -273,7 +413,7 @@ impl EngineInner {
         minsup: usize,
         closed: bool,
         max_candidates: usize,
-    ) -> FitCandidates<'_> {
+    ) -> ServedCandidates<'_> {
         // Valve equivalence is judged against the valve the cache was
         // mined under (`mine_valve` counts *enumerated* itemsets, like a
         // direct mine's `max_itemsets` — not the post-split candidate
@@ -293,12 +433,20 @@ impl EngineInner {
         };
         if closed == self.cache.closed() && servable {
             if let Some(cands) = self.cache.at_minsup(minsup) {
-                let shared_tids = if minsup.max(1) == self.cache.minsup() {
+                let eligible = minsup.max(1) == self.cache.minsup();
+                let shared_tids = if eligible {
                     self.cache.tidsets(&self.data)
                 } else {
                     None
                 };
-                return (cands, shared_tids, self.cache.truncated());
+                return ServedCandidates {
+                    cands,
+                    // Eligible but unavailable = the degraded (recompute
+                    // per run) path; the model is identical either way.
+                    degraded: eligible && shared_tids.is_none(),
+                    tids: shared_tids,
+                    truncated: self.cache.truncated(),
+                };
             }
         }
         let mcfg = miner_config(minsup, max_candidates, self.n_threads);
@@ -307,11 +455,12 @@ impl EngineInner {
         self.fit_mine_ns
             .fetch_add(start.elapsed().as_nanos().max(1) as u64, Ordering::Relaxed);
         let truncated = fresh.truncated();
-        (
-            std::borrow::Cow::Owned(fresh.candidates().to_vec()),
-            None,
+        ServedCandidates {
+            cands: std::borrow::Cow::Owned(fresh.candidates().to_vec()),
+            tids: None,
             truncated,
-        )
+            degraded: false,
+        }
     }
 
     fn run_fit(&self, algorithm: &Algorithm, ctx: &JobCtx) -> Result<TranslatorModel, JobError> {
@@ -323,19 +472,23 @@ impl EngineInner {
             Algorithm::Select(cfg) => {
                 let mut cfg = cfg.clone();
                 cfg.n_threads = inherit(cfg.n_threads);
-                let (cands, tids, truncated) =
+                let served =
                     self.candidates_for(cfg.minsup, cfg.closed_candidates, cfg.max_candidates);
-                let mut model = run_select(data, &cfg, &cands, tids, Some(ctx), None)?;
-                model.truncated |= truncated;
+                if served.degraded {
+                    self.fits_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut model =
+                    run_select(data, &cfg, &served.cands, served.tids, Some(ctx), None)?;
+                model.truncated |= served.truncated;
                 model
             }
             Algorithm::Greedy(cfg) => {
                 let mut cfg = cfg.clone();
                 cfg.n_threads = inherit(cfg.n_threads);
-                let (cands, _, truncated) =
+                let served =
                     self.candidates_for(cfg.minsup, cfg.closed_candidates, cfg.max_candidates);
-                let mut model = run_greedy(data, &cfg, &cands, Some(ctx))?;
-                model.truncated |= truncated;
+                let mut model = run_greedy(data, &cfg, &served.cands, Some(ctx))?;
+                model.truncated |= served.truncated;
                 model
             }
             Algorithm::Exact(cfg) => {
@@ -358,7 +511,7 @@ impl EngineInner {
                             m
                         };
                         self.candidates_for(m, true, crate::exact::SEED_MINE_VALVE)
-                            .0
+                            .cands
                     }
                     None => std::borrow::Cow::Owned(Vec::new()),
                 };
@@ -367,6 +520,42 @@ impl EngineInner {
         };
         self.fits_completed.fetch_add(1, Ordering::Relaxed);
         Ok(model)
+    }
+
+    /// Runs `body`, retrying *panicking* attempts per the engine's
+    /// [`RetryPolicy`]. A clean `Err` (cancellation, deadline expiry) is
+    /// final — only panics are treated as transient. Backoff is
+    /// exponential and deterministic, slept in small slices so
+    /// cancellation and the total deadline stay responsive between
+    /// attempts. Attempts are surfaced in
+    /// [`twoview_runtime::JobTimings::attempts`].
+    fn with_retry<T>(
+        &self,
+        ctx: &JobCtx,
+        mut body: impl FnMut(&JobCtx) -> Result<T, JobError>,
+    ) -> Result<T, JobError> {
+        let mut attempt = 1u32;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| body(ctx))) {
+                Ok(result) => return result,
+                Err(payload) => {
+                    if attempt >= self.retry.max_attempts {
+                        return Err(JobError::Panicked(panic_message(payload.as_ref())));
+                    }
+                    self.fits_retried.fetch_add(1, Ordering::Relaxed);
+                    ctx.mark_retry();
+                    let mut remaining = self.retry.backoff_after(attempt);
+                    while remaining > Duration::ZERO {
+                        ctx.checkpoint()?;
+                        let slice = remaining.min(Duration::from_millis(1));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                    ctx.checkpoint()?;
+                    attempt += 1;
+                }
+            }
+        }
     }
 }
 
@@ -398,8 +587,10 @@ impl Engine {
         self.inner.cache.candidates()
     }
 
-    /// Aggregate statistics (candidate cache + job counters).
+    /// Aggregate statistics (candidate cache + job + robustness
+    /// counters).
     pub fn stats(&self) -> EngineStats {
+        let queue = self.queue.stats();
         EngineStats {
             n_candidates: self.inner.cache.len(),
             base_minsup: self.inner.cache.minsup(),
@@ -409,6 +600,13 @@ impl Engine {
             fit_mine_ms: self.inner.fit_mine_ns.load(Ordering::Relaxed) as f64 / 1e6,
             fits_completed: self.inner.fits_completed.load(Ordering::Relaxed),
             jobs_submitted: self.inner.jobs_submitted.load(Ordering::Relaxed),
+            seed_cache_warm: self.inner.seed_cache_warm,
+            jobs_retried: self.inner.fits_retried.load(Ordering::Relaxed),
+            fits_degraded: self.inner.fits_degraded.load(Ordering::Relaxed),
+            jobs_rejected: queue.rejected,
+            jobs_shed: queue.shed,
+            jobs_timed_out: queue.timed_out,
+            executors_respawned: queue.executors_respawned,
         }
     }
 
@@ -417,20 +615,44 @@ impl Engine {
         self.queue.executors()
     }
 
+    /// The underlying job queue. Custom jobs submitted here share the
+    /// engine's lanes, capacity, and admission policy — the hook a
+    /// serving front door builds on.
+    pub fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
     /// Submits a fit job at [`Priority::Batch`].
     pub fn fit(&self, algorithm: Algorithm) -> JobHandle<TranslatorModel> {
         self.fit_with(algorithm, Priority::Batch)
     }
 
-    /// Submits a fit job at the given priority. The completed model is
-    /// bit-identical to the corresponding serial `*_candidates` run over
+    /// Submits a fit job at the given priority (and the engine's default
+    /// deadline). The completed model is bit-identical to the
+    /// corresponding serial `*_candidates` run over
     /// [`Engine::candidates`]; progress ticks advance per iteration
     /// (SELECT/EXACT) or candidate block (GREEDY).
     pub fn fit_with(&self, algorithm: Algorithm, priority: Priority) -> JobHandle<TranslatorModel> {
+        self.fit_opts(algorithm, priority, self.inner.default_deadline)
+    }
+
+    /// Submits a fit job with an explicit per-job [`Deadline`]
+    /// (overriding the engine default). Expiry — in the queue or at a
+    /// checkpoint — resolves the handle to
+    /// [`JobError::DeadlineExceeded`]; like cancellation it never yields
+    /// a partial model.
+    pub fn fit_opts(
+        &self,
+        algorithm: Algorithm,
+        priority: Priority,
+        deadline: Deadline,
+    ) -> JobHandle<TranslatorModel> {
         let inner = Arc::clone(&self.inner);
         self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
         self.queue
-            .submit(priority, move |ctx| inner.run_fit(&algorithm, ctx))
+            .submit_opts(priority, JobOptions::with_deadline(deadline), move |ctx| {
+                inner.with_retry(ctx, |ctx| inner.run_fit(&algorithm, ctx))
+            })
     }
 
     /// Submits a translation job at [`Priority::Interactive`]: the full
@@ -448,23 +670,26 @@ impl Engine {
         priority: Priority,
     ) -> JobHandle<Vec<Bitmap>> {
         let inner = Arc::clone(&self.inner);
+        let opts = JobOptions::with_deadline(self.inner.default_deadline);
         self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        self.queue.submit(priority, move |ctx| {
-            let n = inner.data.n_transactions();
-            let mut out = Vec::with_capacity(n);
-            for t in 0..n {
-                if t % QUERY_CHECKPOINT_EVERY == 0 {
-                    ctx.checkpoint()?;
-                    ctx.tick(1);
+        self.queue.submit_opts(priority, opts, move |ctx| {
+            inner.with_retry(ctx, |ctx| {
+                let n = inner.data.n_transactions();
+                let mut out = Vec::with_capacity(n);
+                for t in 0..n {
+                    if t % QUERY_CHECKPOINT_EVERY == 0 {
+                        ctx.checkpoint()?;
+                        ctx.tick(1);
+                    }
+                    out.push(translate::translate_transaction(
+                        &inner.data,
+                        &table,
+                        from,
+                        t,
+                    ));
                 }
-                out.push(translate::translate_transaction(
-                    &inner.data,
-                    &table,
-                    from,
-                    t,
-                ));
-            }
-            Ok(out)
+                Ok(out)
+            })
         })
     }
 
@@ -488,17 +713,20 @@ impl Engine {
         priority: Priority,
     ) -> JobHandle<Vec<Bitmap>> {
         let inner = Arc::clone(&self.inner);
+        let opts = JobOptions::with_deadline(self.inner.default_deadline);
         self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        self.queue.submit(priority, move |ctx| {
-            let mut out = Vec::with_capacity(rows.len());
-            for (i, row) in rows.iter().enumerate() {
-                if i % QUERY_CHECKPOINT_EVERY == 0 {
-                    ctx.checkpoint()?;
-                    ctx.tick(1);
+        self.queue.submit_opts(priority, opts, move |ctx| {
+            inner.with_retry(ctx, |ctx| {
+                let mut out = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    if i % QUERY_CHECKPOINT_EVERY == 0 {
+                        ctx.checkpoint()?;
+                        ctx.tick(1);
+                    }
+                    out.push(predict_row(&inner.data, &table, from, row));
                 }
-                out.push(predict_row(&inner.data, &table, from, row));
-            }
-            Ok(out)
+                Ok(out)
+            })
         })
     }
 
@@ -517,10 +745,13 @@ impl Engine {
         priority: Priority,
     ) -> JobHandle<ModelScore> {
         let inner = Arc::clone(&self.inner);
+        let opts = JobOptions::with_deadline(self.inner.default_deadline);
         self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        self.queue.submit(priority, move |ctx| {
-            ctx.checkpoint()?;
-            Ok(evaluate_table(&inner.data, &table))
+        self.queue.submit_opts(priority, opts, move |ctx| {
+            inner.with_retry(ctx, |ctx| {
+                ctx.checkpoint()?;
+                Ok(evaluate_table(&inner.data, &table))
+            })
         })
     }
 }
@@ -722,6 +953,81 @@ mod tests {
         let score = engine.evaluate(table.clone()).join().unwrap();
         let direct = evaluate_table(&d, &table);
         assert!((score.l_total - direct.l_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_report_clean_robustness_baseline() {
+        let engine = Engine::builder().dataset(toy()).build().unwrap();
+        engine
+            .fit(Algorithm::Select(SelectConfig::builder().build()))
+            .join()
+            .unwrap();
+        let stats = engine.stats();
+        assert!(stats.seed_cache_warm, "toy warm must succeed");
+        assert_eq!(stats.jobs_retried, 0);
+        assert_eq!(stats.fits_degraded, 0);
+        assert_eq!(stats.jobs_rejected, 0);
+        assert_eq!(stats.jobs_shed, 0);
+        assert_eq!(stats.jobs_timed_out, 0);
+        assert_eq!(stats.executors_respawned, 0);
+    }
+
+    #[test]
+    fn fit_deadline_expires_in_queue() {
+        let engine = Engine::builder()
+            .dataset(toy())
+            .job_executors(1)
+            .build()
+            .unwrap();
+        // Hold the only executor on a gated custom job so the victim's
+        // queue-wait bound (zero) deterministically expires first.
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = engine.queue().submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        blocker.wait_started();
+        let victim = engine.fit_opts(
+            Algorithm::Select(SelectConfig::builder().build()),
+            Priority::Batch,
+            Deadline::queue_wait(std::time::Duration::ZERO),
+        );
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        match victim.join() {
+            Err(JobError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(engine.stats().jobs_timed_out, 1);
+    }
+
+    #[test]
+    fn bounded_admission_rejects_via_builder() {
+        let engine = Engine::builder()
+            .dataset(toy())
+            .job_executors(1)
+            .lane_capacity(1)
+            .admission(AdmissionPolicy::Reject)
+            .build()
+            .unwrap();
+        // Hold the single executor, fill the one-slot batch lane, then
+        // one more batch submission must be rejected.
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = engine.queue().submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        blocker.wait_started();
+        let queued = engine.fit(Algorithm::Select(SelectConfig::builder().build()));
+        let rejected = engine.fit(Algorithm::Select(SelectConfig::builder().build()));
+        match rejected.join() {
+            Err(JobError::Rejected) => {}
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        queued.join().unwrap();
+        assert_eq!(engine.stats().jobs_rejected, 1);
     }
 
     #[test]

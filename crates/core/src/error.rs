@@ -33,6 +33,18 @@ impl Error {
     pub fn is_cancelled(&self) -> bool {
         matches!(self, Error::Job(JobError::Cancelled))
     }
+
+    /// Whether a [`twoview_runtime::Deadline`] expired (queued or
+    /// running). Like cancellation, an expected serving outcome.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, Error::Job(JobError::DeadlineExceeded))
+    }
+
+    /// Whether admission control turned the job away (the signal a
+    /// serving front door maps to HTTP 429).
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Error::Job(JobError::Rejected))
+    }
 }
 
 impl fmt::Display for Error {
@@ -92,6 +104,14 @@ mod tests {
         let e = Error::from(JobError::Cancelled);
         assert!(e.is_cancelled());
         assert!(e.to_string().contains("cancelled"));
+
+        let e = Error::from(JobError::DeadlineExceeded);
+        assert!(e.is_deadline_exceeded() && !e.is_cancelled());
+        assert!(e.to_string().contains("deadline"));
+
+        let e = Error::from(JobError::Rejected);
+        assert!(e.is_rejected());
+        assert!(e.to_string().contains("rejected"));
 
         let e = Error::config("minsup below mined base");
         assert!(e.to_string().contains("minsup below mined base"));

@@ -615,8 +615,12 @@ pub(crate) fn run_select(
     loop {
         // Cooperative cancellation: observed at iteration boundaries only,
         // so a run either completes (bit-identical to serial) or yields no
-        // model at all.
+        // model at all. The fault point shares the boundary: an injected
+        // panic can never leave a partial model either.
         if let Some(ctx) = ctl {
+            twoview_runtime::faults::maybe_panic(
+                twoview_runtime::faults::points::SELECT_CHECKPOINT_PANIC,
+            );
             ctx.checkpoint()?;
             ctx.tick(1);
         }
@@ -719,7 +723,8 @@ pub(crate) fn run_select(
         let probe_decisions = if work.is_empty() {
             0
         } else {
-            work.len().div_ceil(work.len().div_ceil(PROBE_SAMPLE).max(1))
+            work.len()
+                .div_ceil(work.len().div_ceil(PROBE_SAMPLE).max(1))
         };
         let mut probe_prunes = 0usize;
         let prunes_before = n_prunes;

@@ -52,6 +52,7 @@ pub struct CandidateSet {
 
 /// Mines closed frequent two-view itemsets (the paper's candidate class).
 pub fn mine_closed_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> CandidateSet {
+    twoview_runtime::faults::maybe_panic(twoview_runtime::faults::points::MINE_PANIC);
     let res = mine_closed(data, cfg);
     CandidateSet {
         candidates: split_spanning(data, res.itemsets.into_iter()),
@@ -62,6 +63,7 @@ pub fn mine_closed_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> Candidat
 /// Mines **all** frequent two-view itemsets (ablation: SELECT on non-closed
 /// candidates; also the raw search space of association rule mining).
 pub fn mine_frequent_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> CandidateSet {
+    twoview_runtime::faults::maybe_panic(twoview_runtime::faults::points::MINE_PANIC);
     let res = mine_frequent(data, cfg);
     CandidateSet {
         candidates: split_spanning(data, res.itemsets.into_iter()),
@@ -131,6 +133,12 @@ pub fn build_seed_tidsets<'a>(
     data: &TwoViewDataset,
     candidates: impl ExactSizeIterator<Item = &'a TwoViewCandidate> + Clone,
 ) -> Option<Vec<(Tidset, Tidset)>> {
+    // An injected warm failure reports "over budget": callers take the
+    // uncached recompute path, which is correct but slower — exactly the
+    // degradation a real memory-pressure `None` produces.
+    if twoview_runtime::faults::should_fire(twoview_runtime::faults::points::CACHE_WARM_FAIL) {
+        return None;
+    }
     let per_dense = twoview_data::tidset::dense_bytes(data.n_transactions());
     let floor: usize = candidates
         .clone()

@@ -1,0 +1,425 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! Production robustness claims ("a panicked fit is retried", "a failed
+//! cache warm degrades instead of erroring", "a dead executor is
+//! respawned") are untestable unless the failures can be provoked on
+//! demand, *repeatably*. This module threads named **fault points**
+//! through the serving stack — mining, seed-cache warm, SELECT/EXACT/
+//! GREEDY checkpoints, executor dispatch (see [`points`]) — each firing
+//! with a configured probability drawn from a **seeded counter-based
+//! hash**, so a given `(seed, point, hit-index)` triple always produces
+//! the same decision: a chaos run is bit-reproducible, and a failure
+//! seen in CI replays locally from the seed alone.
+//!
+//! # Configuration
+//!
+//! Programmatic (tests):
+//!
+//! ```
+//! use twoview_runtime::faults::{self, FaultPlan};
+//! faults::configure(FaultPlan::new().point("demo.fault", 1.0, 42));
+//! assert!(faults::should_fire("demo.fault"));
+//! faults::clear();
+//! assert!(!faults::should_fire("demo.fault"));
+//! ```
+//!
+//! Or via the environment, read lazily on the first probe:
+//!
+//! ```text
+//! TWOVIEW_FAULTS="mine.panic=0.1@seed42,cache.warm_fail=1"
+//! ```
+//!
+//! Each entry is `name=probability`, optionally `@seedN` (or `@N`) to
+//! set that point's seed (default 0). Malformed entries are warned
+//! about on stderr and skipped. [`configure`]/[`clear`] always win over
+//! the environment.
+//!
+//! # Cost when disabled
+//!
+//! The harness is compiled in unconditionally, but the whole disabled
+//! path is **one relaxed atomic load** (`GATE == OFF`) — no lock, no
+//! hash, no branch on configuration data — so production binaries pay
+//! nothing for carrying it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::sync::PoisonTolerantMutex;
+
+/// Names of the fault points wired through the workspace. Any string
+/// works as a point name; these are the ones production code probes.
+pub mod points {
+    /// Panic at the top of closed/frequent two-view mining.
+    pub const MINE_PANIC: &str = "mine.panic";
+    /// Seed-tidset cache warm reports failure (engine degrades to the
+    /// uncached recompute path instead of erroring).
+    pub const CACHE_WARM_FAIL: &str = "cache.warm_fail";
+    /// Panic at a SELECT iteration checkpoint.
+    pub const SELECT_CHECKPOINT_PANIC: &str = "select.checkpoint.panic";
+    /// Panic at an EXACT search checkpoint.
+    pub const EXACT_CHECKPOINT_PANIC: &str = "exact.checkpoint.panic";
+    /// Panic at a GREEDY iteration checkpoint.
+    pub const GREEDY_CHECKPOINT_PANIC: &str = "greedy.checkpoint.panic";
+    /// Kill the executor thread at job dispatch (the job is requeued
+    /// first; supervision respawns the executor).
+    pub const EXECUTOR_DIE: &str = "executor.die";
+}
+
+/// Message prefix of every injected panic; retry layers use it to
+/// recognise transient injected failures in tests.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+const GATE_UNINIT: u8 = 0;
+const GATE_OFF: u8 = 1;
+const GATE_ON: u8 = 2;
+
+/// Three-state gate: `UNINIT` (env not yet consulted), `OFF`, `ON`.
+static GATE: AtomicU8 = AtomicU8::new(GATE_UNINIT);
+static REGISTRY: Mutex<Option<HashMap<String, PointState>>> = Mutex::new(None);
+
+#[derive(Debug)]
+struct PointState {
+    probability: f64,
+    seed: u64,
+    /// Times this point was probed (the deterministic draw counter).
+    hits: u64,
+    /// Times the probe decided to fire.
+    fired: u64,
+}
+
+/// A set of fault points with probabilities and seeds. Build one
+/// programmatically with [`FaultPlan::point`] or parse the
+/// `TWOVIEW_FAULTS` syntax with [`FaultPlan::parse`], then install it
+/// with [`configure`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    entries: Vec<(String, f64, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (installing it disables all faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or overrides) a fault point firing with `probability`
+    /// (clamped to `[0, 1]`) under `seed`.
+    pub fn point(mut self, name: &str, probability: f64, seed: u64) -> Self {
+        self.entries
+            .push((name.to_string(), probability.clamp(0.0, 1.0), seed));
+        self
+    }
+
+    /// Whether the plan holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the `TWOVIEW_FAULTS` syntax:
+    /// `"mine.panic=0.1@seed42,cache.warm_fail=1"`. Returns the plan
+    /// plus a warning string per malformed entry (which is skipped).
+    pub fn parse(spec: &str) -> (Self, Vec<String>) {
+        let mut plan = Self::new();
+        let mut warnings = Vec::new();
+        for raw in spec.split(',') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, rest)) = entry.split_once('=') else {
+                warnings.push(format!("fault entry {entry:?}: missing '='"));
+                continue;
+            };
+            let (prob_str, seed_str) = match rest.split_once('@') {
+                Some((p, s)) => (p, Some(s)),
+                None => (rest, None),
+            };
+            let Ok(probability) = prob_str.trim().parse::<f64>() else {
+                warnings.push(format!("fault entry {entry:?}: bad probability"));
+                continue;
+            };
+            let seed = match seed_str {
+                None => 0,
+                Some(s) => {
+                    let digits = s.trim().trim_start_matches("seed");
+                    match digits.parse::<u64>() {
+                        Ok(v) => v,
+                        Err(_) => {
+                            warnings.push(format!("fault entry {entry:?}: bad seed"));
+                            continue;
+                        }
+                    }
+                }
+            };
+            plan = plan.point(name.trim(), probability, seed);
+        }
+        (plan, warnings)
+    }
+}
+
+/// Installs `plan` process-wide, resetting all hit/fired counters.
+/// An empty plan turns the harness off. Overrides `TWOVIEW_FAULTS`.
+pub fn configure(plan: FaultPlan) {
+    let mut registry = REGISTRY.plock();
+    if plan.is_empty() {
+        *registry = None;
+        GATE.store(GATE_OFF, Ordering::Release);
+        return;
+    }
+    let mut map = HashMap::new();
+    for (name, probability, seed) in plan.entries {
+        map.insert(
+            name,
+            PointState {
+                probability,
+                seed,
+                hits: 0,
+                fired: 0,
+            },
+        );
+    }
+    *registry = Some(map);
+    GATE.store(GATE_ON, Ordering::Release);
+}
+
+/// Disables all fault points (equivalent to installing an empty plan).
+pub fn clear() {
+    configure(FaultPlan::new());
+}
+
+/// Whether any fault point is active. The `false` path is one relaxed
+/// atomic load once the gate has initialised.
+pub fn enabled() -> bool {
+    match GATE.load(Ordering::Relaxed) {
+        GATE_ON => true,
+        GATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let mut registry = REGISTRY.plock();
+    // Another thread may have initialised while we waited for the lock.
+    match GATE.load(Ordering::Acquire) {
+        GATE_ON => return true,
+        GATE_OFF => return false,
+        _ => {}
+    }
+    let plan = match std::env::var("TWOVIEW_FAULTS") {
+        Ok(spec) => {
+            let (plan, warnings) = FaultPlan::parse(&spec);
+            for w in warnings {
+                eprintln!("TWOVIEW_FAULTS: {w}");
+            }
+            plan
+        }
+        Err(_) => FaultPlan::new(),
+    };
+    if plan.is_empty() {
+        *registry = None;
+        GATE.store(GATE_OFF, Ordering::Release);
+        false
+    } else {
+        let mut map = HashMap::new();
+        for (name, probability, seed) in plan.entries {
+            map.insert(
+                name,
+                PointState {
+                    probability,
+                    seed,
+                    hits: 0,
+                    fired: 0,
+                },
+            );
+        }
+        *registry = Some(map);
+        GATE.store(GATE_ON, Ordering::Release);
+        true
+    }
+}
+
+/// Probes fault point `point`: returns `true` when it should fire this
+/// time. Deterministic in `(seed, point, hit index)` — the n-th probe
+/// of a point under a given seed always returns the same answer,
+/// regardless of thread interleaving elsewhere.
+#[inline]
+pub fn should_fire(point: &str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    should_fire_slow(point)
+}
+
+#[cold]
+fn should_fire_slow(point: &str) -> bool {
+    let mut registry = REGISTRY.plock();
+    let Some(map) = registry.as_mut() else {
+        return false;
+    };
+    let Some(state) = map.get_mut(point) else {
+        return false;
+    };
+    let hit = state.hits;
+    state.hits += 1;
+    let fire = if state.probability >= 1.0 {
+        true
+    } else if state.probability <= 0.0 {
+        false
+    } else {
+        draw_fraction(state.seed, point, hit) < state.probability
+    };
+    if fire {
+        state.fired += 1;
+    }
+    fire
+}
+
+/// Panics with `"injected fault: {point}"` when the point fires.
+/// The no-fault path costs one relaxed atomic load.
+#[inline]
+pub fn maybe_panic(point: &str) {
+    if should_fire(point) {
+        panic!("{INJECTED_PANIC_PREFIX} {point}");
+    }
+}
+
+/// How many times `point` has fired since the last [`configure`].
+pub fn fired(point: &str) -> u64 {
+    REGISTRY
+        .plock()
+        .as_ref()
+        .and_then(|map| map.get(point))
+        .map_or(0, |state| state.fired)
+}
+
+/// `(point, hits, fired)` for every configured point, sorted by name.
+pub fn snapshot() -> Vec<(String, u64, u64)> {
+    let registry = REGISTRY.plock();
+    let mut rows: Vec<_> = registry
+        .as_ref()
+        .map(|map| {
+            map.iter()
+                .map(|(name, s)| (name.clone(), s.hits, s.fired))
+                .collect()
+        })
+        .unwrap_or_default();
+    rows.sort();
+    rows
+}
+
+/// Counter-based deterministic draw in `[0, 1)`: splitmix64 over the
+/// seed, an FNV-1a hash of the point name, and the hit index.
+fn draw_fraction(seed: u64, point: &str, hit: u64) -> f64 {
+    let mut x = seed ^ fnv1a(point.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // splitmix64 finalizer.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    // Unit tests use only synthetic point names so concurrent tests in
+    // other modules (which probe real points) cannot interfere; tests
+    // that install plans serialise on a local mutex because the
+    // registry is process-global.
+    use super::*;
+
+    static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_and_after_clear() {
+        let _guard = EXCLUSIVE.plock();
+        clear();
+        assert!(!enabled());
+        assert!(!should_fire("unit.synthetic.never"));
+    }
+
+    #[test]
+    fn certain_fault_always_fires_and_counts() {
+        let _guard = EXCLUSIVE.plock();
+        configure(FaultPlan::new().point("unit.synthetic.sure", 1.0, 7));
+        for _ in 0..5 {
+            assert!(should_fire("unit.synthetic.sure"));
+        }
+        assert!(!should_fire("unit.synthetic.other"));
+        assert_eq!(fired("unit.synthetic.sure"), 5);
+        let snap = snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0], ("unit.synthetic.sure".to_string(), 5, 5));
+        clear();
+    }
+
+    #[test]
+    fn draws_are_deterministic_in_seed_and_hit_index() {
+        let _guard = EXCLUSIVE.plock();
+        let sequence = |seed: u64| -> Vec<bool> {
+            configure(FaultPlan::new().point("unit.synthetic.prob", 0.3, seed));
+            (0..64)
+                .map(|_| should_fire("unit.synthetic.prob"))
+                .collect()
+        };
+        let a = sequence(42);
+        let b = sequence(42);
+        let c = sequence(43);
+        assert_eq!(a, b, "same seed must reproduce the same decisions");
+        assert_ne!(a, c, "different seeds should diverge");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(hits > 0 && hits < 64, "p=0.3 over 64 draws: got {hits}");
+        clear();
+    }
+
+    #[test]
+    fn maybe_panic_fires_with_recognisable_message() {
+        let _guard = EXCLUSIVE.plock();
+        configure(FaultPlan::new().point("unit.synthetic.panic", 1.0, 0));
+        let err = std::panic::catch_unwind(|| maybe_panic("unit.synthetic.panic"))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got {msg:?}");
+        clear();
+    }
+
+    #[test]
+    fn parse_env_syntax() {
+        let (plan, warnings) =
+            FaultPlan::parse("mine.panic=0.1@seed42, cache.warm_fail=1, bad, x=oops, y=1@z");
+        assert_eq!(warnings.len(), 3);
+        assert_eq!(
+            plan.entries,
+            vec![
+                ("mine.panic".to_string(), 0.1, 42),
+                ("cache.warm_fail".to_string(), 1.0, 0),
+            ]
+        );
+        let (empty, none) = FaultPlan::parse("");
+        assert!(empty.is_empty() && none.is_empty());
+    }
+
+    #[test]
+    fn probability_is_roughly_honoured() {
+        let _guard = EXCLUSIVE.plock();
+        configure(FaultPlan::new().point("unit.synthetic.rate", 0.5, 9));
+        let fired_count = (0..1000)
+            .filter(|_| should_fire("unit.synthetic.rate"))
+            .count();
+        assert!(
+            (350..=650).contains(&fired_count),
+            "p=0.5 over 1000 draws fired {fired_count}"
+        );
+        clear();
+    }
+}

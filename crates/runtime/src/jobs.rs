@@ -15,21 +15,44 @@
 //!   natural safe points (an iteration boundary, a candidate block). A
 //!   cancelled job returns [`JobError::Cancelled`] — never a partial
 //!   result — so every *completed* job is bit-identical to a serial run;
+//! * **deadlines** ([`Deadline`], via [`JobQueue::submit_opts`]): a
+//!   queue-wait bound enforced at dispatch and a total bound enforced at
+//!   the same checkpoints as cancellation. An expired job completes with
+//!   [`JobError::DeadlineExceeded`] and, like a cancelled one, never
+//!   yields a partial result. [`JobHandle::join_timeout`] bounds the
+//!   *caller's* wait without affecting the job itself;
+//! * **bounded admission with backpressure** ([`QueueConfig`],
+//!   [`AdmissionPolicy`]): each lane can be capacity-bounded. A full lane
+//!   blocks the submitter, rejects the new job
+//!   ([`JobError::Rejected`] — the in-process contract an HTTP 429 maps
+//!   onto), or sheds the oldest queued batch job to make room;
 //! * **observable handles** ([`JobHandle`]): status, a monotone progress
-//!   counter, queue-wait/run timings, and the global start-order stamp the
-//!   scheduling tests assert on.
+//!   counter, queue-wait/run/attempt timings, and the global start-order
+//!   stamp the scheduling tests assert on;
+//! * **supervised executors**: each executor thread runs inside a
+//!   restart loop, so a panic that escapes a job (only possible via
+//!   injected faults — job bodies are unwind-caught) is counted in
+//!   [`QueueStats::executors_respawned`] and the executor comes back up
+//!   instead of silently shrinking the pool.
 //!
 //! Executor threads are dedicated OS threads (jobs *block* on them; the
 //! data-parallel inner loops of a job still run on the shared
 //! [`crate::global`] pool), so a handful of executors is enough: they
 //! coordinate, the pool computes.
+//!
+//! All internal locks go through [`crate::sync`]'s poison-tolerant
+//! helpers: one panicked lock holder (fault-injected or otherwise) must
+//! not cascade `Panicked("PoisonError")` through unrelated jobs.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::faults;
+use crate::sync::{PoisonTolerantCondvar, PoisonTolerantMutex};
 
 /// Scheduling class of a job. Lower latency first: executors always pop
 /// the interactive lane before the batch lane; within a lane jobs run in
@@ -75,6 +98,15 @@ pub enum JobError {
     Cancelled,
     /// The job panicked; the payload's message, if it had one.
     Panicked(String),
+    /// A [`Deadline`] expired — while the job was queued (queue-wait
+    /// bound, checked at dispatch) or while it ran (total bound, checked
+    /// at each [`JobCtx::checkpoint`]). Never a partial result.
+    DeadlineExceeded,
+    /// Bounded admission turned the job away: its lane was full under
+    /// [`AdmissionPolicy::Reject`], or it was the oldest batch job shed
+    /// under [`AdmissionPolicy::ShedOldestBatch`]. The backpressure
+    /// signal a serving front door maps to HTTP 429.
+    Rejected,
 }
 
 impl std::fmt::Display for JobError {
@@ -82,17 +114,129 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Cancelled => write!(f, "job cancelled"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            JobError::Rejected => write!(f, "job rejected by admission control"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
 
+/// Per-job time bounds, both optional and independent.
+///
+/// * `queue_wait` — maximum time the job may sit in its lane; enforced
+///   once, at dispatch. A job that waited longer completes with
+///   [`JobError::DeadlineExceeded`] without ever running.
+/// * `total` — maximum time from submission to completion; enforced at
+///   dispatch and at every [`JobCtx::checkpoint`] while running, with
+///   the same "never a partial result" contract as cancellation.
+///
+/// Enforcement is cooperative (checkpoint-granular), not preemptive: a
+/// job between checkpoints keeps running until its next safe point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Deadline {
+    /// Maximum queue wait, checked at dispatch.
+    pub queue_wait: Option<Duration>,
+    /// Maximum total (queue + run) time, checked at checkpoints.
+    pub total: Option<Duration>,
+}
+
+impl Deadline {
+    /// No bounds (the default).
+    pub const NONE: Deadline = Deadline {
+        queue_wait: None,
+        total: None,
+    };
+
+    /// Bound only the total submission-to-completion time.
+    pub fn total(limit: Duration) -> Self {
+        Deadline {
+            queue_wait: None,
+            total: Some(limit),
+        }
+    }
+
+    /// Bound only the queue wait.
+    pub fn queue_wait(limit: Duration) -> Self {
+        Deadline {
+            queue_wait: Some(limit),
+            total: None,
+        }
+    }
+
+    /// Whether any bound is set.
+    pub fn is_some(&self) -> bool {
+        self.queue_wait.is_some() || self.total.is_some()
+    }
+}
+
+/// Per-job submission options (see [`JobQueue::submit_opts`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobOptions {
+    /// Time bounds for this job.
+    pub deadline: Deadline,
+}
+
+impl JobOptions {
+    /// Options carrying only a deadline.
+    pub fn with_deadline(deadline: Deadline) -> Self {
+        JobOptions { deadline }
+    }
+}
+
+/// Deterministic retry schedule for transient job failures.
+///
+/// Used by retry wrappers *inside* a job body (the Engine wraps each
+/// fit/translate/predict this way): a panicking attempt is caught and
+/// re-run up to `max_attempts` times total, sleeping
+/// `base_backoff << (attempt - 1)` between attempts (exponential,
+/// deterministic — no jitter, so a seeded chaos run reproduces its
+/// schedule exactly). Cancellation and deadline expiry are *not*
+/// transient and are never retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (minimum 1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before attempt 2; doubles per further attempt.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// No retries.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with at least one attempt.
+    pub fn new(max_attempts: u32, base_backoff: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff,
+        }
+    }
+
+    /// Backoff to sleep after failed attempt number `attempt` (1-based):
+    /// `base_backoff * 2^(attempt-1)`, saturating.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.base_backoff.saturating_mul(1u32 << shift)
+    }
+}
+
 /// Execution context handed to every job body.
 #[derive(Clone, Debug)]
 pub struct JobCtx {
     cancel: CancellationToken,
     progress: Arc<AtomicU64>,
+    /// Absolute total-deadline instant, if any.
+    deadline: Option<Instant>,
+    /// 1-based attempt counter (bumped by retry wrappers).
+    attempts: Arc<AtomicU32>,
 }
 
 impl JobCtx {
@@ -106,14 +250,42 @@ impl JobCtx {
         self.cancel.is_cancelled()
     }
 
-    /// Cooperative safe point: returns `Err(JobError::Cancelled)` when the
-    /// job should wind down. Call at iteration boundaries.
+    /// Cooperative safe point: returns `Err(JobError::Cancelled)` when
+    /// the job should wind down, `Err(JobError::DeadlineExceeded)` when
+    /// its total deadline has passed. Call at iteration boundaries. With
+    /// no deadline set the check is a single atomic load.
     pub fn checkpoint(&self) -> Result<(), JobError> {
         if self.is_cancelled() {
-            Err(JobError::Cancelled)
-        } else {
-            Ok(())
+            return Err(JobError::Cancelled);
         }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(JobError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// The absolute total-deadline instant, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left before the total deadline (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The 1-based attempt number (1 unless a retry wrapper re-ran the
+    /// body). Surfaced in [`JobTimings::attempts`].
+    pub fn attempt(&self) -> u32 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Records that a retry wrapper is about to re-run the body.
+    pub fn mark_retry(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Advances the monotone progress counter visible through
@@ -131,7 +303,8 @@ pub enum JobStatus {
     Queued,
     /// Executing on an executor thread.
     Running,
-    /// Finished (successfully, cancelled, or panicked).
+    /// Finished (successfully, cancelled, rejected, expired, or
+    /// panicked).
     Done,
 }
 
@@ -147,6 +320,9 @@ pub struct JobTimings {
     pub queue_wait: Option<Duration>,
     /// Time spent executing (`None` until the job finishes).
     pub run: Option<Duration>,
+    /// Body attempts (0 until the job runs; 1 for a first-try success;
+    /// >1 when a retry wrapper re-ran a panicked body).
+    pub attempts: u32,
 }
 
 /// Type-shared completion state between a [`JobHandle`] and the executor.
@@ -164,7 +340,7 @@ struct JobShared<T> {
 
 impl<T> JobShared<T> {
     fn complete(&self, result: Result<T, JobError>) {
-        let mut slot = self.result.lock().unwrap();
+        let mut slot = self.result.plock();
         *slot = Some(result);
         self.state.store(STATE_DONE, Ordering::Release);
         self.done.notify_all();
@@ -225,17 +401,17 @@ impl<T> JobHandle<T> {
         }
     }
 
-    /// Queue-wait and run durations observed so far.
+    /// Queue-wait, run, and attempt counts observed so far.
     pub fn timings(&self) -> JobTimings {
-        *self.shared.timings.lock().unwrap()
+        *self.shared.timings.plock()
     }
 
     /// Blocks until the job starts executing or finishes (a job cancelled
     /// while queued finishes without ever starting).
     pub fn wait_started(&self) {
-        let mut guard = self.shared.result.lock().unwrap();
+        let mut guard = self.shared.result.plock();
         while self.shared.state.load(Ordering::Acquire) == STATE_QUEUED {
-            guard = self.shared.done.wait(guard).unwrap();
+            guard = self.shared.done.pwait(guard);
         }
     }
 
@@ -243,20 +419,42 @@ impl<T> JobHandle<T> {
     /// [`JobHandle::join`] for the result; this is for reading timings or
     /// progress of a known-complete job first).
     pub fn wait(&self) {
-        let mut guard = self.shared.result.lock().unwrap();
+        let mut guard = self.shared.result.plock();
         while self.shared.state.load(Ordering::Acquire) != STATE_DONE {
-            guard = self.shared.done.wait(guard).unwrap();
+            guard = self.shared.done.pwait(guard);
         }
     }
 
     /// Blocks until the job finishes and returns its result.
     pub fn join(self) -> Result<T, JobError> {
-        let mut guard = self.shared.result.lock().unwrap();
+        let mut guard = self.shared.result.plock();
         loop {
             if let Some(result) = guard.take() {
                 return result;
             }
-            guard = self.shared.done.wait(guard).unwrap();
+            guard = self.shared.done.pwait(guard);
+        }
+    }
+
+    /// Bounded join: waits up to `timeout` for the result. On timeout the
+    /// handle is returned so the caller can keep waiting, cancel, or
+    /// drop it — the *job itself is unaffected* (this bounds the caller's
+    /// wait; use a [`Deadline`] to bound the job).
+    pub fn join_timeout(self, timeout: Duration) -> Result<Result<T, JobError>, JobHandle<T>> {
+        let wait_until = Instant::now() + timeout;
+        let mut guard = self.shared.result.plock();
+        loop {
+            if let Some(result) = guard.take() {
+                drop(guard);
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= wait_until {
+                drop(guard);
+                return Err(self);
+            }
+            let (g, _) = self.shared.done.pwait_timeout(guard, wait_until - now);
+            guard = g;
         }
     }
 }
@@ -271,24 +469,103 @@ impl<T> std::fmt::Debug for JobHandle<T> {
     }
 }
 
+/// What to do when a lane is at capacity (see [`QueueConfig`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until the lane has room
+    /// (backpressure propagates to the producer).
+    #[default]
+    Block,
+    /// Complete the new job immediately with [`JobError::Rejected`].
+    /// The in-process analogue of HTTP 429.
+    Reject,
+    /// Shed the *oldest queued batch* job (completing it with
+    /// [`JobError::Rejected`]) to admit the new one. When there is no
+    /// batch job to shed — the interactive lane is full of interactive
+    /// work — falls back to rejecting the new job, since shedding batch
+    /// cannot make interactive room.
+    ShedOldestBatch,
+}
+
+/// Construction-time queue configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// Dedicated executor threads (at least 1).
+    pub executors: usize,
+    /// Per-lane queued-job capacity (`None` = unbounded; running jobs
+    /// don't count). Both lanes get the same bound.
+    pub lane_capacity: Option<usize>,
+    /// What a submitter experiences when its lane is full.
+    pub admission: AdmissionPolicy,
+}
+
+impl QueueConfig {
+    /// Unbounded lanes, [`AdmissionPolicy::Block`] (moot while
+    /// unbounded), `executors` threads.
+    pub fn new(executors: usize) -> Self {
+        QueueConfig {
+            executors,
+            lane_capacity: None,
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    /// Bound each lane to `capacity` queued jobs (at least 1).
+    pub fn lane_capacity(mut self, capacity: usize) -> Self {
+        self.lane_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Set the full-lane policy.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+}
+
+/// Monotone counters of the queue's robustness events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs turned away by [`AdmissionPolicy::Reject`] (or the
+    /// interactive fallback of `ShedOldestBatch`).
+    pub rejected: u64,
+    /// Queued batch jobs shed by [`AdmissionPolicy::ShedOldestBatch`].
+    pub shed: u64,
+    /// Jobs whose deadline expired (while queued or running).
+    pub timed_out: u64,
+    /// Executor threads restarted by supervision after an escaped panic.
+    pub executors_respawned: u64,
+}
+
 /// How an executor disposes of a queued job.
 enum Disposal {
-    /// Run the body (unless already cancelled).
+    /// Run the body (unless already cancelled or past deadline).
     Execute,
     /// Complete with [`JobError::Cancelled`] without running (shutdown).
     Abort,
+    /// Complete with [`JobError::Rejected`] without running (shed by
+    /// admission control).
+    Shed,
 }
 
-/// A type-erased queued job: all typed state lives in the closure.
+/// A type-erased queued job: all typed state lives in the closure. The
+/// token and priority ride alongside so shutdown can cancel queued jobs
+/// and a dying executor can requeue into the right lane, both without
+/// running the closure.
 struct QueuedJob {
     run: Box<dyn FnOnce(Disposal) + Send>,
+    cancel: CancellationToken,
+    priority: Priority,
 }
 
-/// The two FIFO lanes.
-#[derive(Default)]
+/// The two FIFO lanes plus the per-executor registry of running jobs'
+/// tokens. The registry lives under the same mutex as the lanes so a
+/// pop-and-register is atomic with respect to shutdown's cancel sweep:
+/// a job is always visible either in its lane or in `active`.
 struct Lanes {
     interactive: VecDeque<QueuedJob>,
     batch: VecDeque<QueuedJob>,
+    active: Vec<Option<CancellationToken>>,
 }
 
 impl Lanes {
@@ -296,6 +573,20 @@ impl Lanes {
         self.interactive
             .pop_front()
             .or_else(|| self.batch.pop_front())
+    }
+
+    fn push_front(&mut self, job: QueuedJob) {
+        match job.priority {
+            Priority::Interactive => self.interactive.push_front(job),
+            Priority::Batch => self.batch.push_front(job),
+        }
+    }
+
+    fn lane_len(&self, priority: Priority) -> usize {
+        match priority {
+            Priority::Interactive => self.interactive.len(),
+            Priority::Batch => self.batch.len(),
+        }
     }
 
     fn is_empty(&self) -> bool {
@@ -306,32 +597,58 @@ impl Lanes {
 struct QueueShared {
     lanes: Mutex<Lanes>,
     available: Condvar,
+    /// Signalled when a bounded lane gains room (a job was popped).
+    space: Condvar,
     shutdown: AtomicBool,
     start_seq: AtomicU64,
+    lane_capacity: Option<usize>,
+    admission: AdmissionPolicy,
+    stat_rejected: AtomicU64,
+    stat_shed: AtomicU64,
+    stat_timed_out: AtomicU64,
+    stat_respawned: AtomicU64,
 }
 
-/// A priority job queue with dedicated executor threads. See the
-/// [module docs](self) for the scheduling contract.
+/// A priority job queue with dedicated, supervised executor threads.
+/// See the [module docs](self) for the scheduling contract.
 pub struct JobQueue {
     shared: Arc<QueueShared>,
     executors: Vec<JoinHandle<()>>,
 }
 
 impl JobQueue {
-    /// A queue served by `executors` dedicated threads (at least 1).
+    /// An unbounded queue served by `executors` dedicated threads (at
+    /// least 1).
     pub fn new(executors: usize) -> Self {
+        Self::with_config(QueueConfig::new(executors))
+    }
+
+    /// A queue with explicit capacity/admission configuration.
+    pub fn with_config(config: QueueConfig) -> Self {
+        let n = config.executors.max(1);
         let shared = Arc::new(QueueShared {
-            lanes: Mutex::new(Lanes::default()),
+            lanes: Mutex::new(Lanes {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                active: vec![None; n],
+            }),
             available: Condvar::new(),
+            space: Condvar::new(),
             shutdown: AtomicBool::new(false),
             start_seq: AtomicU64::new(0),
+            lane_capacity: config.lane_capacity,
+            admission: config.admission,
+            stat_rejected: AtomicU64::new(0),
+            stat_shed: AtomicU64::new(0),
+            stat_timed_out: AtomicU64::new(0),
+            stat_respawned: AtomicU64::new(0),
         });
-        let executors = (0..executors.max(1))
+        let executors = (0..n)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("twoview-jobs-{i}"))
-                    .spawn(move || executor_loop(shared))
+                    .spawn(move || supervised_executor(&shared, i))
                     .expect("spawn job executor")
             })
             .collect();
@@ -343,10 +660,33 @@ impl JobQueue {
         self.executors.len()
     }
 
-    /// Submits a job. Thread-safe; callable from any number of threads
-    /// concurrently. The body receives a [`JobCtx`] for cancellation
-    /// checkpoints and progress ticks.
+    /// Robustness counters accumulated since construction.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            rejected: self.shared.stat_rejected.load(Ordering::Relaxed),
+            shed: self.shared.stat_shed.load(Ordering::Relaxed),
+            timed_out: self.shared.stat_timed_out.load(Ordering::Relaxed),
+            executors_respawned: self.shared.stat_respawned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits a job with default options (no deadline). Thread-safe;
+    /// callable from any number of threads concurrently. The body
+    /// receives a [`JobCtx`] for cancellation checkpoints and progress
+    /// ticks.
     pub fn submit<T, F>(&self, priority: Priority, body: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> Result<T, JobError> + Send + 'static,
+    {
+        self.submit_opts(priority, JobOptions::default(), body)
+    }
+
+    /// Submits a job with explicit [`JobOptions`] (deadlines). Under a
+    /// bounded lane the configured [`AdmissionPolicy`] applies; a
+    /// rejected job's handle completes immediately with
+    /// [`JobError::Rejected`].
+    pub fn submit_opts<T, F>(&self, priority: Priority, opts: JobOptions, body: F) -> JobHandle<T>
     where
         T: Send + 'static,
         F: FnOnce(&JobCtx) -> Result<T, JobError> + Send + 'static,
@@ -365,13 +705,38 @@ impl JobQueue {
             shared: Arc::clone(&shared),
             priority,
         };
+        let cancel = shared.cancel.clone();
+        let total_deadline = opts
+            .deadline
+            .total
+            .and_then(|limit| shared.submitted.checked_add(limit));
         let queue_shared = Arc::clone(&self.shared);
         let run = Box::new(move |disposal: Disposal| {
             let queued_for = shared.submitted.elapsed();
-            shared.timings.lock().unwrap().queue_wait = Some(queued_for);
-            let abort = matches!(disposal, Disposal::Abort) || shared.cancel.is_cancelled();
-            if abort {
+            shared.timings.plock().queue_wait = Some(queued_for);
+            match disposal {
+                Disposal::Abort => {
+                    shared.complete(Err(JobError::Cancelled));
+                    return;
+                }
+                Disposal::Shed => {
+                    shared.complete(Err(JobError::Rejected));
+                    return;
+                }
+                Disposal::Execute => {}
+            }
+            if shared.cancel.is_cancelled() {
                 shared.complete(Err(JobError::Cancelled));
+                return;
+            }
+            let queue_expired = opts
+                .deadline
+                .queue_wait
+                .is_some_and(|limit| queued_for > limit);
+            let total_expired = total_deadline.is_some_and(|at| Instant::now() >= at);
+            if queue_expired || total_expired {
+                queue_shared.stat_timed_out.fetch_add(1, Ordering::Relaxed);
+                shared.complete(Err(JobError::DeadlineExceeded));
                 return;
             }
             let seq = queue_shared.start_seq.fetch_add(1, Ordering::Relaxed);
@@ -379,26 +744,80 @@ impl JobQueue {
             {
                 // Status flips under the result lock so `wait_started`'s
                 // check-then-wait cannot miss the transition.
-                let _guard = shared.result.lock().unwrap();
+                let _guard = shared.result.plock();
                 shared.state.store(STATE_RUNNING, Ordering::Release);
                 shared.done.notify_all();
             }
             let ctx = JobCtx {
                 cancel: shared.cancel.clone(),
                 progress: Arc::clone(&shared.progress),
+                deadline: total_deadline,
+                attempts: Arc::new(AtomicU32::new(1)),
             };
             let started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
-            shared.timings.lock().unwrap().run = Some(started.elapsed());
+            {
+                let mut timings = shared.timings.plock();
+                timings.run = Some(started.elapsed());
+                timings.attempts = ctx.attempts.load(Ordering::Relaxed);
+            }
             let result = match outcome {
                 Ok(r) => r,
                 Err(payload) => Err(JobError::Panicked(panic_message(payload.as_ref()))),
             };
+            // A deadline that expires mid-run without the body noticing
+            // (e.g. it panicked first) still counts as timed out only
+            // when the body reported it.
+            if matches!(result, Err(JobError::DeadlineExceeded)) {
+                queue_shared.stat_timed_out.fetch_add(1, Ordering::Relaxed);
+            }
             shared.complete(result);
         });
-        let job = QueuedJob { run };
+        let job = QueuedJob {
+            run,
+            cancel,
+            priority,
+        };
         {
-            let mut lanes = self.shared.lanes.lock().unwrap();
+            let mut lanes = self.shared.lanes.plock();
+            if let Some(capacity) = self.shared.lane_capacity {
+                while lanes.lane_len(priority) >= capacity {
+                    match self.shared.admission {
+                        AdmissionPolicy::Block => {
+                            if self.shared.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            lanes = self.shared.space.pwait(lanes);
+                        }
+                        AdmissionPolicy::Reject => {
+                            self.shared.stat_rejected.fetch_add(1, Ordering::Relaxed);
+                            drop(lanes);
+                            handle.shared.complete(Err(JobError::Rejected));
+                            return handle;
+                        }
+                        AdmissionPolicy::ShedOldestBatch => {
+                            // Shedding batch cannot make interactive
+                            // room, so a full interactive lane rejects.
+                            let victim = match priority {
+                                Priority::Batch => lanes.batch.pop_front(),
+                                Priority::Interactive => None,
+                            };
+                            match victim {
+                                Some(victim) => {
+                                    self.shared.stat_shed.fetch_add(1, Ordering::Relaxed);
+                                    (victim.run)(Disposal::Shed);
+                                }
+                                None => {
+                                    self.shared.stat_rejected.fetch_add(1, Ordering::Relaxed);
+                                    drop(lanes);
+                                    handle.shared.complete(Err(JobError::Rejected));
+                                    return handle;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             match priority {
                 Priority::Interactive => lanes.interactive.push_back(job),
                 Priority::Batch => lanes.batch.push_back(job),
@@ -410,13 +829,35 @@ impl JobQueue {
 }
 
 impl Drop for JobQueue {
-    /// Shutdown: executors finish their current job, then every job still
-    /// queued completes with [`JobError::Cancelled`] (handles never hang).
+    /// Shutdown. In order:
+    ///
+    /// 1. the shutdown flag flips;
+    /// 2. under the lanes lock, every **queued** job's token and every
+    ///    **running** job's token (the `active` registry) is cancelled —
+    ///    the registry is maintained under the same lock as the lanes,
+    ///    so no job can be mid-pop and missed by this sweep;
+    /// 3. executors are woken and joined: each drains the lanes,
+    ///    completing still-queued jobs with [`JobError::Cancelled`], and
+    ///    an in-flight job winds down at its next
+    ///    [`JobCtx::checkpoint`].
+    ///
+    /// Consequently `drop` blocks only until running jobs reach a
+    /// checkpoint — never for their natural completion — and every
+    /// outstanding [`JobHandle`] resolves (no handle ever hangs).
+    /// Submitters blocked on admission are woken too and their jobs
+    /// drain as above.
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         {
-            let _guard = self.shared.lanes.lock().unwrap();
+            let lanes = self.shared.lanes.plock();
+            for token in lanes.active.iter().flatten() {
+                token.cancel();
+            }
+            for job in lanes.interactive.iter().chain(lanes.batch.iter()) {
+                job.cancel.cancel();
+            }
             self.shared.available.notify_all();
+            self.shared.space.notify_all();
         }
         for executor in self.executors.drain(..) {
             let _ = executor.join();
@@ -428,14 +869,34 @@ impl std::fmt::Debug for JobQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobQueue")
             .field("executors", &self.executors.len())
+            .field("lane_capacity", &self.shared.lane_capacity)
+            .field("admission", &self.shared.admission)
             .finish()
     }
 }
 
-fn executor_loop(shared: Arc<QueueShared>) {
+/// Supervision wrapper: restarts the executor body when a panic escapes
+/// it. Job-body panics are caught inside the job closure, so the only
+/// way out is a panic in the dispatch machinery itself — in practice the
+/// injected [`faults::points::EXECUTOR_DIE`] fault, which requeues its
+/// job before unwinding. The restart is counted in
+/// [`QueueStats::executors_respawned`].
+fn supervised_executor(shared: &Arc<QueueShared>, idx: usize) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| executor_loop(shared, idx))) {
+            Ok(()) => return,
+            Err(_) => {
+                shared.stat_respawned.fetch_add(1, Ordering::Relaxed);
+                shared.lanes.plock().active[idx] = None;
+            }
+        }
+    }
+}
+
+fn executor_loop(shared: &Arc<QueueShared>, idx: usize) {
     loop {
         let (job, disposal) = {
-            let mut lanes = shared.lanes.lock().unwrap();
+            let mut lanes = shared.lanes.plock();
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     // Drain-and-abort whatever is still queued, then exit.
@@ -445,15 +906,36 @@ fn executor_loop(shared: Arc<QueueShared>) {
                     }
                 }
                 match lanes.pop() {
-                    Some(job) => break (job, Disposal::Execute),
-                    None => lanes = shared.available.wait(lanes).unwrap(),
+                    Some(job) => {
+                        if faults::should_fire(faults::points::EXECUTOR_DIE) {
+                            // Requeue at the front (lane order preserved),
+                            // hand the work to a peer, and die; the
+                            // supervisor respawns this executor.
+                            lanes.push_front(job);
+                            shared.available.notify_one();
+                            panic!(
+                                "{} {}",
+                                faults::INJECTED_PANIC_PREFIX,
+                                faults::points::EXECUTOR_DIE
+                            );
+                        }
+                        lanes.active[idx] = Some(job.cancel.clone());
+                        break (job, Disposal::Execute);
+                    }
+                    None => lanes = shared.available.pwait(lanes),
                 }
             }
         };
+        // The pop freed lane room: wake one blocked submitter.
+        shared.space.notify_all();
+        let executed = matches!(disposal, Disposal::Execute);
         (job.run)(disposal);
+        if executed {
+            shared.lanes.plock().active[idx] = None;
+        }
         // A drained-on-shutdown executor keeps draining until empty.
         if shared.shutdown.load(Ordering::Acquire) {
-            let mut lanes = shared.lanes.lock().unwrap();
+            let mut lanes = shared.lanes.plock();
             if lanes.is_empty() {
                 return;
             }
@@ -465,8 +947,10 @@ fn executor_loop(shared: Arc<QueueShared>) {
     }
 }
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort extraction of a panic payload's message. Public so retry
+/// wrappers outside this crate can stringify a caught payload the same
+/// way the executor does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -496,6 +980,8 @@ mod tests {
             ctx.tick(4);
             Ok(())
         });
+        h.wait();
+        assert_eq!(h.timings().attempts, 1);
         h.join().unwrap();
         // `join` consumed the handle; submit another to read observables
         // before completion instead.
@@ -641,6 +1127,186 @@ mod tests {
             Ok(()) | Err(JobError::Cancelled) => {}
             other => panic!("expected completion or Cancelled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn drop_cancels_inflight_job() {
+        // The Drop audit: a job that would run forever must be wound
+        // down via cancellation at its next checkpoint — drop() must not
+        // wait for natural completion, and the handle must not hang.
+        let q = JobQueue::new(1);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let h = q.submit(Priority::Batch, move |ctx| -> Result<(), JobError> {
+            started_tx.send(()).ok();
+            loop {
+                ctx.checkpoint()?;
+                std::thread::yield_now();
+            }
+        });
+        started_rx.recv().unwrap();
+        let dropped_at = Instant::now();
+        drop(q);
+        assert!(
+            dropped_at.elapsed() < Duration::from_secs(10),
+            "drop must not wait for natural completion"
+        );
+        match h.join() {
+            Err(JobError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_wait_deadline_expires_while_queued() {
+        let q = JobQueue::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(())
+        });
+        blocker.wait_started();
+        let opts = JobOptions::with_deadline(Deadline::queue_wait(Duration::from_millis(5)));
+        let victim = q.submit_opts(Priority::Batch, opts, |_ctx| Ok("ran"));
+        std::thread::sleep(Duration::from_millis(20));
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        match victim.join() {
+            Err(JobError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(q.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn total_deadline_observed_at_checkpoint() {
+        let q = JobQueue::new(1);
+        let opts = JobOptions::with_deadline(Deadline::total(Duration::from_millis(10)));
+        let h = q.submit_opts(Priority::Batch, opts, |ctx| -> Result<(), JobError> {
+            loop {
+                ctx.checkpoint()?;
+                std::thread::yield_now();
+            }
+        });
+        match h.join() {
+            Err(JobError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(q.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn join_timeout_returns_handle_then_result() {
+        let q = JobQueue::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let h = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(123)
+        });
+        h.wait_started();
+        let h = match h.join_timeout(Duration::from_millis(10)) {
+            Err(handle) => handle,
+            Ok(r) => panic!("expected timeout, got {r:?}"),
+        };
+        assert_eq!(h.status(), JobStatus::Running, "job unaffected by timeout");
+        gate_tx.send(()).unwrap();
+        assert_eq!(
+            h.join_timeout(Duration::from_secs(30))
+                .expect("finishes")
+                .unwrap(),
+            123
+        );
+    }
+
+    #[test]
+    fn admission_reject_when_lane_full() {
+        let config = QueueConfig::new(1)
+            .lane_capacity(1)
+            .admission(AdmissionPolicy::Reject);
+        let q = JobQueue::with_config(config);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(0)
+        });
+        blocker.wait_started();
+        let queued = q.submit(Priority::Batch, |_ctx| Ok(1));
+        let rejected = q.submit(Priority::Batch, |_ctx| Ok(2));
+        match rejected.join() {
+            Err(JobError::Rejected) => {}
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // The other lane is independent: interactive still admits.
+        let inter = q.submit(Priority::Interactive, |_ctx| Ok(3));
+        gate_tx.send(()).unwrap();
+        assert_eq!(blocker.join().unwrap(), 0);
+        assert_eq!(queued.join().unwrap(), 1);
+        assert_eq!(inter.join().unwrap(), 3);
+        assert_eq!(q.stats().rejected, 1);
+    }
+
+    #[test]
+    fn admission_shed_oldest_batch() {
+        let config = QueueConfig::new(1)
+            .lane_capacity(1)
+            .admission(AdmissionPolicy::ShedOldestBatch);
+        let q = JobQueue::with_config(config);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(0)
+        });
+        blocker.wait_started();
+        let oldest = q.submit(Priority::Batch, |_ctx| Ok(1));
+        let newest = q.submit(Priority::Batch, |_ctx| Ok(2));
+        match oldest.join() {
+            Err(JobError::Rejected) => {}
+            other => panic!("expected shed oldest to be Rejected, got {other:?}"),
+        }
+        gate_tx.send(()).unwrap();
+        assert_eq!(blocker.join().unwrap(), 0);
+        assert_eq!(newest.join().unwrap(), 2);
+        assert_eq!(q.stats().shed, 1);
+    }
+
+    #[test]
+    fn admission_block_applies_backpressure() {
+        let config = QueueConfig::new(1)
+            .lane_capacity(1)
+            .admission(AdmissionPolicy::Block);
+        let q = Arc::new(JobQueue::with_config(config));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = q.submit(Priority::Batch, move |_ctx| {
+            gate_rx.recv().ok();
+            Ok(0)
+        });
+        blocker.wait_started();
+        let queued = q.submit(Priority::Batch, |_ctx| Ok(1));
+        let (submitted_tx, submitted_rx) = mpsc::channel::<()>();
+        let q2 = Arc::clone(&q);
+        let submitter = std::thread::spawn(move || {
+            let h = q2.submit(Priority::Batch, |_ctx| Ok(2));
+            submitted_tx.send(()).ok();
+            h.join()
+        });
+        // The submitter must be blocked while the lane is full.
+        assert!(submitted_rx
+            .recv_timeout(Duration::from_millis(50))
+            .is_err());
+        gate_tx.send(()).unwrap();
+        assert_eq!(blocker.join().unwrap(), 0);
+        assert_eq!(queued.join().unwrap(), 1);
+        assert_eq!(submitter.join().unwrap().unwrap(), 2);
+        assert_eq!(q.stats().rejected, 0);
+    }
+
+    #[test]
+    fn retry_policy_backoff_schedule() {
+        let p = RetryPolicy::new(4, Duration::from_millis(3));
+        assert_eq!(p.backoff_after(1), Duration::from_millis(3));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(6));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(12));
+        assert_eq!(RetryPolicy::new(0, Duration::ZERO).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().max_attempts, 1);
     }
 
     #[test]

@@ -36,11 +36,14 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod jobs;
 mod pool;
+pub mod sync;
 
 pub use jobs::{
-    CancellationToken, JobCtx, JobError, JobHandle, JobQueue, JobStatus, JobTimings, Priority,
+    AdmissionPolicy, CancellationToken, Deadline, JobCtx, JobError, JobHandle, JobOptions,
+    JobQueue, JobStatus, JobTimings, Priority, QueueConfig, QueueStats, RetryPolicy,
 };
 pub use pool::{Runtime, Scope};
 

@@ -36,6 +36,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::sync::{PoisonTolerantCondvar, PoisonTolerantMutex};
+
 /// A lifetime-erased task. Constructed only by [`Scope::spawn`], which
 /// guarantees (via [`Runtime::install`]) that the closure's real borrows
 /// outlive its execution.
@@ -73,13 +75,13 @@ impl Shared {
     fn run_task(&self, task: QueuedTask) {
         let QueuedTask { run, state } = task;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
-            let mut slot = state.panic.lock().unwrap();
+            let mut slot = state.panic.plock();
             if slot.is_none() {
                 *slot = Some(payload);
             }
         }
         if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.queue.lock().unwrap();
+            let _guard = self.queue.plock();
             self.available.notify_all();
         }
     }
@@ -88,14 +90,14 @@ impl Shared {
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let task = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.queue.plock();
             loop {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
                 match queue.pop_front() {
                     Some(t) => break t,
-                    None => queue = shared.available.wait(queue).unwrap(),
+                    None => queue = shared.available.pwait(queue),
                 }
             }
         };
@@ -162,7 +164,7 @@ impl Runtime {
         // Tasks may borrow from `f`'s environment: drain-and-wait BEFORE
         // propagating any panic, or the borrows would dangle mid-unwind.
         self.participate_until_done(&scope.state);
-        let task_panic = scope.state.panic.lock().unwrap().take();
+        let task_panic = scope.state.panic.plock().take();
         match (result, task_panic) {
             (Err(payload), _) => resume_unwind(payload),
             (_, Some(payload)) => resume_unwind(payload),
@@ -178,18 +180,18 @@ impl Runtime {
             if state.pending.load(Ordering::Acquire) == 0 {
                 return;
             }
-            let task = self.shared.queue.lock().unwrap().pop_front();
+            let task = self.shared.queue.plock().pop_front();
             match task {
                 Some(t) => self.shared.run_task(t),
                 None => {
-                    let queue = self.shared.queue.lock().unwrap();
+                    let queue = self.shared.queue.plock();
                     if state.pending.load(Ordering::Acquire) == 0 {
                         return;
                     }
                     if queue.is_empty() {
                         // All of this scope's tasks are claimed and running;
                         // completion (or a nested spawn) will notify.
-                        drop(self.shared.available.wait(queue).unwrap());
+                        drop(self.shared.available.pwait(queue));
                     }
                 }
             }
@@ -288,7 +290,7 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         {
-            let _guard = self.shared.queue.lock().unwrap();
+            let _guard = self.shared.queue.plock();
             self.shared.available.notify_all();
         }
         for worker in self.workers.drain(..) {
@@ -355,7 +357,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
         };
         self.state.pending.fetch_add(1, Ordering::Release);
-        let mut queue = self.runtime.shared.queue.lock().unwrap();
+        let mut queue = self.runtime.shared.queue.plock();
         queue.push_back(QueuedTask {
             run: task,
             state: Arc::clone(&self.state),

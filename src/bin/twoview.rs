@@ -4,7 +4,8 @@
 //! twoview generate <dataset> [--rows N] [--out data.2v]
 //! twoview stats    <data.2v>
 //! twoview fit      <data.2v> [--method select|greedy|exact] [--k K]
-//!                  [--minsup M] [--out rules.txt]
+//!                  [--minsup M] [--retries N] [--timeout-ms T]
+//!                  [--out rules.txt]
 //! twoview score    <data.2v> <rules.txt>
 //! twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
 //! ```
@@ -32,9 +33,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   twoview generate <dataset> [--rows N] [--out data.2v]
   twoview stats    <data.2v>
-  twoview fit      <data.2v> [--method select|greedy|exact] [--k K] [--minsup M] [--out rules.txt]
+  twoview fit      <data.2v> [--method select|greedy|exact] [--k K] [--minsup M]
+                   [--retries N] [--timeout-ms T] [--out rules.txt]
   twoview score    <data.2v> <rules.txt>
   twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
+
+fit robustness: --retries N re-runs a transiently failing fit up to N extra
+times (deterministic exponential backoff); --timeout-ms T bounds the fit's
+total time (an expired fit reports 'deadline exceeded', never a partial
+model). Either flag routes the fit through the serving Engine and prints
+its robustness counters.
 
 datasets: abalone adult cal500 car chesskrvk crime elections emotions
           house mammals nursery tictactoe wine yeast";
@@ -46,6 +54,8 @@ struct Flags {
     method: String,
     k: usize,
     minsup: Option<usize>,
+    retries: Option<u32>,
+    timeout_ms: Option<u64>,
     from: Side,
     limit: usize,
 }
@@ -58,6 +68,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Error> {
         method: "select".into(),
         k: 1,
         minsup: None,
+        retries: None,
+        timeout_ms: None,
         from: Side::Left,
         limit: 10,
     };
@@ -88,6 +100,20 @@ fn parse_flags(args: &[String]) -> Result<Flags, Error> {
                     value("--minsup")?
                         .parse()
                         .map_err(|e| Error::config(format!("--minsup: {e}")))?,
+                )
+            }
+            "--retries" => {
+                f.retries = Some(
+                    value("--retries")?
+                        .parse()
+                        .map_err(|e| Error::config(format!("--retries: {e}")))?,
+                )
+            }
+            "--timeout-ms" => {
+                f.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| Error::config(format!("--timeout-ms: {e}")))?,
                 )
             }
             "--from" => {
@@ -177,26 +203,51 @@ fn run(args: &[String]) -> Result<(), Error> {
                 .ok_or_else(|| Error::config("fit needs a .2v file"))?;
             let data = load(path)?;
             let minsup = flags.minsup.unwrap_or(1);
-            let model = match flags.method.as_str() {
-                "select" => translator_select(
-                    &data,
-                    &SelectConfig::builder().k(flags.k).minsup(minsup).build(),
-                ),
-                "greedy" => {
-                    translator_greedy(&data, &GreedyConfig::builder().minsup(minsup).build())
+            let algorithm = match flags.method.as_str() {
+                "select" => {
+                    Algorithm::Select(SelectConfig::builder().k(flags.k).minsup(minsup).build())
                 }
-                "exact" => translator_exact_with(
-                    &data,
-                    &ExactConfig {
-                        max_nodes: Some(20_000_000),
-                        ..ExactConfig::default()
-                    },
-                ),
+                "greedy" => Algorithm::Greedy(GreedyConfig::builder().minsup(minsup).build()),
+                "exact" => Algorithm::Exact(ExactConfig {
+                    max_nodes: Some(20_000_000),
+                    ..ExactConfig::default()
+                }),
                 other => {
                     return Err(Error::config(format!(
                         "unknown method {other} (select|greedy|exact)"
                     )))
                 }
+            };
+            let robust = flags.retries.is_some() || flags.timeout_ms.is_some();
+            let model = if robust {
+                // Robustness flags route through the serving Engine:
+                // retries and deadlines are job-layer features.
+                let mut builder = twoview::Engine::builder()
+                    .dataset(data.clone())
+                    .minsup(minsup)
+                    .retry_policy(twoview::RetryPolicy::new(
+                        flags.retries.unwrap_or(0) + 1,
+                        std::time::Duration::from_millis(50),
+                    ));
+                if let Some(ms) = flags.timeout_ms {
+                    builder = builder.default_deadline(twoview::Deadline::total(
+                        std::time::Duration::from_millis(ms),
+                    ));
+                }
+                let engine = builder.build()?;
+                let handle = engine.fit(algorithm);
+                let model = handle.join()?;
+                let stats = engine.stats();
+                println!(
+                    "robustness: retried {}, degraded {}, timed out {}, rejected {}",
+                    stats.jobs_retried,
+                    stats.fits_degraded,
+                    stats.jobs_timed_out,
+                    stats.jobs_rejected
+                );
+                model
+            } else {
+                twoview::core::engine::fit(&data, &algorithm)
             };
             println!(
                 "fitted {} rules, L% = {:.2} (|C|% = {:.2})",

@@ -102,7 +102,9 @@ pub use twoview_core::{Engine, EngineBuilder, EngineStats, Error};
 #[doc(inline)]
 pub use twoview_mining::CandidateCache;
 #[doc(inline)]
-pub use twoview_runtime::{JobHandle, JobQueue, JobStatus, Priority};
+pub use twoview_runtime::{
+    AdmissionPolicy, Deadline, JobHandle, JobQueue, JobStatus, Priority, RetryPolicy,
+};
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -116,6 +118,7 @@ pub mod prelude {
     pub use twoview_data::prelude::*;
     pub use twoview_mining::{mine_closed_twoview, CandidateCache, MinerConfig, TwoViewCandidate};
     pub use twoview_runtime::{
-        CancellationToken, JobError, JobHandle, JobStatus, JobTimings, Priority,
+        AdmissionPolicy, CancellationToken, Deadline, JobError, JobHandle, JobOptions, JobStatus,
+        JobTimings, Priority, QueueConfig, QueueStats, RetryPolicy,
     };
 }
