@@ -32,6 +32,11 @@
 //! * **incremental rub bounds** — SELECT(1)'s default incremental `Σ tub`
 //!   maintenance vs the cost-gated recomputation baseline, with prune /
 //!   refresh counts and the serial bound-maintenance time;
+//! * **observability** — a traced storm drill on the mid-dense corpus:
+//!   per-phase span rollups (construction mining, cache warm, solver
+//!   time, refresh / rub-prune totals), the `EngineStats`-vs-registry
+//!   consistency identity, and the obs-disabled overhead gate (< 2% on
+//!   mid-dense SELECT(1) vs the recent history envelope);
 //! * **identity checks** — thread counts, pool vs scope, parallel vs
 //!   serial mining, rub on/off/forced, incremental-vs-recomputed bounds,
 //!   layout checksums, SIMD-vs-scalar kernels, and forced-sparse /
@@ -974,27 +979,7 @@ fn run_robustness_bench(smoke: bool, history: &str, mode: &str, pool_ms: f64) ->
     // same site every history baseline was recorded from, so the
     // comparison is apples-to-apples (re-timing here, at a different point
     // in the suite's execution, reads systematically different numbers).
-    let threads = twoview_runtime::configured_threads();
-    // The comparison is PR-to-PR, so the baseline is the *recent* history
-    // (the last three same-mode same-thread entries; older ones predate
-    // intervening optimisations and machine recalibrations). Single-run
-    // wall clocks on a shared box carry single-digit scheduler noise, so
-    // the bar is the recent *envelope*: the slowest of those entries plus
-    // 2%. A systematic probe cost — the failure this guards against, e.g.
-    // a fault probe accidentally taking a lock on the SELECT hot path —
-    // shifts the whole distribution and clears that envelope by far.
-    let mut baselines: Vec<f64> = history
-        .lines()
-        .filter(|l| {
-            l.contains(&format!("\"mode\":\"{mode}\""))
-                && history_field(l, "threads") == Some(threads as f64)
-        })
-        .filter_map(|l| history_field(l, "select1_pool_ms_mid_dense"))
-        .collect();
-    if baselines.len() > 3 {
-        baselines.drain(..baselines.len() - 3);
-    }
-    let baseline = baselines.iter().copied().reduce(f64::max);
+    let baseline = recent_envelope(history, mode, "select1_pool_ms_mid_dense");
     let overhead_pct = baseline.map(|b| (pool_ms / b.max(1e-9) - 1.0) * 100.0);
     let overhead_ok = overhead_pct.is_none_or(|pct| pct < 2.0);
     match (baseline, overhead_pct) {
@@ -1004,7 +989,7 @@ fn run_robustness_bench(smoke: bool, history: &str, mode: &str, pool_ms: f64) ->
         ),
         _ => eprintln!(
             "  robustness: faults-disabled SELECT(1) pool {pool_ms:.2} ms; no {mode} baseline \
-             at {threads} thread(s) to compare"
+             to compare"
         ),
     }
 
@@ -1035,6 +1020,233 @@ fn run_robustness_bench(smoke: bool, history: &str, mode: &str, pool_ms: f64) ->
         json,
         scenario_ok,
         overhead_ok,
+    }
+}
+
+/// The baseline for disabled-probe overhead gates: the PR-to-PR
+/// comparison uses the *recent* history (the last three same-mode
+/// same-thread entries; older ones predate intervening optimisations and
+/// machine recalibrations). Single-run wall clocks on a shared box carry
+/// single-digit scheduler noise, so the bar is the recent *envelope*: the
+/// slowest of those entries plus 2%. A systematic probe cost — the
+/// failure these gates guard against, e.g. a fault or trace probe
+/// accidentally taking a lock on the SELECT hot path — shifts the whole
+/// distribution and clears that envelope by far.
+fn recent_envelope(history: &str, mode: &str, field: &str) -> Option<f64> {
+    let threads = twoview_runtime::configured_threads();
+    let mut baselines: Vec<f64> = history
+        .lines()
+        .filter(|l| {
+            l.contains(&format!("\"mode\":\"{mode}\""))
+                && history_field(l, "threads") == Some(threads as f64)
+        })
+        .filter_map(|l| history_field(l, field))
+        .collect();
+    if baselines.len() > 3 {
+        baselines.drain(..baselines.len() - 3);
+    }
+    baselines.into_iter().reduce(f64::max)
+}
+
+/// A `Write` sink backed by shared memory: the trace drill drains the
+/// per-thread span buffers here so the rollup can read them back.
+#[derive(Clone)]
+struct TraceBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for TraceBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("trace buf").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Observability drill, on the mid-dense corpus.
+///
+/// Three properties of `twoview_runtime::obs` measured in one pass:
+///
+/// * **one source of truth** — a small fault storm (failed warm, rare
+///   checkpoint panics, retries) runs through the engine while the trace
+///   records; afterwards the `EngineStats` view and the registry
+///   snapshot deltas must agree *exactly* on every counter both expose
+///   (`stats_views_consistent`, an identity — the run fails otherwise);
+/// * **per-phase span rollups** — the traced drill's span durations
+///   summed by lifecycle phase (construction mining, cache warm, SELECT
+///   and GREEDY solver time) plus the refresh / rub-prune totals the
+///   `select.run` spans carry, recorded into the snapshot for
+///   PR-over-PR comparison;
+/// * **disabled-path overhead** — the obs probes (always-on counter
+///   cells plus the one-relaxed-load trace gate) share the fault
+///   probes' measurement site: mid-dense SELECT(1) pool time vs the
+///   recent history envelope must stay under 2%
+///   (`obs_disabled_overhead_ok`, grep-gated in CI like the faults
+///   gate).
+struct ObservabilityOutcome {
+    json: String,
+    overhead_ok: bool,
+    views_consistent: bool,
+}
+
+fn run_observability_bench(
+    smoke: bool,
+    history: &str,
+    mode: &str,
+    pool_ms: f64,
+) -> ObservabilityOutcome {
+    let spec = &CORPORA[1]; // mid-dense
+    let data = generate(spec, smoke);
+    let minsup = (data.n_transactions() / spec.minsup_div).max(1);
+
+    // --- traced storm drill ----------------------------------------------
+    let buf = TraceBuf(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())));
+    twoview_runtime::obs::trace_to_writer(Box::new(buf.clone()));
+    let before = twoview_runtime::obs::snapshot();
+    faults::configure(
+        FaultPlan::new()
+            .point(points::CACHE_WARM_FAIL, 1.0, 0)
+            .point(points::SELECT_CHECKPOINT_PANIC, 0.02, 1),
+    );
+    let engine = Engine::builder()
+        .dataset(data)
+        .minsup(minsup)
+        .retry_policy(RetryPolicy::new(8, Duration::from_millis(1)))
+        .build()
+        .expect("obs drill engine");
+    let select_cfg = SelectConfig::builder().k(1).minsup(minsup).build();
+    let greedy_cfg = GreedyConfig::builder().minsup(minsup).build();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            if i < 3 {
+                engine.fit(Algorithm::Select(select_cfg.clone()))
+            } else {
+                engine.fit(Algorithm::Greedy(greedy_cfg.clone()))
+            }
+        })
+        .collect();
+    for h in handles {
+        if let Err(e) = h.join() {
+            assert!(
+                e.to_string().contains("injected fault"),
+                "only injected faults may fail the obs drill: {e}"
+            );
+        }
+    }
+    faults::clear();
+
+    // One source of truth: `EngineStats` is a view over the same registry
+    // cells `obs::snapshot` reads, so the deltas must agree exactly.
+    let stats = engine.stats();
+    let after = twoview_runtime::obs::snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    let views = [
+        ("engine.jobs_retried", stats.jobs_retried),
+        ("engine.fits_degraded", stats.fits_degraded),
+        ("engine.fits_completed", stats.fits_completed),
+        ("engine.jobs_submitted", stats.jobs_submitted),
+        ("queue.jobs_rejected", stats.jobs_rejected),
+        ("queue.jobs_shed", stats.jobs_shed),
+        ("queue.jobs_timed_out", stats.jobs_timed_out),
+        ("queue.executors_respawned", stats.executors_respawned),
+    ];
+    let views_consistent = views.iter().all(|&(name, view)| {
+        let reg = delta(name);
+        if reg != view {
+            eprintln!("  observability: {name} registry delta {reg} != stats view {view}");
+        }
+        reg == view
+    }) && stats.fits_degraded >= 1;
+    drop(engine);
+    twoview_runtime::obs::trace_off();
+
+    // --- per-phase span rollups ------------------------------------------
+    let trace = String::from_utf8(buf.0.lock().expect("trace buf").clone()).expect("utf-8 trace");
+    let rollup_ms = |names: &[&str]| -> f64 {
+        trace
+            .lines()
+            .filter(|l| {
+                l.contains("\"kind\":\"span\"")
+                    && names
+                        .iter()
+                        .any(|n| l.contains(&format!("\"name\":\"{n}\"")))
+            })
+            .filter_map(|l| history_field(l, "dur_us"))
+            .sum::<f64>()
+            / 1e3
+    };
+    let field_total = |span: &str, field: &str| -> u64 {
+        trace
+            .lines()
+            .filter(|l| l.contains(&format!("\"name\":\"{span}\"")))
+            .filter_map(|l| history_field(l, field))
+            .sum::<f64>() as u64
+    };
+    let trace_spans = trace
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"span\""))
+        .count();
+    let trace_events = trace
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"event\""))
+        .count();
+    let mine_ms = rollup_ms(&["engine.build.mine", "engine.fit.mine"]);
+    let warm_ms = rollup_ms(&["engine.cache.warm"]);
+    let select_ms = rollup_ms(&["select.run"]);
+    let greedy_ms = rollup_ms(&["greedy.run"]);
+    let refreshes = field_total("select.run", "refreshes");
+    let rub_prunes = field_total("select.run", "rub_prunes");
+    eprintln!(
+        "  observability[mid-dense]: {trace_spans} spans / {trace_events} events \
+         (mine {mine_ms:.1} ms, warm {warm_ms:.1} ms, select {select_ms:.1} ms, greedy \
+         {greedy_ms:.1} ms, {refreshes} refreshes, {rub_prunes} rub prunes); views \
+         consistent: {views_consistent}"
+    );
+
+    // --- trace-disabled overhead on mid-dense SELECT(1) ------------------
+    // Same measurement site and envelope discipline as the faults gate:
+    // `pool_ms` was timed with the registry compiled in and the trace
+    // gate cold, so it carries whatever the disabled obs path costs.
+    let baseline = recent_envelope(history, mode, "select1_pool_ms_mid_dense");
+    let overhead_pct = baseline.map(|b| (pool_ms / b.max(1e-9) - 1.0) * 100.0);
+    let overhead_ok = overhead_pct.is_none_or(|pct| pct < 2.0);
+    match (baseline, overhead_pct) {
+        (Some(b), Some(pct)) => eprintln!(
+            "  observability: obs-disabled SELECT(1) pool {pool_ms:.2} ms vs recent baseline \
+             envelope {b:.2} ms ({pct:+.2}%, ok: {overhead_ok})"
+        ),
+        _ => eprintln!(
+            "  observability: obs-disabled SELECT(1) pool {pool_ms:.2} ms; no {mode} baseline \
+             to compare"
+        ),
+    }
+
+    let json = format!(
+        r#"  "observability": {{
+    "corpus": "mid-dense",
+    "trace_spans": {trace_spans},
+    "trace_events": {trace_events},
+    "phase_rollup": {{
+      "mine_ms": {mine_ms:.3},
+      "warm_ms": {warm_ms:.3},
+      "select_ms": {select_ms:.3},
+      "greedy_ms": {greedy_ms:.3},
+      "refreshes": {refreshes},
+      "rub_prunes": {rub_prunes}
+    }},
+    "stats_views_consistent": {views_consistent},
+    "obs_disabled_overhead_pct": {pct_json},
+    "obs_disabled_overhead_ok": {overhead_ok},
+    "registry": {registry}
+  }}"#,
+        pct_json = overhead_pct.map_or("null".into(), |p| format!("{p:.2}")),
+        registry = after.to_json(),
+    );
+    ObservabilityOutcome {
+        json,
+        overhead_ok,
+        views_consistent,
     }
 }
 
@@ -1154,15 +1366,18 @@ fn main() {
         .select_pool_ms;
     let robustness = run_robustness_bench(smoke, &history, mode, mid_dense_pool_ms);
     all_identities &= robustness.scenario_ok;
+    let observability = run_observability_bench(smoke, &history, mode, mid_dense_pool_ms);
+    all_identities &= observability.views_consistent;
 
     let json = format!(
         "{{\n  \"suite\": \"select\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \
-         \"corpora\": [\n{corpora}\n  ],\n{engine_json},\n{robustness_json},\n  \
+         \"corpora\": [\n{corpora}\n  ],\n{engine_json},\n{robustness_json},\n{obs_json},\n  \
          \"all_identities\": {all_identities}\n}}\n",
         threads = twoview_runtime::configured_threads(),
         corpora = corpora_json.join(",\n"),
         engine_json = engine.json,
         robustness_json = robustness.json,
+        obs_json = observability.json,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("  wrote {out_path}");
@@ -1253,6 +1468,20 @@ fn main() {
             ",\"faults_disabled_overhead_ok\":{}",
             robustness.overhead_ok
         );
+        // Whole-run registry totals: everything the suite's engines and
+        // solvers recorded, so history tracks counter volume over PRs.
+        let registry = twoview_runtime::obs::snapshot();
+        let counter_total: u64 = registry.counters.iter().map(|(_, v)| v).sum();
+        let _ = write!(
+            line,
+            ",\"obs_counters\":{},\"obs_counter_total\":{counter_total},\
+             \"obs_fits_completed\":{},\"obs_disabled_overhead_ok\":{},\
+             \"stats_views_consistent\":{}",
+            registry.counters.len(),
+            registry.counter("engine.fits_completed"),
+            observability.overhead_ok,
+            observability.views_consistent,
+        );
         let _ = write!(line, ",\"all_identities\":{all_identities}}}");
         let mut history = history;
         history.push_str(&line);
@@ -1274,5 +1503,8 @@ fn main() {
     // consumed, keeping local full runs usable on noisy machines.
     if !robustness.overhead_ok {
         eprintln!("perfsuite: WARNING: faults-disabled overhead exceeded 2% vs history baseline");
+    }
+    if !observability.overhead_ok {
+        eprintln!("perfsuite: WARNING: obs-disabled overhead exceeded 2% vs history baseline");
     }
 }

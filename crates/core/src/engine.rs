@@ -72,13 +72,13 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use twoview_data::prelude::*;
 use twoview_mining::{CandidateCache, MinerConfig, TwoViewCandidate};
 use twoview_runtime::jobs::panic_message;
+use twoview_runtime::obs;
 use twoview_runtime::{
     AdmissionPolicy, Deadline, JobCtx, JobError, JobHandle, JobOptions, JobQueue, Priority,
     QueueConfig, RetryPolicy,
@@ -263,6 +263,8 @@ impl EngineBuilder {
         let mine_start = Instant::now();
         let closed = self.closed_candidates;
         let cache = {
+            let mut span = obs::span("engine.build.mine");
+            span.field("minsup", self.minsup as u64);
             let mut attempt = 1u32;
             loop {
                 match catch_unwind(AssertUnwindSafe(|| {
@@ -285,7 +287,12 @@ impl EngineBuilder {
         // (lazy init would otherwise race the first fits into computing
         // them inside a job). A failed warm (budget, injected fault) is
         // the degraded-but-correct path, not an error.
-        let seed_cache_warm = cache.tidsets(&data).is_some();
+        let seed_cache_warm = {
+            let mut span = obs::span("engine.cache.warm");
+            let warm = cache.tidsets(&data).is_some();
+            span.field("ok", warm);
+            warm
+        };
         let build_mine_ms = mine_start.elapsed().as_secs_f64() * 1e3;
         let queue_config = {
             let mut cfg = QueueConfig::new(self.job_executors).admission(self.admission);
@@ -304,11 +311,11 @@ impl EngineBuilder {
                 seed_cache_warm,
                 retry: self.retry,
                 default_deadline: self.default_deadline,
-                fit_mine_ns: AtomicU64::new(0),
-                fits_completed: AtomicU64::new(0),
-                fits_retried: AtomicU64::new(0),
-                fits_degraded: AtomicU64::new(0),
-                jobs_submitted: AtomicU64::new(0),
+                fit_mine_ns: obs::counter("engine.fit_mine_ns"),
+                fits_completed: obs::counter("engine.fits_completed"),
+                fits_retried: obs::counter("engine.jobs_retried"),
+                fits_degraded: obs::counter("engine.fits_degraded"),
+                jobs_submitted: obs::counter("engine.jobs_submitted"),
             }),
             queue: JobQueue::with_config(queue_config),
         })
@@ -394,11 +401,16 @@ struct EngineInner {
     default_deadline: Deadline,
     /// Nanoseconds of re-mining inside fit jobs (ns so that even a
     /// sub-microsecond re-mine on a toy dataset registers as nonzero).
-    fit_mine_ns: AtomicU64,
-    fits_completed: AtomicU64,
-    fits_retried: AtomicU64,
-    fits_degraded: AtomicU64,
-    jobs_submitted: AtomicU64,
+    ///
+    /// These counters are per-engine registry cells (`engine.*` names in
+    /// [`twoview_runtime::obs`]): [`Engine::stats`] reads them per
+    /// instance, `obs::snapshot()` sums them process-wide — one source of
+    /// truth for both views.
+    fit_mine_ns: obs::Counter,
+    fits_completed: obs::Counter,
+    fits_retried: obs::Counter,
+    fits_degraded: obs::Counter,
+    jobs_submitted: obs::Counter,
 }
 
 impl EngineInner {
@@ -451,9 +463,12 @@ impl EngineInner {
         }
         let mcfg = miner_config(minsup, max_candidates, self.n_threads);
         let start = Instant::now();
+        let mut span = obs::span("engine.fit.mine");
+        span.field("minsup", minsup as u64);
         let fresh = CandidateCache::mine(&self.data, &mcfg, closed);
+        drop(span);
         self.fit_mine_ns
-            .fetch_add(start.elapsed().as_nanos().max(1) as u64, Ordering::Relaxed);
+            .add(start.elapsed().as_nanos().max(1) as u64);
         let truncated = fresh.truncated();
         ServedCandidates {
             cands: std::borrow::Cow::Owned(fresh.candidates().to_vec()),
@@ -475,7 +490,11 @@ impl EngineInner {
                 let served =
                     self.candidates_for(cfg.minsup, cfg.closed_candidates, cfg.max_candidates);
                 if served.degraded {
-                    self.fits_degraded.fetch_add(1, Ordering::Relaxed);
+                    self.fits_degraded.incr();
+                    obs::event(
+                        "engine.degraded",
+                        &[("reason", "seed_tidsets_unavailable".into())],
+                    );
                 }
                 let mut model =
                     run_select(data, &cfg, &served.cands, served.tids, Some(ctx), None)?;
@@ -518,7 +537,7 @@ impl EngineInner {
                 run_exact(data, &cfg, &seeds, Some(ctx))?
             }
         };
-        self.fits_completed.fetch_add(1, Ordering::Relaxed);
+        self.fits_completed.incr();
         Ok(model)
     }
 
@@ -542,9 +561,16 @@ impl EngineInner {
                     if attempt >= self.retry.max_attempts {
                         return Err(JobError::Panicked(panic_message(payload.as_ref())));
                     }
-                    self.fits_retried.fetch_add(1, Ordering::Relaxed);
+                    self.fits_retried.incr();
                     ctx.mark_retry();
                     let mut remaining = self.retry.backoff_after(attempt);
+                    obs::event(
+                        "job.backoff",
+                        &[
+                            ("attempt", u64::from(attempt).into()),
+                            ("backoff_us", (remaining.as_micros() as u64).into()),
+                        ],
+                    );
                     while remaining > Duration::ZERO {
                         ctx.checkpoint()?;
                         let slice = remaining.min(Duration::from_millis(1));
@@ -597,12 +623,12 @@ impl Engine {
             closed_candidates: self.inner.cache.closed(),
             truncated: self.inner.cache.truncated(),
             build_mine_ms: self.inner.build_mine_ms,
-            fit_mine_ms: self.inner.fit_mine_ns.load(Ordering::Relaxed) as f64 / 1e6,
-            fits_completed: self.inner.fits_completed.load(Ordering::Relaxed),
-            jobs_submitted: self.inner.jobs_submitted.load(Ordering::Relaxed),
+            fit_mine_ms: self.inner.fit_mine_ns.get() as f64 / 1e6,
+            fits_completed: self.inner.fits_completed.get(),
+            jobs_submitted: self.inner.jobs_submitted.get(),
             seed_cache_warm: self.inner.seed_cache_warm,
-            jobs_retried: self.inner.fits_retried.load(Ordering::Relaxed),
-            fits_degraded: self.inner.fits_degraded.load(Ordering::Relaxed),
+            jobs_retried: self.inner.fits_retried.get(),
+            fits_degraded: self.inner.fits_degraded.get(),
             jobs_rejected: queue.rejected,
             jobs_shed: queue.shed,
             jobs_timed_out: queue.timed_out,
@@ -648,7 +674,7 @@ impl Engine {
         deadline: Deadline,
     ) -> JobHandle<TranslatorModel> {
         let inner = Arc::clone(&self.inner);
-        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.jobs_submitted.incr();
         self.queue
             .submit_opts(priority, JobOptions::with_deadline(deadline), move |ctx| {
                 inner.with_retry(ctx, |ctx| inner.run_fit(&algorithm, ctx))
@@ -671,7 +697,7 @@ impl Engine {
     ) -> JobHandle<Vec<Bitmap>> {
         let inner = Arc::clone(&self.inner);
         let opts = JobOptions::with_deadline(self.inner.default_deadline);
-        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.jobs_submitted.incr();
         self.queue.submit_opts(priority, opts, move |ctx| {
             inner.with_retry(ctx, |ctx| {
                 let n = inner.data.n_transactions();
@@ -714,7 +740,7 @@ impl Engine {
     ) -> JobHandle<Vec<Bitmap>> {
         let inner = Arc::clone(&self.inner);
         let opts = JobOptions::with_deadline(self.inner.default_deadline);
-        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.jobs_submitted.incr();
         self.queue.submit_opts(priority, opts, move |ctx| {
             inner.with_retry(ctx, |ctx| {
                 let mut out = Vec::with_capacity(rows.len());
@@ -746,7 +772,7 @@ impl Engine {
     ) -> JobHandle<ModelScore> {
         let inner = Arc::clone(&self.inner);
         let opts = JobOptions::with_deadline(self.inner.default_deadline);
-        self.inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.jobs_submitted.incr();
         self.queue.submit_opts(priority, opts, move |ctx| {
             inner.with_retry(ctx, |ctx| {
                 ctx.checkpoint()?;

@@ -48,11 +48,33 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use twoview_data::prelude::*;
+use twoview_runtime::obs;
 
 use crate::bounds;
 use crate::cover::CoverState;
 use crate::model::{score_of, TraceStep, TranslatorModel};
 use crate::rule::{Direction, TranslationRule};
+
+/// Process-wide registry cells for the exact search (`exact.*` names).
+/// The DFS counts in plain locals ([`Search`] fields) and folds them in
+/// once per search / per fan-out participant, keeping the per-node hot
+/// path free of shared-cell traffic.
+struct ExactMetrics {
+    searches: obs::Counter,
+    nodes: obs::Counter,
+    rub_prunes: obs::Counter,
+    qub_prunes: obs::Counter,
+}
+
+fn exact_metrics() -> &'static ExactMetrics {
+    static METRICS: std::sync::OnceLock<ExactMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| ExactMetrics {
+        searches: obs::counter("exact.searches"),
+        nodes: obs::counter("exact.nodes"),
+        rub_prunes: obs::counter("exact.rub_prunes"),
+        qub_prunes: obs::counter("exact.qub_prunes"),
+    })
+}
 
 /// Configuration of the exact search.
 #[derive(Clone, Debug)]
@@ -402,6 +424,7 @@ pub fn best_rule_with_incumbent(
 ) -> SearchOutcome {
     let data = state.data();
     let vocab = data.vocab();
+    let mut span = obs::span("exact.search");
 
     // Order items descending by their single-item bound contribution:
     // Σ over supporting transactions of the opposite side's tub.
@@ -436,6 +459,8 @@ pub fn best_rule_with_incumbent(
         best,
         best_gain,
         nodes: 0,
+        rub_prunes: 0,
+        qub_prunes: 0,
         truncated: false,
         shared: None,
         node_cap: cfg.max_nodes,
@@ -461,7 +486,7 @@ pub fn best_rule_with_incumbent(
         };
     if fanout {
         let threads = twoview_runtime::resolve_threads(cfg.n_threads);
-        return parallel_root_fanout(
+        let outcome = parallel_root_fanout(
             state,
             cfg,
             &items,
@@ -470,10 +495,28 @@ pub fn best_rule_with_incumbent(
             total_tub,
             threads,
         );
+        let metrics = exact_metrics();
+        metrics.searches.incr();
+        metrics.nodes.add(outcome.nodes);
+        span.field("nodes", outcome.nodes)
+            .field("fanout", true)
+            .field("truncated", outcome.truncated);
+        return outcome;
     }
 
     let root = root_node(total_tub);
     search.dfs(0, &root);
+    let metrics = exact_metrics();
+    metrics.searches.incr();
+    metrics.nodes.add(search.nodes);
+    metrics.rub_prunes.add(search.rub_prunes);
+    metrics.qub_prunes.add(search.qub_prunes);
+    span.field("nodes", search.nodes)
+        .field("rub_prunes", search.rub_prunes)
+        .field("qub_prunes", search.qub_prunes)
+        .field("fanout", false)
+        .field("truncated", search.truncated);
+    drop(span);
     SearchOutcome {
         best: search.best.map(|r| (r, search.best_gain)),
         nodes: search.nodes,
@@ -542,6 +585,7 @@ fn parallel_root_fanout(
         // a private copy keeps the hot tub/cover columns out of the other
         // workers' cache traffic.
         let local_state = state.clone();
+        let (mut local_rub, mut local_qub) = (0u64, 0u64);
         loop {
             let pos = claimed;
             let mut search = Search {
@@ -551,12 +595,16 @@ fn parallel_root_fanout(
                 best: None,
                 best_gain: incumbent_gain,
                 nodes: 0,
+                rub_prunes: 0,
+                qub_prunes: 0,
                 truncated: false,
                 shared: share_bound.then_some(&shared_bits),
                 node_cap,
             };
             let root = root_node(total_tub);
             search.visit(pos, &root);
+            local_rub += search.rub_prunes;
+            local_qub += search.qub_prunes;
             let outcome = RootOutcome {
                 best: search.best.map(|r| (r, search.best_gain)),
                 nodes: search.nodes,
@@ -568,6 +616,11 @@ fn parallel_root_fanout(
                 break;
             }
         }
+        // One registry fold per participant (prune tallies only — the
+        // merge loop already accounts the node totals).
+        let metrics = exact_metrics();
+        metrics.rub_prunes.add(local_rub);
+        metrics.qub_prunes.add(local_qub);
     };
     // Extra participants beyond the pool size queue behind the real
     // workers; results are unaffected (ordered reduction), so the fan-out
@@ -626,6 +679,11 @@ struct Search<'a, 'd> {
     best: Option<TranslationRule>,
     best_gain: f64,
     nodes: u64,
+    /// Subtrees cut by the `rub` bound (local tally; folded into the
+    /// `exact.rub_prunes` registry cell when the search ends).
+    rub_prunes: u64,
+    /// Node evaluations skipped by the quick `qub` bound.
+    qub_prunes: u64,
     truncated: bool,
     /// Shared monotone best-bound (bits of a non-negative f64) for
     /// cross-subtree pruning in the parallel fan-out; `None` when serial
@@ -791,6 +849,7 @@ impl Search<'_, '_> {
             child.len_right,
         );
         if self.cfg.use_rub && (rub <= self.best_gain || self.shared_prunes(rub)) {
+            self.rub_prunes += 1;
             return;
         }
 
@@ -813,6 +872,7 @@ impl Search<'_, '_> {
                 node.len_right,
             );
             if qub <= self.best_gain || self.shared_prunes(qub) {
+                self.qub_prunes += 1;
                 return;
             }
         }

@@ -7,7 +7,26 @@
 
 use twoview_data::prelude::*;
 use twoview_mining::{mine_closed_twoview, mine_frequent_twoview, MinerConfig, TwoViewCandidate};
+use twoview_runtime::obs;
 use twoview_runtime::{JobCtx, JobError};
+
+/// Process-wide registry cells for the greedy pass (`greedy.*` names).
+struct GreedyMetrics {
+    runs: obs::Counter,
+    candidates_seen: obs::Counter,
+    qub_skips: obs::Counter,
+    rules_added: obs::Counter,
+}
+
+fn greedy_metrics() -> &'static GreedyMetrics {
+    static METRICS: std::sync::OnceLock<GreedyMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| GreedyMetrics {
+        runs: obs::counter("greedy.runs"),
+        candidates_seen: obs::counter("greedy.candidates_seen"),
+        qub_skips: obs::counter("greedy.qub_skips"),
+        rules_added: obs::counter("greedy.rules_added"),
+    })
+}
 
 use crate::bounds;
 use crate::cover::CoverState;
@@ -151,6 +170,9 @@ pub(crate) fn run_greedy(
         }),
     }
 
+    let mut run_span = obs::span("greedy.run");
+    run_span.field("n_candidates", candidates.len());
+    let mut qub_skips = 0u64;
     let mut state = CoverState::new(data);
     let mut trace = Vec::new();
     for (pos, cand) in ordered.into_iter().enumerate() {
@@ -166,6 +188,7 @@ pub(crate) fn run_greedy(
         // State-independent quick bound: a candidate whose `qub` is not
         // positive can never yield a positive gain; skip the evaluation.
         if bounds::qub(state.codes(), data, &cand.left, &cand.right) <= 0.0 {
+            qub_skips += 1;
             continue;
         }
         let lt = data.support_set(&cand.left);
@@ -186,6 +209,16 @@ pub(crate) fn run_greedy(
             trace.push(TraceStep::capture(&state, rule, best_gain));
         }
     }
+
+    let metrics = greedy_metrics();
+    metrics.runs.incr();
+    metrics.candidates_seen.add(candidates.len() as u64);
+    metrics.qub_skips.add(qub_skips);
+    metrics.rules_added.add(trace.len() as u64);
+    run_span
+        .field("qub_skips", qub_skips)
+        .field("rules_added", trace.len());
+    drop(run_span);
 
     let score = score_of(&state);
     Ok(TranslatorModel {

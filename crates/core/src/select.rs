@@ -32,7 +32,31 @@
 
 use twoview_data::prelude::*;
 use twoview_mining::{mine_closed_twoview, mine_frequent_twoview, MinerConfig, TwoViewCandidate};
+use twoview_runtime::obs;
 use twoview_runtime::{JobCtx, JobError};
+
+/// Process-wide registry cells for SELECT internals (`select.*` names):
+/// each run folds its per-run counters in once at the end, so the hot
+/// refresh loop touches plain locals and [`SelectStats`] stays the
+/// per-run view of exactly the same numbers.
+struct SelectMetrics {
+    runs: obs::Counter,
+    iterations: obs::Counter,
+    refreshes: obs::Counter,
+    rub_prunes: obs::Counter,
+    round2_prunes: obs::Counter,
+}
+
+fn select_metrics() -> &'static SelectMetrics {
+    static METRICS: std::sync::OnceLock<SelectMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SelectMetrics {
+        runs: obs::counter("select.runs"),
+        iterations: obs::counter("select.iterations"),
+        refreshes: obs::counter("select.refreshes"),
+        rub_prunes: obs::counter("select.rub_prunes"),
+        round2_prunes: obs::counter("select.round2_prunes"),
+    })
+}
 
 use crate::bounds;
 use crate::cover::CoverState;
@@ -507,6 +531,10 @@ pub(crate) fn run_select(
     if let Some(tids) = shared_tids {
         debug_assert_eq!(tids.len(), candidates.len());
     }
+    let mut run_span = obs::span("select.run");
+    run_span
+        .field("k", cfg.k)
+        .field("n_candidates", candidates.len());
     let mut state = CoverState::new(data);
     let mut trace = Vec::new();
 
@@ -929,6 +957,19 @@ pub(crate) fn run_select(
         }
     }
 
+    // One registry fold per run; `SelectStats` reports the same locals.
+    let metrics = select_metrics();
+    metrics.runs.incr();
+    metrics.iterations.add(iterations as u64);
+    metrics.refreshes.add(n_refreshes as u64);
+    metrics.rub_prunes.add(n_prunes as u64);
+    metrics.round2_prunes.add(round2_prunes as u64);
+    run_span
+        .field("iterations", iterations)
+        .field("refreshes", n_refreshes)
+        .field("rub_prunes", n_prunes)
+        .field("incremental_active", inc_was_armed);
+    drop(run_span);
     if let Some(s) = stats_out {
         s.rub_prunes = n_prunes;
         s.round2_prunes = round2_prunes;

@@ -28,7 +28,9 @@
 
 use twoview_data::prelude::*;
 
-use crate::eclat::{fanout_threads, merge_segments, FrequentItemset, MinerConfig, MiningResult};
+use crate::eclat::{
+    fanout_threads, merge_segments, record_root_fanout, FrequentItemset, MinerConfig, MiningResult,
+};
 
 /// Mines all closed frequent itemsets of `data`.
 ///
@@ -48,6 +50,7 @@ pub fn mine_closed(data: &TwoViewDataset, cfg: &MinerConfig) -> MiningResult {
         // thread-count-independent bound); `merge_segments` re-applies
         // the global valve.
         let roots: Vec<usize> = (0..items.len()).collect();
+        record_root_fanout(roots.len());
         let segments = twoview_runtime::global().map_chunks(threads, &roots, 1, |_, pos| {
             expand_root(data, minsup, &items, pos[0], cfg.max_itemsets)
         });

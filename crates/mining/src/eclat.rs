@@ -119,6 +119,23 @@ pub(crate) fn fanout_threads(cfg_threads: Option<usize>, n_roots: usize, n_tx: u
     threads
 }
 
+/// Records one first-level subtree fan-out in the `mine.*` registry cells
+/// (shared by the frequent and closed miners).
+pub(crate) fn record_root_fanout(n_roots: usize) {
+    use twoview_runtime::obs;
+    struct FanoutMetrics {
+        fanouts: obs::Counter,
+        root_tasks: obs::Counter,
+    }
+    static METRICS: std::sync::OnceLock<FanoutMetrics> = std::sync::OnceLock::new();
+    let metrics = METRICS.get_or_init(|| FanoutMetrics {
+        fanouts: obs::counter("mine.root_fanouts"),
+        root_tasks: obs::counter("mine.root_tasks"),
+    });
+    metrics.fanouts.incr();
+    metrics.root_tasks.add(n_roots as u64);
+}
+
 /// Concatenates per-root segments in root (submission) order, applying the
 /// `max_itemsets` valve exactly like the serial enumerator: the output is
 /// the first `max_itemsets` itemsets of the full serial enumeration order,
@@ -177,6 +194,7 @@ pub fn mine_frequent(data: &TwoViewDataset, cfg: &MinerConfig) -> MiningResult {
         // `max_itemsets` budget (a thread-count-independent bound);
         // `merge_segments` re-applies the global valve.
         let roots: Vec<usize> = (0..items.len()).collect();
+        record_root_fanout(roots.len());
         let segments = twoview_runtime::global().map_chunks(threads, &roots, 1, |_, pos| {
             expand_root(data, cfg, &items, pos[0], cfg.max_itemsets)
         });

@@ -50,25 +50,53 @@ pub struct CandidateSet {
     pub truncated: bool,
 }
 
+/// Process-wide registry cells for candidate mining (`mine.*` names).
+struct MineMetrics {
+    runs: twoview_runtime::obs::Counter,
+    candidates: twoview_runtime::obs::Counter,
+}
+
+fn mine_metrics() -> &'static MineMetrics {
+    static METRICS: OnceLock<MineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| MineMetrics {
+        runs: twoview_runtime::obs::counter("mine.runs"),
+        candidates: twoview_runtime::obs::counter("mine.candidates"),
+    })
+}
+
+fn finish_mine(span: &mut twoview_runtime::obs::SpanGuard, set: &CandidateSet) {
+    let metrics = mine_metrics();
+    metrics.runs.incr();
+    metrics.candidates.add(set.candidates.len() as u64);
+    span.field("n_candidates", set.candidates.len())
+        .field("truncated", set.truncated);
+}
+
 /// Mines closed frequent two-view itemsets (the paper's candidate class).
 pub fn mine_closed_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> CandidateSet {
     twoview_runtime::faults::maybe_panic(twoview_runtime::faults::points::MINE_PANIC);
+    let mut span = twoview_runtime::obs::span("mine.closed");
     let res = mine_closed(data, cfg);
-    CandidateSet {
+    let set = CandidateSet {
         candidates: split_spanning(data, res.itemsets.into_iter()),
         truncated: res.truncated,
-    }
+    };
+    finish_mine(&mut span, &set);
+    set
 }
 
 /// Mines **all** frequent two-view itemsets (ablation: SELECT on non-closed
 /// candidates; also the raw search space of association rule mining).
 pub fn mine_frequent_twoview(data: &TwoViewDataset, cfg: &MinerConfig) -> CandidateSet {
     twoview_runtime::faults::maybe_panic(twoview_runtime::faults::points::MINE_PANIC);
+    let mut span = twoview_runtime::obs::span("mine.frequent");
     let res = mine_frequent(data, cfg);
-    CandidateSet {
+    let set = CandidateSet {
         candidates: split_spanning(data, res.itemsets.into_iter()),
         truncated: res.truncated,
-    }
+    };
+    finish_mine(&mut span, &set);
+    set
 }
 
 /// A mined candidate set cached for reuse across many fits.

@@ -52,7 +52,23 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::faults;
+use crate::obs;
 use crate::sync::{PoisonTolerantCondvar, PoisonTolerantMutex};
+
+/// Process-wide checkpoint counter (`queue.checkpoints`): one cell shared
+/// by every [`JobCtx`] — checkpoints are not a per-queue statistic.
+fn checkpoint_counter() -> &'static obs::Counter {
+    static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::counter("queue.checkpoints"))
+}
+
+/// Stable lane label for trace fields.
+fn lane_str(priority: Priority) -> &'static str {
+    match priority {
+        Priority::Interactive => "interactive",
+        Priority::Batch => "batch",
+    }
+}
 
 /// Scheduling class of a job. Lower latency first: executors always pop
 /// the interactive lane before the batch lane; within a lane jobs run in
@@ -255,6 +271,7 @@ impl JobCtx {
     /// its total deadline has passed. Call at iteration boundaries. With
     /// no deadline set the check is a single atomic load.
     pub fn checkpoint(&self) -> Result<(), JobError> {
+        checkpoint_counter().incr();
         if self.is_cancelled() {
             return Err(JobError::Cancelled);
         }
@@ -285,7 +302,8 @@ impl JobCtx {
 
     /// Records that a retry wrapper is about to re-run the body.
     pub fn mark_retry(&self) {
-        self.attempts.fetch_add(1, Ordering::Relaxed);
+        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        obs::event("job.retry", &[("attempt", u64::from(attempt).into())]);
     }
 
     /// Advances the monotone progress counter visible through
@@ -603,10 +621,18 @@ struct QueueShared {
     start_seq: AtomicU64,
     lane_capacity: Option<usize>,
     admission: AdmissionPolicy,
-    stat_rejected: AtomicU64,
-    stat_shed: AtomicU64,
-    stat_timed_out: AtomicU64,
-    stat_respawned: AtomicU64,
+    /// Robustness counters are registry cells (`queue.*`): the queue's
+    /// own [`QueueStats`] view and the process-wide
+    /// [`obs::snapshot`] read the *same* atomics — one source of truth.
+    stat_rejected: obs::Counter,
+    stat_shed: obs::Counter,
+    stat_timed_out: obs::Counter,
+    stat_respawned: obs::Counter,
+    /// Queued jobs across both lanes, maintained under the lanes lock.
+    depth: obs::Gauge,
+    /// Process-wide latency histograms (shared cores by name).
+    wait_hist: obs::Histogram,
+    run_hist: obs::Histogram,
 }
 
 /// A priority job queue with dedicated, supervised executor threads.
@@ -638,10 +664,13 @@ impl JobQueue {
             start_seq: AtomicU64::new(0),
             lane_capacity: config.lane_capacity,
             admission: config.admission,
-            stat_rejected: AtomicU64::new(0),
-            stat_shed: AtomicU64::new(0),
-            stat_timed_out: AtomicU64::new(0),
-            stat_respawned: AtomicU64::new(0),
+            stat_rejected: obs::counter("queue.jobs_rejected"),
+            stat_shed: obs::counter("queue.jobs_shed"),
+            stat_timed_out: obs::counter("queue.jobs_timed_out"),
+            stat_respawned: obs::counter("queue.executors_respawned"),
+            depth: obs::gauge("queue.depth"),
+            wait_hist: obs::histogram("queue.wait"),
+            run_hist: obs::histogram("queue.run"),
         });
         let executors = (0..n)
             .map(|i| {
@@ -660,13 +689,14 @@ impl JobQueue {
         self.executors.len()
     }
 
-    /// Robustness counters accumulated since construction.
+    /// Robustness counters accumulated since construction: a view over
+    /// this queue's registry cells (`queue.*` in [`obs::snapshot`]).
     pub fn stats(&self) -> QueueStats {
         QueueStats {
-            rejected: self.shared.stat_rejected.load(Ordering::Relaxed),
-            shed: self.shared.stat_shed.load(Ordering::Relaxed),
-            timed_out: self.shared.stat_timed_out.load(Ordering::Relaxed),
-            executors_respawned: self.shared.stat_respawned.load(Ordering::Relaxed),
+            rejected: self.shared.stat_rejected.get(),
+            shed: self.shared.stat_shed.get(),
+            timed_out: self.shared.stat_timed_out.get(),
+            executors_respawned: self.shared.stat_respawned.get(),
         }
     }
 
@@ -714,8 +744,10 @@ impl JobQueue {
         let run = Box::new(move |disposal: Disposal| {
             let queued_for = shared.submitted.elapsed();
             shared.timings.plock().queue_wait = Some(queued_for);
+            queue_shared.wait_hist.observe(queued_for);
             match disposal {
                 Disposal::Abort => {
+                    obs::event("job.abort", &[("lane", lane_str(priority).into())]);
                     shared.complete(Err(JobError::Cancelled));
                     return;
                 }
@@ -735,7 +767,8 @@ impl JobQueue {
                 .is_some_and(|limit| queued_for > limit);
             let total_expired = total_deadline.is_some_and(|at| Instant::now() >= at);
             if queue_expired || total_expired {
-                queue_shared.stat_timed_out.fetch_add(1, Ordering::Relaxed);
+                queue_shared.stat_timed_out.incr();
+                obs::event("job.timeout", &[("while", "queued".into())]);
                 shared.complete(Err(JobError::DeadlineExceeded));
                 return;
             }
@@ -754,11 +787,16 @@ impl JobQueue {
                 deadline: total_deadline,
                 attempts: Arc::new(AtomicU32::new(1)),
             };
+            let mut span = obs::span("job.run");
+            span.field("lane", lane_str(priority))
+                .field("queue_wait_us", queued_for.as_micros() as u64);
             let started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            let ran_for = started.elapsed();
+            queue_shared.run_hist.observe(ran_for);
             {
                 let mut timings = shared.timings.plock();
-                timings.run = Some(started.elapsed());
+                timings.run = Some(ran_for);
                 timings.attempts = ctx.attempts.load(Ordering::Relaxed);
             }
             let result = match outcome {
@@ -769,7 +807,25 @@ impl JobQueue {
             // (e.g. it panicked first) still counts as timed out only
             // when the body reported it.
             if matches!(result, Err(JobError::DeadlineExceeded)) {
-                queue_shared.stat_timed_out.fetch_add(1, Ordering::Relaxed);
+                queue_shared.stat_timed_out.incr();
+                obs::event("job.timeout", &[("while", "running".into())]);
+            }
+            span.field("attempts", u64::from(ctx.attempts.load(Ordering::Relaxed)))
+                .field(
+                    "outcome",
+                    match &result {
+                        Ok(_) => "ok",
+                        Err(JobError::Cancelled) => "cancelled",
+                        Err(JobError::Panicked(_)) => "panicked",
+                        Err(JobError::DeadlineExceeded) => "deadline",
+                        Err(JobError::Rejected) => "rejected",
+                    },
+                );
+            // Close (and drain) the span before waking joiners so a
+            // joiner that reads the trace right after `join` sees it.
+            drop(span);
+            if obs::trace_enabled() {
+                obs::flush_trace();
             }
             shared.complete(result);
         });
@@ -778,6 +834,7 @@ impl JobQueue {
             cancel,
             priority,
         };
+        obs::event("job.enqueue", &[("lane", lane_str(priority).into())]);
         {
             let mut lanes = self.shared.lanes.plock();
             if let Some(capacity) = self.shared.lane_capacity {
@@ -790,8 +847,9 @@ impl JobQueue {
                             lanes = self.shared.space.pwait(lanes);
                         }
                         AdmissionPolicy::Reject => {
-                            self.shared.stat_rejected.fetch_add(1, Ordering::Relaxed);
+                            self.shared.stat_rejected.incr();
                             drop(lanes);
+                            obs::event("job.reject", &[("lane", lane_str(priority).into())]);
                             handle.shared.complete(Err(JobError::Rejected));
                             return handle;
                         }
@@ -804,12 +862,17 @@ impl JobQueue {
                             };
                             match victim {
                                 Some(victim) => {
-                                    self.shared.stat_shed.fetch_add(1, Ordering::Relaxed);
+                                    self.shared.stat_shed.incr();
+                                    obs::event("job.shed", &[("lane", "batch".into())]);
                                     (victim.run)(Disposal::Shed);
                                 }
                                 None => {
-                                    self.shared.stat_rejected.fetch_add(1, Ordering::Relaxed);
+                                    self.shared.stat_rejected.incr();
                                     drop(lanes);
+                                    obs::event(
+                                        "job.reject",
+                                        &[("lane", lane_str(priority).into())],
+                                    );
                                     handle.shared.complete(Err(JobError::Rejected));
                                     return handle;
                                 }
@@ -822,6 +885,9 @@ impl JobQueue {
                 Priority::Interactive => lanes.interactive.push_back(job),
                 Priority::Batch => lanes.batch.push_back(job),
             }
+            self.shared
+                .depth
+                .set((lanes.interactive.len() + lanes.batch.len()) as u64);
             self.shared.available.notify_one();
         }
         handle
@@ -886,7 +952,8 @@ fn supervised_executor(shared: &Arc<QueueShared>, idx: usize) {
         match catch_unwind(AssertUnwindSafe(|| executor_loop(shared, idx))) {
             Ok(()) => return,
             Err(_) => {
-                shared.stat_respawned.fetch_add(1, Ordering::Relaxed);
+                shared.stat_respawned.incr();
+                obs::event("executor.respawn", &[("executor", idx.into())]);
                 shared.lanes.plock().active[idx] = None;
             }
         }
@@ -920,6 +987,9 @@ fn executor_loop(shared: &Arc<QueueShared>, idx: usize) {
                             );
                         }
                         lanes.active[idx] = Some(job.cancel.clone());
+                        shared
+                            .depth
+                            .set((lanes.interactive.len() + lanes.batch.len()) as u64);
                         break (job, Disposal::Execute);
                     }
                     None => lanes = shared.available.pwait(lanes),

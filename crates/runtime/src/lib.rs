@@ -38,6 +38,7 @@
 
 pub mod faults;
 pub mod jobs;
+pub mod obs;
 mod pool;
 pub mod sync;
 

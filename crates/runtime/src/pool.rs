@@ -33,10 +33,32 @@ use std::marker::PhantomData;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use crate::obs;
 use crate::sync::{PoisonTolerantCondvar, PoisonTolerantMutex};
+
+/// Registry cells for pool activity. One set per process (every `Runtime`
+/// feeds the same totals): tasks spawned onto the deque, how many of those
+/// a parked worker stole versus the installing caller draining its own
+/// scope, and how many `map_chunks` calls bypassed the pool entirely.
+struct PoolMetrics {
+    tasks_spawned: obs::Counter,
+    tasks_stolen_worker: obs::Counter,
+    tasks_run_caller: obs::Counter,
+    maps_inline: obs::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        tasks_spawned: obs::counter("pool.tasks_spawned"),
+        tasks_stolen_worker: obs::counter("pool.tasks_stolen_worker"),
+        tasks_run_caller: obs::counter("pool.tasks_run_caller"),
+        maps_inline: obs::counter("pool.maps_inline"),
+    })
+}
 
 /// A lifetime-erased task. Constructed only by [`Scope::spawn`], which
 /// guarantees (via [`Runtime::install`]) that the closure's real borrows
@@ -101,6 +123,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
             }
         };
+        pool_metrics().tasks_stolen_worker.incr();
         shared.run_task(task);
     }
 }
@@ -182,7 +205,10 @@ impl Runtime {
             }
             let task = self.shared.queue.plock().pop_front();
             match task {
-                Some(t) => self.shared.run_task(t),
+                Some(t) => {
+                    pool_metrics().tasks_run_caller.incr();
+                    self.shared.run_task(t);
+                }
                 None => {
                     let queue = self.shared.queue.plock();
                     if state.pending.load(Ordering::Acquire) == 0 {
@@ -228,6 +254,7 @@ impl Runtime {
         let n_chunks = items.len().div_ceil(chunk_size);
         let threads = threads.max(1);
         if threads == 1 || n_chunks <= 1 {
+            pool_metrics().maps_inline.incr();
             return items
                 .chunks(chunk_size)
                 .enumerate()
@@ -356,6 +383,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let task: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
         };
+        pool_metrics().tasks_spawned.incr();
         self.state.pending.fetch_add(1, Ordering::Release);
         let mut queue = self.runtime.shared.queue.plock();
         queue.push_back(QueuedTask {

@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! twoview generate <dataset> [--rows N] [--out data.2v]
-//! twoview stats    <data.2v>
+//! twoview stats    <data.2v> [--metrics]
 //! twoview fit      <data.2v> [--method select|greedy|exact] [--k K]
 //!                  [--minsup M] [--retries N] [--timeout-ms T]
-//!                  [--out rules.txt]
+//!                  [--trace trace.jsonl] [--quiet] [--out rules.txt]
 //! twoview score    <data.2v> <rules.txt>
 //! twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
 //! ```
+//!
+//! Observability: `--trace <path>` streams a JSON-lines span/event trace
+//! of the run to `path` (equivalent to setting `TWOVIEW_TRACE`); `stats
+//! --metrics` runs a fit and prints the process metric registry as JSON;
+//! `--quiet` routes informational chatter to stderr so stdout carries
+//! only the model (or metrics JSON) — traces never interleave with model
+//! output because they go to their own file.
 
 use std::fs::File;
 use std::process::ExitCode;
@@ -32,9 +39,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   twoview generate <dataset> [--rows N] [--out data.2v]
-  twoview stats    <data.2v>
+  twoview stats    <data.2v> [--metrics] [--method select|greedy|exact]
+                   [--k K] [--minsup M]
   twoview fit      <data.2v> [--method select|greedy|exact] [--k K] [--minsup M]
-                   [--retries N] [--timeout-ms T] [--out rules.txt]
+                   [--retries N] [--timeout-ms T] [--trace trace.jsonl]
+                   [--quiet] [--out rules.txt]
   twoview score    <data.2v> <rules.txt>
   twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
 
@@ -43,6 +52,12 @@ times (deterministic exponential backoff); --timeout-ms T bounds the fit's
 total time (an expired fit reports 'deadline exceeded', never a partial
 model). Either flag routes the fit through the serving Engine and prints
 its robustness counters.
+
+observability: fit --trace PATH streams a JSON-lines span/event trace of
+the run to PATH (same as TWOVIEW_TRACE=PATH); stats --metrics runs a fit
+through the Engine and prints the metric-registry snapshot as JSON on
+stdout; --quiet sends informational chatter to stderr so stdout carries
+only the model / metrics payload.
 
 datasets: abalone adult cal500 car chesskrvk crime elections emotions
           house mammals nursery tictactoe wine yeast";
@@ -56,8 +71,23 @@ struct Flags {
     minsup: Option<usize>,
     retries: Option<u32>,
     timeout_ms: Option<u64>,
+    trace: Option<String>,
+    quiet: bool,
+    metrics: bool,
     from: Side,
     limit: usize,
+}
+
+impl Flags {
+    /// Informational output: stdout normally, stderr under `--quiet` so
+    /// stdout carries only the model / metrics payload.
+    fn info(&self, line: std::fmt::Arguments<'_>) {
+        if self.quiet {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, Error> {
@@ -70,6 +100,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, Error> {
         minsup: None,
         retries: None,
         timeout_ms: None,
+        trace: None,
+        quiet: false,
+        metrics: false,
         from: Side::Left,
         limit: 10,
     };
@@ -116,6 +149,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, Error> {
                         .map_err(|e| Error::config(format!("--timeout-ms: {e}")))?,
                 )
             }
+            "--trace" => f.trace = Some(value("--trace")?),
+            "--quiet" => f.quiet = true,
+            "--metrics" => f.metrics = true,
             "--from" => {
                 f.from = match value("--from")?.as_str() {
                     "left" => Side::Left,
@@ -144,6 +180,24 @@ fn parse_flags(args: &[String]) -> Result<Flags, Error> {
 fn load(path: &str) -> Result<TwoViewDataset, Error> {
     let file = File::open(path).map_err(|e| Error::config(format!("open {path}: {e}")))?;
     twoview::data::io::read_dataset(file).map_err(Error::from)
+}
+
+fn algorithm_from(flags: &Flags, minsup: usize) -> Result<Algorithm, Error> {
+    match flags.method.as_str() {
+        "select" => Ok(Algorithm::Select(
+            SelectConfig::builder().k(flags.k).minsup(minsup).build(),
+        )),
+        "greedy" => Ok(Algorithm::Greedy(
+            GreedyConfig::builder().minsup(minsup).build(),
+        )),
+        "exact" => Ok(Algorithm::Exact(ExactConfig {
+            max_nodes: Some(20_000_000),
+            ..ExactConfig::default()
+        })),
+        other => Err(Error::config(format!(
+            "unknown method {other} (select|greedy|exact)"
+        ))),
+    }
 }
 
 fn run(args: &[String]) -> Result<(), Error> {
@@ -180,6 +234,26 @@ fn run(args: &[String]) -> Result<(), Error> {
                 .first()
                 .ok_or_else(|| Error::config("stats needs a .2v file"))?;
             let data = load(path)?;
+            if flags.metrics {
+                // Run one fit through the serving Engine and print the
+                // process metric registry as JSON (the exact payload a
+                // /metrics endpoint would serve). Only the JSON goes to
+                // stdout; the fit summary is informational.
+                let minsup = flags.minsup.unwrap_or(1);
+                let algorithm = algorithm_from(&flags, minsup)?;
+                let engine = twoview::Engine::builder()
+                    .dataset(data)
+                    .minsup(minsup)
+                    .build()?;
+                let model = engine.fit(algorithm).join()?;
+                flags.info(format_args!(
+                    "fitted {} rules, L% = {:.2}",
+                    model.table.len(),
+                    model.compression_pct()
+                ));
+                println!("{}", twoview::runtime::obs::snapshot().to_json());
+                return Ok(());
+            }
             let codes = CodeLengths::new(&data);
             println!("name       : {}", data.name());
             println!("|D|        : {}", data.n_transactions());
@@ -203,21 +277,11 @@ fn run(args: &[String]) -> Result<(), Error> {
                 .ok_or_else(|| Error::config("fit needs a .2v file"))?;
             let data = load(path)?;
             let minsup = flags.minsup.unwrap_or(1);
-            let algorithm = match flags.method.as_str() {
-                "select" => {
-                    Algorithm::Select(SelectConfig::builder().k(flags.k).minsup(minsup).build())
-                }
-                "greedy" => Algorithm::Greedy(GreedyConfig::builder().minsup(minsup).build()),
-                "exact" => Algorithm::Exact(ExactConfig {
-                    max_nodes: Some(20_000_000),
-                    ..ExactConfig::default()
-                }),
-                other => {
-                    return Err(Error::config(format!(
-                        "unknown method {other} (select|greedy|exact)"
-                    )))
-                }
-            };
+            let algorithm = algorithm_from(&flags, minsup)?;
+            if let Some(trace_path) = &flags.trace {
+                twoview::runtime::obs::trace_to_path(trace_path)
+                    .map_err(|e| Error::config(format!("open trace {trace_path}: {e}")))?;
+            }
             let robust = flags.retries.is_some() || flags.timeout_ms.is_some();
             let model = if robust {
                 // Robustness flags route through the serving Engine:
@@ -238,29 +302,34 @@ fn run(args: &[String]) -> Result<(), Error> {
                 let handle = engine.fit(algorithm);
                 let model = handle.join()?;
                 let stats = engine.stats();
-                println!(
+                flags.info(format_args!(
                     "robustness: retried {}, degraded {}, timed out {}, rejected {}",
                     stats.jobs_retried,
                     stats.fits_degraded,
                     stats.jobs_timed_out,
                     stats.jobs_rejected
-                );
+                ));
                 model
             } else {
                 twoview::core::engine::fit(&data, &algorithm)
             };
-            println!(
+            if flags.trace.is_some() {
+                // Flush and close the trace sink so the file is complete
+                // before the model is reported.
+                twoview::runtime::obs::trace_off();
+            }
+            flags.info(format_args!(
                 "fitted {} rules, L% = {:.2} (|C|% = {:.2})",
                 model.table.len(),
                 model.compression_pct(),
                 model.score.correction_pct()
-            );
+            ));
             match &flags.out {
                 Some(out) => {
                     let file = File::create(out)
                         .map_err(|e| Error::config(format!("create {out}: {e}")))?;
                     table_io::write_table(&model.table, data.vocab(), file)?;
-                    println!("rules written to {out}");
+                    flags.info(format_args!("rules written to {out}"));
                 }
                 None => print!("{}", model.table.display(data.vocab())),
             }
