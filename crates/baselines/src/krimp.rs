@@ -210,6 +210,7 @@ impl<'d> Krimp<'d> {
             .cover_order
             .iter()
             .position(|&e| e == id)
+            // lint: allow(panic_hygiene) — cover_order mirrors the live table; every live id is in it
             .expect("entry in cover order");
         self.cover_order.remove(pos);
     }

@@ -17,6 +17,7 @@
 //! Every baseline exposes a `to_translation_table` conversion so its output
 //! can be scored with the paper's MDL criteria (`L%`, `|C|%`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assoc;

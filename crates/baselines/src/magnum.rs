@@ -148,8 +148,7 @@ pub fn magnum_opus_rules(data: &TwoViewDataset, cfg: &MagnumConfig) -> MagnumRes
     let mut rules: Vec<SignificantRule> = merged.into_values().collect();
     rules.sort_by(|a, b| {
         a.p_value
-            .partial_cmp(&b.p_value)
-            .unwrap()
+            .total_cmp(&b.p_value)
             .then(b.support.cmp(&a.support))
             .then((&a.left, &a.right).cmp(&(&b.left, &b.right)))
     });
@@ -241,8 +240,7 @@ pub fn magnum_opus_rules_holdout(
     let mut rules: Vec<SignificantRule> = merged.into_values().collect();
     rules.sort_by(|a, b| {
         a.p_value
-            .partial_cmp(&b.p_value)
-            .unwrap()
+            .total_cmp(&b.p_value)
             .then(b.support.cmp(&a.support))
             .then((&a.left, &a.right).cmp(&(&b.left, &b.right)))
     });

@@ -121,8 +121,7 @@ pub fn reremi_redescriptions(data: &TwoViewDataset, cfg: &ReremiConfig) -> Rerem
     }
     seeds.sort_by(|x, y| {
         y.jaccard
-            .partial_cmp(&x.jaccard)
-            .unwrap()
+            .total_cmp(&x.jaccard)
             .then((&x.left, &x.right).cmp(&(&y.left, &y.right)))
     });
     seeds.truncate(cfg.n_initial_pairs);
@@ -148,8 +147,7 @@ pub fn reremi_redescriptions(data: &TwoViewDataset, cfg: &ReremiConfig) -> Rerem
     }
     found.sort_by(|a, b| {
         b.jaccard
-            .partial_cmp(&a.jaccard)
-            .unwrap()
+            .total_cmp(&a.jaccard)
             .then(b.support.cmp(&a.support))
             .then((&a.left, &a.right).cmp(&(&b.left, &b.right)))
     });
@@ -214,8 +212,7 @@ fn beam_expand(data: &TwoViewDataset, cfg: &ReremiConfig, seed: Candidate) -> Ve
         }
         extensions.sort_by(|x, y| {
             y.jaccard
-                .partial_cmp(&x.jaccard)
-                .unwrap()
+                .total_cmp(&x.jaccard)
                 .then((&x.left, &x.right).cmp(&(&y.left, &y.right)))
         });
         extensions.dedup_by(|a, b| a.left == b.left && a.right == b.right);

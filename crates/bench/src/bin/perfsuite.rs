@@ -51,6 +51,8 @@
 //! cargo run --release -p twoview-bench --bin perfsuite -- --out p.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -1051,11 +1053,11 @@ fn recent_envelope(history: &str, mode: &str, field: &str) -> Option<f64> {
 /// A `Write` sink backed by shared memory: the trace drill drains the
 /// per-thread span buffers here so the rollup can read them back.
 #[derive(Clone)]
-struct TraceBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+struct TraceBuf(std::sync::Arc<twoview_runtime::sync::TolerantMutex<Vec<u8>>>);
 
 impl std::io::Write for TraceBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().expect("trace buf").extend_from_slice(buf);
+        self.0.lock().extend_from_slice(buf);
         Ok(buf.len())
     }
 
@@ -1101,7 +1103,9 @@ fn run_observability_bench(
     let minsup = (data.n_transactions() / spec.minsup_div).max(1);
 
     // --- traced storm drill ----------------------------------------------
-    let buf = TraceBuf(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())));
+    let buf = TraceBuf(std::sync::Arc::new(
+        twoview_runtime::sync::TolerantMutex::new(Vec::new()),
+    ));
     twoview_runtime::obs::trace_to_writer(Box::new(buf.clone()));
     let before = twoview_runtime::obs::snapshot();
     faults::configure(
@@ -1162,7 +1166,7 @@ fn run_observability_bench(
     twoview_runtime::obs::trace_off();
 
     // --- per-phase span rollups ------------------------------------------
-    let trace = String::from_utf8(buf.0.lock().expect("trace buf").clone()).expect("utf-8 trace");
+    let trace = String::from_utf8(buf.0.lock().clone()).expect("utf-8 trace");
     let rollup_ms = |names: &[&str]| -> f64 {
         trace
             .lines()

@@ -260,6 +260,7 @@ impl EngineBuilder {
             .ok_or_else(|| Error::config("Engine::builder() needs a dataset"))?;
         let data = Arc::new(data);
         let miner_cfg = miner_config(self.minsup, self.max_candidates, self.n_threads);
+        // lint: allow(determinism) — wall-clock timing feeds stats/obs only, never model state
         let mine_start = Instant::now();
         let closed = self.closed_candidates;
         let cache = {
@@ -462,6 +463,7 @@ impl EngineInner {
             }
         }
         let mcfg = miner_config(minsup, max_candidates, self.n_threads);
+        // lint: allow(determinism) — wall-clock timing feeds stats/obs only, never model state
         let start = Instant::now();
         let mut span = obs::span("engine.fit.mine");
         span.field("minsup", minsup as u64);

@@ -45,10 +45,10 @@
 //! function of the data), at the price of slightly weaker pruning.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use twoview_data::prelude::*;
 use twoview_runtime::obs;
+use twoview_runtime::sync::TolerantMutex;
 
 use crate::bounds;
 use crate::cover::CoverState;
@@ -570,7 +570,7 @@ fn parallel_root_fanout(
     // the bits is exactly "tighten if better".
     let shared_bits = AtomicU64::new(incumbent_gain.to_bits());
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RootOutcome>>> = Mutex::new(vec![None; n_roots]);
+    let results: TolerantMutex<Vec<Option<RootOutcome>>> = TolerantMutex::new(vec![None; n_roots]);
 
     let runtime = twoview_runtime::global();
     let participant = &|| {
@@ -610,7 +610,7 @@ fn parallel_root_fanout(
                 nodes: search.nodes,
                 truncated: search.truncated,
             };
-            results.lock().unwrap()[pos] = Some(outcome);
+            results.lock()[pos] = Some(outcome);
             claimed = next.fetch_add(1, Ordering::Relaxed);
             if claimed >= n_roots {
                 break;
@@ -638,7 +638,8 @@ fn parallel_root_fanout(
     let mut best_gain = incumbent_gain;
     let mut nodes = 0;
     let mut truncated = false;
-    for outcome in results.into_inner().unwrap() {
+    for outcome in results.into_inner() {
+        // lint: allow(panic_hygiene) — the parallel driver writes every root slot before into_inner
         let outcome = outcome.expect("every root subtree claimed and searched");
         nodes += outcome.nodes;
         truncated |= outcome.truncated;
@@ -862,7 +863,9 @@ impl Search<'_, '_> {
     /// Evaluates the three rules constructible at a node, behind the quick
     /// bound.
     fn evaluate(&mut self, node: &Node) {
+        // lint: allow(panic_hygiene) — dfs only descends into nodes with both tidsets materialised
         let tid_left = node.tid_left.as_ref().expect("X non-empty");
+        // lint: allow(panic_hygiene) — dfs only descends into nodes with both tidsets materialised
         let tid_right = node.tid_right.as_ref().expect("Y non-empty");
         if self.cfg.use_qub {
             let qub = bounds::qub_parts(

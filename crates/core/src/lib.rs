@@ -38,6 +38,7 @@
 //! assert!(model.compression_pct() <= 100.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

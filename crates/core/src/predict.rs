@@ -97,6 +97,7 @@ pub fn predict_row(
     let vocab = data.vocab();
     let mut out = Bitmap::new(vocab.n_on(from.opposite()));
     for rule in table.rules_from(from) {
+        // lint: allow(panic_hygiene) — rules_from(from) yields only rules whose antecedent lives in `from`
         let antecedent = rule.antecedent(from).expect("firing rule");
         if antecedent
             .iter()

@@ -700,6 +700,7 @@ pub(crate) fn run_select(
             // certain, and a bound whose bracket straddles the prune
             // boundary is re-derived exactly from the cached tidsets —
             // the decision is then bit-identical to full recomputation.
+            // lint: allow(determinism) — wall-clock timing feeds stats/obs only, never model state
             let t0 = std::time::Instant::now();
             let mut work = Vec::new();
             let stale: Vec<usize> = (0..live.len()).filter(|&i| dirty[i] || force).collect();
@@ -714,6 +715,7 @@ pub(crate) fn run_select(
                 } else {
                     let (lt, rt) = tids
                         .get(i, live_idx[i])
+                        // lint: allow(panic_hygiene) — the incremental index is only armed when the tidset cache is populated
                         .expect("incremental rub requires cached tidsets");
                     let exact = bounds::rub(&state, &live[i].left, &live[i].right, lt, rt);
                     exact <= 0.0 || exact < threshold
@@ -859,6 +861,7 @@ pub(crate) fn run_select(
         if probing {
             inc_decided = true;
             if probe_decisions > 0 && probe_prunes * 2 >= probe_decisions {
+                // lint: allow(determinism) — wall-clock timing feeds stats/obs only, never model state
                 let t0 = std::time::Instant::now();
                 inc = build_inc_rub(&state, &live, &live_idx, &tids);
                 bound_maintain += t0.elapsed();
@@ -951,6 +954,7 @@ pub(crate) fn run_select(
 
         // Fold this round's tub decrements into the maintained sums.
         if let Some(inc) = inc.as_mut() {
+            // lint: allow(determinism) — wall-clock timing feeds stats/obs only, never model state
             let t0 = std::time::Instant::now();
             inc.fold(state.take_tub_deltas());
             bound_maintain += t0.elapsed();

@@ -27,6 +27,7 @@ pub fn translate_transaction(
     for rule in table.rules_from(from) {
         let antecedent = rule
             .antecedent(from)
+            // lint: allow(panic_hygiene) — rules_from(from) yields only rules whose antecedent lives in `from`
             .expect("rules_from yields only firing rules");
         let fires = antecedent
             .iter()

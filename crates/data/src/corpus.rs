@@ -360,6 +360,7 @@ impl PaperDataset {
     pub fn generate_scaled(self, max_transactions: usize) -> SyntheticDataset {
         let spec = self.spec().scaled_to(max_transactions);
         generate_with_vocab(&spec, self.vocabulary())
+            // lint: allow(panic_hygiene) — spec() builds from hard-coded paper parameters that always validate
             .expect("corpus specs are valid by construction")
     }
 

@@ -123,6 +123,7 @@ impl AttributeTable {
                     }
                     for (obj, v) in values.iter().enumerate() {
                         if let Some(val) = v {
+                            // lint: allow(panic_hygiene) — every Some value was pushed into `seen` just above
                             let idx = seen.iter().position(|s| s == val).expect("seen");
                             rows[obj].push(base + idx);
                         }
@@ -139,10 +140,11 @@ impl AttributeTable {
 /// duplicate quantiles collapse (fewer effective bins on ties).
 fn equal_height_edges(values: &[Option<f64>], bins: usize) -> Vec<f64> {
     let mut sorted: Vec<f64> = values.iter().flatten().copied().collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     if sorted.is_empty() {
         return Vec::new();
     }
+    let max = sorted[sorted.len() - 1];
     let mut edges = Vec::new();
     for k in 1..bins {
         let idx = (k * sorted.len()) / bins;
@@ -150,7 +152,7 @@ fn equal_height_edges(values: &[Option<f64>], bins: usize) -> Vec<f64> {
             continue;
         }
         let edge = sorted[idx - 1];
-        if edges.last() != Some(&edge) && edge < *sorted.last().unwrap() {
+        if edges.last() != Some(&edge) && edge < max {
             edges.push(edge);
         }
     }

@@ -6,7 +6,7 @@
 //! keep mining over the joint alphabet trivial, while [`Vocabulary`] recovers
 //! the side and per-side (local) index whenever the distinction matters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One of the two views of a two-view dataset.
@@ -51,7 +51,7 @@ pub type ItemId = u32;
 #[derive(Clone, Debug)]
 pub struct Vocabulary {
     names: Vec<String>,
-    by_name: HashMap<String, ItemId>,
+    by_name: BTreeMap<String, ItemId>,
     n_left: usize,
 }
 
@@ -70,7 +70,7 @@ impl Vocabulary {
         let mut names: Vec<String> = left.into_iter().map(Into::into).collect();
         let n_left = names.len();
         names.extend(right.into_iter().map(Into::into));
-        let mut by_name = HashMap::with_capacity(names.len());
+        let mut by_name = BTreeMap::new();
         for (i, n) in names.iter().enumerate() {
             let prev = by_name.insert(n.clone(), i as ItemId);
             assert!(prev.is_none(), "duplicate item name: {n}");

@@ -36,6 +36,7 @@
 //! assert_eq!(data.support(0), 2); // "rainy"
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod bitmap;

@@ -233,14 +233,19 @@ mod sse2 {
     /// instructions are used, which every x86_64 CPU provides.
     #[inline]
     unsafe fn matches4(a: *const u32, b: *const u32) -> u32 {
-        let va = _mm_loadu_si128(a as *const __m128i);
-        let vb = _mm_loadu_si128(b as *const __m128i);
-        let eq0 = _mm_cmpeq_epi32(va, vb);
-        let eq1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b00_11_10_01));
-        let eq2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b01_00_11_10));
-        let eq3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b10_01_00_11));
-        let any = _mm_or_si128(_mm_or_si128(eq0, eq1), _mm_or_si128(eq2, eq3));
-        _mm_movemask_ps(_mm_castsi128_ps(any)) as u32
+        // SAFETY: the caller provides 4 readable `u32`s behind each
+        // pointer (fn contract); the intrinsics are SSE2, baseline on
+        // every x86_64 target.
+        unsafe {
+            let va = _mm_loadu_si128(a as *const __m128i);
+            let vb = _mm_loadu_si128(b as *const __m128i);
+            let eq0 = _mm_cmpeq_epi32(va, vb);
+            let eq1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b00_11_10_01));
+            let eq2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b01_00_11_10));
+            let eq3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b10_01_00_11));
+            let any = _mm_or_si128(_mm_or_si128(eq0, eq1), _mm_or_si128(eq2, eq3));
+            _mm_movemask_ps(_mm_castsi128_ps(any)) as u32
+        }
     }
 
     /// The shared SSE2 block-merge skeleton: walks 4-lane blocks of `a`
@@ -280,7 +285,7 @@ mod sse2 {
                 acc = 0;
                 continue;
             }
-            // Safety: both blocks have 4 in-bounds elements (loop guard).
+            // SAFETY: both blocks have 4 in-bounds elements (loop guard).
             acc |= unsafe { matches4(a.as_ptr().add(i), b.as_ptr().add(j)) };
             if amax <= bmax {
                 if !flush(i, acc, None) {
@@ -319,6 +324,7 @@ mod sse2 {
             }
             true
         });
+        // lint: allow(panic_hygiene) — the visitor returns true for every block, so block_merge yields the tails
         let (i, j) = tails.expect("intersection flush never aborts");
         super::scalar_intersect_into(&a[i..], &b[j..], out);
     }
@@ -337,6 +343,7 @@ mod sse2 {
             }
             true
         });
+        // lint: allow(panic_hygiene) — the visitor returns true for every block, so block_merge yields the tails
         let (i, j) = tails.expect("count flush never aborts");
         count + super::scalar_intersect_count(&a[i..], &b[j..])
     }
@@ -358,6 +365,7 @@ mod sse2 {
             }
             true
         });
+        // lint: allow(panic_hygiene) — the visitor returns true for every block, so block_merge yields the tails
         let (i, j) = tails.expect("difference flush never aborts");
         super::scalar_difference_into(&a[i..], &b[j..], out);
     }

@@ -2,6 +2,8 @@
 //! and encoded lengths while TRANSLATOR-SELECT(1) builds a translation
 //! table for House. Writes `target/experiments/fig2.tsv` (plot-ready).
 
+#![forbid(unsafe_code)]
+
 use twoview_data::corpus::PaperDataset;
 use twoview_eval::figures::{fig2, render_fig2};
 use twoview_eval::report::write_artifact;

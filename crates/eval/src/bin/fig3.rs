@@ -3,6 +3,8 @@
 //! the ReReMi-style baseline. Prints summary statistics and writes DOT
 //! files under `target/experiments/` for rendering with Graphviz.
 
+#![forbid(unsafe_code)]
+
 use twoview_data::corpus::PaperDataset;
 use twoview_eval::comparison::table3_block;
 use twoview_eval::figures::{rule_graph_dot, rule_graph_stats};

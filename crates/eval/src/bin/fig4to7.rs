@@ -8,6 +8,8 @@
 //! Pass a dataset name (`house`, `mammals`, `cal500`, `elections`) to run a
 //! single figure; default runs all four.
 
+#![forbid(unsafe_code)]
+
 use twoview_core::{translator_select, SelectConfig};
 use twoview_data::corpus::PaperDataset;
 use twoview_eval::comparison::table3_block;

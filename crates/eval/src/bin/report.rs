@@ -6,6 +6,8 @@
 //! This is the binary behind EXPERIMENTS.md; run with `--full` to redo the
 //! comparison at paper scale.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 use twoview_data::corpus::PaperDataset;

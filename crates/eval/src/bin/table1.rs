@@ -1,6 +1,8 @@
 //! Regenerates the paper's **Table 1** (dataset properties) over the
 //! synthetic corpus and writes `target/experiments/table1.tsv`.
 
+#![forbid(unsafe_code)]
+
 use twoview_eval::report::write_artifact;
 use twoview_eval::tables::{render_table1, table1};
 

@@ -5,6 +5,8 @@
 //! `--full` for paper-scale parameters (expect multi-hour runtimes, exactly
 //! as the paper reports).
 
+#![forbid(unsafe_code)]
+
 use twoview_data::corpus::PaperDataset;
 use twoview_eval::report::write_artifact;
 use twoview_eval::tables::{render_table2, table2};

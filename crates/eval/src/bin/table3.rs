@@ -2,6 +2,8 @@
 //! significant rules vs ReReMi-style redescriptions vs KRIMP, all scored as
 //! translation tables. Writes `target/experiments/table3.tsv`.
 
+#![forbid(unsafe_code)]
+
 use twoview_data::corpus::PaperDataset;
 use twoview_eval::comparison::{render_table3, table3, TABLE3_DEFAULT};
 use twoview_eval::report::write_artifact;

@@ -15,6 +15,7 @@
 //! | `fig3`     | Fig. 3 — rule-set graphs for CAL500 & House |
 //! | `fig4to7`  | Figs. 4–7 — example rules (House, Mammals, CAL500, Elections) |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod comparison;

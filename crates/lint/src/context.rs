@@ -1,0 +1,310 @@
+//! Per-file analysis context: path classification, `#[cfg(test)]`
+//! region tracking, and the `// lint:` directive channel.
+
+use crate::lexer::{Lexed, Tok};
+
+/// What kind of compilation surface a file belongs to. Rules scope
+/// themselves by kind: panic hygiene applies to `Lib` only, lock
+/// discipline to `Lib` + `Bin`, the unsafe audit to everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code of the named crate (`crates/<c>/src/**`, `src/lib.rs`).
+    Lib(String),
+    /// A binary target (`src/bin/*.rs`, `crates/<c>/src/bin/*.rs`).
+    Bin(String),
+    /// Tests and benches (exempt from most rules).
+    TestLike,
+    /// Examples (exempt from panic/determinism rules).
+    Example,
+    /// Vendored/generated code the linter never looks at.
+    Skipped,
+}
+
+/// Classifies a workspace-relative path (`/`-separated).
+pub fn classify(path: &str) -> FileKind {
+    if path.starts_with("vendor/") || path.starts_with("target/") || path.contains("/fixtures/") {
+        return FileKind::Skipped;
+    }
+    if path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.starts_with("benches/")
+        || path.contains("/benches/")
+    {
+        return FileKind::TestLike;
+    }
+    if path.starts_with("examples/") || path.contains("/examples/") {
+        return FileKind::Example;
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let Some((krate, tail)) = rest.split_once('/') else {
+            return FileKind::Skipped;
+        };
+        if tail.starts_with("src/bin/") || tail == "src/main.rs" {
+            return FileKind::Bin(krate.to_string());
+        }
+        if tail.starts_with("src/") {
+            return FileKind::Lib(krate.to_string());
+        }
+        return FileKind::Skipped;
+    }
+    if path.starts_with("src/bin/") || path == "src/main.rs" {
+        return FileKind::Bin("twoview".to_string());
+    }
+    if path.starts_with("src/") {
+        return FileKind::Lib("twoview".to_string());
+    }
+    FileKind::Skipped
+}
+
+/// A parsed `// lint: allow(<rule>) — reason` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// Reason text after the separator (may be empty — reported then).
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// First line the directive covers (its own line, or the next code
+    /// line when the comment stands alone).
+    pub covers: u32,
+    /// Set when a rule consumes the directive; unused allows are stale
+    /// and reported.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// All `// lint:` directives of one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Allow escape hatches.
+    pub allows: Vec<AllowDirective>,
+    /// File-level `// lint: timing-designated — reason`: exempts the
+    /// wall-clock sub-rule of `determinism` for the whole module.
+    pub timing_designated: Option<(u32, String)>,
+    /// Malformed `// lint:` comments (line, message).
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Parses every `// lint:` comment in the file.
+pub fn parse_directives(lexed: &Lexed) -> Directives {
+    let mut out = Directives::default();
+    for comment in &lexed.comments {
+        let text = comment.text.trim();
+        let Some(body) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let body = body.trim();
+        if let Some(rest) = body.strip_prefix("allow(") {
+            let Some((rule, tail)) = rest.split_once(')') else {
+                out.malformed.push((
+                    comment.line,
+                    "unclosed `lint: allow(` directive".to_string(),
+                ));
+                continue;
+            };
+            let reason = strip_separator(tail);
+            let covers = if lexed.line_has_tokens(comment.line) {
+                comment.line
+            } else {
+                lexed.next_token_line(comment.end_line).unwrap_or(u32::MAX)
+            };
+            out.allows.push(AllowDirective {
+                rule: rule.trim().to_string(),
+                reason,
+                line: comment.line,
+                covers,
+                used: std::cell::Cell::new(false),
+            });
+        } else if let Some(tail) = body.strip_prefix("timing-designated") {
+            let reason = strip_separator(tail);
+            out.timing_designated = Some((comment.line, reason));
+        } else {
+            out.malformed.push((
+                comment.line,
+                format!("unknown `lint:` directive: `{body}` (expected `allow(<rule>) — reason` or `timing-designated — reason`)"),
+            ));
+        }
+    }
+    out
+}
+
+/// Strips the leading reason separator (`—`, `–`, `-`, `:`) and spaces.
+fn strip_separator(tail: &str) -> String {
+    tail.trim_start_matches([' ', '—', '–', '-', ':'])
+        .trim()
+        .to_string()
+}
+
+/// Line ranges (inclusive, 1-based) covered by `#[cfg(test)]` items.
+/// Tokens inside are invisible to every rule except the unsafe audit's
+/// `// SAFETY:` requirement (documentation is owed even in tests).
+pub fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let Some(open) = toks.get(i + 1) else { break };
+        if open.kind != Tok::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < toks.len() && depth > 0 {
+            match &toks[j].kind {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Ident(id) => match id.as_str() {
+                    "cfg" => saw_cfg = true,
+                    "test" => saw_test = true,
+                    "not" => saw_not = true,
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test && !saw_not) {
+            i = j;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Skip any further attributes before the item itself.
+        while j + 1 < toks.len()
+            && toks[j].kind == Tok::Punct('#')
+            && toks[j + 1].kind == Tok::Punct('[')
+        {
+            let mut d = 1i32;
+            j += 2;
+            while j < toks.len() && d > 0 {
+                match toks[j].kind {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Find the item's body: first `{` at bracket depth 0 opens a
+        // brace region; a `;` at depth 0 first ends a braceless item.
+        let mut bracket = 0i32;
+        let mut end_line = start_line;
+        while j < toks.len() {
+            match toks[j].kind {
+                Tok::Punct('(') | Tok::Punct('[') => bracket += 1,
+                Tok::Punct(')') | Tok::Punct(']') => bracket -= 1,
+                Tok::Punct(';') if bracket == 0 => {
+                    end_line = toks[j].line;
+                    j += 1;
+                    break;
+                }
+                Tok::Punct('{') if bracket == 0 => {
+                    let mut braces = 1i32;
+                    j += 1;
+                    while j < toks.len() && braces > 0 {
+                        match toks[j].kind {
+                            Tok::Punct('{') => braces += 1,
+                            Tok::Punct('}') => braces -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end_line = toks[j.saturating_sub(1).min(toks.len() - 1)].line;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j;
+    }
+    regions
+}
+
+/// Whether `line` falls in any test region.
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/core/src/select.rs"),
+            FileKind::Lib("core".to_string())
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/perfsuite.rs"),
+            FileKind::Bin("bench".to_string())
+        );
+        assert_eq!(
+            classify("src/bin/twoview.rs"),
+            FileKind::Bin("twoview".to_string())
+        );
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib("twoview".to_string()));
+        assert_eq!(classify("tests/quickstart.rs"), FileKind::TestLike);
+        assert_eq!(classify("crates/core/tests/x.rs"), FileKind::TestLike);
+        assert_eq!(
+            classify("crates/bench/benches/mining.rs"),
+            FileKind::TestLike
+        );
+        assert_eq!(classify("examples/elections.rs"), FileKind::Example);
+        assert_eq!(classify("vendor/rand/src/lib.rs"), FileKind::Skipped);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed);
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() {} }\n";
+        let lexed = lex(src);
+        assert!(test_regions(&lexed).is_empty());
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::sync::Mutex;\nfn after() {}\n";
+        let lexed = lex(src);
+        assert_eq!(test_regions(&lexed), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn allow_directive_parses_with_reason() {
+        let src = "let x = m.lock(); // lint: allow(panic_hygiene) — guarded above\n";
+        let lexed = lex(src);
+        let d = parse_directives(&lexed);
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].rule, "panic_hygiene");
+        assert_eq!(d.allows[0].reason, "guarded above");
+        assert_eq!(d.allows[0].covers, 1);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// lint: allow(determinism) — stats timing only\nlet t = Instant::now();\n";
+        let lexed = lex(src);
+        let d = parse_directives(&lexed);
+        assert_eq!(d.allows[0].covers, 2);
+    }
+}

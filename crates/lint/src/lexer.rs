@@ -1,0 +1,406 @@
+//! A minimal Rust lexer: just enough to tell identifiers, punctuation,
+//! string/char literals and comments apart, with line numbers.
+//!
+//! The analyzer works on token patterns (`Ident("partial_cmp")` followed
+//! by a balanced call then `.unwrap`), never on raw text, so pattern
+//! words inside strings, comments or doc examples can never trip a lint.
+//! Comments are kept in a side channel because two lints read them: the
+//! `// SAFETY:` audit and the `// lint: allow(...)` escape hatch.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `#`, ...).
+    Punct(char),
+    /// String literal content, escapes `\"` and `\\` resolved.
+    Str(String),
+    /// Char literal (content irrelevant to every lint).
+    Char,
+    /// Numeric literal (content irrelevant to every lint).
+    Num,
+    /// Lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A line or block comment with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after `//` (line) or between `/*`/`*/` (block).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Whether any code token starts on `line`.
+    pub fn line_has_tokens(&self, line: u32) -> bool {
+        self.tokens.binary_search_by(|t| t.line.cmp(&line)).is_ok()
+    }
+
+    /// Whether any comment covers `line`.
+    pub fn line_has_comment(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line <= line && line <= c.end_line)
+    }
+
+    /// The first token line strictly after `line`, if any.
+    pub fn next_token_line(&self, line: u32) -> Option<u32> {
+        let idx = self.tokens.partition_point(|t| t.line <= line);
+        self.tokens.get(idx).map(|t| t.line)
+    }
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs are closed at end of input (the linter runs on code that
+/// `rustc` already accepted, so this is purely defensive).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&bytes[start..end]).into_owned(),
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let (content, ni, nl) = lex_string(bytes, i + 1, line);
+                out.tokens.push(Token {
+                    kind: Tok::Str(content),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                let (kind, ni, nl) = lex_prefixed_string(bytes, i, line);
+                out.tokens.push(Token { kind, line });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'\\') {
+                    // Escaped char literal: consume to the closing quote.
+                    j += 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: Tok::Char,
+                        line,
+                    });
+                    i = (j + 1).min(bytes.len());
+                } else {
+                    while j < bytes.len() && is_ident_char(bytes[j]) {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'\'') && j > i + 1 {
+                        out.tokens.push(Token {
+                            kind: Tok::Char,
+                            line,
+                        });
+                        i = j + 1;
+                    } else if j == i + 1 && bytes.get(j) == Some(&b'\'') {
+                        // `''` — malformed; skip both quotes.
+                        i = j + 1;
+                    } else {
+                        out.tokens.push(Token {
+                            kind: Tok::Lifetime,
+                            line,
+                        });
+                        i = j;
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                while j < bytes.len() && (is_ident_char(bytes[j])) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Num,
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Ident(String::from_utf8_lossy(&bytes[i..j]).into_owned()),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Whether position `i` starts a raw/byte string (`r"`, `r#`, `b"`,
+/// `br"`, `br#`) rather than a plain identifier beginning with r/b.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'"') {
+            return true;
+        }
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    false
+}
+
+/// Lexes a plain string body starting just after the opening quote.
+/// Returns (content with `\"`/`\\` resolved, next index, next line).
+fn lex_string(bytes: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut content = Vec::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return (String::from_utf8_lossy(&content).into_owned(), i + 1, line),
+            b'\\' => {
+                match bytes.get(i + 1) {
+                    Some(b'"') => content.push(b'"'),
+                    Some(b'\\') => content.push(b'\\'),
+                    Some(b'n') => content.push(b'\n'),
+                    Some(&other) => {
+                        content.push(b'\\');
+                        content.push(other);
+                    }
+                    None => {}
+                }
+                i += 2;
+            }
+            b'\n' => {
+                line += 1;
+                content.push(b'\n');
+                i += 1;
+            }
+            c => {
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (String::from_utf8_lossy(&content).into_owned(), i, line)
+}
+
+/// Lexes a raw or byte string starting at its `r`/`b` prefix. Byte
+/// strings keep their (lossy) content; raw strings are matched against
+/// the exact `#` fence count.
+fn lex_prefixed_string(bytes: &[u8], mut i: usize, mut line: u32) -> (Tok, usize, u32) {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    // Skip the opening quote.
+    i += 1;
+    let start = i;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if hashes == 0 {
+            if bytes[i] == b'\\' {
+                i += 2;
+                continue;
+            }
+            if bytes[i] == b'"' {
+                let content = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                return (Tok::Str(content), i + 1, line);
+            }
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                let content = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                return (Tok::Str(content), j, line);
+            }
+        }
+        i += 1;
+    }
+    (
+        Tok::Str(String::from_utf8_lossy(&bytes[start..]).into_owned()),
+        i,
+        line,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in a block */
+            let s = "HashMap .unwrap()";
+            let r = r#"SystemTime"#;
+            let real = foo;
+        "##;
+        assert_eq!(idents(src), ["let", "s", "let", "r", "let", "real", "foo"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn string_escapes_resolve() {
+        let lexed = lex(r#"let s = "a \"key\": {}";"#);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, [r#"a "key": {}"#]);
+    }
+
+    #[test]
+    fn comments_carry_lines() {
+        let lexed = lex("let a = 1;\n// SAFETY: fine\nlet b = 2;\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+        assert!(lexed.line_has_tokens(3));
+        assert!(!lexed.line_has_tokens(2));
+    }
+
+    #[test]
+    fn raw_string_fences_match_exactly() {
+        let lexed = lex(r###"let s = r##"inner "# quote"##; let t = u;"###);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, [r##"inner "# quote"##]);
+    }
+}

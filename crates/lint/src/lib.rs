@@ -1,0 +1,346 @@
+//! # twoview-lint
+//!
+//! Project-invariant static analysis for the twoview workspace. The
+//! runtime tests prove the load-bearing guarantees — bit-identical
+//! models across threads/kernels/tidset modes, poison-tolerant locking,
+//! audited `unsafe`, inventoried observability names — but only for the
+//! code paths they happen to execute. This linter makes the *contracts*
+//! themselves compile-time-checkable: a hand-rolled, std-only Rust
+//! lexer plus token-pattern rules that walk every `.rs` file and fail
+//! CI the moment code drifts.
+//!
+//! Rules (each individually testable, see `tests/selftest.rs`):
+//!
+//! * [`determinism`](rules::determinism) — no `HashMap`/`HashSet`,
+//!   `Instant::now`/`SystemTime`, or thread identity in the solver/model
+//!   crates (`core`, `mining`, `data`); float orderings via `total_cmp`.
+//! * [`lock_discipline`](rules::lock_discipline) — raw `std::sync`
+//!   primitives stay inside `twoview-runtime`; the poison-blind
+//!   `.lock().unwrap()` pattern is banned everywhere.
+//! * [`unsafe_audit`](rules::unsafe_audit) — every `unsafe` carries a
+//!   `// SAFETY:` rationale, and every crate root stamps its boundary
+//!   attribute (`#![forbid(unsafe_code)]`, or
+//!   `#![deny(unsafe_op_in_unsafe_fn)]` where `unsafe` exists).
+//! * [`panic_hygiene`](rules::panic_hygiene) — no `.unwrap()`/
+//!   `.expect()` in library code outside tests/benches.
+//! * [`name_inventory`](names) — every obs metric/span/event and fault
+//!   point name used in source appears in `NAMES_inventory.json` and
+//!   vice versa; every key CI greps out of `BENCH_smoke.json` is emitted
+//!   by some source literal.
+//!
+//! Escape hatch: `// lint: allow(<rule>) — reason` on (or directly
+//! above) the offending line. Allows are counted, require a written
+//! reason, and go stale (fail the lint) when the code they covered
+//! stops triggering the rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod lexer;
+pub mod names;
+pub mod report;
+pub mod rules;
+
+use context::FileKind;
+use lexer::Tok;
+use names::{Inventory, NameUse};
+use report::{AllowRecord, Report, Rule, Violation};
+
+/// Workspace-relative path of the checked-in name inventory.
+pub const INVENTORY_PATH: &str = "NAMES_inventory.json";
+/// Workspace-relative path of the CI workflow the grep-drift check reads.
+pub const CI_PATH: &str = ".github/workflows/ci.yml";
+
+/// One source file handed to the linter (real or fixture).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// Full file content.
+    pub content: String,
+}
+
+impl SourceFile {
+    /// Convenience constructor for tests and the walker.
+    pub fn new(path: impl Into<String>, content: impl Into<String>) -> SourceFile {
+        SourceFile {
+            path: path.into(),
+            content: content.into(),
+        }
+    }
+}
+
+/// Everything one lint run looks at.
+#[derive(Debug, Default)]
+pub struct LintInput {
+    /// All `.rs` files of the workspace.
+    pub files: Vec<SourceFile>,
+    /// Content of [`INVENTORY_PATH`], when it exists.
+    pub inventory: Option<String>,
+    /// Content of [`CI_PATH`], when it exists.
+    pub ci_yaml: Option<String>,
+}
+
+struct Prepared {
+    path: String,
+    kind: FileKind,
+    lexed: lexer::Lexed,
+    test_regions: Vec<(u32, u32)>,
+    directives: context::Directives,
+}
+
+fn prepare(files: &[SourceFile]) -> Vec<Prepared> {
+    files
+        .iter()
+        .map(|f| {
+            let kind = context::classify(&f.path);
+            let lexed = lexer::lex(&f.content);
+            let test_regions = context::test_regions(&lexed);
+            let directives = context::parse_directives(&lexed);
+            Prepared {
+                path: f.path.clone(),
+                kind,
+                lexed,
+                test_regions,
+                directives,
+            }
+        })
+        .collect()
+}
+
+/// Runs every rule over the input and returns the full report.
+pub fn lint(input: &LintInput) -> Report {
+    let prepared = prepare(&input.files);
+    let mut violations = Vec::new();
+    let mut uses: Vec<NameUse> = Vec::new();
+    let mut literals: Vec<String> = Vec::new();
+
+    for p in &prepared {
+        if matches!(p.kind, FileKind::Skipped) {
+            continue;
+        }
+        let ctx = rules::FileCtx {
+            path: &p.path,
+            kind: &p.kind,
+            lexed: &p.lexed,
+            test_regions: &p.test_regions,
+            directives: &p.directives,
+        };
+        rules::determinism(&ctx, &mut violations);
+        rules::lock_discipline(&ctx, &mut violations);
+        rules::unsafe_audit(&ctx, &mut violations);
+        rules::panic_hygiene(&ctx, &mut violations);
+        names::collect_obs_uses(
+            &p.path,
+            &p.kind,
+            &p.lexed,
+            &p.test_regions,
+            &mut uses,
+            &mut violations,
+        );
+        names::collect_fault_points(&p.path, &p.lexed, &mut uses);
+        if matches!(p.kind, FileKind::Lib(_) | FileKind::Bin(_)) {
+            for tok in &p.lexed.tokens {
+                if let Tok::Str(s) = &tok.kind {
+                    literals.push(s.clone());
+                }
+            }
+        }
+    }
+
+    boundary_attributes(&prepared, &mut violations);
+    names::check_inventory(
+        INVENTORY_PATH,
+        input.inventory.as_deref(),
+        &uses,
+        &mut violations,
+    );
+    names::check_ci_greps(
+        CI_PATH,
+        input.ci_yaml.as_deref(),
+        &literals,
+        &mut violations,
+    );
+
+    // Allow-directive hygiene runs last: every rule has marked its
+    // consumed allows, so the stale check is now meaningful.
+    let mut allows = Vec::new();
+    for p in &prepared {
+        if matches!(p.kind, FileKind::Skipped) {
+            continue;
+        }
+        let ctx = rules::FileCtx {
+            path: &p.path,
+            kind: &p.kind,
+            lexed: &p.lexed,
+            test_regions: &p.test_regions,
+            directives: &p.directives,
+        };
+        rules::allowlist_hygiene(&ctx, &mut violations);
+        for a in &p.directives.allows {
+            if a.used.get() {
+                allows.push(AllowRecord {
+                    rule: a.rule.clone(),
+                    file: p.path.clone(),
+                    line: a.line,
+                    reason: a.reason.clone(),
+                });
+            }
+        }
+    }
+
+    let mut report = Report {
+        files_scanned: prepared
+            .iter()
+            .filter(|p| !matches!(p.kind, FileKind::Skipped))
+            .count(),
+        violations,
+        allows,
+    };
+    report.finish();
+    report
+}
+
+/// Collects the current obs/faults namespace from source, for
+/// `--write-inventory` and the round-trip self-test.
+pub fn collect_inventory(input: &LintInput) -> Inventory {
+    let prepared = prepare(&input.files);
+    let mut uses = Vec::new();
+    let mut scratch = Vec::new();
+    for p in &prepared {
+        names::collect_obs_uses(
+            &p.path,
+            &p.kind,
+            &p.lexed,
+            &p.test_regions,
+            &mut uses,
+            &mut scratch,
+        );
+        names::collect_fault_points(&p.path, &p.lexed, &mut uses);
+    }
+    Inventory::from_uses(&uses)
+}
+
+/// The unsafe-boundary stamp: each compilation root must carry the
+/// attribute matching its unsafe surface. Roots whose target holds no
+/// `unsafe` must `#![forbid(unsafe_code)]` (compiler-enforced, not just
+/// linter-enforced); roots with `unsafe` must
+/// `#![deny(unsafe_op_in_unsafe_fn)]` so unsafe bodies cannot silently
+/// widen their scope.
+fn boundary_attributes(prepared: &[Prepared], out: &mut Vec<Violation>) {
+    for p in prepared {
+        let target_files: Vec<&Prepared> = match (&p.kind, lib_root_crate(&p.path)) {
+            // A lib root speaks for every lib file of its crate.
+            (FileKind::Lib(_), Some(krate)) => prepared
+                .iter()
+                .filter(|q| match &q.kind {
+                    FileKind::Lib(k) => k == &krate,
+                    _ => false,
+                })
+                .collect(),
+            // A bin file is its own compilation root.
+            (FileKind::Bin(_), _) => vec![p],
+            _ => continue,
+        };
+        let has_unsafe = target_files.iter().any(|q| {
+            q.lexed
+                .tokens
+                .iter()
+                .any(|t| matches!(&t.kind, Tok::Ident(id) if id == "unsafe"))
+        });
+        let attrs = inner_lint_attrs(&p.lexed);
+        let ok = if has_unsafe {
+            attrs
+                .iter()
+                .any(|(_, name)| name == "unsafe_op_in_unsafe_fn")
+        } else {
+            attrs
+                .iter()
+                .any(|(verb, name)| verb == "forbid" && name == "unsafe_code")
+        };
+        if !ok {
+            let wanted = if has_unsafe {
+                "#![deny(unsafe_op_in_unsafe_fn)] (this target holds `unsafe`)"
+            } else {
+                "#![forbid(unsafe_code)] (this target holds no `unsafe`)"
+            };
+            out.push(Violation {
+                rule: Rule::UnsafeAudit,
+                file: p.path.clone(),
+                line: 1,
+                message: format!(
+                    "compilation root is missing its unsafe-boundary attribute: {wanted}"
+                ),
+            });
+        }
+    }
+}
+
+/// When `path` is a crate lib root, the crate key it roots.
+fn lib_root_crate(path: &str) -> Option<String> {
+    if path == "src/lib.rs" {
+        return Some("twoview".to_string());
+    }
+    let rest = path.strip_prefix("crates/")?;
+    let (krate, tail) = rest.split_once('/')?;
+    (tail == "src/lib.rs").then(|| krate.to_string())
+}
+
+/// Inner `#![verb(name)]` attributes of a file: (verb, lint name) pairs.
+fn inner_lint_attrs(lexed: &lexer::Lexed) -> Vec<(String, String)> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 4 < toks.len() {
+        let is_inner = matches!(toks[i].kind, Tok::Punct('#'))
+            && matches!(toks[i + 1].kind, Tok::Punct('!'))
+            && matches!(toks[i + 2].kind, Tok::Punct('['));
+        if !is_inner {
+            i += 1;
+            continue;
+        }
+        if let Some(Tok::Ident(verb)) = toks.get(i + 3).map(|t| &t.kind) {
+            // Collect every ident up to the closing `]` (handles
+            // `#![deny(a, b)]` and nested paths like `clippy::x`).
+            let mut j = i + 4;
+            let mut depth = 1i32;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].kind {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(name) => out.push((verb.clone(), name.clone())),
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_attr_extraction() {
+        let lexed = lexer::lex("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}\n");
+        let attrs = inner_lint_attrs(&lexed);
+        assert!(attrs.contains(&("forbid".to_string(), "unsafe_code".to_string())));
+        assert!(attrs.contains(&("warn".to_string(), "missing_docs".to_string())));
+    }
+
+    #[test]
+    fn lib_root_detection() {
+        assert_eq!(lib_root_crate("src/lib.rs").as_deref(), Some("twoview"));
+        assert_eq!(
+            lib_root_crate("crates/core/src/lib.rs").as_deref(),
+            Some("core")
+        );
+        assert_eq!(lib_root_crate("crates/core/src/select.rs"), None);
+    }
+}

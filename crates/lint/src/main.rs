@@ -1,0 +1,158 @@
+//! `twoview-lint` CLI: walks the workspace, runs every rule, writes
+//! `LINT_report.json`, and exits non-zero on any violation.
+//!
+//! ```text
+//! twoview-lint --workspace                 lint the enclosing workspace
+//! twoview-lint --workspace --root <dir>    lint an explicit root
+//! twoview-lint --workspace --write-inventory   regenerate NAMES_inventory.json
+//! twoview-lint --workspace --report <path>     report destination
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use twoview_lint::{collect_inventory, lint, LintInput, SourceFile, CI_PATH, INVENTORY_PATH};
+
+const REPORT_PATH: &str = "LINT_report.json";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut write_inventory = false;
+    let mut report_path = REPORT_PATH.to_string();
+    let mut quiet = false;
+    let mut workspace = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--write-inventory" => write_inventory = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = p,
+                None => return usage("--report needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("pass --workspace (the only supported scope)");
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("twoview-lint: no workspace root (Cargo.toml with [workspace]) above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let mut input = LintInput::default();
+    let mut rs_files = Vec::new();
+    walk(&root, &root, &mut rs_files);
+    rs_files.sort();
+    for rel in rs_files {
+        match fs::read_to_string(root.join(&rel)) {
+            Ok(content) => input.files.push(SourceFile::new(rel, content)),
+            Err(err) => {
+                eprintln!("twoview-lint: cannot read {rel}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    input.inventory = fs::read_to_string(root.join(INVENTORY_PATH)).ok();
+    input.ci_yaml = fs::read_to_string(root.join(CI_PATH)).ok();
+
+    if write_inventory {
+        let inventory = collect_inventory(&input).to_json();
+        if let Err(err) = fs::write(root.join(INVENTORY_PATH), &inventory) {
+            eprintln!("twoview-lint: cannot write {INVENTORY_PATH}: {err}");
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            println!("wrote {INVENTORY_PATH} from current source");
+        }
+        input.inventory = Some(inventory);
+    }
+
+    let report = lint(&input);
+    if let Err(err) = fs::write(root.join(&report_path), report.to_json()) {
+        eprintln!("twoview-lint: cannot write {report_path}: {err}");
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!(
+            "twoview-lint: {} files, {} violations, {} allows ({})",
+            report.files_scanned,
+            report.violations.len(),
+            report.allows.len(),
+            report_path,
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("twoview-lint: {problem}");
+    eprintln!("usage: twoview-lint --workspace [--root <dir>] [--write-inventory] [--report <path>] [--quiet]");
+    ExitCode::from(2)
+}
+
+/// Ascends from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collects workspace-relative `.rs` paths, skipping build
+/// output, vendored stand-ins and VCS internals.
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "node_modules"];
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}

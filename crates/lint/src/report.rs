@@ -1,0 +1,171 @@
+//! Violations, allow tallies, and the machine-readable `LINT_report.json`.
+
+use std::fmt;
+
+/// The lint rules, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Bit-identical solver/model paths: no hash iteration, wall clock,
+    /// thread identity or `partial_cmp().unwrap()`.
+    Determinism,
+    /// No raw `std::sync` locks or poison-blind `.lock().unwrap()`.
+    LockDiscipline,
+    /// Every `unsafe` carries `// SAFETY:`; crate roots stamp the
+    /// matching boundary attribute.
+    UnsafeAudit,
+    /// No `.unwrap()`/`.expect()` in library code.
+    PanicHygiene,
+    /// obs/faults names ↔ inventory ↔ CI greps stay in sync.
+    NameInventory,
+    /// The escape hatch itself: malformed, reason-less or stale allows.
+    Allowlist,
+}
+
+impl Rule {
+    /// All rules in report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::Determinism,
+        Rule::LockDiscipline,
+        Rule::UnsafeAudit,
+        Rule::PanicHygiene,
+        Rule::NameInventory,
+        Rule::Allowlist,
+    ];
+
+    /// Stable rule name (used in `allow(...)` and the JSON report).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::LockDiscipline => "lock_discipline",
+            Rule::UnsafeAudit => "unsafe_audit",
+            Rule::PanicHygiene => "panic_hygiene",
+            Rule::NameInventory => "name_inventory",
+            Rule::Allowlist => "allowlist",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line (1 for file-level findings).
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One consumed `// lint: allow` entry, tallied in the report.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    /// Rule the allow suppresses.
+    pub rule: String,
+    /// File the directive lives in.
+    pub file: String,
+    /// Line of the directive.
+    pub line: u32,
+    /// The written reason.
+    pub reason: String,
+}
+
+/// The full lint result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files analyzed (skipped files excluded).
+    pub files_scanned: usize,
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// All consumed allow directives, sorted by (file, line).
+    pub allows: Vec<AllowRecord>,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// Allow count for one rule.
+    pub fn allow_count(&self, rule: Rule) -> usize {
+        self.allows.iter().filter(|a| a.rule == rule.name()).count()
+    }
+
+    /// Sorts violations and allows into their stable report order.
+    pub fn finish(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Renders `LINT_report.json`: per-rule counts, the allow tally with
+    /// reasons, and every violation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"violations_total\": {},\n",
+            self.violations.len()
+        ));
+        out.push_str(&format!("  \"allows_total\": {},\n", self.allows.len()));
+        out.push_str("  \"rules\": {\n");
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            let comma = if i + 1 < Rule::ALL.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{}\": {{ \"violations\": {}, \"allows\": {} }}{comma}\n",
+                rule.name(),
+                self.count(*rule),
+                self.allow_count(*rule),
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"allowlist\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            let comma = if i + 1 < self.allows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\" }}{comma}\n",
+                escape(&a.file),
+                a.line,
+                escape(&a.rule),
+                escape(&a.reason),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let comma = if i + 1 < self.violations.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\" }}{comma}\n",
+                escape(&v.file),
+                v.line,
+                v.rule.name(),
+                escape(&v.message),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the report holds no control chars).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}

@@ -1,0 +1,382 @@
+//! The five lint rules, each a token-pattern walk over one file.
+//!
+//! Scoping summary (see README "Static analysis"):
+//!
+//! | rule            | applies to                                  |
+//! |-----------------|---------------------------------------------|
+//! | `determinism`   | lib code of `core`, `mining`, `data`         |
+//! | `lock_discipline` | lib + bin code, all crates                 |
+//! | `unsafe_audit`  | everything (tests owe `// SAFETY:` too)      |
+//! | `panic_hygiene` | lib code, all crates                         |
+//! | `name_inventory`| lib + bin code (collection); whole workspace |
+//!
+//! `#[cfg(test)]` regions are invisible to every rule except the
+//! `// SAFETY:` audit. Each rule honours the scoped escape hatch
+//! `// lint: allow(<rule>) — reason`.
+
+use crate::context::{in_regions, Directives, FileKind};
+use crate::lexer::{Lexed, Tok};
+use crate::report::{Rule, Violation};
+
+/// Everything the per-file rules need about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Classification from [`crate::context::classify`].
+    pub kind: &'a FileKind,
+    /// Lexed tokens + comments.
+    pub lexed: &'a Lexed,
+    /// `#[cfg(test)]` line ranges.
+    pub test_regions: &'a [(u32, u32)],
+    /// Parsed `// lint:` directives.
+    pub directives: &'a Directives,
+}
+
+impl FileCtx<'_> {
+    /// Whether a token on `line` is inside a `#[cfg(test)]` region.
+    fn is_test_line(&self, line: u32) -> bool {
+        in_regions(self.test_regions, line)
+    }
+
+    /// Emits a violation unless an allow directive covers `line` for
+    /// `rule`; a consumed directive is marked used.
+    fn emit(&self, out: &mut Vec<Violation>, rule: Rule, line: u32, message: String) {
+        for allow in &self.directives.allows {
+            if allow.rule == rule.name() && (allow.covers == line || allow.line == line) {
+                allow.used.set(true);
+                return;
+            }
+        }
+        out.push(Violation {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// Index just past the `)` matching the `(` at `open` (which must index
+/// a `(`); saturates at end of input.
+fn skip_call(toks: &[crate::lexer::Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Whether tokens at `i` start `::` (two adjacent `:` puncts).
+fn is_path_sep(toks: &[crate::lexer::Token], i: usize) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Punct(':')))
+        && matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
+}
+
+/// `determinism`: solver/model paths must be bit-identical across
+/// threads, kernels and tidset modes, so hash-order iteration,
+/// wall-clock reads and thread identity are banned in `core`, `mining`
+/// and `data` lib code; float orderings must use `total_cmp`.
+pub fn determinism(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let FileKind::Lib(krate) = ctx.kind else {
+        return;
+    };
+    if !matches!(krate.as_str(), "core" | "mining" | "data") {
+        return;
+    }
+    let timing_ok = ctx.directives.timing_designated.is_some();
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Tok::Ident(id) = &tok.kind else { continue };
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        match id.as_str() {
+            "HashMap" | "HashSet" => ctx.emit(
+                out,
+                Rule::Determinism,
+                tok.line,
+                format!("`{id}` in a solver/model path: hash iteration order is nondeterministic; use BTreeMap/BTreeSet (or a sorted Vec)"),
+            ),
+            "SystemTime" if !timing_ok => ctx.emit(
+                out,
+                Rule::Determinism,
+                tok.line,
+                "`SystemTime` in a solver/model path: wall-clock reads break replayability; move timing to a timing-designated module".to_string(),
+            ),
+            "Instant"
+                if !timing_ok
+                    && is_path_sep(toks, i + 1)
+                    && matches!(toks.get(i + 3).map(|t| &t.kind), Some(Tok::Ident(n)) if n == "now") =>
+            {
+                ctx.emit(
+                    out,
+                    Rule::Determinism,
+                    tok.line,
+                    "`Instant::now()` in a solver/model path: wall-clock reads are nondeterministic; allow-list stats-only timing explicitly".to_string(),
+                );
+            }
+            "ThreadId" => ctx.emit(
+                out,
+                Rule::Determinism,
+                tok.line,
+                "thread identity in a solver/model path breaks the thread-count-invariance contract".to_string(),
+            ),
+            "thread"
+                if is_path_sep(toks, i + 1)
+                    && matches!(toks.get(i + 3).map(|t| &t.kind), Some(Tok::Ident(n)) if n == "current") =>
+            {
+                ctx.emit(
+                    out,
+                    Rule::Determinism,
+                    tok.line,
+                    "`thread::current()` in a solver/model path breaks the thread-count-invariance contract".to_string(),
+                );
+            }
+            "partial_cmp" => {
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('('))) {
+                    let after = skip_call(toks, i + 1);
+                    if matches!(toks.get(after).map(|t| &t.kind), Some(Tok::Punct('.')))
+                        && matches!(toks.get(after + 1).map(|t| &t.kind), Some(Tok::Ident(n)) if n == "unwrap" || n == "expect")
+                    {
+                        ctx.emit(
+                            out,
+                            Rule::Determinism,
+                            tok.line,
+                            "`partial_cmp(..).unwrap()` on floats: NaN panics and total order differ across platforms; use `total_cmp`".to_string(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `lock_discipline`: a poisoned lock must never cascade one panicked
+/// job into failures of unrelated jobs. Raw `std::sync` primitives stay
+/// inside `twoview-runtime` (whose `sync` module wraps them); the
+/// poison-blind `.lock().unwrap()` pattern is banned everywhere.
+pub fn lock_discipline(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.kind, FileKind::Lib(_) | FileKind::Bin(_)) {
+        return;
+    }
+    if ctx.path.ends_with("crates/runtime/src/sync.rs") || ctx.path == "crates/runtime/src/sync.rs"
+    {
+        // The designated module: implements the tolerant wrappers.
+        return;
+    }
+    let in_runtime = ctx.path.starts_with("crates/runtime/src");
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Tok::Ident(id) = &tok.kind else { continue };
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        match id.as_str() {
+            "Mutex" | "Condvar" | "RwLock" if !in_runtime => ctx.emit(
+                out,
+                Rule::LockDiscipline,
+                tok.line,
+                format!("raw `std::sync::{id}` outside twoview-runtime; use `twoview_runtime::sync` (TolerantMutex / PoisonTolerant traits)"),
+            ),
+            "lock" | "wait" | "wait_timeout" => {
+                let preceded_by_dot =
+                    i > 0 && matches!(toks[i - 1].kind, Tok::Punct('.'));
+                if !preceded_by_dot {
+                    continue;
+                }
+                if !matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('('))) {
+                    continue;
+                }
+                let after = skip_call(toks, i + 1);
+                if matches!(toks.get(after).map(|t| &t.kind), Some(Tok::Punct('.')))
+                    && matches!(toks.get(after + 1).map(|t| &t.kind), Some(Tok::Ident(n)) if n == "unwrap" || n == "expect")
+                {
+                    ctx.emit(
+                        out,
+                        Rule::LockDiscipline,
+                        tok.line,
+                        format!("poison-blind `.{id}(..).unwrap()`: one panicked holder cascades into every later locker; use `plock`/`pwait` from `twoview_runtime::sync`"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `unsafe_audit` (per-file half): every `unsafe` token must carry a
+/// written rationale — a `// SAFETY:` comment (or a `# Safety` doc
+/// section) on the same line or in the contiguous comment/attribute run
+/// directly above. Applies to tests too: documentation is owed wherever
+/// the keyword appears.
+pub fn unsafe_audit(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if matches!(ctx.kind, FileKind::Skipped) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for tok in toks.iter() {
+        let Tok::Ident(id) = &tok.kind else { continue };
+        if id != "unsafe" {
+            continue;
+        }
+        if has_safety_rationale(ctx.lexed, tok.line) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            Rule::UnsafeAudit,
+            tok.line,
+            "`unsafe` without a `// SAFETY:` rationale on the same line or directly above"
+                .to_string(),
+        );
+    }
+}
+
+/// Whether a SAFETY rationale covers an `unsafe` token on `line`:
+/// same-line comment, or the contiguous run of comment/attribute lines
+/// directly above (doc comments with a `# Safety` heading count).
+fn has_safety_rationale(lexed: &Lexed, line: u32) -> bool {
+    let is_safety = |text: &str| text.contains("SAFETY:") || text.contains("# Safety");
+    // Same-line (trailing or leading) comment.
+    for c in &lexed.comments {
+        if c.line <= line && line <= c.end_line && is_safety(&c.text) {
+            return true;
+        }
+    }
+    // Walk upward through comment and attribute lines.
+    let mut k = line.saturating_sub(1);
+    while k >= 1 {
+        if let Some(c) = lexed
+            .comments
+            .iter()
+            .find(|c| c.line <= k && k <= c.end_line)
+        {
+            if is_safety(&c.text) {
+                return true;
+            }
+            if c.line == 0 || c.line == 1 {
+                return false;
+            }
+            k = c.line - 1;
+            continue;
+        }
+        if lexed.line_has_tokens(k) {
+            // Attribute lines (`#[inline]`, `#[target_feature..]`) are
+            // transparent; any other code line ends the run.
+            let first = lexed.tokens.iter().find(|t| t.line == k);
+            if matches!(first.map(|t| &t.kind), Some(Tok::Punct('#'))) {
+                k -= 1;
+                continue;
+            }
+            return false;
+        }
+        // Blank line ends the run: the rationale must be adjacent.
+        return false;
+    }
+    false
+}
+
+/// `panic_hygiene`: library code returns `Result`, it does not panic.
+/// `.unwrap()`/`.expect()` outside tests/benches need either a
+/// conversion to an error path or a written `// lint: allow` rationale.
+pub fn panic_hygiene(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.kind, FileKind::Lib(_)) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Tok::Ident(id) = &tok.kind else { continue };
+        if !(id == "unwrap" || id == "expect") {
+            continue;
+        }
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let preceded_by_dot = i > 0 && matches!(toks[i - 1].kind, Tok::Punct('.'));
+        let called = matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('(')));
+        if preceded_by_dot && called {
+            ctx.emit(
+                out,
+                Rule::PanicHygiene,
+                tok.line,
+                format!("`.{id}()` in library code: return an error or add `// lint: allow(panic_hygiene) — <why this cannot fail>`"),
+            );
+        }
+    }
+}
+
+/// Reports directive-level problems: malformed `lint:` comments, allows
+/// without a written reason, unknown rule names, and stale (unused)
+/// allows. Runs after every other rule so usage flags are final.
+pub fn allowlist_hygiene(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    const KNOWN: [&str; 5] = [
+        "determinism",
+        "lock_discipline",
+        "unsafe_audit",
+        "panic_hygiene",
+        "name_inventory",
+    ];
+    for (line, msg) in &ctx.directives.malformed {
+        out.push(Violation {
+            rule: Rule::Allowlist,
+            file: ctx.path.to_string(),
+            line: *line,
+            message: msg.clone(),
+        });
+    }
+    for allow in &ctx.directives.allows {
+        if !KNOWN.contains(&allow.rule.as_str()) {
+            out.push(Violation {
+                rule: Rule::Allowlist,
+                file: ctx.path.to_string(),
+                line: allow.line,
+                message: format!("`lint: allow({})` names no known rule", allow.rule),
+            });
+            continue;
+        }
+        if allow.reason.is_empty() {
+            out.push(Violation {
+                rule: Rule::Allowlist,
+                file: ctx.path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "`lint: allow({})` carries no reason; write one after an em-dash",
+                    allow.rule
+                ),
+            });
+        }
+        if !allow.used.get() {
+            out.push(Violation {
+                rule: Rule::Allowlist,
+                file: ctx.path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "stale `lint: allow({})`: nothing on its line triggers that rule",
+                    allow.rule
+                ),
+            });
+        }
+    }
+    if let Some((line, reason)) = &ctx.directives.timing_designated {
+        if reason.is_empty() {
+            out.push(Violation {
+                rule: Rule::Allowlist,
+                file: ctx.path.to_string(),
+                line: *line,
+                message: "`lint: timing-designated` carries no reason".to_string(),
+            });
+        }
+    }
+}

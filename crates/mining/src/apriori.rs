@@ -9,7 +9,7 @@
 //! level-wise candidate generation is also the scheme Magnum-Opus-style
 //! antecedent enumeration descends from.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use twoview_data::prelude::*;
 
@@ -47,7 +47,7 @@ pub fn mine_apriori(data: &TwoViewDataset, cfg: &MinerConfig) -> MiningResult {
                 break;
             }
         }
-        let frequent_prev: HashSet<&ItemSet> = level.iter().collect();
+        let frequent_prev: BTreeSet<&ItemSet> = level.iter().collect();
         let mut next: Vec<ItemSet> = Vec::new();
         // Join step: combine pairs sharing the first k-2 items.
         for (a_idx, a) in level.iter().enumerate() {

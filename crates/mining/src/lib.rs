@@ -12,6 +12,7 @@
 //! Every miner is deterministic and is cross-checked against brute-force
 //! enumeration in the test-suite.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apriori;

@@ -678,6 +678,7 @@ impl JobQueue {
                 std::thread::Builder::new()
                     .name(format!("twoview-jobs-{i}"))
                     .spawn(move || supervised_executor(&shared, i))
+                    // lint: allow(panic_hygiene) — thread spawn fails only on OS resource exhaustion; queue construction cannot proceed
                     .expect("spawn job executor")
             })
             .collect();

@@ -34,6 +34,7 @@
 //! (`SelectConfig::n_threads`, `ExactConfig::n_threads`,
 //! `MinerConfig::n_threads`) override that per run.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod faults;

@@ -157,6 +157,7 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("twoview-runtime-{i}"))
                     .spawn(move || worker_loop(shared))
+                    // lint: allow(panic_hygiene) — thread spawn fails only on OS resource exhaustion; pool construction cannot proceed
                     .expect("spawn pool worker")
             })
             .collect();
@@ -281,8 +282,9 @@ impl Runtime {
             let lo = i * chunk_size;
             let hi = (lo + chunk_size).min(items.len());
             let value = f(i, &items[lo..hi]);
-            // Disjoint slots: chunk `i` is claimed exactly once, and
-            // `install` returns only after every participant finished.
+            // SAFETY: disjoint slots — chunk `i` is claimed exactly
+            // once, and `install` returns only after every participant
+            // finished, so the slot array outlives this write.
             unsafe { slots.write(i, value) };
             written[i].store(true, Ordering::Release);
         };
@@ -295,20 +297,23 @@ impl Runtime {
             });
         }));
         if let Err(payload) = run {
-            // `install` has drained the scope, so no participant can still
-            // touch the slots; reclaim the completed chunks' results.
             for (i, flag) in written.iter().enumerate() {
                 if flag.load(Ordering::Acquire) {
+                    // SAFETY: `install` has drained the scope, so no
+                    // participant can still touch the slots; this flagged
+                    // slot was fully written (Release/Acquire pair) and
+                    // is dropped exactly once.
                     unsafe { (*slots.base.add(i)).assume_init_drop() };
                 }
             }
             resume_unwind(payload);
         }
 
-        // Every chunk index was claimed (the counter only stops handing
-        // out indices past `n_chunks`) and written before its participant
-        // exited, so all `n_chunks` slots are initialised.
         let mut out = ManuallyDrop::new(out);
+        // SAFETY: every chunk index was claimed (the counter only stops
+        // handing out indices past `n_chunks`) and written before its
+        // participant exited, so all `n_chunks` slots are initialised;
+        // `MaybeUninit<R>` and `R` share layout.
         unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n_chunks, out.capacity()) }
     }
 }
@@ -349,11 +354,18 @@ impl<R> SlotWriter<R> {
     /// `i` must be in bounds and claimed by exactly one participant, and
     /// the slots must stay alive until all participants finished.
     unsafe fn write(&self, i: usize, value: R) {
+        // SAFETY: forwarded contract — the caller guarantees `i` is in
+        // bounds, uniquely claimed, and that the slots are still alive.
         unsafe { (*self.base.add(i)).write(value) };
     }
 }
 
+// SAFETY: the pointer targets a slot array owned by the installer,
+// which outlives every participant; moving the writer between threads
+// moves only the pointer, and `R: Send` covers the values written.
 unsafe impl<R: Send> Send for SlotWriter<R> {}
+// SAFETY: concurrent `write` calls touch disjoint slots (each index is
+// claimed by exactly one participant), so shared use is race-free.
 unsafe impl<R: Send> Sync for SlotWriter<R> {}
 
 /// A scope handed to [`Runtime::install`]'s closure. Tasks spawned on it

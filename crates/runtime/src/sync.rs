@@ -44,6 +44,42 @@ pub trait PoisonTolerantCondvar {
     ) -> (MutexGuard<'a, T>, WaitTimeoutResult);
 }
 
+/// An owned poison-tolerant mutex for code *outside* this crate.
+///
+/// The extension traits above keep `twoview-runtime` internals on raw
+/// `std::sync` primitives (they own the poison story wholesale), but
+/// the `twoview-lint` lock-discipline rule bans raw `Mutex`/`Condvar`
+/// everywhere else. Solver and bench code that needs a lock wraps it in
+/// `TolerantMutex`, whose only lock method already recovers from
+/// poison — the poison-blind `.lock().unwrap()` cannot be written.
+#[derive(Debug, Default)]
+pub struct TolerantMutex<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> TolerantMutex<T> {
+    /// Wraps `value` in a poison-tolerant mutex.
+    pub fn new(value: T) -> TolerantMutex<T> {
+        TolerantMutex {
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Locks, recovering the guard from a poisoned lock. Callers must
+    /// tolerate seeing state a panicked holder left mid-update — fine
+    /// for write-once slots, counters and append buffers.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.plock()
+    }
+
+    /// Consumes the mutex, returning the inner value (poison ignored).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 impl PoisonTolerantCondvar for Condvar {
     fn pwait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         self.wait(guard)

@@ -17,6 +17,8 @@
 //! only the model (or metrics JSON) — traces never interleave with model
 //! output because they go to their own file.
 
+#![forbid(unsafe_code)]
+
 use std::fs::File;
 use std::process::ExitCode;
 

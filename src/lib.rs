@@ -90,6 +90,8 @@
 //! | `evaluate_table(&d, &t)` on a serving path | `engine.evaluate(t).join()?` |
 //! | panicking I/O paths | `Result<_, twoview::Error>` end to end |
 
+#![forbid(unsafe_code)]
+
 pub use twoview_baselines as baselines;
 pub use twoview_core as core;
 pub use twoview_data as data;
