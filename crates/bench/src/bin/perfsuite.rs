@@ -1254,6 +1254,125 @@ fn run_observability_bench(
     }
 }
 
+/// Persistence drill, on the mid-dense corpus.
+///
+/// Two properties of `twoview_core::persist` measured in one pass:
+///
+/// * **warm vs cold start** — a cold engine build (mines, then saves a
+///   snapshot) against a warm build of the same config from that
+///   snapshot. The identity `snapshot_roundtrip_identical` requires the
+///   warm engine to load exactly one snapshot, skip mining entirely
+///   (`build_mine_ms == 0`), serve every fit from the loaded cache
+///   (`fit_mine_ms == 0`), and produce a bit-identical model;
+/// * **torn-write recovery** — a deterministic `snapshot.torn` fault
+///   damages the save in flight; the next build must reject the
+///   damaged file (counted) and recover by re-mining to the same model.
+struct PersistenceOutcome {
+    json: String,
+    roundtrip_identical: bool,
+    torn_recovery_ok: bool,
+    cold_build_ms: f64,
+    warm_build_ms: f64,
+}
+
+fn run_persistence_bench(smoke: bool) -> PersistenceOutcome {
+    let spec = &CORPORA[1]; // mid-dense
+    let data = generate(spec, smoke);
+    let minsup = (data.n_transactions() / spec.minsup_div).max(1);
+    let dir =
+        std::env::temp_dir().join(format!("twoview-perfsuite-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    faults::clear();
+    let cfg = SelectConfig::builder().k(1).minsup(minsup).build();
+    let build = || {
+        Engine::builder()
+            .dataset(data.clone())
+            .minsup(minsup)
+            .snapshot_dir(&dir)
+            .build()
+            .expect("persistence engine")
+    };
+
+    // Cold: mine + save.
+    let t0 = Instant::now();
+    let cold = build();
+    let cold_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_model = cold
+        .fit(Algorithm::Select(cfg.clone()))
+        .join()
+        .expect("cold fit");
+    let cold_cands = cold.candidates().to_vec();
+    drop(cold);
+    let snapshot_bytes = std::fs::metadata(dir.join(twoview_core::persist::ENGINE_SNAPSHOT_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    // Warm: load, skip mining, serve identically.
+    let t0 = Instant::now();
+    let warm = build();
+    let warm_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_model = warm
+        .fit(Algorithm::Select(cfg.clone()))
+        .join()
+        .expect("warm fit");
+    let warm_stats = warm.stats();
+    let roundtrip_identical = models_match(&warm_model, &cold_model)
+        && warm.candidates() == cold_cands.as_slice()
+        && warm_stats.snapshots_loaded == 1
+        && warm_stats.snapshots_rejected == 0
+        && warm_stats.build_mine_ms == 0.0
+        && warm_stats.fit_mine_ms == 0.0;
+    drop(warm);
+    let warm_speedup = cold_build_ms / warm_build_ms.max(1e-9);
+
+    // Torn-write recovery: damage the save in flight, then start over it.
+    let _ = std::fs::remove_dir_all(&dir);
+    faults::configure(FaultPlan::new().point(points::SNAPSHOT_TORN, 1.0, 7));
+    drop(build()); // cold build whose snapshot save is torn
+    faults::clear();
+    let recovered = build();
+    let recovered_model = recovered
+        .fit(Algorithm::Select(cfg))
+        .join()
+        .expect("recovered fit");
+    let recovered_stats = recovered.stats();
+    let torn_recovery_ok = recovered_stats.snapshots_rejected == 1
+        && recovered_stats.snapshots_loaded == 0
+        && models_match(&recovered_model, &cold_model);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!(
+        "  persistence[mid-dense]: cold build {cold_build_ms:.1} ms, warm build \
+         {warm_build_ms:.1} ms ({warm_speedup:.1}x, snapshot {snapshot_kib} KiB); \
+         roundtrip identical: {roundtrip_identical}, torn recovery: {torn_recovery_ok}",
+        snapshot_kib = snapshot_bytes / 1024,
+    );
+
+    let json = format!(
+        r#"  "persistence": {{
+    "corpus": "mid-dense",
+    "cold_build_ms": {cold_build_ms:.3},
+    "warm_build_ms": {warm_build_ms:.3},
+    "warm_speedup": {warm_speedup:.3},
+    "snapshot_bytes": {snapshot_bytes},
+    "snapshots_loaded": {loaded},
+    "snapshots_rejected_torn": {rejected},
+    "snapshot_roundtrip_identical": {roundtrip_identical},
+    "torn_recovery_ok": {torn_recovery_ok}
+  }}"#,
+        loaded = warm_stats.snapshots_loaded,
+        rejected = recovered_stats.snapshots_rejected,
+    );
+    PersistenceOutcome {
+        json,
+        roundtrip_identical,
+        torn_recovery_ok,
+        cold_build_ms,
+        warm_build_ms,
+    }
+}
+
 /// Appended to `BENCH_history.jsonl` after every run: one flat JSON object
 /// per line so the regression gate (and humans with `grep`) can read it
 /// without a JSON parser.
@@ -1372,16 +1491,20 @@ fn main() {
     all_identities &= robustness.scenario_ok;
     let observability = run_observability_bench(smoke, &history, mode, mid_dense_pool_ms);
     all_identities &= observability.views_consistent;
+    let persistence = run_persistence_bench(smoke);
+    all_identities &= persistence.roundtrip_identical && persistence.torn_recovery_ok;
 
     let json = format!(
         "{{\n  \"suite\": \"select\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \
-         \"corpora\": [\n{corpora}\n  ],\n{engine_json},\n{robustness_json},\n{obs_json},\n  \
+         \"corpora\": [\n{corpora}\n  ],\n{engine_json},\n{robustness_json},\n{obs_json},\n\
+         {persistence_json},\n  \
          \"all_identities\": {all_identities}\n}}\n",
         threads = twoview_runtime::configured_threads(),
         corpora = corpora_json.join(",\n"),
         engine_json = engine.json,
         robustness_json = robustness.json,
         obs_json = observability.json,
+        persistence_json = persistence.json,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("  wrote {out_path}");
@@ -1485,6 +1608,15 @@ fn main() {
             registry.counter("engine.fits_completed"),
             observability.overhead_ok,
             observability.views_consistent,
+        );
+        let _ = write!(
+            line,
+            ",\"persist_cold_build_ms\":{:.3},\"persist_warm_build_ms\":{:.3},\
+             \"snapshot_roundtrip_identical\":{},\"snapshot_torn_recovery_ok\":{}",
+            persistence.cold_build_ms,
+            persistence.warm_build_ms,
+            persistence.roundtrip_identical,
+            persistence.torn_recovery_ok,
         );
         let _ = write!(line, ",\"all_identities\":{all_identities}}}");
         let mut history = history;

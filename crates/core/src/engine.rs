@@ -72,6 +72,7 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -88,6 +89,7 @@ use crate::error::Error;
 use crate::exact::{run_exact, ExactConfig};
 use crate::greedy::{run_greedy, GreedyConfig};
 use crate::model::{evaluate_table, ModelScore, TranslatorModel};
+use crate::persist;
 use crate::predict::predict_row;
 use crate::select::{run_select, SelectConfig};
 use crate::table::TranslationTable;
@@ -144,6 +146,10 @@ pub struct EngineBuilder {
     admission: AdmissionPolicy,
     retry: RetryPolicy,
     default_deadline: Deadline,
+    snapshot_dir: Option<PathBuf>,
+    /// Pre-validated snapshot parts installed by [`Engine::load_snapshot`]
+    /// (bypasses the opportunistic `snapshot_dir` probe).
+    preloaded: Option<persist::EngineSnapshotParts>,
 }
 
 impl Default for EngineBuilder {
@@ -168,6 +174,8 @@ impl EngineBuilder {
             admission: AdmissionPolicy::default(),
             retry: RetryPolicy::default(),
             default_deadline: Deadline::NONE,
+            snapshot_dir: None,
+            preloaded: None,
         }
     }
 
@@ -246,6 +254,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Warm-start from (and persist to) `dir/engine.snap`.
+    ///
+    /// [`EngineBuilder::build`] first tries to load a snapshot from the
+    /// directory: a valid one whose dataset identity **and** mining
+    /// config (minsup, candidate class, valve) match skips construction
+    /// mining entirely ([`EngineStats::build_mine_ms`] reads `0`), and
+    /// the warm-started engine is bit-identical to a cold-started one.
+    /// *Any* load failure — missing file, version skew, truncation,
+    /// corruption, a different dataset — falls back to a normal cold
+    /// build (counted in [`EngineStats::snapshots_rejected`], surfaced
+    /// as an `engine.snapshot.reject` event; a missing file is just a
+    /// cold start). After a cold build the freshly mined cache is
+    /// written back crash-safely; a failed save never fails the build.
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
     /// Mines and caches the candidate substrate, warms the seed tidsets,
     /// and starts the job executors.
     ///
@@ -254,32 +280,90 @@ impl EngineBuilder {
     /// a *warm* failure is not an error at all — the engine starts
     /// degraded (see [`EngineStats::seed_cache_warm`]) and fits
     /// recompute tidsets per run.
-    pub fn build(self) -> Result<Engine, Error> {
+    pub fn build(mut self) -> Result<Engine, Error> {
         let data = self
             .dataset
+            .take()
             .ok_or_else(|| Error::config("Engine::builder() needs a dataset"))?;
         let data = Arc::new(data);
+        // Create the snapshot counters before any load attempt so the
+        // engine's stats read the same per-instance cells the warm-start
+        // path increments.
+        let snapshots_loaded = obs::counter("engine.snapshots_loaded");
+        let snapshots_rejected = obs::counter("engine.snapshots_rejected");
+        let snapshot_path = self
+            .snapshot_dir
+            .as_ref()
+            .map(|dir| dir.join(persist::ENGINE_SNAPSHOT_FILE));
+        let mut loaded_cache: Option<CandidateCache> = None;
+        if let Some(parts) = self.preloaded.take() {
+            // Engine::load_snapshot already read and validated the file.
+            snapshots_loaded.incr();
+            obs::event(
+                "engine.snapshot.load",
+                &[
+                    ("candidates", (parts.candidates.len() as u64).into()),
+                    ("seeds", parts.seeds.is_some().into()),
+                ],
+            );
+            loaded_cache = Some(persist_parts_into_cache(parts));
+        } else if let Some(path) = snapshot_path.as_deref().filter(|p| p.exists()) {
+            match persist::read_engine_snapshot(path, &data) {
+                Ok(parts)
+                    if parts.minsup == self.minsup.max(1)
+                        && parts.closed == self.closed_candidates
+                        && parts.mine_valve == self.max_candidates =>
+                {
+                    snapshots_loaded.incr();
+                    obs::event(
+                        "engine.snapshot.load",
+                        &[
+                            ("candidates", (parts.candidates.len() as u64).into()),
+                            ("seeds", parts.seeds.is_some().into()),
+                        ],
+                    );
+                    loaded_cache = Some(persist_parts_into_cache(parts));
+                }
+                Ok(_) => {
+                    // Structurally valid, mined under a different config:
+                    // serving it would break fit/cache equivalence.
+                    snapshots_rejected.incr();
+                    obs::event(
+                        "engine.snapshot.reject",
+                        &[("reason", "config_mismatch".into())],
+                    );
+                }
+                Err(e) => {
+                    snapshots_rejected.incr();
+                    obs::event("engine.snapshot.reject", &[("reason", e.kind().into())]);
+                }
+            }
+        }
+        let warm_started = loaded_cache.is_some();
         let miner_cfg = miner_config(self.minsup, self.max_candidates, self.n_threads);
         // lint: allow(determinism) — wall-clock timing feeds stats/obs only, never model state
         let mine_start = Instant::now();
         let closed = self.closed_candidates;
-        let cache = {
-            let mut span = obs::span("engine.build.mine");
-            span.field("minsup", self.minsup as u64);
-            let mut attempt = 1u32;
-            loop {
-                match catch_unwind(AssertUnwindSafe(|| {
-                    CandidateCache::mine(&data, &miner_cfg, closed)
-                })) {
-                    Ok(cache) => break cache,
-                    Err(payload) => {
-                        if attempt >= self.retry.max_attempts {
-                            return Err(Error::Job(JobError::Panicked(panic_message(
-                                payload.as_ref(),
-                            ))));
+        let cache = match loaded_cache {
+            Some(cache) => cache,
+            None => {
+                let mut span = obs::span("engine.build.mine");
+                span.field("minsup", self.minsup as u64);
+                let mut attempt = 1u32;
+                loop {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        CandidateCache::mine(&data, &miner_cfg, closed)
+                    })) {
+                        Ok(cache) => break cache,
+                        Err(payload) => {
+                            if attempt >= self.retry.max_attempts {
+                                return Err(Error::Job(JobError::Panicked(panic_message(
+                                    payload.as_ref(),
+                                ))));
+                            }
+                            std::thread::sleep(self.retry.backoff_after(attempt));
+                            attempt += 1;
                         }
-                        std::thread::sleep(self.retry.backoff_after(attempt));
-                        attempt += 1;
                     }
                 }
             }
@@ -294,7 +378,24 @@ impl EngineBuilder {
             span.field("ok", warm);
             warm
         };
-        let build_mine_ms = mine_start.elapsed().as_secs_f64() * 1e3;
+        let build_mine_ms = if warm_started {
+            0.0
+        } else {
+            mine_start.elapsed().as_secs_f64() * 1e3
+        };
+        // A cold build with a snapshot directory writes the freshly mined
+        // cache back so the *next* start is warm. Persistence is best
+        // effort: a failed save (disk full, injected snapshot.write_fail)
+        // leaves a fully serviceable engine.
+        if let (Some(path), false) = (snapshot_path.as_deref(), warm_started) {
+            match persist::write_engine_snapshot(path, &data, &cache, self.max_candidates) {
+                Ok(()) => obs::event("engine.snapshot.save", &[("ok", true.into())]),
+                Err(e) => obs::event(
+                    "engine.snapshot.save",
+                    &[("ok", false.into()), ("reason", e.kind().into())],
+                ),
+            }
+        }
         let queue_config = {
             let mut cfg = QueueConfig::new(self.job_executors).admission(self.admission);
             if let Some(capacity) = self.lane_capacity {
@@ -317,10 +418,23 @@ impl EngineBuilder {
                 fits_retried: obs::counter("engine.jobs_retried"),
                 fits_degraded: obs::counter("engine.fits_degraded"),
                 jobs_submitted: obs::counter("engine.jobs_submitted"),
+                snapshots_loaded,
+                snapshots_rejected,
             }),
             queue: JobQueue::with_config(queue_config),
         })
     }
+}
+
+/// Reassembles a [`CandidateCache`] from validated snapshot parts.
+fn persist_parts_into_cache(parts: persist::EngineSnapshotParts) -> CandidateCache {
+    CandidateCache::from_parts(
+        parts.minsup,
+        parts.closed,
+        parts.truncated,
+        parts.candidates,
+        parts.seeds,
+    )
 }
 
 fn miner_config(minsup: usize, max_candidates: usize, n_threads: Option<usize>) -> MinerConfig {
@@ -370,6 +484,13 @@ pub struct EngineStats {
     pub jobs_timed_out: u64,
     /// Executor threads restarted by supervision.
     pub executors_respawned: u64,
+    /// Snapshots this engine warm-started from (0 on a cold start, 1
+    /// after a successful [`EngineBuilder::snapshot_dir`] load or
+    /// [`Engine::load_snapshot`]).
+    pub snapshots_loaded: u64,
+    /// Snapshot load attempts refused (damage, version skew, dataset or
+    /// config mismatch) and recovered from by re-mining.
+    pub snapshots_rejected: u64,
 }
 
 /// Cancellation/progress cadence of row-wise query jobs (translate,
@@ -412,6 +533,8 @@ struct EngineInner {
     fits_retried: obs::Counter,
     fits_degraded: obs::Counter,
     jobs_submitted: obs::Counter,
+    snapshots_loaded: obs::Counter,
+    snapshots_rejected: obs::Counter,
 }
 
 impl EngineInner {
@@ -635,7 +758,42 @@ impl Engine {
             jobs_shed: queue.shed,
             jobs_timed_out: queue.timed_out,
             executors_respawned: queue.executors_respawned,
+            snapshots_loaded: self.inner.snapshots_loaded.get(),
+            snapshots_rejected: self.inner.snapshots_rejected.get(),
         }
+    }
+
+    /// Writes this engine's mined state (candidate cache, warmed seed
+    /// tidsets, dataset identity) to `path` as a crash-safe snapshot —
+    /// see [`crate::persist`] for the format and guarantees. Safe to
+    /// call while fits are running: the cache is immutable after
+    /// construction, and the write is temp-file + atomic-rename.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        persist::write_engine_snapshot(
+            path.as_ref(),
+            &self.inner.data,
+            &self.inner.cache,
+            self.inner.mine_valve,
+        )
+        .map_err(Error::from)
+    }
+
+    /// Builds an engine directly from a snapshot file, *strictly*: unlike
+    /// the [`EngineBuilder::snapshot_dir`] warm-start (which falls back
+    /// to mining), any validation failure here is surfaced as
+    /// [`Error::Snapshot`]. The engine adopts the snapshot's mining
+    /// config (minsup, candidate class, valve); every other knob is the
+    /// builder default. The result is bit-identical to an engine built
+    /// cold with that config over the same dataset.
+    pub fn load_snapshot(path: impl AsRef<Path>, data: TwoViewDataset) -> Result<Engine, Error> {
+        let parts = persist::read_engine_snapshot(path.as_ref(), &data)?;
+        let mut builder = Engine::builder()
+            .dataset(data)
+            .minsup(parts.minsup)
+            .closed_candidates(parts.closed)
+            .max_candidates(parts.mine_valve);
+        builder.preloaded = Some(parts);
+        builder.build()
     }
 
     /// Number of dedicated job executors.

@@ -12,6 +12,8 @@ use std::fmt;
 use twoview_data::error::DataError;
 use twoview_runtime::JobError;
 
+use crate::persist::SnapshotError;
+
 /// Any error produced by the `twoview` library surface.
 #[derive(Debug)]
 pub enum Error {
@@ -21,6 +23,10 @@ pub enum Error {
     Job(JobError),
     /// A configuration value or combination was invalid.
     Config(String),
+    /// A snapshot could not be written, or an explicitly requested
+    /// snapshot load failed. (The builder's opportunistic warm-start
+    /// path never surfaces this — it counts the rejection and re-mines.)
+    Snapshot(SnapshotError),
 }
 
 impl Error {
@@ -53,6 +59,7 @@ impl fmt::Display for Error {
             Error::Data(e) => write!(f, "{e}"),
             Error::Job(e) => write!(f, "{e}"),
             Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -63,6 +70,7 @@ impl std::error::Error for Error {
             Error::Data(e) => Some(e),
             Error::Job(e) => Some(e),
             Error::Config(_) => None,
+            Error::Snapshot(e) => Some(e),
         }
     }
 }
@@ -76,6 +84,12 @@ impl From<DataError> for Error {
 impl From<JobError> for Error {
     fn from(e: JobError) -> Self {
         Error::Job(e)
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Self {
+        Error::Snapshot(e)
     }
 }
 
@@ -120,5 +134,9 @@ mod tests {
 
         let e = Error::from(std::io::Error::other("disk gone"));
         assert!(e.to_string().contains("disk gone"));
+
+        let e = Error::from(SnapshotError::BadMagic);
+        assert!(e.to_string().contains("magic"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

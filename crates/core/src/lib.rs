@@ -53,6 +53,7 @@ pub mod fit;
 pub mod greedy;
 pub mod model;
 pub mod multiview;
+pub mod persist;
 pub mod predict;
 pub mod rule;
 pub mod select;
@@ -73,6 +74,7 @@ pub use exact::{
 pub use fit::{fit, Algorithm};
 pub use greedy::{translator_greedy, CandidateOrder, GreedyConfig, GreedyConfigBuilder};
 pub use model::{evaluate_table, ModelScore, TraceStep, TranslatorModel};
+pub use persist::{EngineSnapshotParts, InspectReport, SnapshotError};
 pub use predict::{predict_row, prediction_quality, PredictionQuality};
 pub use rule::{Direction, TranslationRule};
 pub use select::{

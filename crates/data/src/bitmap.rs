@@ -427,6 +427,27 @@ impl Bitmap {
         &self.words
     }
 
+    /// Rebuilds a bitmap from its raw words (the snapshot codec's dense
+    /// decode path). Returns `None` unless the word count matches the
+    /// capacity exactly and every bit beyond `capacity` in the final word
+    /// is clear — the same invariants every constructor maintains, so a
+    /// decoded bitmap is indistinguishable from a built one.
+    pub(crate) fn from_words(capacity: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != word_count(capacity) {
+            return None;
+        }
+        let bm = Bitmap { words, capacity };
+        let rem = capacity % WORD_BITS;
+        if rem != 0 {
+            if let Some(&last) = bm.words.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(bm)
+    }
+
     /// Visits every word index overlapping `[start, end)` together with the
     /// mask of in-range bits — the shared loop of the range kernels below.
     #[inline]

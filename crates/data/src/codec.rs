@@ -1,0 +1,329 @@
+//! Byte-level kernel of the binary snapshot format.
+//!
+//! The persistence layer (`twoview::persist` in the core crate) frames a
+//! snapshot as checksummed sections; this module owns the primitives
+//! underneath that framing so the *data* types ([`crate::tidset::Tidset`],
+//! whose representation enum is private to its module) can encode and
+//! decode themselves without exposing internals:
+//!
+//! * [`ByteWriter`] — append-only little-endian buffer with
+//!   length-prefixed byte strings;
+//! * [`ByteReader`] — bounds-checked cursor over a byte slice whose every
+//!   read is a `Result` (a truncated or hostile input can never panic or
+//!   over-read);
+//! * [`crc32`] — the IEEE CRC-32 used for per-section and whole-file
+//!   checksums (std-only, table generated at compile time);
+//! * [`CodecError`] — the two ways decoding fails: ran out of bytes, or
+//!   the bytes violate a format invariant.
+//!
+//! Everything is deliberately dumb: fixed-width little-endian integers,
+//! no varints, no compression. Snapshots are cold-start artifacts read
+//! once per process; simplicity and verifiability beat density.
+
+use std::fmt;
+
+/// Why a byte-level decode failed. Both variants are *recoverable* by
+/// construction — callers (the snapshot reader) translate them into a
+/// rejected-snapshot outcome, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value being read was complete.
+    Truncated {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// The bytes were present but violate a format invariant (bad tag,
+    /// unsorted ids, out-of-range value, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated input: needed {need} bytes, had {have}")
+            }
+            CodecError::Malformed(why) => write!(f, "malformed input: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the polynomial used by zip/png/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append-only little-endian encode buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (little-endian), so
+    /// round-trips are bit-exact including NaN payloads and signed zeros.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes with no length prefix (for fixed-size fields).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u64` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far, without consuming the writer.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Bounds-checked little-endian decode cursor. Every read returns a
+/// [`CodecError`] instead of panicking when the input is short.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current cursor position (bytes consumed).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed every byte.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`, rejecting values that do
+    /// not fit (a 32-bit host reading a hostile 64-bit length).
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Malformed(format!("length {v} overflows usize")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Reads a `u64`-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_len()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|e| CodecError::Malformed(format!("invalid utf-8: {e}")))
+    }
+
+    /// Fails unless every byte has been consumed — decoders call this
+    /// last so trailing garbage is rejected rather than ignored.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed(format!(
+                "{} trailing bytes after value",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bytes(b"hello");
+        w.put_str("twoview");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        let z = r.get_f64().unwrap();
+        assert!(z == 0.0 && z.is_sign_negative(), "signed zero preserved");
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "twoview");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn short_reads_error_instead_of_panicking() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        let err = r.get_u64().unwrap_err();
+        assert_eq!(err, CodecError::Truncated { need: 8, have: 2 });
+        // The failed read consumed nothing.
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // length prefix far beyond the buffer
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn expect_end_rejects_trailing_garbage() {
+        let mut r = ByteReader::new(&[0]);
+        assert!(r.expect_end().is_err());
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(CodecError::Malformed(_))));
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod codec;
 pub mod corpus;
 pub mod dataset;
 pub mod discretize;

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use crate::bitmap::{BitIter, Bitmap};
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::simd_merge::{self, gallop_to};
 
 /// Number of bits per dense storage word.
@@ -1396,6 +1397,113 @@ impl Tidset {
             }
         }
     }
+
+    // ------------------------------------------------------------- codec
+
+    /// Encodes the set for the binary snapshot format: the universe, a
+    /// representation tag (`0` sparse, `1` dense, `2` runs), then the
+    /// current representation's payload verbatim. The repr is serialized
+    /// as-is — not canonicalised — so a decoded set occupies exactly the
+    /// [`Tidset::heap_bytes`] it was metered at when saved, and cache
+    /// budget accounting agrees across a save/load boundary.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.universe as u64);
+        match &self.repr {
+            Repr::Sparse(tids) => {
+                w.put_u8(0);
+                w.put_u64(tids.len() as u64);
+                for &t in tids {
+                    w.put_u32(t);
+                }
+            }
+            Repr::Dense(bm) => {
+                w.put_u8(1);
+                let words = bm.words();
+                w.put_u64(words.len() as u64);
+                for &word in words {
+                    w.put_u64(word);
+                }
+            }
+            Repr::Runs(runs) => {
+                w.put_u8(2);
+                w.put_u64(runs.len() as u64);
+                for &(s, e) in runs {
+                    w.put_u32(s);
+                    w.put_u32(e);
+                }
+            }
+        }
+    }
+
+    /// Decodes a set written by [`Tidset::encode`], preserving the stored
+    /// representation. Every format invariant is re-validated — sparse
+    /// lists must be strictly ascending and in-universe, dense word counts
+    /// and tail bits must match the universe, run lists must be canonical
+    /// — so a bit-flipped payload that still passes the section CRC (or a
+    /// hostile file) yields a [`CodecError`], never an invalid set.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Tidset, CodecError> {
+        let universe = r.get_len()?;
+        if universe > u32::MAX as usize {
+            return Err(CodecError::Malformed(format!(
+                "tidset universe {universe} exceeds the u32 tid space"
+            )));
+        }
+        let tag = r.get_u8()?;
+        let repr = match tag {
+            0 => {
+                let n = r.get_len()?;
+                let mut tids = Vec::with_capacity(n.min(r.remaining() / 4));
+                for _ in 0..n {
+                    tids.push(r.get_u32()?);
+                }
+                let sorted = tids.windows(2).all(|w| w[0] < w[1]);
+                if !sorted || tids.last().is_some_and(|&t| t as usize >= universe) {
+                    return Err(CodecError::Malformed(
+                        "sparse tidset not strictly ascending within universe".into(),
+                    ));
+                }
+                Repr::Sparse(tids)
+            }
+            1 => {
+                let n = r.get_len()?;
+                let mut words = Vec::with_capacity(n.min(r.remaining() / 8));
+                for _ in 0..n {
+                    words.push(r.get_u64()?);
+                }
+                let bm = Bitmap::from_words(universe, words).ok_or_else(|| {
+                    CodecError::Malformed(
+                        "dense tidset word count or tail bits inconsistent with universe".into(),
+                    )
+                })?;
+                Repr::Dense(bm)
+            }
+            2 => {
+                let n = r.get_len()?;
+                let mut runs: Vec<(u32, u32)> = Vec::with_capacity(n.min(r.remaining() / 8));
+                for _ in 0..n {
+                    let s = r.get_u32()?;
+                    let e = r.get_u32()?;
+                    let canonical = s < e
+                        && e as usize <= universe
+                        && runs.last().is_none_or(|&(_, prev_e)| prev_e < s);
+                    if !canonical {
+                        return Err(CodecError::Malformed(
+                            "run list not canonical (sorted, non-empty, non-adjacent, in-universe)"
+                                .into(),
+                        ));
+                    }
+                    runs.push((s, e));
+                }
+                Repr::Runs(runs)
+            }
+            other => {
+                return Err(CodecError::Malformed(format!(
+                    "unknown tidset repr tag {other}"
+                )))
+            }
+        };
+        Ok(Tidset { universe, repr })
+    }
 }
 
 impl PartialEq for Tidset {
@@ -1510,6 +1618,96 @@ mod tests {
 
     fn ts(universe: usize, tids: &[usize]) -> Tidset {
         Tidset::from_indices(universe, tids.iter().copied())
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_repr_and_values() {
+        let _guard = ModeGuard::adaptive();
+        let universe = 6400;
+        let cases = [
+            Tidset::new(universe),                                    // empty (sparse)
+            Tidset::from_indices(universe, (0..20).map(|i| 3 * i)),   // sparse
+            Tidset::from_indices(universe, (0..universe).step_by(2)), // dense
+            Tidset::from_indices(universe, 0..400),                   // runs
+            Tidset::full(universe),                                   // single run
+            Tidset::from_indices(universe, [universe - 1]),           // boundary tid
+            Tidset::new(0),                                           // empty universe
+        ];
+        for t in &cases {
+            let mut w = ByteWriter::new();
+            t.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = Tidset::decode(&mut r).expect("roundtrip decode");
+            r.expect_end()
+                .expect("decode consumes exactly the encoding");
+            assert_eq!(&back, t);
+            assert_eq!(back.universe(), t.universe());
+            assert_eq!(back.is_sparse(), t.is_sparse(), "repr preserved");
+            assert_eq!(back.is_runs(), t.is_runs(), "repr preserved");
+            assert_eq!(back.heap_bytes(), t.heap_bytes(), "metering agrees");
+            assert_eq!(back.fingerprint(), t.fingerprint());
+        }
+        // Forced reprs survive a roundtrip even when adaptive would flip.
+        for forced in [
+            cases[1].to_dense(),
+            cases[2].to_sparse(),
+            cases[1].to_runs(),
+        ] {
+            let mut w = ByteWriter::new();
+            forced.encode(&mut w);
+            let bytes = w.into_bytes();
+            let back = Tidset::decode(&mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(back.heap_bytes(), forced.heap_bytes());
+            assert_eq!(back, forced);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_invalid_payloads() {
+        let _guard = ModeGuard::adaptive();
+        let encode = |t: &Tidset| {
+            let mut w = ByteWriter::new();
+            t.encode(&mut w);
+            w.into_bytes()
+        };
+        // Truncation at every prefix length errors, never panics.
+        let bytes = encode(&Tidset::from_indices(640, (0..30).map(|i| 2 * i)));
+        for cut in 0..bytes.len() {
+            assert!(
+                Tidset::decode(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                "prefix {cut} must be rejected"
+            );
+        }
+        // Unknown repr tag.
+        let mut bad_tag = encode(&Tidset::from_indices(640, [1, 5]));
+        bad_tag[8] = 9;
+        assert!(Tidset::decode(&mut ByteReader::new(&bad_tag)).is_err());
+        // Unsorted sparse list: swap the two stored tids.
+        let mut unsorted = encode(&Tidset::from_indices(640, [1, 5]));
+        unsorted[17] = 5;
+        unsorted[21] = 1;
+        assert!(Tidset::decode(&mut ByteReader::new(&unsorted)).is_err());
+        // Out-of-universe sparse tid.
+        let mut oob = encode(&Tidset::from_indices(640, [1, 5]));
+        oob[21] = 0xFF;
+        oob[22] = 0xFF;
+        assert!(Tidset::decode(&mut ByteReader::new(&oob)).is_err());
+        // Dense tail bits beyond the universe set.
+        let mut tail = encode(&Tidset::from_indices(70, 0..70).to_dense());
+        *tail.last_mut().unwrap() |= 0x80;
+        assert!(Tidset::decode(&mut ByteReader::new(&tail)).is_err());
+        // Adjacent (non-canonical) runs.
+        let mut w = ByteWriter::new();
+        w.put_u64(640);
+        w.put_u8(2);
+        w.put_u64(2);
+        for (s, e) in [(0u32, 5u32), (5, 9)] {
+            w.put_u32(s);
+            w.put_u32(e);
+        }
+        let adjacent = w.into_bytes();
+        assert!(Tidset::decode(&mut ByteReader::new(&adjacent)).is_err());
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub use closed::mine_closed;
 pub use eclat::{mine_frequent, FrequentItemset, MinerConfig, MinerConfigBuilder, MiningResult};
 pub use twoview::{
     build_seed_tidsets, mine_closed_twoview, mine_frequent_twoview, CandidateCache, CandidateSet,
-    TwoViewCandidate, TIDSET_CACHE_BUDGET_BYTES,
+    SeedBudget, TwoViewCandidate, TIDSET_CACHE_BUDGET_BYTES,
 };

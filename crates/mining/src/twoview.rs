@@ -141,6 +141,41 @@ pub struct CandidateCache {
 /// eligibility can never desynchronize from the per-run caches.
 pub const TIDSET_CACHE_BUDGET_BYTES: usize = 400 << 20;
 
+/// Incremental metering of seed-tidset pairs against
+/// [`TIDSET_CACHE_BUDGET_BYTES`] — the one accounting loop shared by the
+/// lazy warm ([`build_seed_tidsets`]) and the snapshot-load path
+/// ([`CandidateCache::from_parts`]). Every path that admits seed pairs
+/// into memory meters them through this type, so a cache warmed from
+/// disk obeys exactly the byte budget a freshly built one does, and the
+/// two accountings can never drift apart.
+#[derive(Debug, Default)]
+pub struct SeedBudget {
+    bytes: usize,
+}
+
+impl SeedBudget {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Meters one `(left, right)` pair at the **actual bytes** of each
+    /// tidset's current representation ([`Tidset::heap_bytes`]). Returns
+    /// `false` once the running total exceeds the budget; the pair stays
+    /// counted, so later calls keep failing.
+    pub fn admit(&mut self, left: &Tidset, right: &Tidset) -> bool {
+        self.bytes = self
+            .bytes
+            .saturating_add(left.heap_bytes() + right.heap_bytes());
+        self.bytes <= TIDSET_CACHE_BUDGET_BYTES
+    }
+
+    /// Bytes metered so far.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
 /// Builds per-candidate `(supp(left), supp(right))` seed tidsets under
 /// [`TIDSET_CACHE_BUDGET_BYTES`], metering the **actual bytes** of each
 /// tidset's chosen representation ([`Tidset::heap_bytes`]) as the cache is
@@ -175,13 +210,12 @@ pub fn build_seed_tidsets<'a>(
     if floor > TIDSET_CACHE_BUDGET_BYTES {
         return None;
     }
-    let mut bytes = 0usize;
+    let mut budget = SeedBudget::new();
     let mut out = Vec::with_capacity(candidates.len());
     for c in candidates {
         let lt = data.support_set(&c.left);
         let rt = data.support_set(&c.right);
-        bytes = bytes.saturating_add(lt.heap_bytes() + rt.heap_bytes());
-        if bytes > TIDSET_CACHE_BUDGET_BYTES {
+        if !budget.admit(&lt, &rt) {
             return None;
         }
         out.push((lt, rt));
@@ -203,6 +237,40 @@ impl CandidateCache {
             closed,
             set,
             tidsets: OnceLock::new(),
+        }
+    }
+
+    /// Reassembles a cache from snapshot parts, without mining.
+    ///
+    /// `seeds`, when present, must align one-to-one with `candidates`;
+    /// the pairs are re-metered through the same [`SeedBudget`] the lazy
+    /// warm uses, and a misaligned or over-budget list is silently
+    /// dropped — the cache then starts unwarmed and the first
+    /// [`CandidateCache::tidsets`] call rebuilds (and re-meters) from the
+    /// dataset, exactly as a cold cache would.
+    pub fn from_parts(
+        minsup: usize,
+        closed: bool,
+        truncated: bool,
+        candidates: Vec<TwoViewCandidate>,
+        seeds: Option<Vec<(Tidset, Tidset)>>,
+    ) -> CandidateCache {
+        let tidsets = OnceLock::new();
+        if let Some(pairs) = seeds {
+            let mut budget = SeedBudget::new();
+            if pairs.len() == candidates.len() && pairs.iter().all(|(lt, rt)| budget.admit(lt, rt))
+            {
+                let _ = tidsets.set(Some(pairs));
+            }
+        }
+        CandidateCache {
+            minsup: minsup.max(1),
+            closed,
+            set: CandidateSet {
+                candidates,
+                truncated,
+            },
+            tidsets,
         }
     }
 
@@ -271,6 +339,13 @@ impl CandidateCache {
         self.tidsets
             .get_or_init(|| build_seed_tidsets(data, self.set.candidates.iter()))
             .as_deref()
+    }
+
+    /// The already-warmed seed tidsets, if any — a peek that never
+    /// computes (unlike [`CandidateCache::tidsets`]). The snapshot writer
+    /// uses it so saving a cache never triggers a warm as a side effect.
+    pub fn warmed(&self) -> Option<&[(Tidset, Tidset)]> {
+        self.tidsets.get().and_then(|cached| cached.as_deref())
     }
 }
 
@@ -397,6 +472,47 @@ mod tests {
         // Second call returns the same cached slice.
         let again = cache.tidsets(&d).unwrap();
         assert_eq!(again.as_ptr(), tids.as_ptr());
+    }
+
+    #[test]
+    fn from_parts_reassembles_and_meters_seeds() {
+        let d = toy();
+        let mined = CandidateCache::mine(&d, &MinerConfig::builder().minsup(2).build(), true);
+        let seeds: Vec<_> = mined.tidsets(&d).unwrap().to_vec();
+        let candidates = mined.candidates().to_vec();
+
+        // Aligned seeds within budget install without recomputation.
+        let cache = CandidateCache::from_parts(2, true, false, candidates.clone(), Some(seeds));
+        assert_eq!(cache.minsup(), 2);
+        assert!(cache.closed() && !cache.truncated());
+        assert_eq!(cache.candidates(), mined.candidates());
+        let warmed = cache.warmed().expect("seeds pre-installed");
+        assert_eq!(warmed, mined.tidsets(&d).unwrap());
+        assert_eq!(cache.tidsets(&d).unwrap().as_ptr(), warmed.as_ptr());
+
+        // A misaligned seed list is dropped; the lazy warm then rebuilds.
+        let bad = CandidateCache::from_parts(2, true, false, candidates.clone(), Some(Vec::new()));
+        assert!(bad.warmed().is_none());
+        assert_eq!(bad.tidsets(&d).unwrap(), mined.tidsets(&d).unwrap());
+
+        // No seeds at all: cache starts unwarmed.
+        let cold = CandidateCache::from_parts(2, true, false, candidates, None);
+        assert!(cold.warmed().is_none());
+    }
+
+    #[test]
+    fn seed_budget_meters_actual_bytes() {
+        let mut budget = SeedBudget::new();
+        let sparse = Tidset::from_indices(64, [1usize, 5, 9]);
+        let runs = Tidset::full(64);
+        assert!(budget.admit(&sparse, &runs));
+        assert_eq!(budget.bytes(), sparse.heap_bytes() + runs.heap_bytes());
+        assert!(budget.admit(&sparse, &sparse));
+        assert_eq!(
+            budget.bytes(),
+            3 * sparse.heap_bytes() + runs.heap_bytes(),
+            "metering accumulates per-representation bytes"
+        );
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub mod points {
     /// Kill the executor thread at job dispatch (the job is requeued
     /// first; supervision respawns the executor).
     pub const EXECUTOR_DIE: &str = "executor.die";
+    /// Snapshot write fails with an injected I/O error before any
+    /// bytes reach disk (the temp file is never created).
+    pub const SNAPSHOT_WRITE_FAIL: &str = "snapshot.write_fail";
+    /// Snapshot write is torn: the file is truncated at a seeded
+    /// offset, simulating a crash mid-write.
+    pub const SNAPSHOT_TORN: &str = "snapshot.torn";
+    /// Snapshot write is corrupted: a single bit at a seeded offset is
+    /// flipped, simulating at-rest bit rot.
+    pub const SNAPSHOT_CORRUPT: &str = "snapshot.corrupt";
 }
 
 /// Message prefix of every injected panic; retry layers use it to
@@ -249,31 +258,44 @@ pub fn should_fire(point: &str) -> bool {
     if !enabled() {
         return false;
     }
-    should_fire_slow(point)
+    probe_slow(point).is_some()
+}
+
+/// Probes `point` like [`should_fire`], but when the point fires
+/// returns the deterministic 64-bit draw behind the decision (`None`
+/// when it does not fire). Fault sites use the value to derive seeded
+/// *parameters* from the same counter-based stream — e.g. the offset
+/// where a torn snapshot write truncates, or which bit a corruption
+/// flips — so a chaos run's damage pattern replays from the seed alone.
+#[inline]
+pub fn fire_value(point: &str) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    probe_slow(point)
 }
 
 #[cold]
-fn should_fire_slow(point: &str) -> bool {
+fn probe_slow(point: &str) -> Option<u64> {
     let mut registry = REGISTRY.plock();
-    let Some(map) = registry.as_mut() else {
-        return false;
-    };
-    let Some(state) = map.get_mut(point) else {
-        return false;
-    };
+    let map = registry.as_mut()?;
+    let state = map.get_mut(point)?;
     let hit = state.hits;
     state.hits += 1;
+    let draw = draw_u64(state.seed, point, hit);
     let fire = if state.probability >= 1.0 {
         true
     } else if state.probability <= 0.0 {
         false
     } else {
-        draw_fraction(state.seed, point, hit) < state.probability
+        to_fraction(draw) < state.probability
     };
     if fire {
         state.fired += 1;
+        Some(draw)
+    } else {
+        None
     }
-    fire
 }
 
 /// Panics with `"injected fault: {point}"` when the point fires.
@@ -309,16 +331,20 @@ pub fn snapshot() -> Vec<(String, u64, u64)> {
     rows
 }
 
-/// Counter-based deterministic draw in `[0, 1)`: splitmix64 over the
-/// seed, an FNV-1a hash of the point name, and the hit index.
-fn draw_fraction(seed: u64, point: &str, hit: u64) -> f64 {
+/// Counter-based deterministic draw: splitmix64 over the seed, an
+/// FNV-1a hash of the point name, and the hit index.
+fn draw_u64(seed: u64, point: &str, hit: u64) -> u64 {
     let mut x = seed ^ fnv1a(point.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     // splitmix64 finalizer.
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
-    (x >> 11) as f64 / (1u64 << 53) as f64
+    x
+}
+
+fn to_fraction(draw: u64) -> f64 {
+    (draw >> 11) as f64 / (1u64 << 53) as f64
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -379,6 +405,28 @@ mod tests {
         assert_ne!(a, c, "different seeds should diverge");
         let hits = a.iter().filter(|&&f| f).count();
         assert!(hits > 0 && hits < 64, "p=0.3 over 64 draws: got {hits}");
+        clear();
+    }
+
+    #[test]
+    fn fire_value_is_deterministic_and_gated() {
+        let _guard = EXCLUSIVE.plock();
+        clear();
+        assert_eq!(fire_value("unit.synthetic.value"), None);
+        let draws = |seed: u64| -> Vec<Option<u64>> {
+            configure(FaultPlan::new().point("unit.synthetic.value", 1.0, seed));
+            (0..8).map(|_| fire_value("unit.synthetic.value")).collect()
+        };
+        let a = draws(11);
+        let b = draws(11);
+        let c = draws(12);
+        assert_eq!(a, b, "same seed must reproduce the same draw values");
+        assert_ne!(a, c, "different seeds should diverge");
+        assert!(a.iter().all(|v| v.is_some()), "p=1.0 always fires");
+        let distinct: std::collections::HashSet<_> = a.iter().flatten().collect();
+        assert!(distinct.len() > 1, "hit index must vary the draw");
+        configure(FaultPlan::new().point("unit.synthetic.value", 0.0, 11));
+        assert_eq!(fire_value("unit.synthetic.value"), None);
         clear();
     }
 

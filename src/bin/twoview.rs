@@ -5,10 +5,19 @@
 //! twoview stats    <data.2v> [--metrics]
 //! twoview fit      <data.2v> [--method select|greedy|exact] [--k K]
 //!                  [--minsup M] [--retries N] [--timeout-ms T]
-//!                  [--trace trace.jsonl] [--quiet] [--out rules.txt]
+//!                  [--snapshot-dir DIR] [--trace trace.jsonl] [--quiet]
+//!                  [--out rules.txt]
 //! twoview score    <data.2v> <rules.txt>
 //! twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
+//! twoview snapshot --inspect <file.snap>
 //! ```
+//!
+//! Persistence: `fit --snapshot-dir DIR` warm-starts the serving Engine
+//! from `DIR/engine.snap` when a valid snapshot is present (falling back
+//! to mining on any damage or mismatch) and writes one back after a cold
+//! build; `snapshot --inspect FILE` prints a JSON integrity report
+//! (header, per-section checksums, identity) without requiring the file
+//! to be valid.
 //!
 //! Observability: `--trace <path>` streams a JSON-lines span/event trace
 //! of the run to `path` (equivalent to setting `TWOVIEW_TRACE`); `stats
@@ -44,10 +53,17 @@ const USAGE: &str = "usage:
   twoview stats    <data.2v> [--metrics] [--method select|greedy|exact]
                    [--k K] [--minsup M]
   twoview fit      <data.2v> [--method select|greedy|exact] [--k K] [--minsup M]
-                   [--retries N] [--timeout-ms T] [--trace trace.jsonl]
-                   [--quiet] [--out rules.txt]
+                   [--retries N] [--timeout-ms T] [--snapshot-dir DIR]
+                   [--trace trace.jsonl] [--quiet] [--out rules.txt]
   twoview score    <data.2v> <rules.txt>
   twoview translate <data.2v> <rules.txt> [--from left|right] [--limit N]
+  twoview snapshot --inspect <file.snap>
+
+persistence: fit --snapshot-dir DIR warm-starts the Engine from
+DIR/engine.snap when a valid, matching snapshot exists (any damage,
+version skew or dataset mismatch falls back to mining; never an error)
+and saves one after a cold build; snapshot --inspect FILE prints a JSON
+integrity report of a snapshot file (works on damaged files too).
 
 fit robustness: --retries N re-runs a transiently failing fit up to N extra
 times (deterministic exponential backoff); --timeout-ms T bounds the fit's
@@ -74,6 +90,8 @@ struct Flags {
     retries: Option<u32>,
     timeout_ms: Option<u64>,
     trace: Option<String>,
+    snapshot_dir: Option<String>,
+    inspect: Option<String>,
     quiet: bool,
     metrics: bool,
     from: Side,
@@ -103,6 +121,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Error> {
         retries: None,
         timeout_ms: None,
         trace: None,
+        snapshot_dir: None,
+        inspect: None,
         quiet: false,
         metrics: false,
         from: Side::Left,
@@ -152,6 +172,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, Error> {
                 )
             }
             "--trace" => f.trace = Some(value("--trace")?),
+            "--snapshot-dir" => f.snapshot_dir = Some(value("--snapshot-dir")?),
+            "--inspect" => f.inspect = Some(value("--inspect")?),
             "--quiet" => f.quiet = true,
             "--metrics" => f.metrics = true,
             "--from" => {
@@ -285,9 +307,10 @@ fn run(args: &[String]) -> Result<(), Error> {
                     .map_err(|e| Error::config(format!("open trace {trace_path}: {e}")))?;
             }
             let robust = flags.retries.is_some() || flags.timeout_ms.is_some();
-            let model = if robust {
-                // Robustness flags route through the serving Engine:
-                // retries and deadlines are job-layer features.
+            let model = if robust || flags.snapshot_dir.is_some() {
+                // Robustness / persistence flags route through the
+                // serving Engine: retries, deadlines and snapshots are
+                // engine-layer features.
                 let mut builder = twoview::Engine::builder()
                     .dataset(data.clone())
                     .minsup(minsup)
@@ -300,17 +323,35 @@ fn run(args: &[String]) -> Result<(), Error> {
                         std::time::Duration::from_millis(ms),
                     ));
                 }
+                if let Some(dir) = &flags.snapshot_dir {
+                    builder = builder.snapshot_dir(dir);
+                }
                 let engine = builder.build()?;
                 let handle = engine.fit(algorithm);
                 let model = handle.join()?;
                 let stats = engine.stats();
-                flags.info(format_args!(
-                    "robustness: retried {}, degraded {}, timed out {}, rejected {}",
-                    stats.jobs_retried,
-                    stats.fits_degraded,
-                    stats.jobs_timed_out,
-                    stats.jobs_rejected
-                ));
+                if flags.snapshot_dir.is_some() {
+                    flags.info(format_args!(
+                        "snapshot: {}, build mine {:.1} ms (loaded {}, rejected {})",
+                        if stats.snapshots_loaded > 0 {
+                            "warm start"
+                        } else {
+                            "cold start"
+                        },
+                        stats.build_mine_ms,
+                        stats.snapshots_loaded,
+                        stats.snapshots_rejected
+                    ));
+                }
+                if robust {
+                    flags.info(format_args!(
+                        "robustness: retried {}, degraded {}, timed out {}, rejected {}",
+                        stats.jobs_retried,
+                        stats.fits_degraded,
+                        stats.jobs_timed_out,
+                        stats.jobs_rejected
+                    ));
+                }
                 model
             } else {
                 twoview::core::engine::fit(&data, &algorithm)
@@ -385,6 +426,19 @@ fn run(args: &[String]) -> Result<(), Error> {
                 "overall: precision {:.3}, recall {:.3}, F1 {:.3}, {} exact rows",
                 q.precision, q.recall, q.f1, q.exact_matches
             );
+            Ok(())
+        }
+        "snapshot" => {
+            // Accept the file either via --inspect (the documented form)
+            // or as a bare positional.
+            let path = flags
+                .inspect
+                .as_deref()
+                .or_else(|| flags.positional.first().map(String::as_str))
+                .ok_or_else(|| Error::config("snapshot needs --inspect <file.snap>"))?;
+            let report = twoview::core::persist::inspect(std::path::Path::new(path))
+                .map_err(twoview::core::Error::from)?;
+            println!("{}", report.to_json());
             Ok(())
         }
         other => Err(Error::config(format!("unknown command {other}"))),
